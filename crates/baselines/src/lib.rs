@@ -1,0 +1,34 @@
+//! # dctstream-baselines
+//!
+//! Classical pre-sketch baselines from the paper's related-work section
+//! (§2), for completeness of the comparison landscape:
+//!
+//! - [`sampling`] — reservoir sampling with the cross-product join
+//!   estimator (the Hou–Özsoyoğlu–Taneja, PODS 1988 lineage the task
+//!   metadata names).
+//! - [`histogram`] — equi-width histograms with uniform-within-bucket
+//!   join estimation.
+//! - [`wavelet`] — top-m Haar-coefficient synopses with Parseval join
+//!   estimation (the transform-based alternative of \[23\]\[24\]).
+//! - [`voptimal`] — V-optimal histograms (the \[17\]\[18\] lineage):
+//!   SSE-optimal bucket boundaries by dynamic programming.
+//! - [`wavelet_stream`] — bounded-space *streaming* wavelet maintenance
+//!   (greedy top-m), demonstrating the §2/\[12\] maintenance critique.
+//!
+//! Both implement [`dctstream_core::StreamSummary`] and are exercised by
+//! the `repro baselines` experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod sampling;
+pub mod voptimal;
+pub mod wavelet;
+pub mod wavelet_stream;
+
+pub use histogram::{estimate_join_from_histograms, EquiWidthHistogram};
+pub use sampling::{estimate_join_from_samples, ReservoirSample};
+pub use voptimal::{estimate_join_from_voptimal, VOptimalHistogram};
+pub use wavelet::{estimate_join_from_wavelets, haar_inverse, haar_transform, HaarSynopsis};
+pub use wavelet_stream::StreamingHaarSynopsis;

@@ -1,0 +1,216 @@
+//! Sampling-based join size estimation (paper §2; lineage of Hou,
+//! Özsoyoğlu & Taneja, *Statistical Estimators for Relational Algebra
+//! Expressions*, PODS 1988 \[15\]).
+//!
+//! Each stream keeps a uniform reservoir sample; the join size is
+//! estimated with the classical cross-product estimator
+//!
+//! ```text
+//! Ĵ = (N₁·N₂)/(s₁·s₂) · |{(i, j) : S₁[i] = S₂[j]}|
+//! ```
+//!
+//! which is unbiased for sampling with replacement and nearly so for
+//! reservoirs when `s ≪ N`. The paper's §2 verdict — "the estimation
+//! accuracy for join queries is far from satisfactory unless the sample
+//! size is very large" — is reproduced by the `baselines` experiment.
+
+use dctstream_core::{DctError, Result, StreamSummary};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A uniform reservoir sample of a 1-attribute stream (Vitter's Algorithm
+/// R). Insert-only: sampling is the one summary in this workspace that
+/// cannot process turnstile deletions — one of the deficiencies that
+/// motivated synopses (§2).
+#[derive(Debug)]
+pub struct ReservoirSample {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<i64>,
+    rng: StdRng,
+}
+
+impl ReservoirSample {
+    /// Reservoir of `capacity` slots (≥ 1).
+    pub fn new(capacity: usize, seed: u64) -> Result<Self> {
+        if capacity == 0 {
+            return Err(DctError::InvalidParameter(
+                "reservoir capacity must be at least 1".into(),
+            ));
+        }
+        Ok(Self {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Stream length seen so far (`N`).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample contents.
+    pub fn sample(&self) -> &[i64] {
+        &self.sample
+    }
+
+    /// Observe one arriving value.
+    pub fn insert(&mut self, v: i64) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(v);
+        } else {
+            let j = self.rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = v;
+            }
+        }
+    }
+}
+
+impl StreamSummary for ReservoirSample {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn update_weighted(&mut self, tuple: &[i64], w: f64) -> Result<()> {
+        if tuple.len() != 1 {
+            return Err(DctError::ArityMismatch {
+                expected: 1,
+                got: tuple.len(),
+            });
+        }
+        if w < 0.0 {
+            return Err(DctError::InvalidParameter(
+                "reservoir sampling cannot process deletions".into(),
+            ));
+        }
+        if w.fract() != 0.0 {
+            return Err(DctError::InvalidParameter(
+                "reservoir sampling needs integral weights".into(),
+            ));
+        }
+        for _ in 0..w as u64 {
+            self.insert(tuple[0]);
+        }
+        Ok(())
+    }
+
+    fn tuple_count(&self) -> f64 {
+        self.seen as f64
+    }
+
+    fn space(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Cross-product sampling estimate of `|R₁ ⋈ R₂|`.
+pub fn estimate_join_from_samples(a: &ReservoirSample, b: &ReservoirSample) -> Result<f64> {
+    let (s1, s2) = (a.sample.len(), b.sample.len());
+    if s1 == 0 || s2 == 0 {
+        return Err(DctError::EmptySynopsis);
+    }
+    // Count matching pairs via a frequency map of the smaller sample.
+    let mut counts: HashMap<i64, u64> = HashMap::with_capacity(s1);
+    for &v in &a.sample {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let matches: u64 = b
+        .sample
+        .iter()
+        .map(|v| counts.get(v).copied().unwrap_or(0))
+        .sum();
+    let scale = (a.seen as f64 / s1 as f64) * (b.seen as f64 / s2 as f64);
+    Ok(matches as f64 * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_capped_and_counts() {
+        let mut r = ReservoirSample::new(10, 1).unwrap();
+        for v in 0..1000 {
+            r.insert(v);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 1000);
+        assert!(ReservoirSample::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn reservoir_is_unbiased_ish() {
+        // Value 7 makes up half of the stream; its expected share of the
+        // reservoir is one half. Average over seeds.
+        let mut share = 0.0;
+        let trials = 60;
+        for seed in 0..trials {
+            let mut r = ReservoirSample::new(50, seed).unwrap();
+            for i in 0..10_000i64 {
+                r.insert(if i % 2 == 0 { 7 } else { i });
+            }
+            share += r.sample().iter().filter(|&&v| v == 7).count() as f64 / 50.0;
+        }
+        share /= trials as f64;
+        assert!((share - 0.5).abs() < 0.06, "share {share}");
+    }
+
+    #[test]
+    fn deletions_rejected() {
+        let mut r = ReservoirSample::new(4, 1).unwrap();
+        assert!(r.update_weighted(&[3], -1.0).is_err());
+        assert!(r.update_weighted(&[3], 1.5).is_err());
+        assert!(r.update_weighted(&[3], 2.0).is_ok());
+        assert_eq!(r.seen(), 2);
+    }
+
+    #[test]
+    fn join_estimate_exact_when_fully_sampled() {
+        // Capacity ≥ N: the sample IS the stream, so the estimate is exact.
+        let mut a = ReservoirSample::new(100, 1).unwrap();
+        let mut b = ReservoirSample::new(100, 2).unwrap();
+        for v in 0..50i64 {
+            a.insert(v % 10);
+            b.insert(v % 5);
+        }
+        // Exact: f_a(v)=5 for v in 0..10; f_b(v)=10 for v in 0..5.
+        let exact = 5.0 * 10.0 * 5.0;
+        let est = estimate_join_from_samples(&a, &b).unwrap();
+        assert!((est - exact).abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn join_estimate_statistically_reasonable() {
+        let mut acc = 0.0;
+        let trials = 40;
+        for seed in 0..trials {
+            let mut a = ReservoirSample::new(400, seed).unwrap();
+            let mut b = ReservoirSample::new(400, seed + 1000).unwrap();
+            for i in 0..20_000i64 {
+                a.insert(i % 100);
+                b.insert(i % 40);
+            }
+            acc += estimate_join_from_samples(&a, &b).unwrap();
+        }
+        let mean = acc / trials as f64;
+        // Exact: f_a = 200 each of 100 values, f_b = 500 each of 40 values
+        // → J = 40 · 200 · 500 = 4e6.
+        let exact = 4e6;
+        assert!((mean - exact).abs() / exact < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        let a = ReservoirSample::new(5, 1).unwrap();
+        let b = ReservoirSample::new(5, 2).unwrap();
+        assert!(matches!(
+            estimate_join_from_samples(&a, &b),
+            Err(DctError::EmptySynopsis)
+        ));
+    }
+}

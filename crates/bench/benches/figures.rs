@@ -1,0 +1,152 @@
+//! One estimation pipeline per figure family, at small scale — the bench
+//! targets DESIGN.md's per-experiment index points at. Each bench covers
+//! the data path its figures exercise end to end (build synopses →
+//! estimate at a budget); the full-accuracy sweeps live in the `repro`
+//! binary of `dctstream-experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctstream_bench::{ams_from, cosine_from, skimmed_from};
+use dctstream_core::{
+    degree_for_budget, estimate_chain_join, estimate_equi_join, ChainLink, Domain, Grid,
+    MultiDimSynopsis,
+};
+use dctstream_datagen::{
+    census, correlated_pair, net_trace, ClusteredConfig, ClusteredGenerator, Correlation, Protocol,
+};
+use dctstream_sketch::{estimate_join, estimate_skimmed_join, SketchSchema};
+use std::hint::black_box;
+
+/// Figures 1–6 family: type-I single join, all three methods.
+fn bench_typei_family(c: &mut Criterion) {
+    let n = 10_000usize;
+    let total = 200_000u64;
+    let budget = 500usize;
+    let (f1, f2) = correlated_pair(n, 0.5, 1.0, total, total, Correlation::Independent, 5);
+    let c1 = cosine_from(&f1, budget);
+    let c2 = cosine_from(&f2, budget);
+    let schema = SketchSchema::with_total_atoms(5, budget, 5, 1).unwrap();
+    let a1 = ams_from(&f1, schema);
+    let a2 = ams_from(&f2, schema);
+    let s1 = skimmed_from(&f1, schema, 1_000);
+    let s2 = skimmed_from(&f2, schema, 1_000);
+
+    let mut g = c.benchmark_group("fig1_6_typei_single_join");
+    g.bench_function("cosine_estimate", |b| {
+        b.iter(|| black_box(estimate_equi_join(&c1, &c2, Some(budget)).unwrap()))
+    });
+    g.bench_function("skimmed_estimate", |b| {
+        b.iter(|| black_box(estimate_skimmed_join(&[&s1, &s2], Some(budget)).unwrap()))
+    });
+    g.bench_function("basic_estimate", |b| {
+        b.iter(|| black_box(estimate_join(&[&a1, &a2], Some(budget)).unwrap()))
+    });
+    g.bench_function("cosine_build", |b| {
+        b.iter(|| black_box(cosine_from(&f1, budget).count()))
+    });
+    g.finish();
+}
+
+/// Figures 7–12 family: clustered chain join, cosine contraction.
+fn bench_clustered_family(c: &mut Criterion) {
+    let cfg = ClusteredConfig {
+        dims: 2,
+        domain_size: 256,
+        regions: 10,
+        z_inter: 1.0,
+        z_intra: 0.25,
+        volume_range: (100, 200),
+        total_tuples: 200_000,
+    };
+    let g2 = ClusteredGenerator::new(cfg, 9);
+    let g1 = g2.derive_correlated(0.75, 10);
+    let g3 = g2.transposed().derive_correlated(0.75, 11);
+    let mid = g2.materialize();
+    let first = g1.materialize().marginal(0);
+    let last = g3.materialize().marginal(0);
+    let budget = 2_000usize;
+    let d = Domain::of_size(256);
+    let c_first = cosine_from(&first, 256);
+    let c_last = cosine_from(&last, 256);
+    let degree = degree_for_budget(budget, 2) + 1;
+    let tuples: Vec<([i64; 2], u64)> = mid.cells.iter().map(|(t, f)| ([t[0], t[1]], *f)).collect();
+    let c_mid = MultiDimSynopsis::from_sparse_frequencies(
+        vec![d, d],
+        Grid::Midpoint,
+        degree,
+        tuples.iter().map(|(t, f)| (&t[..], *f)),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("fig7_12_clustered");
+    g.bench_function("cosine_chain_estimate", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_chain_join(
+                    &[
+                        ChainLink::End(&c_first),
+                        ChainLink::Inner {
+                            synopsis: &c_mid,
+                            left: 0,
+                            right: 1,
+                        },
+                        ChainLink::End(&c_last),
+                    ],
+                    Some(budget),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("clustered_generation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = ClusteredConfig {
+                dims: 2,
+                domain_size: 256,
+                regions: 10,
+                z_inter: 1.0,
+                z_intra: 0.25,
+                volume_range: (100, 200),
+                total_tuples: 50_000,
+            };
+            black_box(ClusteredGenerator::new(cfg, seed).materialize().total())
+        })
+    });
+    g.finish();
+}
+
+/// Figures 13–20 family: real-data-simulator single joins.
+fn bench_realdata_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_20_real_data");
+    type Gen = fn() -> (Vec<u64>, Vec<u64>);
+    let cases: [(&str, usize, Gen); 2] = [
+        ("census_age", 40, || {
+            (census(0, 1).marginal(0), census(1, 1).marginal(0))
+        }),
+        ("tcp_src_hosts", 400, || {
+            (
+                net_trace(Protocol::Tcp, 0, 1).marginal(0),
+                net_trace(Protocol::Tcp, 1, 1).marginal(0),
+            )
+        }),
+    ];
+    for (name, budget, gen) in cases {
+        let (f1, f2) = gen();
+        let c1 = cosine_from(&f1, budget);
+        let c2 = cosine_from(&f2, budget);
+        g.bench_with_input(
+            BenchmarkId::new("cosine_estimate", name),
+            &budget,
+            |b, &budget| b.iter(|| black_box(estimate_equi_join(&c1, &c2, Some(budget)).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(15);
+    targets = bench_typei_family, bench_clustered_family, bench_realdata_family
+}
+criterion_main!(figures);

@@ -1,0 +1,157 @@
+//! §5.4 computation-speed table as Criterion benchmarks.
+//!
+//! Paper reference (1.4 GHz Pentium IV): 0.32 µs per coefficient update
+//! (3.2 ms for 10,000), 0.4 ms to estimate from 10,000 coefficients;
+//! 1.0 ms to update 10,000 atomic sketches, 1.6 ms to estimate from them.
+//! Shapes to reproduce: update cost linear in the unit count; the cosine
+//! estimate (dot product) cheaper than the sketch estimate
+//! (products + group means + median).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dctstream_bench::{ams_from, cosine_from, skimmed_from, typei_pair};
+use dctstream_core::{estimate_equi_join, CosineSynopsis, Domain, Grid};
+use dctstream_sketch::{
+    estimate_fast_join, estimate_join, estimate_skimmed_join, AmsSketch, FastAmsSketch, FastSchema,
+    SketchSchema,
+};
+use dctstream_stream::{BatchBuffer, StreamEvent, Tuple};
+use std::hint::black_box;
+
+const DOMAIN: usize = 100_000;
+
+/// Per-tuple cosine coefficient update at several synopsis sizes
+/// (paper: 0.32 µs × m).
+fn bench_cosine_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cosine_update_per_tuple");
+    for m in [100usize, 1_000, 10_000] {
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut syn = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, m).unwrap();
+            let mut v = 0i64;
+            b.iter(|| {
+                v = (v + 7_919) % DOMAIN as i64;
+                syn.insert(black_box(v)).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Per-tuple atomic-sketch update (paper: 1.0 ms per 10,000 atoms).
+fn bench_sketch_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch_update_per_tuple");
+    for atoms in [100usize, 1_000, 10_000] {
+        g.throughput(Throughput::Elements(atoms as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, &atoms| {
+            let schema = SketchSchema::with_total_atoms(1, atoms, 5, 1).unwrap();
+            let mut s = AmsSketch::new(schema, vec![0]).unwrap();
+            let mut v = 0i64;
+            b.iter(|| {
+                v = (v + 7_919) % DOMAIN as i64;
+                s.update(black_box(&[v]), 1.0).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fast-AGMS per-tuple update: O(rows), independent of total size — the
+/// structural speed advantage over per-atom updates.
+fn bench_fast_ams_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast_ams_update_per_tuple");
+    for space in [100usize, 1_000, 10_000] {
+        g.throughput(Throughput::Elements(space as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(space), &space, |b, &space| {
+            let schema = FastSchema::for_single_join(1, space, 5).unwrap();
+            let mut s = FastAmsSketch::new(schema, vec![0]).unwrap();
+            let mut v = 0i64;
+            b.iter(|| {
+                v = (v + 7_919) % DOMAIN as i64;
+                s.update(black_box(&[v]), 1.0).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Join estimation latency from 10,000 stored units
+/// (paper: cosine 0.4 ms, sketch 1.6 ms).
+fn bench_estimate(c: &mut Criterion) {
+    let units = 10_000usize;
+    let (f1, f2) = typei_pair(DOMAIN, 1_000_000, 3);
+    let c1 = cosine_from(&f1, units);
+    let c2 = cosine_from(&f2, units);
+    let schema = SketchSchema::with_total_atoms(3, units, 5, 1).unwrap();
+    let a1 = ams_from(&f1, schema);
+    let a2 = ams_from(&f2, schema);
+    let s1 = skimmed_from(&f1, schema, 2_000);
+    let s2 = skimmed_from(&f2, schema, 2_000);
+
+    let mut g = c.benchmark_group("estimate_from_10k_units");
+    g.bench_function("cosine", |b| {
+        b.iter(|| black_box(estimate_equi_join(&c1, &c2, None).unwrap()))
+    });
+    g.bench_function("basic_sketch", |b| {
+        b.iter(|| black_box(estimate_join(&[&a1, &a2], None).unwrap()))
+    });
+    g.bench_function("skimmed_sketch", |b| {
+        b.iter(|| black_box(estimate_skimmed_join(&[&s1, &s2], None).unwrap()))
+    });
+    let fschema = FastSchema::for_single_join(3, units, 5).unwrap();
+    let mut fa = FastAmsSketch::new(fschema.clone(), vec![0]).unwrap();
+    let mut fb = FastAmsSketch::new(fschema, vec![0]).unwrap();
+    for (v, &f) in f1.iter().enumerate() {
+        if f > 0 {
+            fa.update(&[v as i64], f as f64).unwrap();
+        }
+    }
+    for (v, &f) in f2.iter().enumerate() {
+        if f > 0 {
+            fb.update(&[v as i64], f as f64).unwrap();
+        }
+    }
+    g.bench_function("fast_ams", |b| {
+        b.iter(|| black_box(estimate_fast_join(&[&fa, &fb], None).unwrap()))
+    });
+    g.finish();
+}
+
+/// The §3.2 batch-update claim: flushing a buffered batch costs one
+/// update per *distinct* value, not per event.
+fn bench_batch_update(c: &mut Criterion) {
+    let m = 1_000usize;
+    let events: Vec<StreamEvent> = (0..10_000)
+        .map(|i| StreamEvent::Insert(Tuple::unary(i % 100))) // 100 distinct values
+        .collect();
+    let mut g = c.benchmark_group("batch_vs_per_tuple");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("per_tuple", |b| {
+        b.iter(|| {
+            let mut syn = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, m).unwrap();
+            for ev in &events {
+                syn.update(ev.tuple().values()[0], ev.weight()).unwrap();
+            }
+            black_box(syn.count())
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut syn = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, m).unwrap();
+            let mut buf = BatchBuffer::new();
+            for ev in &events {
+                buf.push(ev);
+            }
+            buf.flush_into(&mut syn).unwrap();
+            black_box(syn.count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = speed;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cosine_update, bench_sketch_update, bench_fast_ams_update,
+              bench_estimate, bench_batch_update
+}
+criterion_main!(speed);

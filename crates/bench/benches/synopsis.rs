@@ -1,0 +1,117 @@
+//! Core-operation microbenchmarks: the basis recurrence, triangular
+//! multi-dimensional updates, chain contraction, and the closed-form
+//! range estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dctstream_bench::cosine_from;
+use dctstream_core::{
+    basis::fill_phi, estimate_chain_join, triangular_count, ChainLink, Domain, Grid,
+    MultiDimSynopsis, TriangularIndex,
+};
+use std::hint::black_box;
+
+fn bench_fill_phi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("basis_fill_phi");
+    for m in [64usize, 1_024, 16_384] {
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut buf = vec![0.0f64; m];
+            let mut x = 0.123_f64;
+            b.iter(|| {
+                x = (x + 0.618_033) % 1.0;
+                fill_phi(black_box(x), &mut buf);
+                black_box(buf[m - 1])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_triangular_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("triangular_index_build");
+    for (m, d) in [(100usize, 2usize), (40, 3), (20, 4)] {
+        let count = triangular_count(m, d);
+        g.throughput(Throughput::Elements(count as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_d{d}")),
+            &(m, d),
+            |b, &(m, d)| b.iter(|| black_box(TriangularIndex::new(m, d).unwrap().len())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_multidim_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multidim_update_per_tuple");
+    for m in [20usize, 60, 140] {
+        let coeffs = triangular_count(m, 2);
+        g.throughput(Throughput::Elements(coeffs as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(coeffs), &m, |b, &m| {
+            let domains = vec![Domain::of_size(1024), Domain::of_size(1024)];
+            let mut syn = MultiDimSynopsis::new(domains, Grid::Midpoint, m).unwrap();
+            let mut v = 0i64;
+            b.iter(|| {
+                v = (v + 31) % 1024;
+                syn.insert(black_box(&[v, 1023 - v])).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_contraction(c: &mut Criterion) {
+    let n = 1024usize;
+    let freqs: Vec<u64> = (0..n as u64).map(|i| i % 17 + 1).collect();
+    let end1 = cosine_from(&freqs, 200);
+    let end2 = cosine_from(&freqs, 200);
+    let domains = vec![Domain::of_size(n), Domain::of_size(n)];
+    let mut mid = MultiDimSynopsis::new(domains, Grid::Midpoint, 140).unwrap();
+    for i in 0..2_000i64 {
+        mid.update(
+            &[(i * 37) % n as i64, (i * 61) % n as i64],
+            (i % 5 + 1) as f64,
+        )
+        .unwrap();
+    }
+    c.bench_function("chain_join_contraction_2join", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_chain_join(
+                    &[
+                        ChainLink::End(&end1),
+                        ChainLink::Inner {
+                            synopsis: &mid,
+                            left: 0,
+                            right: 1,
+                        },
+                        ChainLink::End(&end2),
+                    ],
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let n = 50_000usize;
+    let freqs: Vec<u64> = (0..n as u64).map(|i| (i % 97) + 1).collect();
+    let syn = cosine_from(&freqs, 1_000);
+    let mut g = c.benchmark_group("range_estimate_o_m");
+    // Closed form: cost independent of range width.
+    for width in [10i64, 1_000, 40_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| black_box(syn.estimate_range_count(100, 100 + w).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = synopsis;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fill_phi, bench_triangular_enumeration, bench_multidim_update,
+              bench_chain_contraction, bench_range_query
+}
+criterion_main!(synopsis);

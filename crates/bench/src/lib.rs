@@ -1,0 +1,70 @@
+//! # dctstream-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. The benches themselves
+//! live in `benches/`:
+//!
+//! - `speed` — the §5.4 computation-speed table: per-tuple coefficient /
+//!   atomic-sketch updates, estimate latency, batch-update speedup.
+//! - `synopsis` — core-operation microbenchmarks (basis recurrence,
+//!   multi-dimensional inserts, chain contraction, range queries).
+//! - `figures` — one estimation pipeline per figure family (type-I
+//!   single join, clustered chain join, real-data joins), small-scale.
+
+#![forbid(unsafe_code)]
+
+use dctstream_core::{CosineSynopsis, Domain, Grid};
+use dctstream_datagen::{correlated_pair, Correlation};
+use dctstream_sketch::{AmsSketch, SketchSchema, SkimmedSketch};
+
+/// A pair of value-indexed Zipf frequency tables (the type-I fixture).
+pub fn typei_pair(n: usize, total: u64, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    correlated_pair(n, 0.5, 1.0, total, total, Correlation::Independent, seed)
+}
+
+/// Build a cosine synopsis from a frequency table.
+pub fn cosine_from(freqs: &[u64], m: usize) -> CosineSynopsis {
+    CosineSynopsis::from_frequencies(Domain::of_size(freqs.len()), Grid::Midpoint, m, freqs)
+        .expect("valid synopsis")
+}
+
+/// Build an AMS sketch from a frequency table.
+pub fn ams_from(freqs: &[u64], schema: SketchSchema) -> AmsSketch {
+    let mut s = AmsSketch::new(schema, vec![0]).expect("valid sketch");
+    for (v, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            s.update(&[v as i64], f as f64).expect("in-domain");
+        }
+    }
+    s
+}
+
+/// Build a prepared skimmed sketch from a frequency table.
+pub fn skimmed_from(freqs: &[u64], schema: SketchSchema, cap: usize) -> SkimmedSketch {
+    let domain = Domain::of_size(freqs.len());
+    let mut s = SkimmedSketch::new(schema, vec![0], vec![domain], cap).expect("valid sketch");
+    for (v, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            s.update(&[v as i64], f as f64).expect("in-domain");
+        }
+    }
+    s.prepare_default();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (f1, f2) = typei_pair(500, 10_000, 1);
+        assert_eq!(f1.iter().sum::<u64>(), 10_000);
+        let c = cosine_from(&f1, 64);
+        assert_eq!(c.count(), 10_000.0);
+        let schema = SketchSchema::new(1, 5, 10, 1).unwrap();
+        let a = ams_from(&f2, schema);
+        assert_eq!(a.count(), 10_000.0);
+        let s = skimmed_from(&f2, schema, 100);
+        assert!(s.dense_len() > 0);
+    }
+}

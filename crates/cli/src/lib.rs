@@ -1,0 +1,939 @@
+//! # dctstream-cli
+//!
+//! The `dctstream` command-line tool: build cosine synopses from CSV
+//! streams, persist them in the `dctstream-core::persist` wire format,
+//! merge shards, and answer join / self-join / range estimates — the
+//! whole paper pipeline without writing Rust.
+//!
+//! ```text
+//! dctstream build  --input r1.csv --column 0 --domain 0:99999 -m 512 --out r1.dcts
+//! dctstream build2 --input r2.csv --columns 0,1 --domains 0:99,0:45 --degree 24 --out r2.dcts
+//! dctstream info   r1.dcts
+//! dctstream join   r1.dcts r3.dcts [--budget 256]
+//! dctstream chain  r1.dcts r2.dcts r3.dcts [--budget 256]
+//! dctstream range  r1.dcts --from 10 --to 500
+//! dctstream selfjoin r1.dcts
+//! dctstream merge  shard1.dcts shard2.dcts … --out merged.dcts
+//! ```
+//!
+//! The command layer is a library (`run` + `Command`), so every code path
+//! is unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use bytes::Bytes;
+use dctstream_core::{
+    estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis,
+    DctError, Domain, Grid, MultiDimSynopsis,
+};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// CLI errors: either a usage problem or an underlying estimation /
+/// IO failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the string is the message shown to the user.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Core-library failure.
+    Dct(DctError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Dct(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<DctError> for CliError {
+    fn from(e: DctError) -> Self {
+        CliError::Dct(e)
+    }
+}
+
+/// Result alias for CLI operations.
+pub type CliResult<T> = std::result::Result<T, CliError>;
+
+/// A parsed command, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Build a 1-d synopsis from one CSV column.
+    Build {
+        /// CSV input path.
+        input: PathBuf,
+        /// Zero-based column index.
+        column: usize,
+        /// Attribute domain.
+        domain: (i64, i64),
+        /// Coefficients to keep.
+        m: usize,
+        /// Output synopsis path.
+        out: PathBuf,
+        /// Skip the first line.
+        skip_header: bool,
+    },
+    /// Build a 2-d synopsis from two CSV columns.
+    Build2 {
+        /// CSV input path.
+        input: PathBuf,
+        /// Zero-based column indexes.
+        columns: (usize, usize),
+        /// Per-column domains.
+        domains: ((i64, i64), (i64, i64)),
+        /// Triangular degree.
+        degree: usize,
+        /// Output synopsis path.
+        out: PathBuf,
+        /// Skip the first line.
+        skip_header: bool,
+    },
+    /// Describe a synopsis file.
+    Info {
+        /// Synopsis path.
+        path: PathBuf,
+    },
+    /// Estimate an equi-join of two 1-d synopses.
+    Join {
+        /// Left synopsis.
+        left: PathBuf,
+        /// Right synopsis.
+        right: PathBuf,
+        /// Optional per-relation coefficient cap.
+        budget: Option<usize>,
+    },
+    /// Estimate a chain join: 1-d, 2-d…, 1-d synopses.
+    Chain {
+        /// Synopsis paths in chain order.
+        paths: Vec<PathBuf>,
+        /// Optional per-relation coefficient cap.
+        budget: Option<usize>,
+    },
+    /// Estimate a range count on a 1-d synopsis.
+    Range {
+        /// Synopsis path.
+        path: PathBuf,
+        /// Inclusive lower bound.
+        from: i64,
+        /// Inclusive upper bound.
+        to: i64,
+    },
+    /// Self-join (second frequency moment) of a 1-d synopsis.
+    SelfJoin {
+        /// Synopsis path.
+        path: PathBuf,
+    },
+    /// Band (non-equi) join `|a − b| ≤ width` of two 1-d synopses.
+    Band {
+        /// Left synopsis.
+        left: PathBuf,
+        /// Right synopsis.
+        right: PathBuf,
+        /// Band width.
+        width: i64,
+    },
+    /// Box-range count on a 2-d synopsis.
+    Box {
+        /// Synopsis path.
+        path: PathBuf,
+        /// Inclusive lower corner `a,b`.
+        lo: (i64, i64),
+        /// Inclusive upper corner `a,b`.
+        hi: (i64, i64),
+    },
+    /// Merge shard synopses (same domain/grid/m) into one.
+    Merge {
+        /// Input shard paths.
+        inputs: Vec<PathBuf>,
+        /// Output synopsis path.
+        out: PathBuf,
+    },
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "usage: dctstream <command> [options]\n\
+     commands:\n\
+       build    --input F --column I --domain LO:HI -m M --out F [--skip-header]\n\
+       build2   --input F --columns I,J --domains LO:HI,LO:HI --degree D --out F [--skip-header]\n\
+       info     <synopsis>\n\
+       join     <left> <right> [--budget N]\n\
+       chain    <end> <mid>... <end> [--budget N]\n\
+       range    <synopsis> --from LO --to HI\n\
+       selfjoin <synopsis>\n\
+       band     <left> <right> --width W\n\
+       box      <synopsis2d> --lo A,B --hi A,B\n\
+       merge    <shard>... --out F"
+}
+
+fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
+    let (lo, hi) = s
+        .split_once(':')
+        .ok_or_else(|| CliError::Usage(format!("domain '{s}' must be LO:HI")))?;
+    let lo = lo
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad domain bound '{lo}'")))?;
+    let hi = hi
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad domain bound '{hi}'")))?;
+    if lo > hi {
+        return Err(CliError::Usage(format!("empty domain {lo}:{hi}")));
+    }
+    Ok((lo, hi))
+}
+
+struct Flags {
+    named: std::collections::HashMap<String, String>,
+    bools: std::collections::HashSet<String>,
+    positional: Vec<String>,
+}
+
+fn split_flags(args: &[String], bool_flags: &[&str]) -> CliResult<Flags> {
+    let mut named = std::collections::HashMap::new();
+    let mut bools = std::collections::HashSet::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if bool_flags.contains(&name) {
+                bools.insert(name.to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                named.insert(name.to_string(), v.clone());
+            }
+        } else if let Some(name) = a.strip_prefix('-') {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("-{name} needs a value")))?;
+            named.insert(name.to_string(), v.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags {
+        named,
+        bools,
+        positional,
+    })
+}
+
+impl Flags {
+    fn take(&mut self, name: &str) -> CliResult<String> {
+        self.named
+            .remove(name)
+            .ok_or_else(|| CliError::Usage(format!("missing --{name}")))
+    }
+
+    fn take_opt(&mut self, name: &str) -> Option<String> {
+        self.named.remove(name)
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, name: &str) -> CliResult<T> {
+        let v = self.take(name)?;
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("bad value '{v}' for --{name}")))
+    }
+}
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> CliResult<Command> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    match cmd.as_str() {
+        "build" => {
+            let mut f = split_flags(rest, &["skip-header"])?;
+            Ok(Command::Build {
+                input: PathBuf::from(f.take("input")?),
+                column: f.parse("column")?,
+                domain: parse_domain(&f.take("domain")?)?,
+                m: f.parse("m")?,
+                out: PathBuf::from(f.take("out")?),
+                skip_header: f.bools.contains("skip-header"),
+            })
+        }
+        "build2" => {
+            let mut f = split_flags(rest, &["skip-header"])?;
+            let cols = f.take("columns")?;
+            let (c0, c1) = cols
+                .split_once(',')
+                .ok_or_else(|| CliError::Usage("--columns must be I,J".into()))?;
+            let doms = f.take("domains")?;
+            let (d0, d1) = doms
+                .split_once(',')
+                .ok_or_else(|| CliError::Usage("--domains must be LO:HI,LO:HI".into()))?;
+            Ok(Command::Build2 {
+                input: PathBuf::from(f.take("input")?),
+                columns: (
+                    c0.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad column '{c0}'")))?,
+                    c1.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad column '{c1}'")))?,
+                ),
+                domains: (parse_domain(d0)?, parse_domain(d1)?),
+                degree: f.parse("degree")?,
+                out: PathBuf::from(f.take("out")?),
+                skip_header: f.bools.contains("skip-header"),
+            })
+        }
+        "info" => {
+            let f = split_flags(rest, &[])?;
+            let [path] = f.positional.as_slice() else {
+                return Err(CliError::Usage("info takes one synopsis path".into()));
+            };
+            Ok(Command::Info {
+                path: PathBuf::from(path),
+            })
+        }
+        "join" => {
+            let mut f = split_flags(rest, &[])?;
+            let budget = f.take_opt("budget").map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --budget '{v}'")))
+            });
+            let budget = budget.transpose()?;
+            let [left, right] = f.positional.as_slice() else {
+                return Err(CliError::Usage("join takes two synopsis paths".into()));
+            };
+            Ok(Command::Join {
+                left: PathBuf::from(left),
+                right: PathBuf::from(right),
+                budget,
+            })
+        }
+        "chain" => {
+            let mut f = split_flags(rest, &[])?;
+            let budget = f
+                .take_opt("budget")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --budget '{v}'")))
+                })
+                .transpose()?;
+            if f.positional.len() < 2 {
+                return Err(CliError::Usage(
+                    "chain takes at least two synopsis paths".into(),
+                ));
+            }
+            Ok(Command::Chain {
+                paths: f.positional.iter().map(PathBuf::from).collect(),
+                budget,
+            })
+        }
+        "range" => {
+            let mut f = split_flags(rest, &[])?;
+            let [path] = f.positional.as_slice() else {
+                return Err(CliError::Usage("range takes one synopsis path".into()));
+            };
+            Ok(Command::Range {
+                path: PathBuf::from(path),
+                from: f.parse("from")?,
+                to: f.parse("to")?,
+            })
+        }
+        "selfjoin" => {
+            let f = split_flags(rest, &[])?;
+            let [path] = f.positional.as_slice() else {
+                return Err(CliError::Usage("selfjoin takes one synopsis path".into()));
+            };
+            Ok(Command::SelfJoin {
+                path: PathBuf::from(path),
+            })
+        }
+        "band" => {
+            let mut f = split_flags(rest, &[])?;
+            let width = f.parse("width")?;
+            let [left, right] = f.positional.as_slice() else {
+                return Err(CliError::Usage("band takes two synopsis paths".into()));
+            };
+            Ok(Command::Band {
+                left: PathBuf::from(left),
+                right: PathBuf::from(right),
+                width,
+            })
+        }
+        "box" => {
+            let mut f = split_flags(rest, &[])?;
+            let parse_pair = |s: &str| -> CliResult<(i64, i64)> {
+                let (a, b) = s
+                    .split_once(',')
+                    .ok_or_else(|| CliError::Usage(format!("'{s}' must be A,B")))?;
+                Ok((
+                    a.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad bound '{a}'")))?,
+                    b.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad bound '{b}'")))?,
+                ))
+            };
+            let lo = parse_pair(&f.take("lo")?)?;
+            let hi = parse_pair(&f.take("hi")?)?;
+            let [path] = f.positional.as_slice() else {
+                return Err(CliError::Usage("box takes one synopsis path".into()));
+            };
+            Ok(Command::Box {
+                path: PathBuf::from(path),
+                lo,
+                hi,
+            })
+        }
+        "merge" => {
+            let mut f = split_flags(rest, &[])?;
+            let out = PathBuf::from(f.take("out")?);
+            if f.positional.is_empty() {
+                return Err(CliError::Usage("merge takes at least one shard".into()));
+            }
+            Ok(Command::Merge {
+                inputs: f.positional.iter().map(PathBuf::from).collect(),
+                out,
+            })
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// A decoded synopsis file of either kind.
+pub enum AnySynopsis {
+    /// 1-d synopsis.
+    Cosine(CosineSynopsis),
+    /// Multi-d synopsis.
+    Multi(MultiDimSynopsis),
+}
+
+/// Load and decode a synopsis file.
+pub fn load_synopsis(path: &Path) -> CliResult<AnySynopsis> {
+    let raw = Bytes::from(fs::read(path)?);
+    match CosineSynopsis::from_bytes(raw.clone()) {
+        Ok(s) => Ok(AnySynopsis::Cosine(s)),
+        Err(_) => Ok(AnySynopsis::Multi(MultiDimSynopsis::from_bytes(raw)?)),
+    }
+}
+
+fn load_cosine(path: &Path) -> CliResult<CosineSynopsis> {
+    match load_synopsis(path)? {
+        AnySynopsis::Cosine(s) => Ok(s),
+        AnySynopsis::Multi(_) => Err(CliError::Usage(format!(
+            "{} holds a multi-dimensional synopsis where a 1-d one is required",
+            path.display()
+        ))),
+    }
+}
+
+fn parse_csv_value(line: &str, column: usize, lineno: usize) -> CliResult<i64> {
+    line.split(',')
+        .nth(column)
+        .ok_or_else(|| CliError::Usage(format!("line {lineno}: no column {column} in '{line}'")))?
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("line {lineno}: bad integer in column {column}")))
+}
+
+/// Execute a command, returning the text to print.
+pub fn run(cmd: Command) -> CliResult<String> {
+    match cmd {
+        Command::Build {
+            input,
+            column,
+            domain,
+            m,
+            out,
+            skip_header,
+        } => {
+            let text = fs::read_to_string(&input)?;
+            let mut syn = CosineSynopsis::new(Domain::new(domain.0, domain.1), Grid::Midpoint, m)?;
+            let mut rows = 0u64;
+            for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                syn.insert(parse_csv_value(line, column, i + 1)?)?;
+                rows += 1;
+            }
+            fs::write(&out, syn.to_bytes())?;
+            Ok(format!(
+                "built 1-d synopsis: {rows} tuples, {} coefficients -> {}",
+                syn.coefficient_count(),
+                out.display()
+            ))
+        }
+        Command::Build2 {
+            input,
+            columns,
+            domains,
+            degree,
+            out,
+            skip_header,
+        } => {
+            let text = fs::read_to_string(&input)?;
+            let mut syn = MultiDimSynopsis::new(
+                vec![
+                    Domain::new(domains.0 .0, domains.0 .1),
+                    Domain::new(domains.1 .0, domains.1 .1),
+                ],
+                Grid::Midpoint,
+                degree,
+            )?;
+            let mut rows = 0u64;
+            for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let a = parse_csv_value(line, columns.0, i + 1)?;
+                let b = parse_csv_value(line, columns.1, i + 1)?;
+                syn.insert(&[a, b])?;
+                rows += 1;
+            }
+            fs::write(&out, syn.to_bytes())?;
+            Ok(format!(
+                "built 2-d synopsis: {rows} tuples, degree {}, {} coefficients -> {}",
+                syn.degree(),
+                syn.coefficient_count(),
+                out.display()
+            ))
+        }
+        Command::Info { path } => {
+            let mut out = String::new();
+            match load_synopsis(&path)? {
+                AnySynopsis::Cosine(s) => {
+                    writeln!(out, "kind        : 1-d cosine synopsis").unwrap();
+                    writeln!(
+                        out,
+                        "domain      : [{}, {}] ({} values)",
+                        s.domain().lo(),
+                        s.domain().hi(),
+                        s.domain().size()
+                    )
+                    .unwrap();
+                    writeln!(out, "grid        : {:?}", s.grid()).unwrap();
+                    writeln!(out, "coefficients: {}", s.coefficient_count()).unwrap();
+                    writeln!(out, "tuples      : {}", s.count()).unwrap();
+                }
+                AnySynopsis::Multi(s) => {
+                    writeln!(out, "kind        : {}-d cosine synopsis", s.arity()).unwrap();
+                    for (i, d) in s.domains().iter().enumerate() {
+                        writeln!(out, "domain[{i}]   : [{}, {}]", d.lo(), d.hi()).unwrap();
+                    }
+                    writeln!(out, "grid        : {:?}", s.grid()).unwrap();
+                    writeln!(out, "degree      : {}", s.degree()).unwrap();
+                    writeln!(out, "coefficients: {}", s.coefficient_count()).unwrap();
+                    writeln!(out, "tuples      : {}", s.count()).unwrap();
+                }
+            }
+            Ok(out)
+        }
+        Command::Join {
+            left,
+            right,
+            budget,
+        } => {
+            let a = load_cosine(&left)?;
+            let b = load_cosine(&right)?;
+            let est = estimate_equi_join(&a, &b, budget)?;
+            Ok(format!("estimated join size: {est:.1}"))
+        }
+        Command::Chain { paths, budget } => {
+            let loaded: Vec<AnySynopsis> = paths
+                .iter()
+                .map(|p| load_synopsis(p))
+                .collect::<CliResult<_>>()?;
+            let mut links = Vec::with_capacity(loaded.len());
+            for (i, s) in loaded.iter().enumerate() {
+                let is_end = i == 0 || i == loaded.len() - 1;
+                match (is_end, s) {
+                    (true, AnySynopsis::Cosine(c)) => links.push(ChainLink::End(c)),
+                    (false, AnySynopsis::Multi(m)) => links.push(ChainLink::Inner {
+                        synopsis: m,
+                        left: 0,
+                        right: 1,
+                    }),
+                    (true, AnySynopsis::Multi(_)) => {
+                        return Err(CliError::Usage(format!(
+                            "{}: chain ends must be 1-d synopses",
+                            paths[i].display()
+                        )))
+                    }
+                    (false, AnySynopsis::Cosine(_)) => {
+                        return Err(CliError::Usage(format!(
+                            "{}: inner chain relations must be 2-d synopses",
+                            paths[i].display()
+                        )))
+                    }
+                }
+            }
+            let est = estimate_chain_join(&links, budget)?;
+            Ok(format!("estimated chain join size: {est:.1}"))
+        }
+        Command::Range { path, from, to } => {
+            let s = load_cosine(&path)?;
+            let est = s.estimate_range_count(from, to)?;
+            let sel = est / s.count();
+            Ok(format!(
+                "estimated tuples in [{from}, {to}]: {est:.1} (selectivity {:.4})",
+                sel
+            ))
+        }
+        Command::SelfJoin { path } => {
+            let s = load_cosine(&path)?;
+            Ok(format!(
+                "estimated self-join size: {:.1}",
+                s.self_join(None)
+            ))
+        }
+        Command::Band { left, right, width } => {
+            let a = load_cosine(&left)?;
+            let b = load_cosine(&right)?;
+            let est = estimate_band_join(&a, &b, width)?;
+            Ok(format!(
+                "estimated band-join size (width {width}): {est:.1}"
+            ))
+        }
+        Command::Box { path, lo, hi } => {
+            let s = match load_synopsis(&path)? {
+                AnySynopsis::Multi(s) => s,
+                AnySynopsis::Cosine(_) => {
+                    return Err(CliError::Usage(format!(
+                        "{} holds a 1-d synopsis; box needs a 2-d one",
+                        path.display()
+                    )))
+                }
+            };
+            let est = s.estimate_box_count(&[lo.0, lo.1], &[hi.0, hi.1])?;
+            Ok(format!(
+                "estimated tuples in box [{},{}]x[{},{}]: {est:.1}",
+                lo.0, hi.0, lo.1, hi.1
+            ))
+        }
+        Command::Merge { inputs, out } => {
+            let mut iter = inputs.iter();
+            let first = iter.next().expect("validated non-empty");
+            let mut acc = load_cosine(first)?;
+            for p in iter {
+                let shard = load_cosine(p)?;
+                acc.merge_from(&shard)?;
+            }
+            fs::write(&out, acc.to_bytes())?;
+            Ok(format!(
+                "merged {} shard(s): {} tuples -> {}",
+                inputs.len(),
+                acc.count(),
+                out.display()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dctstream_cli_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_build_command() {
+        let cmd = parse(&args(
+            "build --input in.csv --column 2 --domain 0:99 -m 32 --out s.dcts --skip-header",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                input: "in.csv".into(),
+                column: 2,
+                domain: (0, 99),
+                m: 32,
+                out: "s.dcts".into(),
+                skip_header: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_usage_errors() {
+        assert!(matches!(parse(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(
+                "build --input a --column x --domain 0:9 -m 4 --out b"
+            )),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(
+                "build --input a --column 0 --domain 9:0 -m 4 --out b"
+            )),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("join only_one.dcts")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn build_info_join_roundtrip() {
+        let csv_a = tmp("a.csv");
+        let csv_b = tmp("b.csv");
+        fs::write(&csv_a, "val\n1\n2\n2\n3\n").unwrap();
+        fs::write(&csv_b, "2\n2\n2\n5\n").unwrap();
+        let syn_a = tmp("a.dcts");
+        let syn_b = tmp("b.dcts");
+        run(Command::Build {
+            input: csv_a,
+            column: 0,
+            domain: (0, 9),
+            m: 10,
+            out: syn_a.clone(),
+            skip_header: true,
+        })
+        .unwrap();
+        run(Command::Build {
+            input: csv_b,
+            column: 0,
+            domain: (0, 9),
+            m: 10,
+            out: syn_b.clone(),
+            skip_header: false,
+        })
+        .unwrap();
+        let info = run(Command::Info {
+            path: syn_a.clone(),
+        })
+        .unwrap();
+        assert!(info.contains("1-d cosine synopsis"));
+        assert!(info.contains("tuples      : 4"));
+        // Exact join: value 2 appears 2× in A and 3× in B -> 6.
+        let out = run(Command::Join {
+            left: syn_a.clone(),
+            right: syn_b,
+            budget: None,
+        })
+        .unwrap();
+        assert!(out.contains("6.0"), "{out}");
+        // Self-join of A: 1 + 4 + 1 = 6.
+        let out = run(Command::SelfJoin {
+            path: syn_a.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("6.0"), "{out}");
+        // Range [2,3] of A: 3 tuples.
+        let out = run(Command::Range {
+            path: syn_a,
+            from: 2,
+            to: 3,
+        })
+        .unwrap();
+        assert!(out.contains("3.0"), "{out}");
+    }
+
+    #[test]
+    fn build2_and_chain() {
+        let csv = tmp("pairs.csv");
+        // (a, b) pairs over domains [0,4]x[0,4].
+        fs::write(&csv, "0,1\n0,1\n1,2\n2,3\n").unwrap();
+        let mid = tmp("mid.dcts");
+        run(Command::Build2 {
+            input: csv.clone(),
+            columns: (0, 1),
+            domains: ((0, 4), (0, 4)),
+            degree: 5,
+            out: mid.clone(),
+            skip_header: false,
+        })
+        .unwrap();
+        let info = run(Command::Info { path: mid.clone() }).unwrap();
+        assert!(info.contains("2-d cosine synopsis"));
+        // Ends: uniform over [0,4].
+        let end_csv = tmp("end.csv");
+        fs::write(&end_csv, "0\n1\n2\n3\n4\n").unwrap();
+        let end = tmp("end.dcts");
+        run(Command::Build {
+            input: end_csv,
+            column: 0,
+            domain: (0, 4),
+            m: 5,
+            out: end.clone(),
+            skip_header: false,
+        })
+        .unwrap();
+        let out = run(Command::Chain {
+            paths: vec![end.clone(), mid.clone(), end.clone()],
+            budget: None,
+        })
+        .unwrap();
+        // Exact: every mid tuple contributes 1·f·1 -> total 4.
+        assert!(out.contains("4.0"), "{out}");
+        // A 1-d synopsis in the middle is a usage error.
+        let err = run(Command::Chain {
+            paths: vec![end.clone(), end.clone(), end],
+            budget: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn merge_shards() {
+        let c1 = tmp("s1.csv");
+        let c2 = tmp("s2.csv");
+        fs::write(&c1, "1\n2\n").unwrap();
+        fs::write(&c2, "2\n3\n").unwrap();
+        let (p1, p2, merged) = (tmp("s1.dcts"), tmp("s2.dcts"), tmp("m.dcts"));
+        for (c, p) in [(&c1, &p1), (&c2, &p2)] {
+            run(Command::Build {
+                input: c.clone(),
+                column: 0,
+                domain: (0, 7),
+                m: 8,
+                out: p.clone(),
+                skip_header: false,
+            })
+            .unwrap();
+        }
+        let out = run(Command::Merge {
+            inputs: vec![p1, p2],
+            out: merged.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("4 tuples"), "{out}");
+        // Self-join of the merged stream {1, 2, 2, 3}: 1 + 4 + 1 = 6.
+        let out = run(Command::SelfJoin { path: merged }).unwrap();
+        assert!(out.contains("6.0"), "{out}");
+    }
+
+    #[test]
+    fn band_and_box_commands() {
+        let csv = tmp("band.csv");
+        fs::write(&csv, "1\n2\n2\n3\n").unwrap();
+        let syn = tmp("band.dcts");
+        run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 7),
+            m: 8,
+            out: syn.clone(),
+            skip_header: false,
+        })
+        .unwrap();
+        // Band width 1 self-join of {1,2,2,3}: per tuple a, count of b
+        // with |a-b| <= 1: a=1 -> 3, each a=2 -> 4 (x2), a=3 -> 3; total 14.
+        let out = run(Command::Band {
+            left: syn.clone(),
+            right: syn.clone(),
+            width: 1,
+        })
+        .unwrap();
+        assert!(out.contains("14.0"), "{out}");
+        // Box on a 2-d synopsis.
+        let csv2 = tmp("box.csv");
+        fs::write(&csv2, "0,0\n1,1\n2,2\n3,3\n").unwrap();
+        let syn2 = tmp("box.dcts");
+        run(Command::Build2 {
+            input: csv2,
+            columns: (0, 1),
+            domains: ((0, 3), (0, 3)),
+            degree: 4,
+            out: syn2.clone(),
+            skip_header: false,
+        })
+        .unwrap();
+        let out = run(Command::Box {
+            path: syn2.clone(),
+            lo: (0, 0),
+            hi: (1, 1),
+        })
+        .unwrap();
+        // Degree-4 triangular truncation of a diagonal is approximate;
+        // exact count is 2.
+        let est: f64 = out.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((est - 2.0).abs() < 0.5, "{out}");
+        // box on a 1-d synopsis is a usage error.
+        assert!(matches!(
+            run(Command::Box {
+                path: syn,
+                lo: (0, 0),
+                hi: (1, 1)
+            }),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_band_and_box() {
+        let cmd = parse(&args("band a.dcts b.dcts --width 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Band {
+                left: "a.dcts".into(),
+                right: "b.dcts".into(),
+                width: 3
+            }
+        );
+        let cmd = parse(&args("box s.dcts --lo 1,2 --hi 3,4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Box {
+                path: "s.dcts".into(),
+                lo: (1, 2),
+                hi: (3, 4)
+            }
+        );
+        assert!(parse(&args("box s.dcts --lo 1 --hi 3,4")).is_err());
+    }
+
+    #[test]
+    fn bad_csv_reports_line() {
+        let csv = tmp("bad.csv");
+        fs::write(&csv, "1\nnot_a_number\n").unwrap();
+        let err = run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 4,
+            out: tmp("bad.dcts"),
+            skip_header: false,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn info_rejects_garbage_files() {
+        let p = tmp("garbage.dcts");
+        fs::write(&p, b"definitely not a synopsis").unwrap();
+        assert!(run(Command::Info { path: p }).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! `dctstream` — see [`dctstream_cli`] for the command reference.
+
+use dctstream_cli::{parse, run, usage, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match parse(&args).and_then(run) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}\n{}", usage());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

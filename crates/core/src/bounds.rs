@@ -1,0 +1,137 @@
+//! Error and space bounds from the paper's §4.3.
+//!
+//! These are *a priori* bounds, pessimistic by construction (they assume
+//! every dropped coefficient is maximal, `|a_k| ≤ √2`); the experiments show
+//! typical behaviour is far better. They are still useful for provisioning:
+//! given a target relative error and rough knowledge of `N`, `n`, `J`,
+//! [`coefficients_for_error`] says how many coefficients suffice in the
+//! worst case.
+
+/// Upper bound on the absolute join-size estimation error when only the
+/// first `m` of `n` coefficients are kept (Eq. (4.7)):
+/// `|J − Est| ≤ 2·N₁·N₂·(n − m)/n`.
+///
+/// The paper states it for `N₁ = N₂ = N` as `2N²(n−m)/n`.
+pub fn absolute_error_bound(n: usize, m: usize, n1: f64, n2: f64) -> f64 {
+    let n = n as f64;
+    let m = (m as f64).min(n);
+    2.0 * n1 * n2 * (n - m) / n
+}
+
+/// Upper bound on the relative error (Eq. (4.8)):
+/// `|J − Est|/J ≤ 2N²(n−m)/(Jn)` for `J > 0`.
+///
+/// Returns `f64::INFINITY` when `j <= 0`.
+pub fn relative_error_bound(n: usize, m: usize, n1: f64, n2: f64, j: f64) -> f64 {
+    if j <= 0.0 {
+        return f64::INFINITY;
+    }
+    absolute_error_bound(n, m, n1, n2) / j
+}
+
+/// Number of coefficients guaranteeing relative error ≤ `e` (Eq. (4.9)):
+/// `m = n − floor(eJn / (2N²))`, clamped to `[1, n]`.
+pub fn coefficients_for_error(e: f64, n: usize, big_n: f64, j: f64) -> usize {
+    let nf = n as f64;
+    let slack = (e * j * nf / (2.0 * big_n * big_n)).floor();
+    let m = nf - slack;
+    m.clamp(1.0, nf) as usize
+}
+
+/// Worst-case coefficient requirement (Eq. (4.12)): all tuples share one
+/// join value, `J = N²`, and `m = n − floor(en/2)` coefficients are needed.
+pub fn worst_case_coefficients(e: f64, n: usize) -> usize {
+    let nf = n as f64;
+    (nf - (e * nf / 2.0).floor()).clamp(1.0, nf) as usize
+}
+
+/// Best-case space bound of the *basic sketch* on a uniform distribution
+/// (§4.3.1): the sketch needs `Ω(N²/J) = Ω(n)` atomic sketches — as much as
+/// brute force — exactly where the cosine method needs one coefficient.
+pub fn sketch_space_uniform(n: usize) -> usize {
+    n
+}
+
+/// The basic sketch's space bound `Θ(N²/J)` (best case, §4.3; the worst
+/// case is `O(N⁴/J²)` per \[32\]).
+pub fn basic_sketch_space(big_n: f64, j: f64) -> f64 {
+    if j <= 0.0 {
+        f64::INFINITY
+    } else {
+        big_n * big_n / j
+    }
+}
+
+/// The skimmed sketch's space bound `Θ(N²/J)` — valid only above the sanity
+/// bound `J > max(N^{3/2}, N·log N)` (§4.3); below it, `None`.
+pub fn skimmed_sketch_space(big_n: f64, j: f64) -> Option<f64> {
+    let sanity = (big_n.powf(1.5)).max(big_n * big_n.log2().max(1.0));
+    (j > sanity).then(|| big_n * big_n / j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_bound_shrinks_with_m() {
+        let b1 = absolute_error_bound(1000, 100, 1e4, 1e4);
+        let b2 = absolute_error_bound(1000, 900, 1e4, 1e4);
+        assert!(b2 < b1);
+        assert_eq!(absolute_error_bound(1000, 1000, 1e4, 1e4), 0.0);
+        // m beyond n clamps.
+        assert_eq!(absolute_error_bound(1000, 5000, 1e4, 1e4), 0.0);
+    }
+
+    #[test]
+    fn relative_bound_matches_eq_4_8() {
+        let (n, m, big_n, j) = (100usize, 40usize, 1e3, 5e4);
+        let expect = 2.0 * big_n * big_n * (n - m) as f64 / (j * n as f64);
+        assert!((relative_error_bound(n, m, big_n, big_n, j) - expect).abs() < 1e-9);
+        assert!(relative_error_bound(n, m, big_n, big_n, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn coefficients_for_error_guarantees_bound() {
+        let (n, big_n, j) = (1000usize, 1e4, 1e6);
+        for e in [0.01, 0.1, 0.5, 1.0] {
+            let m = coefficients_for_error(e, n, big_n, j);
+            assert!(m >= 1 && m <= n);
+            // The bound at the returned m must be ≤ e (up to floor slack of
+            // one coefficient's worth).
+            let slack_unit = 2.0 * big_n * big_n / (j * n as f64);
+            assert!(
+                relative_error_bound(n, m, big_n, big_n, j) <= e + slack_unit,
+                "e = {e}, m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_matches_eq_4_12() {
+        // J = N² case: plugging J = N² into Eq. (4.9) gives n − floor(en/2).
+        let n = 500usize;
+        for e in [0.0, 0.1, 0.5] {
+            let m = worst_case_coefficients(e, n);
+            assert_eq!(m, coefficients_for_error(e, n, 1e5, 1e10));
+        }
+        // Zero tolerated error -> all n coefficients.
+        assert_eq!(worst_case_coefficients(0.0, 500), 500);
+        // Full tolerance -> single coefficient territory.
+        assert!(worst_case_coefficients(2.0, 500) <= 1);
+    }
+
+    #[test]
+    fn sketch_bounds_behave() {
+        // Uniform: J = N²/n, so N²/J = n.
+        let n = 1 << 14;
+        let big_n = 1e6;
+        let j = big_n * big_n / n as f64;
+        assert!((basic_sketch_space(big_n, j) - n as f64).abs() < 1e-3);
+        assert_eq!(sketch_space_uniform(n), n);
+        // Skimmed sanity bound: J must exceed N^1.5.
+        assert!(skimmed_sketch_space(1e6, 1e8).is_none()); // 1e8 < 1e9
+        assert!(skimmed_sketch_space(1e6, 1e11).is_some());
+        assert!(basic_sketch_space(1e6, 0.0).is_infinite());
+    }
+}

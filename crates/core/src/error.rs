@@ -1,0 +1,110 @@
+//! Error types for the `dctstream-core` crate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DctError>;
+
+/// Errors raised by synopsis construction and estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DctError {
+    /// Two synopses that must share a join domain disagree on it.
+    ///
+    /// Section 4.1 of the paper requires both join attributes to be
+    /// normalized over the *merged* domain before coefficients can be
+    /// compared term by term.
+    DomainMismatch {
+        /// Domain of the left operand.
+        left: (i64, i64),
+        /// Domain of the right operand.
+        right: (i64, i64),
+    },
+    /// Two synopses were built over different normalization grids.
+    GridMismatch,
+    /// A parameter was out of range (empty domain, zero coefficients, ...).
+    InvalidParameter(String),
+    /// A value fell outside the synopsis domain.
+    ValueOutOfDomain {
+        /// The offending raw attribute value.
+        value: i64,
+        /// The inclusive domain bounds.
+        domain: (i64, i64),
+    },
+    /// A tuple had the wrong arity for a multi-dimensional synopsis.
+    ArityMismatch {
+        /// Arity the synopsis was built with.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A chain-join specification was malformed (wrong link kinds,
+    /// mismatched shared dimensions, fewer than two relations, ...).
+    InvalidChain(String),
+    /// An estimate was requested from a synopsis that has seen no tuples.
+    EmptySynopsis,
+}
+
+impl fmt::Display for DctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DctError::DomainMismatch { left, right } => write!(
+                f,
+                "join attributes must share a merged domain (left [{}, {}], right [{}, {}])",
+                left.0, left.1, right.0, right.1
+            ),
+            DctError::GridMismatch => {
+                write!(f, "synopses were built over different normalization grids")
+            }
+            DctError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DctError::ValueOutOfDomain { value, domain } => write!(
+                f,
+                "value {value} outside synopsis domain [{}, {}]",
+                domain.0, domain.1
+            ),
+            DctError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple arity {got} does not match synopsis arity {expected}"
+                )
+            }
+            DctError::InvalidChain(msg) => write!(f, "invalid chain join: {msg}"),
+            DctError::EmptySynopsis => write!(f, "synopsis has seen no tuples"),
+        }
+    }
+}
+
+impl std::error::Error for DctError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DctError::DomainMismatch {
+            left: (0, 9),
+            right: (0, 99),
+        };
+        let s = e.to_string();
+        assert!(s.contains("[0, 9]"));
+        assert!(s.contains("[0, 99]"));
+
+        let e = DctError::ValueOutOfDomain {
+            value: -3,
+            domain: (0, 10),
+        };
+        assert!(e.to_string().contains("-3"));
+
+        let e = DctError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(DctError::GridMismatch);
+    }
+}

@@ -1,0 +1,498 @@
+//! Equi-join size estimation from cosine synopses (paper §4).
+//!
+//! # Single join (Eq. (4.4))
+//!
+//! For `SELECT COUNT(*) FROM R1, R2 WHERE R1.A = R2.B`, with both attributes
+//! summarized over the merged domain of size `n`:
+//!
+//! ```text
+//! Est = N₁N₂/n · Σ_{k<m} a_k b_k  =  (1/n) Σ_{k<m} S_k T_k
+//! ```
+//!
+//! where `S`, `T` are the unnormalized coefficient sums the synopses store.
+//! With `m = n` on the midpoint grid this is *exact* (Parseval, Eq. (4.3)).
+//!
+//! # Chain joins
+//!
+//! For `R1.A = R2.A AND R2.B = R3.B AND …` the estimate generalizes to a
+//! tensor-chain contraction: end relations contribute coefficient vectors,
+//! inner relations contribute (triangular-truncated) coefficient matrices
+//! over their two join attributes, and
+//!
+//! ```text
+//! Est = (Π_i N_i) / (Π_j n_j) · Σ  a_{k₁} B_{k₁k₂} C_{k₂k₃} … z_{k_c}
+//! ```
+//!
+//! which is evaluated left-to-right with `O(coefficients)` work per link.
+//! This is the exact Parseval identity for the separable cosine basis and
+//! matches the paper's "adding up the products of the corresponding
+//! coefficients on the same dimensions" (§4.2).
+
+use crate::domain::Domain;
+use crate::error::{DctError, Result};
+use crate::multidim::MultiDimSynopsis;
+use crate::synopsis::CosineSynopsis;
+
+/// Estimate the size of a single equi-join between two summarized streams
+/// (Eq. (4.4)).
+///
+/// Both synopses must have been built over the same (merged) domain and
+/// grid. `budget` optionally restricts the estimate to the first `budget`
+/// coefficients of each synopsis — this is how the experiments sweep the
+/// storage-space axis.
+pub fn estimate_equi_join(
+    a: &CosineSynopsis,
+    b: &CosineSynopsis,
+    budget: Option<usize>,
+) -> Result<f64> {
+    if a.domain() != b.domain() {
+        return Err(DctError::DomainMismatch {
+            left: (a.domain().lo(), a.domain().hi()),
+            right: (b.domain().lo(), b.domain().hi()),
+        });
+    }
+    if a.grid() != b.grid() {
+        return Err(DctError::GridMismatch);
+    }
+    let m = a
+        .coefficient_count()
+        .min(b.coefficient_count())
+        .min(budget.unwrap_or(usize::MAX));
+    let n = a.domain().size() as f64;
+    let dot: f64 = a.sums()[..m]
+        .iter()
+        .zip(&b.sums()[..m])
+        .map(|(x, y)| x * y)
+        .sum();
+    Ok(dot / n)
+}
+
+/// One relation in a chain join.
+pub enum ChainLink<'a> {
+    /// An end relation, summarized on its single join attribute.
+    End(&'a CosineSynopsis),
+    /// An inner relation, summarized over ≥ 2 attributes; `left` and
+    /// `right` are the dimensions joining with the previous and the next
+    /// relation in the chain. Any further attributes are marginalized
+    /// automatically (their index is pinned to 0; `φ_0 ≡ 1`).
+    Inner {
+        /// The multi-attribute synopsis.
+        synopsis: &'a MultiDimSynopsis,
+        /// Dimension joined with the previous relation.
+        left: usize,
+        /// Dimension joined with the next relation.
+        right: usize,
+    },
+}
+
+/// Estimate the size of a chain of equi-joins
+/// `R₁.A = R₂.A ∧ R₂.B = R₃.B ∧ …` from per-relation synopses.
+///
+/// `links` must start and end with [`ChainLink::End`] and have only
+/// [`ChainLink::Inner`] in between (at least two links total). Adjacent
+/// links must agree on the domain and grid of their shared join attribute.
+/// `budget` caps the number of coefficients used *per relation* (prefix of
+/// the graded-lex enumeration for inner relations), mirroring the paper's
+/// per-stream space accounting.
+pub fn estimate_chain_join(links: &[ChainLink<'_>], budget: Option<usize>) -> Result<f64> {
+    if links.len() < 2 {
+        return Err(DctError::InvalidChain(
+            "a chain join needs at least two relations".into(),
+        ));
+    }
+    let (first, rest) = links.split_first().unwrap();
+    let (last, inner) = rest.split_last().unwrap();
+    let first = match first {
+        ChainLink::End(s) => *s,
+        _ => {
+            return Err(DctError::InvalidChain(
+                "the first relation must be a ChainLink::End".into(),
+            ))
+        }
+    };
+    let last = match last {
+        ChainLink::End(s) => *s,
+        _ => {
+            return Err(DctError::InvalidChain(
+                "the last relation must be a ChainLink::End".into(),
+            ))
+        }
+    };
+    let cap = budget.unwrap_or(usize::MAX);
+
+    // Current contraction vector over the "open" join dimension, together
+    // with that dimension's domain (for validation) and size (for the final
+    // normalization — one factor of n per join predicate).
+    let m_first = first.coefficient_count().min(cap);
+    let mut vec: Vec<f64> = first.sums()[..m_first].to_vec();
+    let mut open_domain = first.domain();
+    let grid = first.grid();
+    let mut norm = open_domain.size() as f64;
+
+    for link in inner {
+        let (syn, left, right) = match link {
+            ChainLink::Inner {
+                synopsis,
+                left,
+                right,
+            } => (*synopsis, *left, *right),
+            ChainLink::End(_) => {
+                return Err(DctError::InvalidChain(
+                    "ChainLink::End may only appear at the chain's ends".into(),
+                ))
+            }
+        };
+        let d = syn.arity();
+        if left >= d || right >= d {
+            return Err(DctError::InvalidChain(format!(
+                "join dimensions ({left}, {right}) out of range for arity {d}"
+            )));
+        }
+        if left == right {
+            return Err(DctError::InvalidChain(
+                "an inner relation must join on two distinct attributes".into(),
+            ));
+        }
+        if syn.grid() != grid {
+            return Err(DctError::GridMismatch);
+        }
+        if syn.domains()[left] != open_domain {
+            return Err(DctError::DomainMismatch {
+                left: (open_domain.lo(), open_domain.hi()),
+                right: (syn.domains()[left].lo(), syn.domains()[left].hi()),
+            });
+        }
+
+        let m_out = syn.degree().min(cap);
+        let mut next = vec![0.0f64; m_out];
+        let entries = syn.indices();
+        let used = entries.len().min(cap);
+        for (rank, idx) in entries.iter().take(used) {
+            // Marginalize every dimension other than (left, right).
+            let others_zero = idx
+                .iter()
+                .enumerate()
+                .all(|(j, &k)| j == left || j == right || k == 0);
+            if !others_zero {
+                continue;
+            }
+            let kl = idx[left] as usize;
+            let kr = idx[right] as usize;
+            if kl < vec.len() && kr < next.len() {
+                next[kr] += vec[kl] * syn.sums()[rank];
+            }
+        }
+        vec = next;
+        open_domain = syn.domains()[right];
+        norm *= open_domain.size() as f64;
+    }
+
+    if last.grid() != grid {
+        return Err(DctError::GridMismatch);
+    }
+    if last.domain() != open_domain {
+        return Err(DctError::DomainMismatch {
+            left: (open_domain.lo(), open_domain.hi()),
+            right: (last.domain().lo(), last.domain().hi()),
+        });
+    }
+    let m_last = last.coefficient_count().min(cap).min(vec.len());
+    let dot: f64 = vec[..m_last]
+        .iter()
+        .zip(&last.sums()[..m_last])
+        .map(|(x, y)| x * y)
+        .sum();
+    Ok(dot / norm)
+}
+
+/// Convenience: validate that two raw attribute domains were merged per
+/// §4.1 before synopsis construction, returning the merged domain.
+pub fn merged_join_domain(a: Domain, b: Domain) -> Domain {
+    a.merge(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+
+    fn syn_from(n: usize, m: usize, freqs: &[u64]) -> CosineSynopsis {
+        CosineSynopsis::from_frequencies(Domain::of_size(n), Grid::Midpoint, m, freqs).unwrap()
+    }
+
+    fn exact_join(f1: &[u64], f2: &[u64]) -> f64 {
+        f1.iter().zip(f2).map(|(a, b)| (a * b) as f64).sum()
+    }
+
+    #[test]
+    fn full_coefficients_give_exact_join() {
+        let n = 40;
+        let f1: Vec<u64> = (0..n as u64).map(|i| (i * 3 + 1) % 17).collect();
+        let f2: Vec<u64> = (0..n as u64).map(|i| (i * i + 5) % 23).collect();
+        let a = syn_from(n, n, &f1);
+        let b = syn_from(n, n, &f2);
+        let est = estimate_equi_join(&a, &b, None).unwrap();
+        let exact = exact_join(&f1, &f2);
+        assert!(
+            (est - exact).abs() < 1e-6 * exact.max(1.0),
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn uniform_distributions_exact_with_one_coefficient() {
+        // Paper §4.3.1: DC terms alone give a zero-error estimate.
+        let n = 64;
+        let f1 = vec![7u64; n];
+        let f2 = vec![3u64; n];
+        let a = syn_from(n, n, &f1);
+        let b = syn_from(n, n, &f2);
+        let est = estimate_equi_join(&a, &b, Some(1)).unwrap();
+        let exact = exact_join(&f1, &f2);
+        assert!((est - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncation_monotonically_refines_smooth_case() {
+        // For a smooth distribution the error at m=n is 0; check a few
+        // budgets bracket the exact value reasonably.
+        let n = 128;
+        let f1: Vec<u64> = (0..n).map(|i| 1000 / (i as u64 + 1)).collect();
+        let f2 = f1.clone();
+        let a = syn_from(n, n, &f1);
+        let b = syn_from(n, n, &f2);
+        let exact = exact_join(&f1, &f2);
+        let err = |m: usize| {
+            let est = estimate_equi_join(&a, &b, Some(m)).unwrap();
+            (est - exact).abs() / exact
+        };
+        assert!(err(n) < 1e-9);
+        assert!(
+            err(64) < err(4) + 1e-12,
+            "more coefficients should not hurt much"
+        );
+        assert!(
+            err(64) < 0.05,
+            "smooth case should converge fast: {}",
+            err(64)
+        );
+    }
+
+    #[test]
+    fn domain_and_grid_mismatch_rejected() {
+        let a = syn_from(10, 10, &[1; 10]);
+        let b = syn_from(12, 12, &[1; 12]);
+        assert!(matches!(
+            estimate_equi_join(&a, &b, None),
+            Err(DctError::DomainMismatch { .. })
+        ));
+        let c = CosineSynopsis::from_frequencies(Domain::of_size(10), Grid::Endpoint, 10, &[1; 10])
+            .unwrap();
+        assert!(matches!(
+            estimate_equi_join(&a, &c, None),
+            Err(DctError::GridMismatch)
+        ));
+    }
+
+    #[test]
+    fn merged_domain_helper() {
+        let d = merged_join_domain(Domain::new(5, 10), Domain::new(0, 7));
+        assert_eq!((d.lo(), d.hi()), (0, 10));
+    }
+
+    // ---- chain joins -------------------------------------------------
+
+    /// Exact two-join ground truth: Σ_{a,b} f1(a) f2(a,b) f3(b).
+    fn exact_two_join(
+        f1: &[u64],
+        f2: &std::collections::HashMap<(i64, i64), u64>,
+        f3: &[u64],
+    ) -> f64 {
+        f2.iter()
+            .map(|(&(a, b), &f)| f1[a as usize] as f64 * f as f64 * f3[b as usize] as f64)
+            .sum()
+    }
+
+    #[test]
+    fn chain_join_full_degree_is_exact() {
+        use std::collections::HashMap;
+        let n = 12;
+        let f1: Vec<u64> = (0..n as u64).map(|i| i % 4 + 1).collect();
+        let f3: Vec<u64> = (0..n as u64).map(|i| (i * 5) % 7 + 1).collect();
+        let mut f2: HashMap<(i64, i64), u64> = HashMap::new();
+        for a in 0..n as i64 {
+            for b in 0..n as i64 {
+                if (a + b) % 3 == 0 {
+                    f2.insert((a, b), ((a * b) % 5 + 1) as u64);
+                }
+            }
+        }
+        let s1 = syn_from(n, n, &f1);
+        let s3 = syn_from(n, n, &f3);
+        // Full hypercube needs degree 2n−1 but triangular clamps to n...
+        // use degree large enough by NOT clamping: max domain size is n, so
+        // degree n is the max. With degree n the triangle covers k1+k2 ≤ n−1
+        // which is NOT the full spectrum — so exactness requires a
+        // distribution whose spectrum lives in the triangle. Build f2 as a
+        // product g(a)·h(b): its spectrum factorizes but still spans the
+        // square. Instead, verify against a directly computed truncated
+        // contraction: the chain estimator must equal the brute-force sum
+        // over the same coefficient set.
+        let domains = vec![Domain::of_size(n), Domain::of_size(n)];
+        let entries: Vec<([i64; 2], u64)> = f2.iter().map(|(&(a, b), &f)| ([a, b], f)).collect();
+        let s2 = MultiDimSynopsis::from_sparse_frequencies(
+            domains,
+            Grid::Midpoint,
+            n,
+            entries.iter().map(|(t, f)| (&t[..], *f)),
+        )
+        .unwrap();
+        let est = estimate_chain_join(
+            &[
+                ChainLink::End(&s1),
+                ChainLink::Inner {
+                    synopsis: &s2,
+                    left: 0,
+                    right: 1,
+                },
+                ChainLink::End(&s3),
+            ],
+            None,
+        )
+        .unwrap();
+        // Brute force over the same triangular coefficient set.
+        let mut brute = 0.0;
+        for (rank, idx) in s2.indices().iter() {
+            let (k1, k2) = (idx[0] as usize, idx[1] as usize);
+            if k1 < s1.coefficient_count() && k2 < s3.coefficient_count() {
+                brute += s1.sums()[k1] * s2.sums()[rank] * s3.sums()[k2];
+            }
+        }
+        brute /= (n * n) as f64;
+        assert!(
+            (est - brute).abs() < 1e-6 * brute.abs().max(1.0),
+            "est {est} vs brute {brute}"
+        );
+        // And it should be close to the exact join (spectrum decays).
+        let exact = exact_two_join(&f1, &f2, &f3);
+        assert!(exact > 0.0);
+        assert!(
+            (est - exact).abs() / exact < 0.35,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    /// When the inner relation's distribution is a product of two uniform
+    /// marginals, only the DC coefficient survives and the chain estimate is
+    /// exact even with one coefficient per relation.
+    #[test]
+    fn chain_join_uniform_inner_exact() {
+        let n = 8;
+        let f1 = vec![2u64; n];
+        let f3 = vec![3u64; n];
+        let s1 = syn_from(n, n, &f1);
+        let s3 = syn_from(n, n, &f3);
+        let mut s2 = MultiDimSynopsis::new(
+            vec![Domain::of_size(n), Domain::of_size(n)],
+            Grid::Midpoint,
+            n,
+        )
+        .unwrap();
+        for a in 0..n as i64 {
+            for b in 0..n as i64 {
+                s2.update(&[a, b], 4.0).unwrap();
+            }
+        }
+        let est = estimate_chain_join(
+            &[
+                ChainLink::End(&s1),
+                ChainLink::Inner {
+                    synopsis: &s2,
+                    left: 0,
+                    right: 1,
+                },
+                ChainLink::End(&s3),
+            ],
+            Some(1),
+        )
+        .unwrap();
+        // Exact: Σ_{a,b} 2·4·3 = 24·n².
+        let exact = 24.0 * (n * n) as f64;
+        assert!((est - exact).abs() < 1e-6, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn chain_validation_errors() {
+        let n = 8;
+        let s1 = syn_from(n, n, &[1; 8]);
+        let s2 = MultiDimSynopsis::new(
+            vec![Domain::of_size(n), Domain::of_size(n)],
+            Grid::Midpoint,
+            4,
+        )
+        .unwrap();
+        // Too short.
+        assert!(matches!(
+            estimate_chain_join(&[ChainLink::End(&s1)], None),
+            Err(DctError::InvalidChain(_))
+        ));
+        // Inner at the end.
+        assert!(estimate_chain_join(
+            &[
+                ChainLink::End(&s1),
+                ChainLink::Inner {
+                    synopsis: &s2,
+                    left: 0,
+                    right: 1
+                }
+            ],
+            None
+        )
+        .is_err());
+        // left == right.
+        let s3 = syn_from(n, n, &[1; 8]);
+        assert!(estimate_chain_join(
+            &[
+                ChainLink::End(&s1),
+                ChainLink::Inner {
+                    synopsis: &s2,
+                    left: 1,
+                    right: 1
+                },
+                ChainLink::End(&s3)
+            ],
+            None
+        )
+        .is_err());
+        // Domain mismatch between chain neighbours.
+        let s_small = syn_from(4, 4, &[1; 4]);
+        assert!(matches!(
+            estimate_chain_join(
+                &[
+                    ChainLink::End(&s_small),
+                    ChainLink::Inner {
+                        synopsis: &s2,
+                        left: 0,
+                        right: 1
+                    },
+                    ChainLink::End(&s3)
+                ],
+                None
+            ),
+            Err(DctError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn two_end_chain_equals_single_join() {
+        let n = 30;
+        let f1: Vec<u64> = (0..n as u64).map(|i| i % 6).collect();
+        let f2: Vec<u64> = (0..n as u64).map(|i| (i + 2) % 9).collect();
+        let a = syn_from(n, n, &f1);
+        let b = syn_from(n, n, &f2);
+        let single = estimate_equi_join(&a, &b, Some(10)).unwrap();
+        let chain =
+            estimate_chain_join(&[ChainLink::End(&a), ChainLink::End(&b)], Some(10)).unwrap();
+        assert!((single - chain).abs() < 1e-9);
+    }
+}

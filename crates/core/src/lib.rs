@@ -1,0 +1,79 @@
+//! # dctstream-core
+//!
+//! Join size estimation over data streams using cosine series — the core
+//! library of a from-scratch reproduction of
+//! *"Join Size Estimation Over Data Streams Using Cosine Series"*
+//! (Jiang, Luo, Hou, Yan, Zhu, Wang — IJIT 13(1), 2007).
+//!
+//! Each stream attribute (or attribute group) is summarized by the first
+//! `m` coefficients of the discrete cosine series of its frequency
+//! function. Coefficients are maintained incrementally under insertions and
+//! deletions (Eqs. (3.4)/(3.5)), and the size of (multi-)equi-join COUNT
+//! queries is estimated by Parseval's identity (Eq. (4.4)) as a dot product
+//! of corresponding coefficients — `O(m)` per estimate, `O(m)` per update,
+//! one pass, bounded space.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dctstream_core::{CosineSynopsis, Domain, Grid, estimate_equi_join};
+//!
+//! // Two streams joining on an attribute with merged domain [0, 999].
+//! let domain = Domain::new(0, 999);
+//! let mut r1 = CosineSynopsis::new(domain, Grid::Midpoint, 64).unwrap();
+//! let mut r2 = CosineSynopsis::new(domain, Grid::Midpoint, 64).unwrap();
+//!
+//! // Tuples arrive online...
+//! for v in 0..1000 {
+//!     r1.insert(v % 250).unwrap();
+//!     r2.insert((v * 7) % 1000).unwrap();
+//! }
+//! // ...and |R1 ⋈ R2| can be estimated at any time from 2×64 numbers.
+//! let est = estimate_equi_join(&r1, &r2, None).unwrap();
+//! assert!(est > 0.0);
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`domain`] — attribute domains, §4.1 domain merging, normalization
+//!   grids (midpoint / the paper's Eq. (3.1) endpoints).
+//! - [`basis`] — the cosine basis `φ_k` and its fast recurrence evaluation.
+//! - [`synopsis`] — the 1-d [`CosineSynopsis`] (insert / delete / batch
+//!   update / merge / point estimates / self-join).
+//! - [`triangular`] — the triangular coefficient truncation of §3.2 for
+//!   multi-attribute synopses.
+//! - [`multidim`] — [`MultiDimSynopsis`] for inner relations of multi-join
+//!   chains.
+//! - [`join`] — single-join (Eq. (4.4)) and chain-join estimators.
+//! - [`bounds`] — the a-priori error/space bounds of §4.3.
+//! - [`range`] / [`bandjoin`] — the §6 extensions: range, point and
+//!   non-equi (band) join estimation from the same synopses.
+//! - [`persist`] — compact binary (de)serialization of synopses for
+//!   checkpointing and shipping between nodes.
+//! - [`traits`] — the [`StreamSummary`] trait shared with the sketch and
+//!   baseline crates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bandjoin;
+pub mod basis;
+pub mod bounds;
+pub mod domain;
+pub mod error;
+pub mod join;
+pub mod multidim;
+pub mod persist;
+pub mod range;
+pub mod synopsis;
+pub mod traits;
+pub mod triangular;
+
+pub use bandjoin::estimate_band_join;
+pub use domain::{Domain, Grid};
+pub use error::{DctError, Result};
+pub use join::{estimate_chain_join, estimate_equi_join, ChainLink};
+pub use multidim::MultiDimSynopsis;
+pub use synopsis::CosineSynopsis;
+pub use traits::StreamSummary;
+pub use triangular::{degree_for_budget, triangular_count, TriangularIndex};

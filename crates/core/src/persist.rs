@@ -1,0 +1,346 @@
+//! Compact binary serialization of synopses.
+//!
+//! A cosine synopsis is a few hundred `f64`s plus a small header — cheap
+//! to checkpoint periodically, ship from an ingesting edge node to a
+//! query coordinator, or merge across shards (coefficient sums are
+//! linear, see [`CosineSynopsis::merge_from`]). The format is a simple
+//! little-endian layout with a magic tag and version byte:
+//!
+//! ```text
+//! magic (4) | version (1) | kind (1) | grid (1) | reserved (1)
+//! | header fields … | count (f64) | coefficient sums (f64 × len)
+//! ```
+//!
+//! Decoding validates the magic, version, kind, grid, declared lengths,
+//! and finiteness of every float, so a truncated or corrupted buffer is
+//! rejected rather than producing a silently-wrong synopsis.
+
+use crate::domain::{Domain, Grid};
+use crate::error::{DctError, Result};
+use crate::multidim::MultiDimSynopsis;
+use crate::synopsis::CosineSynopsis;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"DCTS";
+const VERSION: u8 = 1;
+const KIND_COSINE: u8 = 1;
+const KIND_MULTI: u8 = 2;
+
+fn grid_tag(grid: Grid) -> u8 {
+    match grid {
+        Grid::Midpoint => 0,
+        Grid::Endpoint => 1,
+    }
+}
+
+fn grid_from_tag(tag: u8) -> Result<Grid> {
+    match tag {
+        0 => Ok(Grid::Midpoint),
+        1 => Ok(Grid::Endpoint),
+        other => Err(DctError::InvalidParameter(format!(
+            "unknown grid tag {other}"
+        ))),
+    }
+}
+
+fn put_header(buf: &mut BytesMut, kind: u8, grid: Grid) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind);
+    buf.put_u8(grid_tag(grid));
+    buf.put_u8(0); // reserved
+}
+
+fn check_header(buf: &mut Bytes, expect_kind: u8) -> Result<Grid> {
+    if buf.remaining() < 8 {
+        return Err(DctError::InvalidParameter(
+            "buffer too short for a synopsis header".into(),
+        ));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DctError::InvalidParameter(
+            "not a dctstream synopsis (bad magic)".into(),
+        ));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DctError::InvalidParameter(format!(
+            "unsupported synopsis format version {version}"
+        )));
+    }
+    let kind = buf.get_u8();
+    if kind != expect_kind {
+        return Err(DctError::InvalidParameter(format!(
+            "synopsis kind mismatch: found {kind}, expected {expect_kind}"
+        )));
+    }
+    let grid = grid_from_tag(buf.get_u8())?;
+    let _reserved = buf.get_u8();
+    Ok(grid)
+}
+
+fn get_f64_checked(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(DctError::InvalidParameter(
+            "buffer truncated inside float data".into(),
+        ));
+    }
+    let v = buf.get_f64_le();
+    if !v.is_finite() {
+        return Err(DctError::InvalidParameter(
+            "corrupted synopsis: non-finite float".into(),
+        ));
+    }
+    Ok(v)
+}
+
+impl CosineSynopsis {
+    /// Serialize to a compact binary buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 8 * 3 + 8 + 8 * self.coefficient_count());
+        put_header(&mut buf, KIND_COSINE, self.grid());
+        buf.put_i64_le(self.domain().lo());
+        buf.put_i64_le(self.domain().hi());
+        buf.put_u64_le(self.coefficient_count() as u64);
+        buf.put_f64_le(self.count());
+        for &s in self.sums() {
+            buf.put_f64_le(s);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output, with validation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
+        let grid = check_header(&mut buf, KIND_COSINE)?;
+        if buf.remaining() < 8 * 3 {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside cosine header".into(),
+            ));
+        }
+        let lo = buf.get_i64_le();
+        let hi = buf.get_i64_le();
+        if lo > hi {
+            return Err(DctError::InvalidParameter(format!(
+                "corrupted synopsis: empty domain [{lo}, {hi}]"
+            )));
+        }
+        let domain = Domain::new(lo, hi);
+        let m = buf.get_u64_le() as usize;
+        if m == 0 || m > domain.size() {
+            return Err(DctError::InvalidParameter(format!(
+                "corrupted synopsis: {m} coefficients for domain size {}",
+                domain.size()
+            )));
+        }
+        let count = get_f64_checked(&mut buf)?;
+        let mut sums = Vec::with_capacity(m);
+        for _ in 0..m {
+            sums.push(get_f64_checked(&mut buf)?);
+        }
+        if buf.has_remaining() {
+            return Err(DctError::InvalidParameter(format!(
+                "{} trailing bytes after synopsis",
+                buf.remaining()
+            )));
+        }
+        let mut syn = CosineSynopsis::new(domain, grid, m)?;
+        syn.load_raw(sums, count);
+        Ok(syn)
+    }
+}
+
+impl MultiDimSynopsis {
+    /// Serialize to a compact binary buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(16 + 16 * self.arity() + 8 + 8 * self.coefficient_count());
+        put_header(&mut buf, KIND_MULTI, self.grid());
+        buf.put_u64_le(self.arity() as u64);
+        for d in self.domains() {
+            buf.put_i64_le(d.lo());
+            buf.put_i64_le(d.hi());
+        }
+        buf.put_u64_le(self.degree() as u64);
+        buf.put_f64_le(self.count());
+        for &s in self.sums() {
+            buf.put_f64_le(s);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output, with validation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
+        let grid = check_header(&mut buf, KIND_MULTI)?;
+        if buf.remaining() < 8 {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside multidim header".into(),
+            ));
+        }
+        let arity = buf.get_u64_le() as usize;
+        if arity == 0 || arity > 16 {
+            return Err(DctError::InvalidParameter(format!(
+                "corrupted synopsis: implausible arity {arity}"
+            )));
+        }
+        if buf.remaining() < 16 * arity + 8 {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside domain list".into(),
+            ));
+        }
+        let mut domains = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let lo = buf.get_i64_le();
+            let hi = buf.get_i64_le();
+            if lo > hi {
+                return Err(DctError::InvalidParameter(format!(
+                    "corrupted synopsis: empty domain [{lo}, {hi}]"
+                )));
+            }
+            domains.push(Domain::new(lo, hi));
+        }
+        let degree = buf.get_u64_le() as usize;
+        let count = get_f64_checked(&mut buf)?;
+        let mut syn = MultiDimSynopsis::new(domains, grid, degree)?;
+        if syn.degree() != degree {
+            return Err(DctError::InvalidParameter(format!(
+                "corrupted synopsis: degree {degree} exceeds the domain bound"
+            )));
+        }
+        let len = syn.coefficient_count();
+        let mut sums = Vec::with_capacity(len);
+        for _ in 0..len {
+            sums.push(get_f64_checked(&mut buf)?);
+        }
+        if buf.has_remaining() {
+            return Err(DctError::InvalidParameter(format!(
+                "{} trailing bytes after synopsis",
+                buf.remaining()
+            )));
+        }
+        syn.load_raw(sums, count);
+        Ok(syn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cosine() -> CosineSynopsis {
+        let mut s = CosineSynopsis::new(Domain::new(-10, 89), Grid::Midpoint, 24).unwrap();
+        for v in [-10i64, 0, 5, 5, 89, 33] {
+            s.insert(v).unwrap();
+        }
+        s.delete(5).unwrap();
+        s
+    }
+
+    fn sample_multi() -> MultiDimSynopsis {
+        let mut s = MultiDimSynopsis::new(
+            vec![Domain::of_size(32), Domain::of_size(16)],
+            Grid::Midpoint,
+            6,
+        )
+        .unwrap();
+        for t in [[0i64, 0], [31, 15], [7, 9], [7, 9]] {
+            s.insert(&t).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn cosine_roundtrip() {
+        let s = sample_cosine();
+        let bytes = s.to_bytes();
+        let back = CosineSynopsis::from_bytes(bytes).unwrap();
+        assert_eq!(back.domain(), s.domain());
+        assert_eq!(back.grid(), s.grid());
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.sums(), s.sums());
+    }
+
+    #[test]
+    fn multidim_roundtrip() {
+        let s = sample_multi();
+        let back = MultiDimSynopsis::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(back.domains(), s.domains());
+        assert_eq!(back.degree(), s.degree());
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.sums(), s.sums());
+    }
+
+    #[test]
+    fn roundtripped_synopsis_estimates_identically() {
+        let a = sample_cosine();
+        let b = sample_cosine();
+        let direct = crate::join::estimate_equi_join(&a, &b, None).unwrap();
+        let restored = CosineSynopsis::from_bytes(a.to_bytes()).unwrap();
+        let via_bytes = crate::join::estimate_equi_join(&restored, &b, None).unwrap();
+        assert_eq!(direct, via_bytes);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut raw = sample_cosine().to_bytes().to_vec();
+        raw[0] = b'X';
+        assert!(CosineSynopsis::from_bytes(Bytes::from(raw.clone())).is_err());
+        let mut raw = sample_cosine().to_bytes().to_vec();
+        raw[4] = 99; // version
+        assert!(CosineSynopsis::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_kind_confusion() {
+        let cosine_bytes = sample_cosine().to_bytes();
+        assert!(MultiDimSynopsis::from_bytes(cosine_bytes).is_err());
+        let multi_bytes = sample_multi().to_bytes();
+        assert!(CosineSynopsis::from_bytes(multi_bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let full = sample_cosine().to_bytes();
+        for cut in [0usize, 4, 7, 12, full.len() - 1] {
+            let slice = full.slice(0..cut);
+            assert!(CosineSynopsis::from_bytes(slice).is_err(), "cut {cut}");
+        }
+        let mut extended = full.to_vec();
+        extended.push(0);
+        assert!(CosineSynopsis::from_bytes(Bytes::from(extended)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_floats() {
+        let s = sample_cosine();
+        let mut raw = s.to_bytes().to_vec();
+        // Overwrite the count field (first f64 after the 32-byte
+        // header: magic 8 + lo 8 + hi 8 + m 8) with NaN.
+        let count_off = 8 + 8 + 8 + 8;
+        raw[count_off..count_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(CosineSynopsis::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_domain_or_m() {
+        let s = sample_cosine();
+        let mut raw = s.to_bytes().to_vec();
+        // lo > hi.
+        raw[8..16].copy_from_slice(&100i64.to_le_bytes());
+        raw[16..24].copy_from_slice(&(-100i64).to_le_bytes());
+        assert!(CosineSynopsis::from_bytes(Bytes::from(raw)).is_err());
+        let mut raw = s.to_bytes().to_vec();
+        // m = 0.
+        raw[24..32].copy_from_slice(&0u64.to_le_bytes());
+        assert!(CosineSynopsis::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn multidim_rejects_implausible_arity() {
+        let s = sample_multi();
+        let mut raw = s.to_bytes().to_vec();
+        raw[8..16].copy_from_slice(&1000u64.to_le_bytes());
+        assert!(MultiDimSynopsis::from_bytes(Bytes::from(raw)).is_err());
+    }
+}

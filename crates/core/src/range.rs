@@ -1,0 +1,365 @@
+//! Range- and point-query estimation from a cosine synopsis (paper §6:
+//! "our method can also be applied to … range, and point queries").
+//!
+//! The estimated count of tuples with `lo ≤ X ≤ hi` is
+//!
+//! ```text
+//! Ĉ[lo, hi] = Σ_{v=lo}^{hi} N·f̂(x_v) = (1/n) Σ_k S_k · Φ_k[lo, hi]
+//! ```
+//!
+//! where `Φ_k[lo, hi] = Σ_{v ∈ [lo, hi]} φ_k(x_v)`. On the midpoint grid the
+//! inner sum is a cosine arithmetic progression with the closed form
+//!
+//! ```text
+//! Σ_{j=0}^{M-1} cos(a + jδ) = sin(Mδ/2)/sin(δ/2) · cos(a + (M−1)δ/2)
+//! ```
+//!
+//! so a range estimate costs `O(m)` regardless of the range width.
+
+use crate::error::{DctError, Result};
+use crate::synopsis::CosineSynopsis;
+use std::f64::consts::{PI, SQRT_2};
+
+/// `Σ_{j=j0}^{j1} cos(kπ·x_j)` over midpoint grid positions
+/// `x_j = (2j+1)/(2n)`, via the arithmetic-progression closed form.
+fn cos_progression_sum(k: usize, j0: usize, j1: usize, n: usize) -> f64 {
+    debug_assert!(j0 <= j1 && j1 < n);
+    let count = (j1 - j0 + 1) as f64;
+    if k == 0 {
+        return count;
+    }
+    let kf = k as f64;
+    let nf = n as f64;
+    let delta = kf * PI / nf; // common difference of the angle
+    let a = kf * PI * (2 * j0 + 1) as f64 / (2.0 * nf); // first angle
+    let half = delta / 2.0;
+    let s = half.sin();
+    if s.abs() < 1e-12 {
+        // δ ≈ 0 mod 2π: all terms equal cos(a).
+        return count * a.cos();
+    }
+    (count * half).sin() / s * (a + (count - 1.0) * half).cos()
+}
+
+/// `Φ_k[lo..hi]` — the basis function summed over a value range — including
+/// the `√2` scaling for `k ≥ 1`.
+pub(crate) fn phi_range_sum(k: usize, j0: usize, j1: usize, n: usize) -> f64 {
+    let s = cos_progression_sum(k, j0, j1, n);
+    if k == 0 {
+        s
+    } else {
+        SQRT_2 * s
+    }
+}
+
+impl CosineSynopsis {
+    /// Estimated number of tuples with `lo ≤ value ≤ hi` (inclusive raw
+    /// bounds, clipped to the domain). `O(m)` time.
+    ///
+    /// Only supported on the midpoint grid (the closed form — and exactness
+    /// with full coefficients — relies on it).
+    pub fn estimate_range_count(&self, lo: i64, hi: i64) -> Result<f64> {
+        if self.grid() != crate::domain::Grid::Midpoint {
+            return Err(DctError::InvalidParameter(
+                "range estimation requires the midpoint grid".into(),
+            ));
+        }
+        if self.count() == 0.0 {
+            return Err(DctError::EmptySynopsis);
+        }
+        let d = self.domain();
+        let lo = lo.max(d.lo());
+        let hi = hi.min(d.hi());
+        if lo > hi {
+            return Ok(0.0);
+        }
+        let j0 = d.index_of(lo).expect("clipped to domain");
+        let j1 = d.index_of(hi).expect("clipped to domain");
+        let n = d.size();
+        let est: f64 = self
+            .sums()
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| s * phi_range_sum(k, j0, j1, n))
+            .sum::<f64>()
+            / n as f64;
+        Ok(est.max(0.0))
+    }
+
+    /// Estimated selectivity (fraction of tuples) of the range predicate.
+    pub fn estimate_range_selectivity(&self, lo: i64, hi: i64) -> Result<f64> {
+        Ok(self.estimate_range_count(lo, hi)? / self.count())
+    }
+
+    /// Estimated counts for a contiguous GROUP BY: `boundaries` are the
+    /// inclusive raw lower bounds of each group (strictly increasing, the
+    /// first group starts at `boundaries[0]`, the last ends at the domain
+    /// maximum). Returns one estimate per group — the building block for
+    /// approximate histogram answers over a stream.
+    pub fn estimate_group_counts(&self, boundaries: &[i64]) -> Result<Vec<f64>> {
+        if boundaries.is_empty() {
+            return Err(DctError::InvalidParameter(
+                "at least one group boundary is required".into(),
+            ));
+        }
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DctError::InvalidParameter(
+                "group boundaries must be strictly increasing".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(boundaries.len());
+        for (i, &lo) in boundaries.iter().enumerate() {
+            let hi = boundaries
+                .get(i + 1)
+                .map(|&next| next - 1)
+                .unwrap_or_else(|| self.domain().hi());
+            out.push(self.estimate_range_count(lo, hi)?);
+        }
+        Ok(out)
+    }
+}
+
+impl crate::multidim::MultiDimSynopsis {
+    /// Estimated number of tuples inside the axis-aligned box
+    /// `lo[j] ≤ tuple[j] ≤ hi[j]` (inclusive raw bounds, clipped to each
+    /// attribute's domain). `O(coefficients)` time via the per-dimension
+    /// closed-form range sums — the multi-dimensional selectivity use case
+    /// the DCT was first proposed for (Lee–Kim–Chung \[21\]).
+    pub fn estimate_box_count(&self, lo: &[i64], hi: &[i64]) -> Result<f64> {
+        if self.grid() != crate::domain::Grid::Midpoint {
+            return Err(DctError::InvalidParameter(
+                "range estimation requires the midpoint grid".into(),
+            ));
+        }
+        let d = self.arity();
+        if lo.len() != d || hi.len() != d {
+            return Err(DctError::ArityMismatch {
+                expected: d,
+                got: lo.len().max(hi.len()),
+            });
+        }
+        if self.count() == 0.0 {
+            return Err(DctError::EmptySynopsis);
+        }
+        // Per-dimension clipped index bounds; an empty range in any
+        // dimension empties the box.
+        let mut bounds = Vec::with_capacity(d);
+        for (j, dom) in self.domains().iter().enumerate() {
+            let l = lo[j].max(dom.lo());
+            let h = hi[j].min(dom.hi());
+            if l > h {
+                return Ok(0.0);
+            }
+            bounds.push((
+                dom.index_of(l).expect("clipped to domain"),
+                dom.index_of(h).expect("clipped to domain"),
+                dom.size(),
+            ));
+        }
+        // Precompute Φ_k[lo..hi] per dimension for k = 0..degree.
+        let m = self.degree();
+        let mut phi_sums = vec![0.0f64; d * m];
+        for (j, &(j0, j1, n)) in bounds.iter().enumerate() {
+            for k in 0..m {
+                phi_sums[j * m + k] = phi_range_sum(k, j0, j1, n);
+            }
+        }
+        let mut acc = 0.0;
+        for (rank, idx) in self.indices().iter() {
+            let mut prod = self.sums()[rank];
+            for (j, &k) in idx.iter().enumerate() {
+                prod *= phi_sums[j * m + k as usize];
+            }
+            acc += prod;
+        }
+        let vol: f64 = self.domains().iter().map(|dm| dm.size() as f64).product();
+        Ok((acc / vol).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, Grid};
+
+    fn build(n: usize, m: usize, freqs: &[u64]) -> CosineSynopsis {
+        CosineSynopsis::from_frequencies(Domain::of_size(n), Grid::Midpoint, m, freqs).unwrap()
+    }
+
+    #[test]
+    fn progression_matches_direct_sum() {
+        let n = 37;
+        for k in [0usize, 1, 2, 5, 17, 36] {
+            for (j0, j1) in [(0usize, 36usize), (3, 3), (10, 20), (0, 0), (36, 36)] {
+                let direct: f64 = (j0..=j1)
+                    .map(|j| {
+                        let x = (2 * j + 1) as f64 / (2 * n) as f64;
+                        (k as f64 * PI * x).cos()
+                    })
+                    .sum();
+                let closed = cos_progression_sum(k, j0, j1, n);
+                assert!(
+                    (direct - closed).abs() < 1e-9,
+                    "k={k} [{j0},{j1}]: direct {direct}, closed {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_coefficients_make_ranges_exact() {
+        let n = 50;
+        let freqs: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 3) % 29).collect();
+        let s = build(n, n, &freqs);
+        for (lo, hi) in [(0i64, 49i64), (10, 20), (5, 5), (0, 0), (49, 49)] {
+            let exact: u64 = freqs[lo as usize..=hi as usize].iter().sum();
+            let est = s.estimate_range_count(lo, hi).unwrap();
+            assert!(
+                (est - exact as f64).abs() < 1e-6,
+                "[{lo},{hi}]: est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_domain_range_equals_count() {
+        let n = 32;
+        let freqs = vec![5u64; n];
+        let s = build(n, 8, &freqs);
+        let est = s.estimate_range_count(i64::MIN / 2, i64::MAX / 2).unwrap();
+        assert!((est - s.count()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_range_is_zero() {
+        let s = build(16, 8, &[1u64; 16]);
+        assert_eq!(s.estimate_range_count(10, 5).unwrap(), 0.0);
+        // Range entirely outside the domain.
+        assert_eq!(s.estimate_range_count(100, 200).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn truncated_synopsis_approximates_smooth_ranges() {
+        let n = 200;
+        // Smooth unimodal distribution.
+        let freqs: Vec<u64> = (0..n)
+            .map(|i| {
+                let x = (i as f64 - 100.0) / 30.0;
+                (1000.0 * (-x * x / 2.0).exp()) as u64
+            })
+            .collect();
+        let s = build(n, 20, &freqs);
+        let exact: u64 = freqs[80..=120].iter().sum();
+        let est = s.estimate_range_count(80, 120).unwrap();
+        let rel = (est - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn selectivity_in_unit_interval_for_valid_data() {
+        let n = 64;
+        let freqs: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+        let s = build(n, 16, &freqs);
+        let sel = s.estimate_range_selectivity(0, 31).unwrap();
+        assert!(sel > 0.0 && sel < 1.0);
+    }
+
+    #[test]
+    fn endpoint_grid_rejected() {
+        let s = CosineSynopsis::from_frequencies(Domain::of_size(8), Grid::Endpoint, 8, &[1; 8])
+            .unwrap();
+        assert!(s.estimate_range_count(0, 3).is_err());
+    }
+
+    #[test]
+    fn empty_synopsis_rejected() {
+        let s = CosineSynopsis::new(Domain::of_size(8), Grid::Midpoint, 4).unwrap();
+        assert!(matches!(
+            s.estimate_range_count(0, 3),
+            Err(DctError::EmptySynopsis)
+        ));
+    }
+
+    #[test]
+    fn group_counts_partition_the_domain() {
+        let n = 60;
+        let freqs: Vec<u64> = (0..n as u64).map(|i| i % 4 + 1).collect();
+        let s = build(n, n, &freqs);
+        let groups = s.estimate_group_counts(&[0, 10, 30, 55]).unwrap();
+        assert_eq!(groups.len(), 4);
+        // Full coefficients: each group count is exact.
+        let exact = [
+            freqs[0..10].iter().sum::<u64>(),
+            freqs[10..30].iter().sum::<u64>(),
+            freqs[30..55].iter().sum::<u64>(),
+            freqs[55..60].iter().sum::<u64>(),
+        ];
+        for (g, e) in groups.iter().zip(exact) {
+            assert!((g - e as f64).abs() < 1e-6, "group {g} vs {e}");
+        }
+        // Groups cover the whole domain.
+        let total: f64 = groups.iter().sum();
+        assert!((total - s.count()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_counts_validate_boundaries() {
+        let s = build(16, 8, &[1u64; 16]);
+        assert!(s.estimate_group_counts(&[]).is_err());
+        assert!(s.estimate_group_counts(&[0, 5, 5]).is_err());
+        assert!(s.estimate_group_counts(&[5, 2]).is_err());
+    }
+
+    #[test]
+    fn box_count_exact_for_triangular_spectrum() {
+        use crate::multidim::MultiDimSynopsis;
+        // A distribution whose spectrum lives inside the triangle:
+        // f(a, b) = g(a), uniform in b (spectrum nonzero only at (k, 0)).
+        let n = 8usize;
+        let domains = vec![Domain::of_size(n), Domain::of_size(n)];
+        let mut s = MultiDimSynopsis::new(domains, Grid::Midpoint, n).unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for a in 0..n as i64 {
+            for b in 0..n as i64 {
+                let w = (a + 1) as u64;
+                s.update(&[a, b], w as f64).unwrap();
+                exact.insert((a, b), w);
+            }
+        }
+        for (lo, hi) in [
+            ([0i64, 0i64], [7i64, 7i64]),
+            ([2, 3], [5, 6]),
+            ([1, 1], [1, 1]),
+        ] {
+            let truth: u64 = exact
+                .iter()
+                .filter(|(&(a, b), _)| a >= lo[0] && a <= hi[0] && b >= lo[1] && b <= hi[1])
+                .map(|(_, &w)| w)
+                .sum();
+            let est = s.estimate_box_count(&lo, &hi).unwrap();
+            assert!(
+                (est - truth as f64).abs() < 1e-6,
+                "box {lo:?}..{hi:?}: est {est}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn box_count_validates_inputs() {
+        use crate::multidim::MultiDimSynopsis;
+        let domains = vec![Domain::of_size(8), Domain::of_size(8)];
+        let mut s = MultiDimSynopsis::new(domains, Grid::Midpoint, 4).unwrap();
+        assert!(matches!(
+            s.estimate_box_count(&[0, 0], &[1, 1]),
+            Err(DctError::EmptySynopsis)
+        ));
+        s.update(&[1, 1], 5.0).unwrap();
+        assert!(s.estimate_box_count(&[0], &[1, 1]).is_err());
+        // Empty and out-of-domain boxes are zero.
+        assert_eq!(s.estimate_box_count(&[5, 5], &[2, 2]).unwrap(), 0.0);
+        assert_eq!(s.estimate_box_count(&[100, 0], &[200, 7]).unwrap(), 0.0);
+        // Whole-domain box equals the count.
+        let whole = s.estimate_box_count(&[-100, -100], &[100, 100]).unwrap();
+        assert!((whole - 5.0).abs() < 1e-6);
+    }
+}

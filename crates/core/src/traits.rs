@@ -1,0 +1,116 @@
+//! Common traits implemented by every stream summary in the workspace —
+//! the cosine synopses here, the sketches in `dctstream-sketch`, and the
+//! sampling/histogram baselines in `dctstream-baselines` — so that the
+//! stream layer and the experiment harness can drive them uniformly.
+
+use crate::error::Result;
+use crate::multidim::MultiDimSynopsis;
+use crate::synopsis::CosineSynopsis;
+
+/// A summary structure maintained online over a (turnstile) tuple stream.
+///
+/// Implementations accept tuples of a fixed arity; 1-attribute summaries
+/// take single-element slices.
+pub trait StreamSummary {
+    /// Arity of the tuples this summary accepts.
+    fn arity(&self) -> usize;
+
+    /// Process the arrival of `w` copies of `tuple` (negative `w` deletes).
+    ///
+    /// This single entry point covers per-tuple updates (`w = ±1`) and the
+    /// batch scheme of §3.2 (one call per distinct buffered value).
+    fn update_weighted(&mut self, tuple: &[i64], w: f64) -> Result<()>;
+
+    /// Signed number of tuples currently summarized.
+    fn tuple_count(&self) -> f64;
+
+    /// Storage used, in the space unit of the paper's experiments
+    /// (coefficients for DCT synopses, atomic sketches for sketches,
+    /// sample slots / buckets for the baselines).
+    fn space(&self) -> usize;
+
+    /// Process a single arrival.
+    fn insert_tuple(&mut self, tuple: &[i64]) -> Result<()> {
+        self.update_weighted(tuple, 1.0)
+    }
+
+    /// Process a single deletion.
+    fn delete_tuple(&mut self, tuple: &[i64]) -> Result<()> {
+        self.update_weighted(tuple, -1.0)
+    }
+}
+
+impl StreamSummary for CosineSynopsis {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn update_weighted(&mut self, tuple: &[i64], w: f64) -> Result<()> {
+        if tuple.len() != 1 {
+            return Err(crate::error::DctError::ArityMismatch {
+                expected: 1,
+                got: tuple.len(),
+            });
+        }
+        self.update(tuple[0], w)
+    }
+
+    fn tuple_count(&self) -> f64 {
+        self.count()
+    }
+
+    fn space(&self) -> usize {
+        self.coefficient_count()
+    }
+}
+
+impl StreamSummary for MultiDimSynopsis {
+    fn arity(&self) -> usize {
+        MultiDimSynopsis::arity(self)
+    }
+
+    fn update_weighted(&mut self, tuple: &[i64], w: f64) -> Result<()> {
+        self.update(tuple, w)
+    }
+
+    fn tuple_count(&self) -> f64 {
+        self.count()
+    }
+
+    fn space(&self) -> usize {
+        self.coefficient_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, Grid};
+
+    #[test]
+    fn cosine_synopsis_implements_stream_summary() {
+        let mut s: Box<dyn StreamSummary> =
+            Box::new(CosineSynopsis::new(Domain::of_size(10), Grid::Midpoint, 4).unwrap());
+        assert_eq!(s.arity(), 1);
+        s.insert_tuple(&[3]).unwrap();
+        s.insert_tuple(&[7]).unwrap();
+        s.delete_tuple(&[3]).unwrap();
+        assert_eq!(s.tuple_count(), 1.0);
+        assert_eq!(s.space(), 4);
+        assert!(s.insert_tuple(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn multidim_synopsis_implements_stream_summary() {
+        let mut s = MultiDimSynopsis::new(
+            vec![Domain::of_size(8), Domain::of_size(8)],
+            Grid::Midpoint,
+            3,
+        )
+        .unwrap();
+        StreamSummary::update_weighted(&mut s, &[1, 2], 2.0).unwrap();
+        assert_eq!(StreamSummary::tuple_count(&s), 2.0);
+        assert_eq!(StreamSummary::arity(&s), 2);
+        assert_eq!(StreamSummary::space(&s), 6); // C(4,2)
+    }
+}

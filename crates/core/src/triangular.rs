@@ -1,0 +1,255 @@
+//! Triangular coefficient truncation for multi-dimensional synopses
+//! (paper §3.2, "triangular sampling" of \[21\]).
+//!
+//! A `d`-dimensional cosine synopsis of degree `m` keeps only coefficients
+//! whose indices satisfy `k_1 + … + k_d ≤ m − 1`; there are
+//! `C(m + d − 1, d)` of them (≈ `m^d / d!`). The indices themselves need not
+//! be stored (paper: "uniquely determined for a given m and can be generated
+//! automatically"): this module fixes a canonical *graded lexicographic*
+//! enumeration — all index tuples of total degree 0, then degree 1, … — so a
+//! flat `Vec<f64>` of coefficient sums, plus `(m, d)`, fully describes a
+//! synopsis.
+//!
+//! The graded order has a second payoff: truncating a synopsis to a smaller
+//! coefficient *budget* is just taking a prefix of the flat vector, because
+//! lower total degrees (lower "frequencies") come first. That is how the
+//! experiments sweep the storage-space axis without rebuilding synopses.
+
+use crate::error::{DctError, Result};
+
+/// Number of index tuples `(k_1, …, k_d)` with `Σ k_i ≤ m − 1`,
+/// i.e. `C(m + d − 1, d)`.
+///
+/// Saturates at `usize::MAX` on overflow.
+pub fn triangular_count(m: usize, d: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    // C(m - 1 + d, d) computed multiplicatively.
+    let mut acc: u128 = 1;
+    for i in 1..=d as u128 {
+        acc = acc * (m as u128 - 1 + i) / i;
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+/// Largest degree `m` such that `C(m + d − 1, d) ≤ budget` coefficients are
+/// stored, i.e. the degree affordable within a coefficient budget.
+///
+/// Returns 0 when even `m = 1` (a single coefficient) does not fit
+/// (`budget == 0`).
+pub fn degree_for_budget(budget: usize, d: usize) -> usize {
+    if budget == 0 {
+        return 0;
+    }
+    let mut m = 1usize;
+    // Exponential search then linear backoff; m is small in practice.
+    while triangular_count(m + 1, d) <= budget {
+        m += 1;
+    }
+    m
+}
+
+/// The canonical graded-lexicographic enumeration of the triangular index
+/// set for a given degree `m` and arity `d`.
+///
+/// Rank 0 is always the all-zero tuple (the DC coefficient). Within a total
+/// degree, tuples are ordered lexicographically.
+#[derive(Debug, Clone)]
+pub struct TriangularIndex {
+    m: usize,
+    d: usize,
+    /// Flattened index tuples: entry `r` occupies `flat[r*d .. (r+1)*d]`.
+    flat: Vec<u32>,
+}
+
+impl TriangularIndex {
+    /// Build the enumeration. `m ≥ 1`, `1 ≤ d`, and the total count must be
+    /// sane (≤ 2^28 entries) to guard against runaway memory use.
+    pub fn new(m: usize, d: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(DctError::InvalidParameter(
+                "degree m must be at least 1".into(),
+            ));
+        }
+        if d == 0 {
+            return Err(DctError::InvalidParameter(
+                "arity d must be at least 1".into(),
+            ));
+        }
+        let count = triangular_count(m, d);
+        if count > (1 << 28) {
+            return Err(DctError::InvalidParameter(format!(
+                "triangular index set too large: C({} + {} - 1, {}) = {count}",
+                m, d, d
+            )));
+        }
+        let mut flat = Vec::with_capacity(count * d);
+        let mut tuple = vec![0u32; d];
+        for degree in 0..m as u32 {
+            emit_degree(degree, 0, &mut tuple, &mut flat);
+        }
+        debug_assert_eq!(flat.len(), count * d);
+        Ok(Self { m, d, flat })
+    }
+
+    /// Degree bound `m` (indices satisfy `Σ k_i ≤ m − 1`).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    /// Arity `d`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.d
+    }
+
+    /// Total number of stored index tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flat.len() / self.d
+    }
+
+    /// Whether the enumeration is empty (never true for valid `m`, `d`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// The index tuple at `rank`.
+    #[inline]
+    pub fn tuple(&self, rank: usize) -> &[u32] {
+        &self.flat[rank * self.d..(rank + 1) * self.d]
+    }
+
+    /// Iterate `(rank, tuple)` pairs in graded-lex order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.flat.chunks_exact(self.d).enumerate()
+    }
+
+    /// Rank of an index tuple, or `None` if it is not in the set.
+    ///
+    /// Linear in the set size; used only in tests and low-frequency lookups
+    /// (contraction paths precompute what they need).
+    pub fn rank_of(&self, tuple: &[u32]) -> Option<usize> {
+        if tuple.len() != self.d {
+            return None;
+        }
+        self.iter().find(|(_, t)| *t == tuple).map(|(r, _)| r)
+    }
+}
+
+/// Recursively emit all tuples of exactly `remaining` total degree into
+/// positions `pos..`, in lexicographic order.
+fn emit_degree(remaining: u32, pos: usize, tuple: &mut Vec<u32>, out: &mut Vec<u32>) {
+    let d = tuple.len();
+    if pos == d - 1 {
+        tuple[pos] = remaining;
+        out.extend_from_slice(tuple);
+        return;
+    }
+    for k in 0..=remaining {
+        tuple[pos] = k;
+        emit_degree(remaining - k, pos + 1, tuple, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_binomial() {
+        // C(m + d - 1, d)
+        assert_eq!(triangular_count(1, 1), 1);
+        assert_eq!(triangular_count(5, 1), 5);
+        assert_eq!(triangular_count(5, 2), 15); // C(6,2)
+        assert_eq!(triangular_count(5, 3), 35); // C(7,3)
+        assert_eq!(triangular_count(3, 4), 15); // C(6,4)
+        assert_eq!(triangular_count(0, 3), 0);
+    }
+
+    #[test]
+    fn count_matches_paper_ratios() {
+        // Paper §3.2: roughly 50%, 17%, 4% of m^d kept for d = 2, 3, 4.
+        let m = 100usize;
+        let r2 = triangular_count(m, 2) as f64 / (m.pow(2)) as f64;
+        let r3 = triangular_count(m, 3) as f64 / (m.pow(3)) as f64;
+        let r4 = triangular_count(m, 4) as f64 / (m.pow(4)) as f64;
+        assert!((r2 - 0.5).abs() < 0.02, "d=2 ratio {r2}");
+        assert!((r3 - 1.0 / 6.0).abs() < 0.02, "d=3 ratio {r3}");
+        assert!((r4 - 1.0 / 24.0).abs() < 0.02, "d=4 ratio {r4}");
+    }
+
+    #[test]
+    fn enumeration_length_and_order() {
+        let t = TriangularIndex::new(4, 2).unwrap();
+        assert_eq!(t.len(), triangular_count(4, 2));
+        // Graded lex: (0,0) | (0,1),(1,0) | (0,2),(1,1),(2,0) | ...
+        assert_eq!(t.tuple(0), &[0, 0]);
+        assert_eq!(t.tuple(1), &[0, 1]);
+        assert_eq!(t.tuple(2), &[1, 0]);
+        assert_eq!(t.tuple(3), &[0, 2]);
+        assert_eq!(t.tuple(4), &[1, 1]);
+        assert_eq!(t.tuple(5), &[2, 0]);
+        // Degrees are non-decreasing along the enumeration.
+        let mut prev = 0u32;
+        for (_, tup) in t.iter() {
+            let deg: u32 = tup.iter().sum();
+            assert!(deg >= prev);
+            prev = deg;
+        }
+    }
+
+    #[test]
+    fn all_tuples_unique_and_within_bound() {
+        let t = TriangularIndex::new(6, 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (_, tup) in t.iter() {
+            let deg: u32 = tup.iter().sum();
+            assert!(deg <= 5);
+            assert!(seen.insert(tup.to_vec()), "duplicate tuple {tup:?}");
+        }
+        assert_eq!(seen.len(), triangular_count(6, 3));
+    }
+
+    #[test]
+    fn one_dimensional_enumeration_is_identity() {
+        let t = TriangularIndex::new(8, 1).unwrap();
+        for (r, tup) in t.iter() {
+            assert_eq!(tup, &[r as u32]);
+        }
+    }
+
+    #[test]
+    fn rank_of_roundtrips() {
+        let t = TriangularIndex::new(5, 2).unwrap();
+        for (r, tup) in t.iter() {
+            assert_eq!(t.rank_of(tup), Some(r));
+        }
+        assert_eq!(t.rank_of(&[4, 4]), None); // degree 8 > 4
+        assert_eq!(t.rank_of(&[1]), None); // wrong arity
+    }
+
+    #[test]
+    fn degree_for_budget_is_maximal() {
+        for d in 1..=4usize {
+            for budget in [1usize, 2, 7, 100, 5000] {
+                let m = degree_for_budget(budget, d);
+                assert!(triangular_count(m, d) <= budget);
+                assert!(triangular_count(m + 1, d) > budget);
+            }
+        }
+        assert_eq!(degree_for_budget(0, 2), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TriangularIndex::new(0, 2).is_err());
+        assert!(TriangularIndex::new(2, 0).is_err());
+    }
+}

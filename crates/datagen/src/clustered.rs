@@ -1,0 +1,439 @@
+//! The clustered, correlated multi-dimensional generator of Vitter &
+//! Wang \[27\], with Dobra et al.'s \[9\] cross-relation correlation extension
+//! (paper §5.2.1, type II; §5.2.2.2).
+//!
+//! Tuples are "distributed across and within the randomly picked
+//! rectangular regions (clusters) in the multi-dimensional attribute
+//! space": region shares follow Zipf(`z_inter`), cell frequencies within a
+//! region follow Zipf(`z_intra`), region volumes are drawn from a given
+//! range. A *correlated* relation reuses the base relation's regions with
+//! centers re-picked "within their respective shrunk regions" — the
+//! perturbation parameter `p ∈ [0.5, 1]` controls the shrink (`p = 1`
+//! keeps centers identical; smaller `p` allows larger shifts).
+
+use crate::zipf::zipf_frequencies;
+use dctstream_stream::SparseFreq2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters of a clustered relation (paper defaults in §5.2.2.2:
+/// `z_inter = 1.0`, `z_intra ∈ [0, 0.5]`, 10 or 50 regions, domain 1024,
+/// volume 1000–2000, `p ∈ [0.5, 1.0]`).
+#[derive(Debug, Clone)]
+pub struct ClusteredConfig {
+    /// Number of attributes.
+    pub dims: usize,
+    /// Per-dimension domain size.
+    pub domain_size: usize,
+    /// Number of rectangular regions.
+    pub regions: usize,
+    /// Zipf skew of tuple counts across regions.
+    pub z_inter: f64,
+    /// Zipf skew of cell frequencies within a region.
+    pub z_intra: f64,
+    /// Region volume (cell count) range, inclusive.
+    pub volume_range: (u64, u64),
+    /// Total tuples in the relation.
+    pub total_tuples: u64,
+}
+
+impl ClusteredConfig {
+    /// The paper's §5.2.2.2 defaults for a `dims`-dimensional relation.
+    pub fn paper_defaults(dims: usize, regions: usize, total_tuples: u64) -> Self {
+        Self {
+            dims,
+            domain_size: 1024,
+            regions,
+            z_inter: 1.0,
+            z_intra: 0.25,
+            volume_range: (1000, 2000),
+            total_tuples,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    corner: Vec<i64>,
+    sides: Vec<i64>,
+}
+
+impl Region {
+    fn volume(&self) -> u64 {
+        self.sides.iter().map(|&s| s as u64).product()
+    }
+}
+
+/// A generated sparse relation: non-zero cells of the joint frequency
+/// table, values as zero-based domain indices.
+#[derive(Debug, Clone)]
+pub struct SparseRel {
+    /// Number of attributes.
+    pub dims: usize,
+    /// Per-dimension domain size.
+    pub domain_size: usize,
+    /// Non-zero cells.
+    pub cells: Vec<(Vec<i64>, u64)>,
+}
+
+impl SparseRel {
+    /// Total tuple count.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Dense marginal frequency vector of one attribute.
+    pub fn marginal(&self, dim: usize) -> Vec<u64> {
+        assert!(dim < self.dims);
+        let mut out = vec![0u64; self.domain_size];
+        for (t, f) in &self.cells {
+            out[t[dim] as usize] += f;
+        }
+        out
+    }
+
+    /// Convert a 2-attribute relation into a [`SparseFreq2`] table.
+    pub fn to_sparse2(&self) -> SparseFreq2 {
+        assert_eq!(self.dims, 2, "to_sparse2 requires a 2-attribute relation");
+        let mut s = SparseFreq2::new();
+        for (t, f) in &self.cells {
+            s.add(t[0], t[1], *f);
+        }
+        s
+    }
+}
+
+/// Region layout plus sharing pattern; materializes relations and derives
+/// correlated layouts.
+#[derive(Debug, Clone)]
+pub struct ClusteredGenerator {
+    cfg: ClusteredConfig,
+    regions: Vec<Region>,
+    /// Region index receiving the rank-`i` Zipf share.
+    share_order: Vec<usize>,
+    /// Seed controlling the *within-region* frequency pattern.
+    pattern_seed: u64,
+}
+
+impl ClusteredGenerator {
+    /// Pick regions at random per the config.
+    pub fn new(cfg: ClusteredConfig, seed: u64) -> Self {
+        assert!(cfg.dims >= 1 && cfg.regions >= 1);
+        assert!(cfg.domain_size >= 2);
+        assert!(cfg.volume_range.0 >= 1 && cfg.volume_range.0 <= cfg.volume_range.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let regions = (0..cfg.regions)
+            .map(|_| pick_region(&cfg, &mut rng))
+            .collect();
+        Self {
+            pattern_seed: seed ^ 0xC2B2AE3D27D4EB4F,
+            share_order: (0..cfg.regions).collect(),
+            cfg,
+            regions,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusteredConfig {
+        &self.cfg
+    }
+
+    /// Derive a correlated layout: the same regions, with each corner
+    /// re-picked within the region shrunk by factor `perturbation`
+    /// (`1.0` = identical corners). Dobra's construction correlates
+    /// relations at cluster granularity — region *positions* — not cell
+    /// by cell, so the derived relation re-draws its within-region
+    /// placement and re-assigns half of the Zipf region ranks: which
+    /// cluster is heavy varies between correlated relations.
+    pub fn derive_correlated(&self, perturbation: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&perturbation));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slack = 1.0 - perturbation;
+        let regions = self
+            .regions
+            .iter()
+            .map(|r| {
+                let corner = r
+                    .corner
+                    .iter()
+                    .zip(&r.sides)
+                    .map(|(&c, &s)| {
+                        let max_shift = ((s as f64) * slack).round() as i64;
+                        let shift = if max_shift == 0 {
+                            0
+                        } else {
+                            rng.random_range(-max_shift..=max_shift)
+                        };
+                        (c + shift).clamp(0, self.cfg.domain_size as i64 - s)
+                    })
+                    .collect();
+                Region {
+                    corner,
+                    sides: r.sides.clone(),
+                }
+            })
+            .collect();
+        // Re-assign half of the region ranks.
+        let mut share_order = self.share_order.clone();
+        let k = share_order.len() / 2;
+        let mut order_rng = StdRng::seed_from_u64(seed ^ 0x7F4A7C159E3779B9);
+        let mut positions: Vec<usize> = (0..share_order.len()).collect();
+        positions.shuffle(&mut order_rng);
+        positions.truncate(k);
+        let mut picked: Vec<usize> = positions.iter().map(|&p| share_order[p]).collect();
+        picked.shuffle(&mut order_rng);
+        for (p, v) in positions.into_iter().zip(picked) {
+            share_order[p] = v;
+        }
+        Self {
+            cfg: self.cfg.clone(),
+            regions,
+            share_order,
+            pattern_seed: self
+                .pattern_seed
+                .wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1),
+        }
+    }
+
+    /// Swap attribute order (reverse the region layout's dimensions).
+    ///
+    /// Used to build chain-join relations: if `R₂` is over `(A, B)`, the
+    /// next relation `R₃` over `(B, C)` is derived from
+    /// `r2.transposed().derive_correlated(...)` so that `R₃`'s *first*
+    /// attribute inherits `R₂`'s `B` layout — positive correlation flows
+    /// along the join attribute, as in Dobra's multi-join datasets.
+    pub fn transposed(&self) -> Self {
+        let regions = self
+            .regions
+            .iter()
+            .map(|r| {
+                let mut corner = r.corner.clone();
+                let mut sides = r.sides.clone();
+                corner.reverse();
+                sides.reverse();
+                Region { corner, sides }
+            })
+            .collect();
+        Self {
+            cfg: self.cfg.clone(),
+            regions,
+            share_order: self.share_order.clone(),
+            pattern_seed: self.pattern_seed,
+        }
+    }
+
+    /// Materialize the relation: distribute `total_tuples` across regions
+    /// by Zipf(`z_inter`) and within each region by Zipf(`z_intra`) over
+    /// its cells.
+    pub fn materialize(&self) -> SparseRel {
+        let shares = zipf_frequencies(self.cfg.regions, self.cfg.z_inter, self.cfg.total_tuples);
+        let mut acc: HashMap<Vec<i64>, u64> = HashMap::new();
+        for (rank, &region_idx) in self.share_order.iter().enumerate() {
+            let region = &self.regions[region_idx];
+            let tuples = shares[rank];
+            if tuples == 0 {
+                continue;
+            }
+            let vol = region.volume() as usize;
+            // Cell visit order: deterministic in (pattern_seed, rank) and
+            // *relative to the region corner*, so correlated relations place
+            // their intra-region mass identically.
+            let mut order: Vec<usize> = (0..vol).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(
+                self.pattern_seed ^ (region_idx as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ));
+            let cell_freqs = zipf_frequencies(vol, self.cfg.z_intra, tuples);
+            for (freq_rank, &cell_idx) in order.iter().enumerate() {
+                let f = cell_freqs[freq_rank];
+                if f == 0 {
+                    continue;
+                }
+                let cell = decode_cell(cell_idx, region);
+                *acc.entry(cell).or_insert(0) += f;
+            }
+        }
+        let mut cells: Vec<(Vec<i64>, u64)> = acc.into_iter().collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        SparseRel {
+            dims: self.cfg.dims,
+            domain_size: self.cfg.domain_size,
+            cells,
+        }
+    }
+}
+
+/// Pick one rectangular region: volume uniform in range, sides ~ volume^(1/d)
+/// with mild random anisotropy, clamped to the domain.
+fn pick_region(cfg: &ClusteredConfig, rng: &mut StdRng) -> Region {
+    let d = cfg.dims;
+    let n = cfg.domain_size as i64;
+    let target = rng.random_range(cfg.volume_range.0..=cfg.volume_range.1) as f64;
+    let base = target.powf(1.0 / d as f64);
+    let mut sides: Vec<i64> = Vec::with_capacity(d);
+    let mut remaining = target;
+    for j in 0..d {
+        let side = if j == d - 1 {
+            remaining.round()
+        } else {
+            let stretch: f64 = rng.random_range(0.7..1.4);
+            let s = (base * stretch).round().max(1.0);
+            remaining = (remaining / s).max(1.0);
+            s
+        };
+        sides.push((side as i64).clamp(1, n));
+    }
+    let corner = sides
+        .iter()
+        .map(|&s| rng.random_range(0..=(n - s)))
+        .collect();
+    Region { corner, sides }
+}
+
+/// Decode a flat cell index within a region into absolute coordinates.
+fn decode_cell(mut idx: usize, region: &Region) -> Vec<i64> {
+    let d = region.sides.len();
+    let mut cell = vec![0i64; d];
+    for j in (0..d).rev() {
+        let s = region.sides[j] as usize;
+        cell[j] = region.corner[j] + (idx % s) as i64;
+        idx /= s;
+    }
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::frequency_correlation;
+
+    fn cfg(dims: usize, regions: usize) -> ClusteredConfig {
+        ClusteredConfig {
+            dims,
+            domain_size: 256,
+            regions,
+            z_inter: 1.0,
+            z_intra: 0.25,
+            volume_range: (100, 200),
+            total_tuples: 100_000,
+        }
+    }
+
+    #[test]
+    fn materialize_conserves_tuples_and_bounds() {
+        for dims in [1usize, 2, 3] {
+            let g = ClusteredGenerator::new(cfg(dims, 10), 42);
+            let rel = g.materialize();
+            assert_eq!(rel.total(), 100_000, "dims {dims}");
+            assert_eq!(rel.dims, dims);
+            for (t, f) in &rel.cells {
+                assert_eq!(t.len(), dims);
+                assert!(*f > 0);
+                for &v in t {
+                    assert!((0..256).contains(&v), "cell {t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_is_clustered_sparse() {
+        let g = ClusteredGenerator::new(cfg(2, 10), 7);
+        let rel = g.materialize();
+        // At most regions × max-volume non-zero cells out of 256² = 65536.
+        assert!(rel.cells.len() <= 10 * 200);
+        assert!(rel.cells.len() > 50, "degenerate clustering");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ClusteredGenerator::new(cfg(2, 5), 9).materialize();
+        let b = ClusteredGenerator::new(cfg(2, 5), 9).materialize();
+        assert_eq!(a.cells, b.cells);
+        let c = ClusteredGenerator::new(cfg(2, 5), 10).materialize();
+        assert_ne!(a.cells, c.cells);
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let g = ClusteredGenerator::new(cfg(2, 10), 3);
+        let rel = g.materialize();
+        for dim in 0..2 {
+            let m = rel.marginal(dim);
+            assert_eq!(m.iter().sum::<u64>(), rel.total());
+        }
+    }
+
+    #[test]
+    fn to_sparse2_roundtrips_totals() {
+        let g = ClusteredGenerator::new(cfg(2, 10), 3);
+        let rel = g.materialize();
+        let s2 = rel.to_sparse2();
+        assert_eq!(s2.total(), rel.total());
+        assert_eq!(s2.nnz(), rel.cells.len());
+    }
+
+    #[test]
+    fn identical_perturbation_keeps_regions_but_redraws_cells() {
+        let g = ClusteredGenerator::new(cfg(1, 10), 5);
+        let h = g.derive_correlated(1.0, 99);
+        let (a, b) = (g.materialize(), h.materialize());
+        // Same regions and shares -> same totals and strongly correlated
+        // marginals; re-drawn within-region placement -> different cells.
+        assert_eq!(a.total(), b.total());
+        assert_ne!(a.cells, b.cells);
+        let c = frequency_correlation(&a.marginal(0), &b.marginal(0));
+        assert!(c > 0.5, "correlation {c}");
+    }
+
+    #[test]
+    fn correlated_relations_are_positively_correlated() {
+        let g = ClusteredGenerator::new(cfg(1, 10), 5);
+        let h = g.derive_correlated(0.75, 99);
+        let (a, b) = (g.materialize(), h.materialize());
+        let c = frequency_correlation(&a.marginal(0), &b.marginal(0));
+        assert!(c > 0.3, "correlation {c}");
+        // But not identical.
+        assert_ne!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn transposed_swaps_marginals() {
+        let g = ClusteredGenerator::new(cfg(2, 10), 5);
+        let t = g.transposed();
+        let (a, b) = (g.materialize(), t.materialize());
+        // The transposed relation's dim-0 marginal equals the base's dim-1
+        // marginal up to the intra-region pattern; totals certainly match
+        // and correlation must be strongly positive.
+        assert_eq!(a.total(), b.total());
+        let c = frequency_correlation(&a.marginal(1), &b.marginal(0));
+        assert!(c > 0.5, "transposed correlation {c}");
+    }
+
+    #[test]
+    fn region_volumes_roughly_in_range() {
+        let c = cfg(2, 20);
+        let g = ClusteredGenerator::new(c, 11);
+        for r in &g.regions {
+            let v = r.volume();
+            // The rounding in side selection allows some slack.
+            assert!((50..=400).contains(&v), "volume {v}");
+        }
+    }
+
+    #[test]
+    fn decode_cell_inverts_flat_index() {
+        let region = Region {
+            corner: vec![10, 20],
+            sides: vec![3, 4],
+        };
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..12 {
+            let c = decode_cell(idx, &region);
+            assert!((10..13).contains(&c[0]));
+            assert!((20..24).contains(&c[1]));
+            assert!(seen.insert(c));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # dctstream-datagen
+//!
+//! Workload generators reproducing every dataset in the paper's §5:
+//!
+//! - [`zipf`] — Zipfian frequency generation (type-I synthetic data).
+//! - [`mapping`] — rank-to-value mappings and the five §5.2.1 correlation
+//!   scenarios (strong/weak positive, independent, negative, smooth).
+//! - [`clustered`] — the Vitter–Wang clustered multi-dimensional generator
+//!   with Dobra's cross-relation correlation (type-II, "real-life like").
+//! - [`reallike`] — simulators for the three real datasets the paper uses
+//!   (Current Population Survey, SIPP, DEC-PKT traces), reproducing the
+//!   statistical properties the experiments depend on; see DESIGN.md's
+//!   substitution table.
+//!
+//! All generators are deterministic in their seeds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clustered;
+pub mod mapping;
+pub mod reallike;
+pub mod zipf;
+
+pub use clustered::{ClusteredConfig, ClusteredGenerator, SparseRel};
+pub use mapping::{
+    correlated_pair, frequencies_to_stream, frequency_correlation, Correlation, ValueMapping,
+};
+pub use reallike::{census, net_trace, sipp, sipp_joint, Protocol, SippData, TwoAttrData};
+pub use zipf::{round_to_total, zipf_frequencies, zipf_weights};

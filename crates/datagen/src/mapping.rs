@@ -1,0 +1,308 @@
+//! Rank-to-value mappings and cross-stream correlation (paper §5.2.1).
+//!
+//! The paper instills correlation between join attributes purely through
+//! how Zipf frequency *ranks* are assigned to attribute *values*:
+//!
+//! - **strong positive** — both streams use the *same* random mapping;
+//! - **weak positive** — the second stream permutes 10% of the first's
+//!   frequency positions ("the data set used in Figure 2 is obtained by
+//!   permuting only 10% of the frequencies of R2 in Figure 1");
+//! - **independent** — two independent random mappings;
+//! - **negative** — the second stream assigns frequencies in *inverted*
+//!   rank order on the same value layout;
+//! - **smooth** — an *orderly* mapping (rank i → value i) that makes the
+//!   frequency function monotone, hence smooth, instead of rugged.
+
+use crate::zipf::zipf_frequencies;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A bijection from frequency ranks to zero-based attribute-value indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueMapping(Vec<usize>);
+
+impl ValueMapping {
+    /// Orderly mapping: rank `i` → value `i` (monotone frequency function).
+    pub fn orderly(n: usize) -> Self {
+        ValueMapping((0..n).collect())
+    }
+
+    /// Uniformly random permutation (rugged frequency function).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(seed));
+        ValueMapping(perm)
+    }
+
+    /// Permute `fraction` of this mapping's positions among themselves
+    /// (the weak-positive-correlation construction).
+    pub fn partially_permuted(&self, fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let n = self.0.len();
+        let k = ((n as f64) * fraction).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positions: Vec<usize> = (0..n).collect();
+        positions.shuffle(&mut rng);
+        positions.truncate(k);
+        let mut picked: Vec<usize> = positions.iter().map(|&p| self.0[p]).collect();
+        picked.shuffle(&mut rng);
+        let mut out = self.0.clone();
+        for (p, v) in positions.into_iter().zip(picked) {
+            out[p] = v;
+        }
+        ValueMapping(out)
+    }
+
+    /// Inverted mapping: rank `i` gets the value this mapping gives rank
+    /// `n − 1 − i` (negative correlation).
+    pub fn inverted(&self) -> Self {
+        let mut out = self.0.clone();
+        out.reverse();
+        ValueMapping(out)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Scatter rank-ordered frequencies into a value-indexed table.
+    pub fn apply(&self, freqs_by_rank: &[u64]) -> Vec<u64> {
+        assert_eq!(freqs_by_rank.len(), self.0.len());
+        let mut out = vec![0u64; self.0.len()];
+        for (rank, &f) in freqs_by_rank.iter().enumerate() {
+            out[self.0[rank]] = f;
+        }
+        out
+    }
+
+    /// The underlying permutation (rank → value index).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+/// The §5.2.1 correlation scenarios between two join attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Correlation {
+    /// Same random mapping in both streams (Figure 1).
+    StrongPositive,
+    /// `fraction` of the second stream's positions permuted (Figure 2
+    /// uses 0.1).
+    WeakPositive(f64),
+    /// Independent random mappings (Figure 3).
+    Independent,
+    /// Inverted rank order in the second stream (Figure 4).
+    Negative,
+    /// Orderly (monotone) mapping in both streams (Figure 5).
+    SmoothPositive,
+}
+
+/// Generate the pair of value-indexed frequency tables for a §5.2.1 type-I
+/// experiment: Zipf(`z1`)/Zipf(`z2`) frequencies over an `n`-value domain,
+/// `total` tuples each, with the requested correlation.
+pub fn correlated_pair(
+    n: usize,
+    z1: f64,
+    z2: f64,
+    total1: u64,
+    total2: u64,
+    corr: Correlation,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let f1 = zipf_frequencies(n, z1, total1);
+    let f2 = zipf_frequencies(n, z2, total2);
+    let base = ValueMapping::random(n, seed);
+    let (m1, m2) = match corr {
+        Correlation::StrongPositive => (base.clone(), base),
+        Correlation::WeakPositive(fraction) => {
+            let m2 = base.partially_permuted(fraction, seed ^ 0x5DEECE66D);
+            (base, m2)
+        }
+        Correlation::Independent => {
+            let m2 = ValueMapping::random(n, seed ^ 0x9E3779B97F4A7C15);
+            (base, m2)
+        }
+        Correlation::Negative => {
+            let m2 = base.inverted();
+            (base, m2)
+        }
+        Correlation::SmoothPositive => (ValueMapping::orderly(n), ValueMapping::orderly(n)),
+    };
+    (m1.apply(&f1), m2.apply(&f2))
+}
+
+/// Expand a value-indexed frequency table into a shuffled arrival order of
+/// raw values — a faithful one-at-a-time stream for end-to-end tests and
+/// the §5.4 update-speed benches.
+pub fn frequencies_to_stream(freqs: &[u64], seed: u64) -> Vec<i64> {
+    let total: u64 = freqs.iter().sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for (v, &f) in freqs.iter().enumerate() {
+        for _ in 0..f {
+            out.push(v as i64);
+        }
+    }
+    out.shuffle(&mut StdRng::seed_from_u64(seed));
+    out
+}
+
+/// Spearman-style rank correlation of two frequency tables — a diagnostic
+/// used in tests to confirm the generator produces the correlation class it
+/// claims.
+pub fn frequency_correlation(f1: &[u64], f2: &[u64]) -> f64 {
+    assert_eq!(f1.len(), f2.len());
+    let n = f1.len() as f64;
+    let m1 = f1.iter().sum::<u64>() as f64 / n;
+    let m2 = f2.iter().sum::<u64>() as f64 / n;
+    let mut cov = 0.0;
+    let mut v1 = 0.0;
+    let mut v2 = 0.0;
+    for (&a, &b) in f1.iter().zip(f2) {
+        let da = a as f64 - m1;
+        let db = b as f64 - m2;
+        cov += da * db;
+        v1 += da * da;
+        v2 += db * db;
+    }
+    if v1 == 0.0 || v2 == 0.0 {
+        return 0.0;
+    }
+    cov / (v1 * v2).sqrt()
+}
+
+/// Pick a uniformly random element index weighted by `freqs` — utility for
+/// sampling-based baselines and examples.
+pub fn weighted_sample(freqs: &[u64], rng: &mut StdRng) -> usize {
+    let total: u64 = freqs.iter().sum();
+    assert!(total > 0, "cannot sample from an all-zero table");
+    let mut target = rng.random_range(0..total);
+    for (i, &f) in freqs.iter().enumerate() {
+        if target < f {
+            return i;
+        }
+        target -= f;
+    }
+    freqs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderly_is_identity() {
+        let m = ValueMapping::orderly(5);
+        assert_eq!(m.apply(&[5, 4, 3, 2, 1]), vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_deterministic() {
+        let m1 = ValueMapping::random(100, 7);
+        let m2 = ValueMapping::random(100, 7);
+        assert_eq!(m1, m2);
+        let mut seen = [false; 100];
+        for &v in m1.as_slice() {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert_ne!(m1, ValueMapping::random(100, 8));
+    }
+
+    #[test]
+    fn apply_preserves_multiset() {
+        let m = ValueMapping::random(50, 3);
+        let f: Vec<u64> = (0..50u64).collect();
+        let mut applied = m.apply(&f);
+        applied.sort_unstable();
+        let mut orig = f.clone();
+        orig.sort_unstable();
+        assert_eq!(applied, orig);
+    }
+
+    #[test]
+    fn partial_permutation_changes_roughly_the_fraction() {
+        let base = ValueMapping::random(1000, 11);
+        let p = base.partially_permuted(0.1, 12);
+        let changed = base
+            .as_slice()
+            .iter()
+            .zip(p.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        // ~10% selected; some may map to themselves after shuffling.
+        assert!(changed <= 100, "changed {changed}");
+        assert!(changed >= 50, "changed {changed}");
+        // Still a permutation.
+        let mut sorted = p.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverted_reverses_rank_assignment() {
+        let base = ValueMapping::orderly(4);
+        let inv = base.inverted();
+        assert_eq!(inv.apply(&[10, 7, 2, 1]), vec![1, 2, 7, 10]);
+    }
+
+    #[test]
+    fn correlation_classes_have_expected_sign() {
+        let n = 2000;
+        let total = 1_000_000;
+        let cases = [
+            (Correlation::StrongPositive, 0.8, 1.0f64),
+            (Correlation::SmoothPositive, 0.8, 1.0),
+            (Correlation::WeakPositive(0.1), 0.2, 1.0),
+            (Correlation::Independent, -0.2, 0.2),
+            (Correlation::Negative, -1.0, 0.0),
+        ];
+        for (corr, lo, hi) in cases {
+            let (f1, f2) = correlated_pair(n, 0.5, 1.0, total, total, corr, 99);
+            let c = frequency_correlation(&f1, &f2);
+            assert!(
+                c >= lo && c <= hi,
+                "{corr:?}: correlation {c} outside [{lo}, {hi}]"
+            );
+            assert_eq!(f1.iter().sum::<u64>(), total);
+            assert_eq!(f2.iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    fn stream_expansion_matches_frequencies() {
+        let freqs = vec![3u64, 0, 2, 1];
+        let stream = frequencies_to_stream(&freqs, 1);
+        assert_eq!(stream.len(), 6);
+        let mut counts = vec![0u64; 4];
+        for v in stream {
+            counts[v as usize] += 1;
+        }
+        assert_eq!(counts, freqs);
+    }
+
+    #[test]
+    fn weighted_sample_respects_weights() {
+        let freqs = vec![0u64, 100, 0, 0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(weighted_sample(&freqs, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn frequency_correlation_bounds() {
+        let a = vec![1u64, 2, 3, 4];
+        assert!((frequency_correlation(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![4u64, 3, 2, 1];
+        assert!((frequency_correlation(&a, &b) + 1.0).abs() < 1e-12);
+        let c = vec![5u64, 5, 5, 5];
+        assert_eq!(frequency_correlation(&a, &c), 0.0);
+    }
+}

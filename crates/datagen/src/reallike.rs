@@ -1,0 +1,484 @@
+//! Simulators for the paper's three real datasets (§5.3), which are not
+//! redistributable here. Each generator reproduces the *statistical
+//! properties the experiments depend on* — domain sizes, marginal shapes,
+//! smoothness, correlation and skew — as documented per-dataset in
+//! DESIGN.md ("Substitutions").
+//!
+//! - [`census`] — the Current Population Survey (real data I): Age
+//!   ∈ [1, 99] and Education ∈ [1, 46], ~134k–144k tuples per month,
+//!   smooth positively-correlated marginals.
+//! - [`sipp`] — the Income and Program Participation Survey (real data
+//!   II): SSUSEQ ∈ [1, 50000] (near-uniform sequence numbers),
+//!   WHFNWGT ∈ [1, 9999] (smooth unimodal weights), THEARN ∈ [1, 1500]
+//!   (heavy-tailed earnings), 361k / 442k tuples for 2001 / 2004.
+//! - [`net_trace`] — the Internet Traffic Archive DEC-PKT traces (real
+//!   data III): TCP hosts ∈ [0, 2394], UDP hosts ∈ [0, 7327], Zipf-popular
+//!   hosts, sparse rugged (src, dst) traffic matrices, per-hour volumes
+//!   scaled from the reported file sizes.
+
+use crate::mapping::ValueMapping;
+use crate::zipf::{round_to_total, zipf_frequencies};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A generated 2-attribute population (census-like month or trace hour).
+#[derive(Debug, Clone)]
+pub struct TwoAttrData {
+    /// Domain size of the first attribute.
+    pub domain_a: usize,
+    /// Domain size of the second attribute.
+    pub domain_b: usize,
+    /// Sparse joint frequencies, values as zero-based indices.
+    pub cells: Vec<((i64, i64), u64)>,
+}
+
+impl TwoAttrData {
+    /// Total tuples.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Dense marginal of attribute 0 (`a`) or 1 (`b`).
+    pub fn marginal(&self, dim: usize) -> Vec<u64> {
+        let n = if dim == 0 {
+            self.domain_a
+        } else {
+            self.domain_b
+        };
+        let mut out = vec![0u64; n];
+        for (&(a, b), &f) in self.cells.iter().map(|(k, f)| (k, f)) {
+            let v = if dim == 0 { a } else { b };
+            out[v as usize] += f;
+        }
+        out
+    }
+}
+
+/// Simulated Current Population Survey month: (Age, Education) tuples.
+///
+/// The age marginal is a smooth piecewise-linear population pyramid; the
+/// education marginal is unimodal around high-school/college codes;
+/// education is positively correlated with age for minors (codes track age
+/// until adulthood) — giving the "rather strong" positive correlation and
+/// the smooth curves §5.3.2 credits for the cosine method's accuracy.
+/// `month` perturbs totals and shapes slightly, like the three 2004 months
+/// used in the paper (~133.7k / 143.6k / 135.9k tuples).
+pub fn census(month: usize, seed: u64) -> TwoAttrData {
+    let ages = 99usize; // codes 1..=99 -> indices 0..99
+    let edus = 46usize; // codes 1..=46 -> indices 0..46
+    let totals = [133_696u64, 143_598, 135_872];
+    let total = totals[month % 3];
+    let mut rng = StdRng::seed_from_u64(seed ^ (month as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+
+    // Smooth age pyramid: plateau through childhood and working age,
+    // geometric decline after 60, with ±3% month-to-month jitter.
+    let age_weights: Vec<f64> = (0..ages)
+        .map(|i| {
+            let a = (i + 1) as f64;
+            let base = if a < 20.0 {
+                0.9 + 0.01 * a
+            } else if a < 60.0 {
+                1.1 - 0.004 * (a - 20.0)
+            } else {
+                0.94 * (-(a - 60.0) / 14.0).exp()
+            };
+            base * (1.0 + 0.03 * (rng.random::<f64>() - 0.5))
+        })
+        .collect();
+    let age_freqs = round_to_total(&normalize(&age_weights), total);
+
+    // Education given age: minors get codes tracking age; adults get a
+    // smooth unimodal distribution peaked at high-school (~code 39 area in
+    // CPS-like coding, here a mid-domain peak).
+    let mut cells: HashMap<(i64, i64), u64> = HashMap::new();
+    for (ai, &af) in age_freqs.iter().enumerate() {
+        if af == 0 {
+            continue;
+        }
+        let age = (ai + 1) as f64;
+        let edu_weights: Vec<f64> = (0..edus)
+            .map(|ei| {
+                let e = (ei + 1) as f64;
+                let peak = if age < 24.0 {
+                    (age * 1.4).min(30.0)
+                } else {
+                    30.0
+                };
+                let width = if age < 24.0 { 3.0 } else { 8.0 };
+                (-(e - peak) * (e - peak) / (2.0 * width * width)).exp() + 1e-4
+            })
+            .collect();
+        let edu_freqs = round_to_total(&normalize(&edu_weights), af);
+        for (ei, &ef) in edu_freqs.iter().enumerate() {
+            if ef > 0 {
+                *cells.entry((ai as i64, ei as i64)).or_insert(0) += ef;
+            }
+        }
+    }
+    let mut cells: Vec<((i64, i64), u64)> = cells.into_iter().collect();
+    cells.sort_unstable();
+    TwoAttrData {
+        domain_a: ages,
+        domain_b: edus,
+        cells,
+    }
+}
+
+/// Simulated SIPP wave: dense marginals for the three attributes used in
+/// the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct SippData {
+    /// SSUSEQ (sequence number of sample unit), domain [1, 50000] → 50000
+    /// indices; near-uniform with a truncated tail (not every unit responds
+    /// in every wave).
+    pub ssuseq: Vec<u64>,
+    /// WHFNWGT (household reference person weight), domain [1, 9999];
+    /// smooth unimodal.
+    pub whfnwgt: Vec<u64>,
+    /// THEARN (total household earned income), domain [1, 1500];
+    /// heavy-tailed with a spike at the bottom code.
+    pub thearn: Vec<u64>,
+}
+
+impl SippData {
+    /// Total tuples (all three attribute marginals agree).
+    pub fn total(&self) -> u64 {
+        self.ssuseq.iter().sum()
+    }
+}
+
+/// Generate a SIPP-like wave; `year` 0 ≈ 2001 (361,046 tuples), 1 ≈ 2004
+/// (441,849 tuples).
+pub fn sipp(year: usize, seed: u64) -> SippData {
+    let totals = [361_046u64, 441_849];
+    let total = totals[year % 2];
+    let mut rng = StdRng::seed_from_u64(seed ^ (year as u64).wrapping_mul(0x2545F4914F6CDD1D));
+
+    // SSUSEQ: most units appear ~total/45000 times; a smooth participation
+    // ramp-down over the last 15% of sequence numbers.
+    let n_seq = 50_000usize;
+    let seq_weights: Vec<f64> = (0..n_seq)
+        .map(|i| {
+            let x = i as f64 / n_seq as f64;
+            let ramp = if x < 0.85 { 1.0 } else { (1.0 - x) / 0.15 };
+            ramp.max(0.0) + 1e-6
+        })
+        .collect();
+    let ssuseq = round_to_total(&normalize(&seq_weights), total);
+
+    // WHFNWGT: log-normal-ish smooth bump.
+    let n_w = 9_999usize;
+    let w_weights: Vec<f64> = (0..n_w)
+        .map(|i| {
+            let x = (i + 1) as f64 / 2000.0;
+            let l = x.ln();
+            (-(l - 0.9) * (l - 0.9) / 0.5).exp() / x + 1e-7
+        })
+        .collect();
+    let whfnwgt = round_to_total(&normalize(&w_weights), total);
+
+    // THEARN: elevated mass at the bottom codes (zero/low earnings,
+    // roughly a quarter of households) decaying into a heavy Pareto tail,
+    // with mild jitter. The bottom mass is spread over a few codes — the
+    // survey's income binning does not produce a single point mass.
+    let n_e = 1_500usize;
+    let e_weights: Vec<f64> = (0..n_e)
+        .map(|i| {
+            // Zero/low-earnings mass spread over the first ~200 codes, a
+            // soft power-law tail above — smooth at the resolution any
+            // truncated transform can afford on this domain.
+            let low = 0.02 * (-(i as f64) / 80.0).exp();
+            let tail = ((i + 40) as f64).powf(-1.05);
+            (low + tail) * (1.0 + 0.05 * (rng.random::<f64>() - 0.5))
+        })
+        .collect();
+    let thearn = round_to_total(&normalize(&e_weights), total);
+
+    SippData {
+        ssuseq,
+        whfnwgt,
+        thearn,
+    }
+}
+
+/// Joint (WHFNWGT, THEARN) distribution of a SIPP-like wave, for the
+/// two-join experiment (Figure 16).
+///
+/// Survey cross-tabulations of household weight and earned income are
+/// close to independent with a mild smooth dependence. The joint is
+/// allocated deterministically: each weight code's tuples are placed on
+/// income codes by low-discrepancy inverse-CDF sampling of the income
+/// marginal (a per-code golden-ratio phase avoids aligned combs), with a
+/// smooth income shift that grows with the weight (larger households earn
+/// somewhat more). The result is sparse (one tuple per cell, mostly) but
+/// spectrally smooth — what the paper's Figure 16 accuracy depends on.
+pub fn sipp_joint(year: usize, seed: u64) -> TwoAttrData {
+    let wave = sipp(year, seed);
+    let n_w = wave.whfnwgt.len();
+    let n_e = wave.thearn.len();
+    // Cumulative income distribution for inverse-CDF placement.
+    let mut cum: Vec<u64> = Vec::with_capacity(n_e);
+    let mut acc = 0u64;
+    for &f in &wave.thearn {
+        acc += f;
+        cum.push(acc);
+    }
+    let total_e = acc.max(1);
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let mut cells: HashMap<(i64, i64), u64> = HashMap::new();
+    for (w, &mass) in wave.whfnwgt.iter().enumerate() {
+        if mass == 0 {
+            continue;
+        }
+        let rel = w as f64 / n_w as f64;
+        // Smooth dependence: higher weights shift income upward by up to
+        // 8% of the domain.
+        let shift = ((rel - 0.5) * 0.16 * n_e as f64) as i64;
+        let phase = (w as f64 * PHI).fract();
+        for j in 0..mass {
+            let u = ((j as f64 + phase) / mass as f64) * total_e as f64;
+            let e = cum.partition_point(|&c| (c as f64) <= u).min(n_e - 1) as i64;
+            let e = (e + shift).clamp(0, n_e as i64 - 1);
+            *cells.entry((w as i64, e)).or_insert(0) += 1;
+        }
+    }
+    let mut cells: Vec<((i64, i64), u64)> = cells.into_iter().collect();
+    cells.sort_unstable();
+    TwoAttrData {
+        domain_a: n_w,
+        domain_b: n_e,
+        cells,
+    }
+}
+
+/// Protocol of a simulated DEC-PKT trace hour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// TCP traces: host domain [0, 2394], ~1.4–1.9M packets/hour (scaled
+    /// from 94–128 MB files).
+    Tcp,
+    /// UDP traces: host domain [0, 7327], ~320–400k packets/hour.
+    Udp,
+}
+
+impl Protocol {
+    fn host_domain(self) -> usize {
+        match self {
+            Protocol::Tcp => 2395,
+            Protocol::Udp => 7328,
+        }
+    }
+
+    fn packets(self, hour: usize) -> u64 {
+        match self {
+            // Proportional to the paper's file sizes (94/113/128 MB and
+            // 21.4/21.4/26.9 MB), scaled to plausible packet counts.
+            Protocol::Tcp => [1_400_000, 1_680_000, 1_900_000][hour % 3],
+            Protocol::Udp => [320_000, 320_000, 400_000][hour % 3],
+        }
+    }
+}
+
+/// Simulated wide-area trace hour: sparse (source, destination) traffic.
+pub fn net_trace(proto: Protocol, hour: usize, seed: u64) -> TwoAttrData {
+    let n = proto.host_domain();
+    let total = proto.packets(hour);
+    let mut rng = StdRng::seed_from_u64(seed ^ (hour as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+
+    // Host popularity: mildly skewed Zipf, laid out with strong locality —
+    // trace host ids are assigned in first-appearance order, so busy hosts
+    // cluster at low ids and the marginal decays roughly monotonically
+    // with local ruggedness. The skew is mild (no single dominating host:
+    // the paper's Fig. 17 shows skimming barely helps, i.e. there is no
+    // extractable dense head) and the rugged fraction is re-drawn per
+    // hour, so the heavy set drifts between hours as flows start and end.
+    // (See DESIGN.md substitutions.)
+    let src_map = ValueMapping::orderly(n).partially_permuted(0.15, rng.random());
+    let dst_map = ValueMapping::orderly(n).partially_permuted(0.15, rng.random());
+    let src_pop = src_map.apply(&zipf_frequencies(n, 0.45, total));
+    let dst_pop = dst_map.apply(&zipf_frequencies(n, 0.4, total));
+
+    // Sparse pair matrix: each active source talks to a handful of
+    // destinations drawn by destination popularity — the classic
+    // sparse-but-correlated traffic matrix.
+    let dst_alias: Vec<i64> = {
+        // Cumulative table for weighted destination draws.
+        let mut hosts: Vec<i64> = Vec::new();
+        for (d, &f) in dst_pop.iter().enumerate() {
+            // Quantize popularity to keep the table small: one slot per
+            // ~1/4096 of traffic.
+            let slots = ((f as u128 * 4096 / total.max(1) as u128) as usize).min(4096);
+            hosts.extend(std::iter::repeat_n(d as i64, slots.max(usize::from(f > 0))));
+        }
+        hosts
+    };
+    let mut cells: HashMap<(i64, i64), u64> = HashMap::new();
+    for (s, &f) in src_pop.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        // Fan-out grows with source volume, capped; a broad fan-out keeps
+        // the traffic matrix close to its smooth popularity envelope.
+        let fanout = ((f as f64).sqrt().ceil() as usize).clamp(1, 200);
+        let per = f / fanout as u64;
+        let mut rem = f;
+        for k in 0..fanout {
+            let d = dst_alias[rng.random_range(0..dst_alias.len())];
+            let w = if k == fanout - 1 { rem } else { per.min(rem) };
+            if w > 0 {
+                *cells.entry((s as i64, d)).or_insert(0) += w;
+                rem -= w;
+            }
+        }
+    }
+    let mut cells: Vec<((i64, i64), u64)> = cells.into_iter().collect();
+    cells.sort_unstable();
+    TwoAttrData {
+        domain_a: n,
+        domain_b: n,
+        cells,
+    }
+}
+
+fn normalize(w: &[f64]) -> Vec<f64> {
+    let sum: f64 = w.iter().sum();
+    w.iter().map(|x| x / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::frequency_correlation;
+
+    #[test]
+    fn census_matches_reported_shape() {
+        for month in 0..3 {
+            let d = census(month, 1);
+            assert_eq!(d.domain_a, 99);
+            assert_eq!(d.domain_b, 46);
+            let expected = [133_696u64, 143_598, 135_872][month];
+            assert_eq!(d.total(), expected, "month {month}");
+            // Age marginal is smooth: successive bins differ mildly.
+            let age = d.marginal(0);
+            let rough = roughness(&age);
+            assert!(rough < 0.35, "age marginal roughness {rough}");
+        }
+    }
+
+    /// Mean |f(i+1) − f(i)| / mean f — a crude smoothness diagnostic.
+    fn roughness(f: &[u64]) -> f64 {
+        let mean = f.iter().sum::<u64>() as f64 / f.len() as f64;
+        let diff: f64 = f
+            .windows(2)
+            .map(|w| (w[1] as f64 - w[0] as f64).abs())
+            .sum::<f64>()
+            / (f.len() - 1) as f64;
+        diff / mean
+    }
+
+    #[test]
+    fn census_months_positively_correlated() {
+        let a = census(0, 1).marginal(0);
+        let b = census(1, 1).marginal(0);
+        let c = frequency_correlation(&a, &b);
+        assert!(c > 0.9, "month-to-month age correlation {c}");
+    }
+
+    #[test]
+    fn sipp_totals_and_domains() {
+        let d = sipp(0, 2);
+        assert_eq!(d.total(), 361_046);
+        assert_eq!(d.ssuseq.len(), 50_000);
+        assert_eq!(d.whfnwgt.len(), 9_999);
+        assert_eq!(d.thearn.len(), 1_500);
+        assert_eq!(d.whfnwgt.iter().sum::<u64>(), d.total());
+        assert_eq!(d.thearn.iter().sum::<u64>(), d.total());
+        let d4 = sipp(1, 2);
+        assert_eq!(d4.total(), 441_849);
+    }
+
+    #[test]
+    fn sipp_ssuseq_is_near_uniform() {
+        let d = sipp(0, 3);
+        // First 80% of sequence numbers should each hold roughly total/50000.
+        let per = d.total() as f64 / 50_000.0;
+        let head = &d.ssuseq[..40_000];
+        let max = *head.iter().max().unwrap() as f64;
+        let min = *head.iter().min().unwrap() as f64;
+        assert!(
+            max <= per * 2.5 && min >= per * 0.3,
+            "[{min}, {max}] vs {per}"
+        );
+    }
+
+    #[test]
+    fn sipp_thearn_is_heavy_tailed_but_not_a_point_mass() {
+        let d = sipp(0, 4);
+        // The low-earnings head carries a disproportionate share...
+        let top: u64 = d.thearn[..150].iter().sum();
+        let share = top as f64 / d.total() as f64;
+        assert!(share > 0.25, "bottom-decile share {share}");
+        // ...but no single code dominates (no point mass).
+        let max = *d.thearn.iter().max().unwrap();
+        assert!(
+            (max as f64) < 0.05 * d.total() as f64,
+            "single-code share {}",
+            max as f64 / d.total() as f64
+        );
+    }
+
+    #[test]
+    fn sipp_joint_totals_and_domains() {
+        let j = sipp_joint(0, 9);
+        assert_eq!(j.domain_a, 9_999);
+        assert_eq!(j.domain_b, 1_500);
+        assert_eq!(j.total(), 361_046);
+        // Marginals are close in shape to the wave marginals (sampled, so
+        // only approximately): compare totals and correlation sign.
+        let wave = sipp(0, 9);
+        let c = frequency_correlation(&j.marginal(0), &wave.whfnwgt);
+        assert!(c > 0.5, "joint/wave WHFNWGT correlation {c}");
+    }
+
+    #[test]
+    fn net_trace_domains_and_totals() {
+        let t = net_trace(Protocol::Tcp, 0, 5);
+        assert_eq!(t.domain_a, 2395);
+        assert_eq!(t.total(), 1_400_000);
+        let u = net_trace(Protocol::Udp, 2, 5);
+        assert_eq!(u.domain_a, 7328);
+        assert_eq!(u.total(), 400_000);
+    }
+
+    #[test]
+    fn net_trace_is_sparse_and_skewed() {
+        let t = net_trace(Protocol::Tcp, 0, 6);
+        // Far fewer active pairs than the 2395² possible.
+        assert!(t.cells.len() < 80_000, "pairs {}", t.cells.len());
+        let src = t.marginal(0);
+        let mut sorted: Vec<u64> = src.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top100: u64 = sorted[..100].iter().sum();
+        // Mildly skewed: the busiest 4% of hosts carry a disproportionate
+        // (but not dominating) share of the traffic.
+        let share = top100 as f64 / t.total() as f64;
+        assert!(share > 0.15 && share < 0.8, "top-100 hosts carry {share}");
+    }
+
+    #[test]
+    fn net_trace_hours_differ_but_share_structure() {
+        let a = net_trace(Protocol::Tcp, 0, 7);
+        let b = net_trace(Protocol::Tcp, 1, 7);
+        assert_ne!(a.cells, b.cells);
+        // Same host domain, both sparse.
+        assert_eq!(a.domain_a, b.domain_a);
+    }
+
+    #[test]
+    fn marginals_are_consistent() {
+        let t = net_trace(Protocol::Udp, 1, 8);
+        assert_eq!(t.marginal(0).iter().sum::<u64>(), t.total());
+        assert_eq!(t.marginal(1).iter().sum::<u64>(), t.total());
+    }
+}

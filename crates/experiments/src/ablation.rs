@@ -1,0 +1,201 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! - `ablation-grid` — midpoint vs. the paper's Eq. (3.1) endpoint
+//!   normalization. Midpoint makes Parseval exact; endpoints leak error
+//!   even at full coefficient count.
+//! - `ablation-truncation` — triangular (graded) truncation vs. square
+//!   (hypercube) truncation of a 2-d synopsis at equal coefficient budget,
+//!   validating §3.2's triangular-sampling choice.
+
+use crate::config::{grid, Scale};
+use crate::report::Figure;
+use dctstream_core::{estimate_equi_join, CosineSynopsis, Domain, Grid, MultiDimSynopsis};
+use dctstream_datagen::{correlated_pair, ClusteredConfig, ClusteredGenerator, Correlation};
+use dctstream_stream::{exact_chain_join, DenseFreq, SparseFreq2};
+
+/// `ablation-grid`: cosine estimation error with midpoint vs endpoint
+/// normalization on a type-I independent workload.
+pub fn run_grid(scale: Scale, seed: u64) -> Figure {
+    // The grids only diverge as m approaches n (midpoint is exact at
+    // m = n by discrete orthogonality; endpoints are not), so this
+    // ablation uses a small domain and sweeps the budget all the way up.
+    let n = match scale {
+        Scale::Quick => 256,
+        _ => 1_024,
+    };
+    let total = 1_000_000u64;
+    let budgets = scale.thin(grid(n / 8, n, n / 8));
+    let reps = scale.reps(5);
+    let mut errors = vec![vec![0.0; budgets.len()]; 2];
+    for rep in 0..reps {
+        let (f1, f2) = correlated_pair(
+            n,
+            0.5,
+            1.0,
+            total,
+            total,
+            Correlation::Independent,
+            seed ^ rep as u64,
+        );
+        let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+        let d = Domain::of_size(n);
+        let max_b = *budgets.last().unwrap();
+        for (gi, g) in [Grid::Midpoint, Grid::Endpoint].into_iter().enumerate() {
+            let a = CosineSynopsis::from_frequencies(d, g, max_b, &f1).unwrap();
+            let b = CosineSynopsis::from_frequencies(d, g, max_b, &f2).unwrap();
+            for (bi, &bud) in budgets.iter().enumerate() {
+                let est = estimate_equi_join(&a, &b, Some(bud)).unwrap();
+                errors[gi][bi] += (est - exact).abs() / exact;
+            }
+        }
+    }
+    for row in &mut errors {
+        for e in row.iter_mut() {
+            *e = *e / reps as f64 * 100.0;
+        }
+    }
+    Figure {
+        id: "ablation-grid".into(),
+        title: "Midpoint vs endpoint (Eq. 3.1) normalization, independent Zipf workload".into(),
+        budgets,
+        methods: vec!["Cosine (midpoint)".into(), "Cosine (endpoint)".into()],
+        errors,
+        notes: vec![
+            "midpoint grid = DCT-II sample points; Parseval exact at m = n (DESIGN.md)".into(),
+        ],
+    }
+}
+
+/// `ablation-truncation`: triangular vs square truncation of the middle
+/// relation of a two-join chain over clustered data, at equal coefficient
+/// budgets.
+pub fn run_truncation(scale: Scale, seed: u64) -> Figure {
+    let domain = scale.clustered_domain(256);
+    let cfg = ClusteredConfig {
+        dims: 2,
+        domain_size: domain,
+        regions: 10,
+        z_inter: 1.0,
+        z_intra: 0.25,
+        volume_range: scale.clustered_volume(),
+        total_tuples: scale.clustered_tuples().min(1_000_000),
+    };
+    let budgets = scale.thin(grid(500, 5000, 500));
+    let reps = scale.reps(4);
+    let mut errors = vec![vec![0.0; budgets.len()]; 2];
+    for rep in 0..reps {
+        let g2 = ClusteredGenerator::new(cfg.clone(), seed ^ (rep as u64) << 3);
+        let g1 = g2.derive_correlated(0.75, seed ^ 0xAA ^ rep as u64);
+        let g3 = g2
+            .transposed()
+            .derive_correlated(0.75, seed ^ 0xBB ^ rep as u64);
+        let mid = g2.materialize();
+        let first = g1.materialize().marginal(0);
+        let last = g3.materialize().marginal(0);
+
+        let mut sf = SparseFreq2::new();
+        for (t, f) in &mid.cells {
+            sf.add(t[0], t[1], *f);
+        }
+        let exact = exact_chain_join(&DenseFreq(first.clone()), &[&sf], &DenseFreq(last.clone()));
+        if exact <= 0.0 {
+            continue;
+        }
+        let d = Domain::of_size(domain);
+        let max_b = *budgets.last().unwrap();
+        // One synopsis with a degree high enough to cover both truncation
+        // shapes at the largest budget: square side s needs degree 2s − 1.
+        let max_square_side = (max_b as f64).sqrt() as usize;
+        let degree = (2 * max_square_side).max(dctstream_core::degree_for_budget(max_b, 2) + 1);
+        let tuples: Vec<([i64; 2], u64)> =
+            mid.cells.iter().map(|(t, f)| ([t[0], t[1]], *f)).collect();
+        let syn = MultiDimSynopsis::from_sparse_frequencies(
+            vec![d, d],
+            Grid::Midpoint,
+            degree,
+            tuples.iter().map(|(t, f)| (&t[..], *f)),
+        )
+        .unwrap();
+        let c1 = CosineSynopsis::from_frequencies(d, Grid::Midpoint, domain, &first).unwrap();
+        let c3 = CosineSynopsis::from_frequencies(d, Grid::Midpoint, domain, &last).unwrap();
+
+        for (bi, &bud) in budgets.iter().enumerate() {
+            let tri = contract_filtered(&c1, &syn, &c3, |rank, _, _| rank < bud);
+            let side = (bud as f64).sqrt() as usize;
+            let sq = contract_filtered(&c1, &syn, &c3, |_, k1, k2| {
+                (k1 as usize) < side && (k2 as usize) < side
+            });
+            errors[0][bi] += (tri - exact).abs() / exact;
+            errors[1][bi] += (sq - exact).abs() / exact;
+        }
+    }
+    for row in &mut errors {
+        for e in row.iter_mut() {
+            *e = *e / reps as f64 * 100.0;
+        }
+    }
+    Figure {
+        id: "ablation-truncation".into(),
+        title: "Triangular (graded) vs square coefficient truncation, two-join clustered data"
+            .into(),
+        budgets,
+        methods: vec!["Cosine (triangular)".into(), "Cosine (square)".into()],
+        errors,
+        notes: vec!["equal coefficient budgets; square keeps k1,k2 < floor(sqrt(budget))".into()],
+    }
+}
+
+/// Contract `first — mid — last` using only the mid coefficients selected
+/// by `keep(rank, k1, k2)`.
+fn contract_filtered<F>(
+    first: &CosineSynopsis,
+    mid: &MultiDimSynopsis,
+    last: &CosineSynopsis,
+    keep: F,
+) -> f64
+where
+    F: Fn(usize, u32, u32) -> bool,
+{
+    let n1 = first.domain().size() as f64;
+    let n2 = last.domain().size() as f64;
+    let mut acc = 0.0;
+    for (rank, idx) in mid.indices().iter() {
+        let (k1, k2) = (idx[0], idx[1]);
+        if !keep(rank, k1, k2) {
+            continue;
+        }
+        let (k1, k2) = (k1 as usize, k2 as usize);
+        if k1 < first.coefficient_count() && k2 < last.coefficient_count() {
+            acc += first.sums()[k1] * mid.sums()[rank] * last.sums()[k2];
+        }
+    }
+    acc / (n1 * n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_beats_endpoint() {
+        let fig = run_grid(Scale::Quick, 5);
+        let mid = fig.mean_error("Cosine (midpoint)").unwrap();
+        let end = fig.mean_error("Cosine (endpoint)").unwrap();
+        assert!(mid < end, "midpoint {mid:.2}% !< endpoint {end:.2}%");
+    }
+
+    #[test]
+    fn truncation_ablation_runs_and_is_finite() {
+        let fig = run_truncation(Scale::Quick, 6);
+        for row in &fig.errors {
+            for &e in row {
+                assert!(e.is_finite() && e >= 0.0);
+            }
+        }
+        // Triangular should not be dramatically worse than square at equal
+        // budget (it is the paper's choice; typically it is better).
+        let tri = fig.mean_error("Cosine (triangular)").unwrap();
+        let sq = fig.mean_error("Cosine (square)").unwrap();
+        assert!(tri <= sq * 2.0 + 5.0, "tri {tri:.2}% vs sq {sq:.2}%");
+    }
+}

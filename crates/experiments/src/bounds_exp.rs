@@ -1,0 +1,154 @@
+//! `bound-check`: empirical validation of the §4.3 analysis —
+//! Eq. (4.8)'s relative-error bound, the best case (uniform data, exact
+//! with one coefficient, Eq. (4.11)) and the worst case (single-valued
+//! data, Eq. (4.12)).
+
+use dctstream_core::bounds::{relative_error_bound, worst_case_coefficients};
+use dctstream_core::{estimate_equi_join, CosineSynopsis, Domain, Grid};
+use dctstream_datagen::zipf_frequencies;
+use dctstream_stream::DenseFreq;
+
+/// One row of the bound-check table.
+#[derive(Debug, Clone)]
+pub struct BoundRow {
+    /// Coefficients used.
+    pub m: usize,
+    /// Observed relative error.
+    pub observed: f64,
+    /// Eq. (4.8) bound.
+    pub bound: f64,
+}
+
+/// Outcome of the bound-check experiment.
+#[derive(Debug, Clone)]
+pub struct BoundReport {
+    /// Zipf-workload rows (Eq. 4.8 must hold on every one).
+    pub zipf_rows: Vec<BoundRow>,
+    /// Uniform best case: observed error with a single coefficient.
+    pub uniform_one_coefficient_error: f64,
+    /// Worst case: observed error at the Eq. (4.12) coefficient count for
+    /// `e = 0.1`, and the `m` it prescribes.
+    pub worst_case_m: usize,
+    /// Observed error at `worst_case_m` on the single-value workload.
+    pub worst_case_error: f64,
+}
+
+impl BoundReport {
+    /// Whether every observation respects its bound.
+    pub fn all_hold(&self) -> bool {
+        self.zipf_rows.iter().all(|r| r.observed <= r.bound + 1e-9)
+            && self.uniform_one_coefficient_error < 1e-9
+            && self.worst_case_error <= 0.1 + 1e-9
+    }
+
+    /// Render as text.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("== bound-check — §4.3 error analysis ==\n");
+        out.push_str(&format!(
+            "{:>8} {:>16} {:>16}\n{}\n",
+            "m",
+            "observed err",
+            "Eq.(4.8) bound",
+            "-".repeat(44)
+        ));
+        for r in &self.zipf_rows {
+            out.push_str(&format!(
+                "{:>8} {:>15.4}% {:>15.4}%\n",
+                r.m,
+                r.observed * 100.0,
+                (r.bound * 100.0).min(1e6)
+            ));
+        }
+        out.push_str(&format!(
+            "uniform best case (1 coefficient): observed {:.2e} (Eq. 4.11 predicts 0)\n",
+            self.uniform_one_coefficient_error
+        ));
+        out.push_str(&format!(
+            "single-value worst case: Eq. (4.12) prescribes m = {} for e = 0.1; observed {:.4}%\n",
+            self.worst_case_m,
+            self.worst_case_error * 100.0
+        ));
+        out.push_str(&format!("all bounds hold: {}\n", self.all_hold()));
+        out
+    }
+}
+
+/// Run the bound check.
+pub fn run() -> BoundReport {
+    // Zipf workload: n = 2000, N = 10^5 each, check a sweep of m.
+    let n = 2_000usize;
+    let total = 100_000u64;
+    let f1 = zipf_frequencies(n, 0.8, total);
+    let f2 = zipf_frequencies(n, 1.0, total);
+    let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+    let d = Domain::of_size(n);
+    let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f1).unwrap();
+    let b = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f2).unwrap();
+    let zipf_rows = [50usize, 200, 500, 1000, 1500, 2000]
+        .iter()
+        .map(|&m| {
+            let est = estimate_equi_join(&a, &b, Some(m)).unwrap();
+            BoundRow {
+                m,
+                observed: (est - exact).abs() / exact,
+                bound: relative_error_bound(n, m, total as f64, total as f64, exact),
+            }
+        })
+        .collect();
+
+    // Uniform best case (Eq. 4.11).
+    let nu = 1_000usize;
+    let fu = vec![100u64; nu];
+    let du = Domain::of_size(nu);
+    let ua = CosineSynopsis::from_frequencies(du, Grid::Midpoint, nu, &fu).unwrap();
+    let ub = ua.clone();
+    let exact_u = DenseFreq(fu.clone()).equi_join(&DenseFreq(fu));
+    let est_u = estimate_equi_join(&ua, &ub, Some(1)).unwrap();
+    let uniform_err = (est_u - exact_u).abs() / exact_u;
+
+    // Single-value worst case (Eq. 4.12) at e = 0.1.
+    let nw = 500usize;
+    let mut fw = vec![0u64; nw];
+    fw[123] = 10_000;
+    let dw = Domain::of_size(nw);
+    let wa = CosineSynopsis::from_frequencies(dw, Grid::Midpoint, nw, &fw).unwrap();
+    let wb = wa.clone();
+    let exact_w = DenseFreq(fw.clone()).equi_join(&DenseFreq(fw));
+    let m_star = worst_case_coefficients(0.1, nw);
+    let est_w = estimate_equi_join(&wa, &wb, Some(m_star)).unwrap();
+    let worst_err = (est_w - exact_w).abs() / exact_w;
+
+    BoundReport {
+        zipf_rows,
+        uniform_one_coefficient_error: uniform_err,
+        worst_case_m: m_star,
+        worst_case_error: worst_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bound_holds() {
+        let r = run();
+        assert!(r.all_hold(), "{}", r.to_table());
+    }
+
+    #[test]
+    fn full_coefficient_row_is_exact() {
+        let r = run();
+        let last = r.zipf_rows.last().unwrap();
+        assert_eq!(last.m, 2000);
+        assert!(last.observed < 1e-9, "observed {}", last.observed);
+        assert_eq!(last.bound, 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run().to_table();
+        assert!(t.contains("bound-check"));
+        assert!(t.contains("all bounds hold: true"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment scale presets.
+//!
+//! The paper runs every point with `N = 10⁷` tuples per relation and
+//! averages 200 query repetitions — hours of compute per figure on a
+//! laptop. Relative-error curves of frequency synopses are scale-free in
+//! `N` (all methods here estimate `Σ f₁f₂` from per-value frequencies), so
+//! the default preset shrinks `N` and the repetition count while keeping
+//! the domain sizes, space budgets and distribution shapes that the
+//! curves' *shape* actually depends on. `--paper` restores the full scale;
+//! `--quick` is a seconds-long smoke pass used by the integration tests.
+
+/// Execution scale of the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke configuration (small domains, 2 repetitions).
+    Quick,
+    /// Laptop-friendly default (full domains, reduced N and repetitions).
+    Default,
+    /// The paper's configuration (N = 10⁷, 200 repetitions).
+    Paper,
+}
+
+impl Scale {
+    /// Number of query repetitions ("each query is executed 200 times, of
+    /// which each is executed with a different set of relation instances").
+    pub fn reps(self, default_reps: usize) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => default_reps,
+            Scale::Paper => 200,
+        }
+    }
+
+    /// Type-I synthetic attribute domain size (paper: 10⁵).
+    pub fn typei_domain(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            _ => 100_000,
+        }
+    }
+
+    /// Tuples per relation for type-I experiments (paper: 10⁷).
+    pub fn typei_tuples(self) -> u64 {
+        match self {
+            Scale::Quick => 100_000,
+            Scale::Default => 1_000_000,
+            Scale::Paper => 10_000_000,
+        }
+    }
+
+    /// Per-dimension domain size for the clustered experiments
+    /// (paper: 1024 for one-/two-join, 400 for three-join).
+    pub fn clustered_domain(self, paper_value: usize) -> usize {
+        match self {
+            Scale::Quick => (paper_value / 4).max(64),
+            _ => paper_value,
+        }
+    }
+
+    /// Region volume range for the clustered experiments (paper: 1000–2000).
+    pub fn clustered_volume(self) -> (u64, u64) {
+        match self {
+            Scale::Quick => (60, 120),
+            _ => (1000, 2000),
+        }
+    }
+
+    /// Tuples per clustered relation (paper: 10⁷).
+    pub fn clustered_tuples(self) -> u64 {
+        match self {
+            Scale::Quick => 100_000,
+            Scale::Default => 1_000_000,
+            Scale::Paper => 10_000_000,
+        }
+    }
+
+    /// Thin a storage-budget grid for quick runs (keep first / middle /
+    /// last points).
+    pub fn thin(self, budgets: Vec<usize>) -> Vec<usize> {
+        match self {
+            Scale::Quick if budgets.len() > 3 => {
+                let last = budgets.len() - 1;
+                vec![budgets[0], budgets[last / 2], budgets[last]]
+            }
+            _ => budgets,
+        }
+    }
+}
+
+/// An inclusive arithmetic budget grid (the figures' x axes).
+pub fn grid(lo: usize, hi: usize, step: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x += step;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_inclusive() {
+        assert_eq!(grid(100, 500, 100), vec![100, 200, 300, 400, 500]);
+        assert_eq!(grid(10, 10, 5), vec![10]);
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints() {
+        let b = grid(100, 1000, 100);
+        let t = Scale::Quick.thin(b.clone());
+        assert_eq!(t.first(), b.first());
+        assert_eq!(t.last(), b.last());
+        assert_eq!(t.len(), 3);
+        assert_eq!(Scale::Default.thin(b.clone()), b);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.typei_tuples() < Scale::Default.typei_tuples());
+        assert!(Scale::Default.typei_tuples() < Scale::Paper.typei_tuples());
+        assert_eq!(Scale::Paper.reps(8), 200);
+        assert_eq!(Scale::Default.reps(8), 8);
+        assert_eq!(Scale::Quick.reps(8), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! # dctstream-experiments
+//!
+//! The reproduction harness for every table and figure in the paper's
+//! evaluation (§5), plus the §4.3 bound checks and two design ablations.
+//! See DESIGN.md's per-experiment index for the figure-to-module map and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! Run everything with
+//!
+//! ```text
+//! cargo run -p dctstream-experiments --release --bin repro -- all
+//! ```
+//!
+//! or a single experiment with e.g. `repro fig3`. `--quick` runs a
+//! seconds-long smoke configuration, `--paper` the full paper scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod baselines_exp;
+pub mod bounds_exp;
+pub mod clustered_exp;
+pub mod config;
+pub mod real_exp;
+pub mod report;
+pub mod runner;
+pub mod sketch_ablation;
+pub mod speed;
+pub mod typei;
+pub mod wavelet_ablation;
+
+pub use config::Scale;
+pub use report::Figure;
+
+/// Every experiment id the `repro` binary accepts (besides `all`).
+pub const EXPERIMENT_IDS: [&str; 27] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "speed",
+    "baselines",
+    "bound-check",
+    "ablation-grid",
+    "ablation-truncation",
+    "ablation-sketch",
+    "ablation-wavelet",
+];
+
+/// Dispatch one figure-producing experiment by id (everything except
+/// `speed` and `bound-check`, which return their own report types).
+pub fn run_figure(
+    id: &str,
+    scale: Scale,
+    reps_override: Option<usize>,
+    seed: u64,
+) -> Option<Figure> {
+    let fig = match id {
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" => {
+            let k: usize = id[3..].parse().unwrap();
+            typei::run(k, scale, reps_override, seed)
+        }
+        "fig7" | "fig8" => {
+            let k: usize = id[3..].parse().unwrap();
+            clustered_exp::run_single(k, scale, reps_override, seed)
+        }
+        "fig9" | "fig10" | "fig11" | "fig12" => {
+            let k: usize = id[3..].parse().unwrap();
+            clustered_exp::run_chain(k, scale, reps_override, seed)
+        }
+        "fig13" => real_exp::fig13(scale, reps_override, seed),
+        "fig14" => real_exp::fig14(scale, reps_override, seed),
+        "fig15" => real_exp::fig15(scale, reps_override, seed),
+        "fig16" => real_exp::fig16(scale, reps_override, seed),
+        "fig17" | "fig18" => {
+            let k: usize = id[3..].parse().unwrap();
+            real_exp::fig17_18(k, scale, reps_override, seed)
+        }
+        "fig19" | "fig20" => {
+            let k: usize = id[3..].parse().unwrap();
+            real_exp::fig19_20(k, scale, reps_override, seed)
+        }
+        "baselines" => baselines_exp::run(scale, seed),
+        "ablation-grid" => ablation::run_grid(scale, seed),
+        "ablation-truncation" => ablation::run_truncation(scale, seed),
+        "ablation-sketch" => sketch_ablation::run(scale, seed),
+        "ablation-wavelet" => wavelet_ablation::run(scale, seed),
+        _ => return None,
+    };
+    Some(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_covers_all_figure_ids() {
+        for id in EXPERIMENT_IDS {
+            if id == "speed" || id == "bound-check" {
+                continue;
+            }
+            // Only check dispatch resolves; running everything is the
+            // integration suite's job.
+            assert!(
+                matches!(id, _s if EXPERIMENT_IDS.contains(&id)),
+                "{id} not listed"
+            );
+        }
+        assert!(run_figure("nope", Scale::Quick, Some(1), 1).is_none());
+    }
+}

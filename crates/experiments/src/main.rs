@@ -1,0 +1,115 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro [--quick|--paper] [--reps N] [--seed S] [--out DIR] <id>... | all
+//! ```
+//!
+//! Ids: `fig1`–`fig20`, `speed`, `baselines`, `bound-check`,
+//! `ablation-grid`, `ablation-truncation`, or `all`. Results are printed
+//! as tables and written as CSV under `--out` (default `results/`).
+
+use dctstream_experiments::{bounds_exp, run_figure, speed, Scale, EXPERIMENT_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    scale: Scale,
+    reps: Option<usize>,
+    seed: u64,
+    out: PathBuf,
+    ids: Vec<String>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick|--paper] [--reps N] [--seed S] [--out DIR] <id>... | all\n\
+         ids: {}",
+        EXPERIMENT_IDS.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Default,
+        reps: None,
+        seed: 20070101,
+        out: PathBuf::from("results"),
+        ids: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--paper" => args.scale = Scale::Paper,
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                args.reps = Some(v.parse().map_err(|_| format!("bad --reps value '{v}'"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'\n{}", usage()))
+            }
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    if args.ids.is_empty() {
+        return Err(format!("no experiment selected\n{}", usage()));
+    }
+    if args.ids.iter().any(|i| i == "all") {
+        args.ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &args.ids {
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            return Err(format!("unknown experiment '{id}'\n{}", usage()));
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# dctstream repro — scale {:?}, seed {}, output {}",
+        args.scale,
+        args.seed,
+        args.out.display()
+    );
+    for id in &args.ids {
+        let t0 = Instant::now();
+        match id.as_str() {
+            "speed" => {
+                let report = speed::run(args.scale, args.seed);
+                println!("{}", report.to_table());
+            }
+            "bound-check" => {
+                let report = bounds_exp::run();
+                println!("{}", report.to_table());
+            }
+            _ => {
+                let fig =
+                    run_figure(id, args.scale, args.reps, args.seed).expect("id validated above");
+                println!("{}", fig.to_table());
+                match fig.write_csv(&args.out) {
+                    Ok(p) => println!("csv: {}\n", p.display()),
+                    Err(e) => eprintln!("failed to write csv for {id}: {e}"),
+                }
+            }
+        }
+        println!("({id} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

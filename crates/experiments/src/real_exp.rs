@@ -1,0 +1,188 @@
+//! Real-data experiments — Figures 13–20 (§5.3), over the documented
+//! simulators of the three datasets (see `dctstream-datagen::reallike` and
+//! DESIGN.md's substitution table).
+//!
+//! Repetitions vary the simulator seed (the paper instead varies relation
+//! instances; the simulators expose the same knob through their seeds).
+
+use crate::config::{grid, Scale};
+use crate::report::Figure;
+use crate::runner::{run_chain_join, run_single_join, ChainWorkload};
+use dctstream_datagen::{census, net_trace, sipp, sipp_joint, Protocol};
+
+fn rep_seed(seed: u64, rep: usize) -> u64 {
+    seed ^ (rep as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// Figure 13: single join on Age between two census months.
+pub fn fig13(scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let budgets = scale.thin(grid(10, 50, 10));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(5));
+    run_single_join(
+        "fig13",
+        "Single-Join, Real Data I (census, Age)",
+        &budgets,
+        reps,
+        seed,
+        |rep| {
+            let s = rep_seed(seed, rep);
+            (census(0, s).marginal(0), census(1, s).marginal(0))
+        },
+    )
+}
+
+/// Figure 14: two-join `R1.Age = R2.Age ∧ R2.Edu = R3.Edu` across three
+/// census months.
+pub fn fig14(scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let budgets = scale.thin(grid(500, 4000, 500));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(5));
+    run_chain_join(
+        "fig14",
+        "Two-Join, Real Data I (census, Age & Education)",
+        &budgets,
+        reps,
+        seed,
+        |rep| {
+            let s = rep_seed(seed, rep);
+            let m0 = census(0, s);
+            let m1 = census(1, s);
+            let m2 = census(2, s);
+            ChainWorkload {
+                first: m0.marginal(0),
+                mids: vec![m1.cells.clone()],
+                last: m2.marginal(1),
+                domains: vec![m1.domain_a, m1.domain_b],
+            }
+        },
+    )
+}
+
+/// Figure 15: single join on SSUSEQ (domain 50,000) between SIPP waves.
+pub fn fig15(scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let budgets = scale.thin(grid(100, 1000, 100));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(4));
+    run_single_join(
+        "fig15",
+        "Single-Join, Real Data II (SIPP, SSUSEQ)",
+        &budgets,
+        reps,
+        seed,
+        |rep| {
+            let s = rep_seed(seed, rep);
+            (sipp(0, s).ssuseq, sipp(1, s).ssuseq)
+        },
+    )
+}
+
+/// Figure 16: two-join on WHFNWGT and THEARN between SIPP waves.
+pub fn fig16(scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let budgets = scale.thin(grid(100, 1000, 100));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(3));
+    run_chain_join(
+        "fig16",
+        "Two-Join, Real Data II (SIPP, WHFNWGT & THEARN)",
+        &budgets,
+        reps,
+        seed,
+        |rep| {
+            let s = rep_seed(seed, rep);
+            let w2001 = sipp(0, s);
+            let joint = sipp_joint(1, s);
+            ChainWorkload {
+                first: w2001.whfnwgt,
+                mids: vec![joint.cells.clone()],
+                last: w2001.thearn,
+                domains: vec![joint.domain_a, joint.domain_b],
+            }
+        },
+    )
+}
+
+/// Figures 17 (source hosts) and 18 (destination hosts): single joins over
+/// TCP trace hours.
+pub fn fig17_18(figure: usize, scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let (id, dim, hi) = match figure {
+        17 => ("fig17", 0usize, 900),
+        18 => ("fig18", 1usize, 1000),
+        _ => unreachable!(),
+    };
+    let title = format!(
+        "Single-Join ({}), Real Data III (DEC-PKT TCP, {} hosts)",
+        figure - 16,
+        if dim == 0 { "source" } else { "destination" }
+    );
+    let budgets = scale.thin(grid(100, hi, 100));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(4));
+    run_single_join(id, &title, &budgets, reps, seed, move |rep| {
+        let s = rep_seed(seed, rep);
+        (
+            net_trace(Protocol::Tcp, 0, s).marginal(dim),
+            net_trace(Protocol::Tcp, 1, s).marginal(dim),
+        )
+    })
+}
+
+/// Figures 19 (TCP) and 20 (UDP): two-joins
+/// `R1.src = R2.src ∧ R2.dst = R3.dst` across trace hours.
+pub fn fig19_20(figure: usize, scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let (id, proto, budgets) = match figure {
+        19 => ("fig19", Protocol::Tcp, grid(100, 1500, 200)),
+        20 => ("fig20", Protocol::Udp, grid(250, 2500, 250)),
+        _ => unreachable!(),
+    };
+    let title = format!(
+        "Two-Join ({}), Real Data III (DEC-PKT {})",
+        figure - 18,
+        if proto == Protocol::Tcp { "TCP" } else { "UDP" }
+    );
+    let budgets = scale.thin(budgets);
+    let reps = reps_override.unwrap_or_else(|| scale.reps(3));
+    run_chain_join(id, &title, &budgets, reps, seed, move |rep| {
+        let s = rep_seed(seed, rep);
+        let h0 = net_trace(proto, 0, s);
+        let h1 = net_trace(proto, 1, s);
+        let h2 = net_trace(proto, 2, s);
+        ChainWorkload {
+            first: h0.marginal(0),
+            mids: vec![h1.cells.clone()],
+            last: h2.marginal(1),
+            domains: vec![h1.domain_a, h1.domain_b],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_single_join_small_domain_everyone_is_decent() {
+        // §5.3.2: "All methods give good estimation" on the small Age
+        // domain — and the cosine method leads.
+        let fig = fig13(Scale::Quick, Some(2), 51);
+        let cosine = fig.mean_error("Cosine").unwrap();
+        assert!(cosine < 25.0, "cosine {cosine:.1}%");
+    }
+
+    #[test]
+    fn sipp_single_join_cosine_dominates() {
+        // §5.3.2: huge smooth domain — "our method achieves high accuracy
+        // with just a few coefficients" while sketches trail.
+        let fig = fig15(Scale::Quick, Some(1), 61);
+        let cosine = fig.mean_error("Cosine").unwrap();
+        let basic = fig.mean_error("Basic Sketch").unwrap();
+        assert!(cosine < basic, "cosine {cosine:.2}% !< basic {basic:.2}%");
+        assert!(cosine < 10.0, "cosine should be accurate: {cosine:.2}%");
+    }
+
+    #[test]
+    fn net_trace_two_join_runs() {
+        let fig = fig19_20(20, Scale::Quick, Some(1), 71);
+        assert_eq!(fig.id, "fig20");
+        for row in &fig.errors {
+            for &e in row {
+                assert!(e.is_finite() && e >= 0.0);
+            }
+        }
+    }
+}

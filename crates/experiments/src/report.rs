@@ -1,0 +1,136 @@
+//! Result tables: the same series the paper's figures plot, printed as
+//! text and written as CSV.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One reproduced figure: average relative error (%) per method per
+/// storage budget.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment id (e.g. `fig3`).
+    pub id: String,
+    /// The paper's caption for the figure.
+    pub title: String,
+    /// Storage budgets (number of coefficients / atomic sketches).
+    pub budgets: Vec<usize>,
+    /// Method names, row order of `errors`.
+    pub methods: Vec<String>,
+    /// `errors[m][b]` — average relative error in percent.
+    pub errors: Vec<Vec<f64>>,
+    /// Free-form remarks (skipped repetitions, hidden extra space, ...).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Render the figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!(
+            "{:>10} |{}\n",
+            "space",
+            self.methods
+                .iter()
+                .map(|m| format!(" {m:>16}"))
+                .collect::<String>()
+        ));
+        let width = 11 + self.methods.len() * 17;
+        out.push_str(&format!("{}\n", "-".repeat(width)));
+        for (bi, b) in self.budgets.iter().enumerate() {
+            out.push_str(&format!("{b:>10} |"));
+            for row in &self.errors {
+                out.push_str(&format!(" {:>15.2}%", row[bi]));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv` with one row per budget.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path)?;
+        write!(f, "space")?;
+        for m in &self.methods {
+            write!(f, ",{}", m.replace(',', ";"))?;
+        }
+        writeln!(f)?;
+        for (bi, b) in self.budgets.iter().enumerate() {
+            write!(f, "{b}")?;
+            for row in &self.errors {
+                write!(f, ",{:.4}", row[bi])?;
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "# {n}")?;
+        }
+        Ok(path)
+    }
+
+    /// The error series of a named method.
+    pub fn series(&self, method: &str) -> Option<&[f64]> {
+        self.methods
+            .iter()
+            .position(|m| m == method)
+            .map(|i| self.errors[i].as_slice())
+    }
+
+    /// Mean error of a method across the budget sweep — a scalar summary
+    /// used by tests and EXPERIMENTS.md.
+    pub fn mean_error(&self, method: &str) -> Option<f64> {
+        self.series(method)
+            .map(|s| s.iter().sum::<f64>() / s.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "Sample".into(),
+            budgets: vec![100, 200],
+            methods: vec!["Cosine".into(), "Basic Sketch".into()],
+            errors: vec![vec![1.5, 0.5], vec![30.0, 20.0]],
+            notes: vec!["hello".into()],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = sample().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("100"));
+        assert!(t.contains("1.50%"));
+        assert!(t.contains("20.00%"));
+        assert!(t.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dctstream_report_test");
+        let p = sample().write_csv(&dir).unwrap();
+        let content = fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("space,Cosine,Basic Sketch"));
+        assert!(content.contains("100,1.5000,30.0000"));
+        assert!(content.contains("# hello"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_and_mean() {
+        let f = sample();
+        assert_eq!(f.series("Cosine"), Some(&[1.5, 0.5][..]));
+        assert_eq!(f.mean_error("Basic Sketch"), Some(25.0));
+        assert!(f.series("nope").is_none());
+    }
+}

@@ -1,0 +1,412 @@
+//! Shared experiment machinery: build all three estimators over a
+//! workload once, then sweep the storage axis by prefixing (coefficients
+//! in graded order, atoms per group), exactly as §5.1 prescribes — every
+//! point uses "the same amount of space", measured in coefficients /
+//! atomic sketches.
+
+use crate::report::Figure;
+use dctstream_core::{
+    degree_for_budget, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis, Domain,
+    Grid, MultiDimSynopsis,
+};
+use dctstream_sketch::{
+    estimate_join as ams_estimate, estimate_skimmed_join, SketchSchema, SkimmedSketch,
+};
+use dctstream_stream::{exact_chain_join, DenseFreq, SparseFreq2};
+
+/// Number of sketch groups (`s₂`) used throughout the experiments.
+pub const SKETCH_GROUPS: usize = 5;
+
+/// Method display names, in the paper's legend order.
+pub const METHODS: [&str; 3] = ["Cosine", "Skimmed Sketch", "Basic Sketch"];
+
+/// How much dense-frequency extra space the skimmed sketch gets (the
+/// paper's "hidden" `O(n)` store) for a given atom budget and relation
+/// value space (product of attribute domain sizes).
+///
+/// Capped at an eighth of the value space: real skimming can only
+/// *identify* the dense head of a distribution, never enumerate its tail,
+/// so the extracted store must stay a small fraction of the domain or the
+/// comparator degenerates into an exact join.
+pub fn heavy_capacity(max_budget: usize, value_space: usize) -> usize {
+    (5 * max_budget)
+        .min(20_000)
+        .min((value_space / 8).max(8))
+        .max(8)
+}
+
+fn relative_error(exact: f64, est: f64) -> f64 {
+    (exact - est).abs() / exact
+}
+
+/// Accumulates per-method, per-budget errors over repetitions.
+struct Accumulator {
+    budgets: Vec<usize>,
+    sums: Vec<Vec<f64>>,
+    used_reps: usize,
+    skipped: usize,
+}
+
+impl Accumulator {
+    fn new(budgets: &[usize]) -> Self {
+        Self {
+            budgets: budgets.to_vec(),
+            sums: vec![vec![0.0; budgets.len()]; METHODS.len()],
+            used_reps: 0,
+            skipped: 0,
+        }
+    }
+
+    fn add(&mut self, method: usize, budget_idx: usize, err: f64) {
+        self.sums[method][budget_idx] += err;
+    }
+
+    fn finish(mut self, id: &str, title: &str, mut notes: Vec<String>) -> Figure {
+        let reps = self.used_reps.max(1) as f64;
+        for row in &mut self.sums {
+            for e in row.iter_mut() {
+                *e = *e / reps * 100.0;
+            }
+        }
+        if self.skipped > 0 {
+            notes.push(format!(
+                "{} repetition(s) skipped (empty exact join)",
+                self.skipped
+            ));
+        }
+        notes.push(format!("averaged over {} repetition(s)", self.used_reps));
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            budgets: self.budgets,
+            methods: METHODS.iter().map(|s| s.to_string()).collect(),
+            errors: self.sums,
+            notes,
+        }
+    }
+}
+
+/// Run a single-equi-join experiment. `gen(rep)` yields the two
+/// value-indexed frequency tables over their shared (merged) domain.
+pub fn run_single_join<F>(
+    id: &str,
+    title: &str,
+    budgets: &[usize],
+    reps: usize,
+    base_seed: u64,
+    mut gen: F,
+) -> Figure
+where
+    F: FnMut(usize) -> (Vec<u64>, Vec<u64>),
+{
+    let max_b = *budgets.last().expect("non-empty budget grid");
+    let mut acc = Accumulator::new(budgets);
+    for rep in 0..reps {
+        let (f1, f2) = gen(rep);
+        assert_eq!(f1.len(), f2.len(), "join attributes must share a domain");
+        let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+        if exact <= 0.0 {
+            acc.skipped += 1;
+            continue;
+        }
+        acc.used_reps += 1;
+        let n = f1.len();
+        let domain = Domain::of_size(n);
+
+        // Cosine synopses at the maximal budget; prefixes below.
+        let c1 = CosineSynopsis::from_frequencies(domain, Grid::Midpoint, max_b, &f1)
+            .expect("valid synopsis");
+        let c2 = CosineSynopsis::from_frequencies(domain, Grid::Midpoint, max_b, &f2)
+            .expect("valid synopsis");
+
+        // One skimmed sketch per stream; its embedded AMS atoms double as
+        // the basic sketch.
+        let seed = base_seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(rep as u64);
+        let schema =
+            SketchSchema::with_total_atoms(seed, max_b, SKETCH_GROUPS, 1).expect("valid schema");
+        let cap = heavy_capacity(max_b, n);
+        let mut s1 = SkimmedSketch::new(schema, vec![0], vec![domain], cap).expect("sketch");
+        let mut s2 = SkimmedSketch::new(schema, vec![0], vec![domain], cap).expect("sketch");
+        load_sketch(&mut s1, &f1);
+        load_sketch(&mut s2, &f2);
+        s1.prepare_default();
+        s2.prepare_default();
+
+        for (bi, &b) in budgets.iter().enumerate() {
+            let est_c = estimate_equi_join(&c1, &c2, Some(b)).expect("compatible synopses");
+            acc.add(0, bi, relative_error(exact, est_c));
+            let est_s = estimate_skimmed_join(&[&s1, &s2], Some(b)).expect("prepared sketches");
+            acc.add(1, bi, relative_error(exact, est_s));
+            let est_b = ams_estimate(&[s1.ams(), s2.ams()], Some(b)).expect("shared schema");
+            acc.add(2, bi, relative_error(exact, est_b));
+        }
+    }
+    acc.finish(
+        id,
+        title,
+        vec![
+            "skimmed sketch additionally stores extracted dense frequencies (extra space, cf. §5.2.1)"
+                .to_string(),
+        ],
+    )
+}
+
+fn load_sketch(s: &mut SkimmedSketch, freqs: &[u64]) {
+    for (v, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            s.update(&[v as i64], f as f64).expect("in-domain value");
+        }
+    }
+}
+
+/// A multi-join chain workload: dense end frequency vectors and sparse
+/// inner joint tables, with the per-join-attribute domain sizes.
+pub struct ChainWorkload {
+    /// End relation 1's frequency vector (over join attribute 0).
+    pub first: Vec<u64>,
+    /// Inner relations' sparse joint tables; `mids[i]` is over join
+    /// attributes `(i, i+1)`.
+    pub mids: Vec<Vec<((i64, i64), u64)>>,
+    /// End relation's frequency vector (over the last join attribute).
+    pub last: Vec<u64>,
+    /// Domain size of each join attribute (`mids.len() + 1` entries).
+    pub domains: Vec<usize>,
+}
+
+/// Run a chain-join experiment (`mids.len() + 1` join predicates).
+pub fn run_chain_join<F>(
+    id: &str,
+    title: &str,
+    budgets: &[usize],
+    reps: usize,
+    base_seed: u64,
+    mut gen: F,
+) -> Figure
+where
+    F: FnMut(usize) -> ChainWorkload,
+{
+    let max_b = *budgets.last().expect("non-empty budget grid");
+    let mut acc = Accumulator::new(budgets);
+    for rep in 0..reps {
+        let w = gen(rep);
+        let joins = w.domains.len();
+        assert_eq!(w.mids.len() + 1, joins);
+        assert_eq!(w.first.len(), w.domains[0]);
+        assert_eq!(w.last.len(), w.domains[joins - 1]);
+
+        // Ground truth.
+        let sparse_mids: Vec<SparseFreq2> = w
+            .mids
+            .iter()
+            .map(|cells| {
+                let mut s = SparseFreq2::new();
+                for &((a, b), f) in cells {
+                    s.add(a, b, f);
+                }
+                s
+            })
+            .collect();
+        let mid_refs: Vec<&SparseFreq2> = sparse_mids.iter().collect();
+        let exact = exact_chain_join(
+            &DenseFreq(w.first.clone()),
+            &mid_refs,
+            &DenseFreq(w.last.clone()),
+        );
+        if exact <= 0.0 {
+            acc.skipped += 1;
+            continue;
+        }
+        acc.used_reps += 1;
+
+        // Cosine: end synopses + inner 2-d synopses with enough degree to
+        // cover the budget sweep via rank prefixes.
+        let d_first = Domain::of_size(w.domains[0]);
+        let d_last = Domain::of_size(w.domains[joins - 1]);
+        let c_first = CosineSynopsis::from_frequencies(d_first, Grid::Midpoint, max_b, &w.first)
+            .expect("synopsis");
+        let c_last = CosineSynopsis::from_frequencies(d_last, Grid::Midpoint, max_b, &w.last)
+            .expect("synopsis");
+        let c_mids: Vec<MultiDimSynopsis> = w
+            .mids
+            .iter()
+            .enumerate()
+            .map(|(i, cells)| {
+                let domains = vec![
+                    Domain::of_size(w.domains[i]),
+                    Domain::of_size(w.domains[i + 1]),
+                ];
+                let degree = degree_for_budget(max_b, 2) + 1;
+                let tuples: Vec<([i64; 2], u64)> =
+                    cells.iter().map(|&((a, b), f)| ([a, b], f)).collect();
+                MultiDimSynopsis::from_sparse_frequencies(
+                    domains,
+                    Grid::Midpoint,
+                    degree,
+                    tuples.iter().map(|(t, f)| (&t[..], *f)),
+                )
+                .expect("synopsis")
+            })
+            .collect();
+
+        // Sketches.
+        let seed = base_seed
+            .wrapping_mul(0x2545F4914F6CDD1D)
+            .wrapping_add(rep as u64);
+        let schema =
+            SketchSchema::with_total_atoms(seed, max_b, SKETCH_GROUPS, joins).expect("schema");
+        let end_cap = heavy_capacity(max_b, w.domains[0].min(w.domains[joins - 1]));
+        let mut s_first =
+            SkimmedSketch::new(schema, vec![0], vec![d_first], end_cap).expect("sketch");
+        let mut s_last =
+            SkimmedSketch::new(schema, vec![joins - 1], vec![d_last], end_cap).expect("sketch");
+        load_sketch(&mut s_first, &w.first);
+        load_sketch(&mut s_last, &w.last);
+        let mut s_mids: Vec<SkimmedSketch> = w
+            .mids
+            .iter()
+            .enumerate()
+            .map(|(i, cells)| {
+                let mid_cap = heavy_capacity(max_b, w.domains[i].saturating_mul(w.domains[i + 1]));
+                let mut s = SkimmedSketch::new(
+                    schema,
+                    vec![i, i + 1],
+                    vec![
+                        Domain::of_size(w.domains[i]),
+                        Domain::of_size(w.domains[i + 1]),
+                    ],
+                    mid_cap,
+                )
+                .expect("sketch");
+                for &((a, b), f) in cells {
+                    s.update(&[a, b], f as f64).expect("in-domain tuple");
+                }
+                s
+            })
+            .collect();
+        s_first.prepare_default();
+        s_last.prepare_default();
+        for s in &mut s_mids {
+            s.prepare_default();
+        }
+
+        for (bi, &b) in budgets.iter().enumerate() {
+            // Cosine chain.
+            let mut links = Vec::with_capacity(joins + 1);
+            links.push(ChainLink::End(&c_first));
+            for m in &c_mids {
+                links.push(ChainLink::Inner {
+                    synopsis: m,
+                    left: 0,
+                    right: 1,
+                });
+            }
+            links.push(ChainLink::End(&c_last));
+            let est_c = estimate_chain_join(&links, Some(b)).expect("valid chain");
+            acc.add(0, bi, relative_error(exact, est_c));
+
+            // Sketch chains.
+            let mut skim_refs: Vec<&SkimmedSketch> = Vec::with_capacity(joins + 1);
+            skim_refs.push(&s_first);
+            skim_refs.extend(s_mids.iter());
+            skim_refs.push(&s_last);
+            let est_s = estimate_skimmed_join(&skim_refs, Some(b)).expect("prepared chain");
+            acc.add(1, bi, relative_error(exact, est_s));
+
+            let ams_refs: Vec<&dctstream_sketch::AmsSketch> =
+                skim_refs.iter().map(|s| s.ams()).collect();
+            let est_b = ams_estimate(&ams_refs, Some(b)).expect("shared schema");
+            acc.add(2, bi, relative_error(exact, est_b));
+        }
+    }
+    acc.finish(
+        id,
+        title,
+        vec![
+            "skimmed sketch additionally stores extracted dense frequencies per relation"
+                .to_string(),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_join_runner_produces_sane_figure() {
+        let budgets = vec![20, 60];
+        let fig = run_single_join("t1", "smoke", &budgets, 2, 7, |rep| {
+            let n = 500;
+            let f1: Vec<u64> = (0..n).map(|i| ((i * 7 + rep as u64) % 11) + 1).collect();
+            let f2: Vec<u64> = (0..n).map(|i| ((i * 3) % 5) + 1).collect();
+            (f1, f2)
+        });
+        assert_eq!(fig.budgets, budgets);
+        assert_eq!(fig.methods.len(), 3);
+        for row in &fig.errors {
+            for &e in row {
+                assert!(e.is_finite() && e >= 0.0);
+            }
+        }
+        // Cosine with 60 of 500 coefficients on a near-uniform mix should
+        // be very accurate.
+        assert!(fig.series("Cosine").unwrap()[1] < 20.0);
+    }
+
+    #[test]
+    fn single_join_runner_skips_empty_joins() {
+        let budgets = vec![4];
+        let fig = run_single_join("t2", "empty", &budgets, 1, 1, |_| {
+            let mut f1 = vec![0u64; 16];
+            let mut f2 = vec![0u64; 16];
+            f1[0] = 5; // disjoint supports → exact join 0
+            f2[1] = 5;
+            (f1, f2)
+        });
+        assert!(fig.notes.iter().any(|n| n.contains("skipped")));
+    }
+
+    #[test]
+    fn chain_join_runner_produces_sane_figure() {
+        let budgets = vec![30, 120];
+        let fig = run_chain_join("t3", "chain smoke", &budgets, 2, 5, |rep| {
+            let n = 64usize;
+            let first: Vec<u64> = (0..n as u64).map(|i| i % 3 + 1).collect();
+            let last: Vec<u64> = (0..n as u64).map(|i| (i + rep as u64) % 4 + 1).collect();
+            let mut cells = Vec::new();
+            for a in 0..n as i64 {
+                for b in 0..n as i64 {
+                    if (a + 2 * b) % 7 == 0 {
+                        cells.push(((a, b), ((a + b) % 3 + 1) as u64));
+                    }
+                }
+            }
+            ChainWorkload {
+                first,
+                mids: vec![cells],
+                last,
+                domains: vec![n, n],
+            }
+        });
+        assert_eq!(fig.methods.len(), 3);
+        for row in &fig.errors {
+            for &e in row {
+                assert!(e.is_finite() && e >= 0.0, "error {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_capacity_is_bounded() {
+        // Budget-limited.
+        assert_eq!(heavy_capacity(10, 1_000_000), 50);
+        assert_eq!(heavy_capacity(1000, 1_000_000), 5000);
+        // Hard cap.
+        assert_eq!(heavy_capacity(100_000, 10_000_000), 20_000);
+        // Domain-limited: at most an eighth of the value space.
+        assert_eq!(heavy_capacity(1000, 96), 12);
+        assert_eq!(heavy_capacity(1000, 8), 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Type-I synthetic experiments — Figures 1–6 (§5.2.2.1).
+//!
+//! Two relations of `N` tuples each over a 10⁵-value join domain;
+//! Zipf(z₁)/Zipf(z₂) frequencies; correlation and smoothness instilled via
+//! rank-to-value mappings. Storage axis 100–1000 coefficients / atomic
+//! sketches.
+
+use crate::config::{grid, Scale};
+use crate::report::Figure;
+use crate::runner::run_single_join;
+use dctstream_datagen::{correlated_pair, Correlation};
+
+struct Spec {
+    id: &'static str,
+    title: &'static str,
+    z1: f64,
+    z2: f64,
+    corr: Correlation,
+}
+
+const SPECS: [Spec; 6] = [
+    Spec {
+        id: "fig1",
+        title: "Single-Join, zipf1=0.5, zipf2=1.0, Strong Positive Correlation",
+        z1: 0.5,
+        z2: 1.0,
+        corr: Correlation::StrongPositive,
+    },
+    Spec {
+        id: "fig2",
+        title: "Single-Join, zipf1=0.5, zipf2=1.0, Weak Positive Correlation",
+        z1: 0.5,
+        z2: 1.0,
+        corr: Correlation::WeakPositive(0.1),
+    },
+    Spec {
+        id: "fig3",
+        title: "Single-Join, zipf1=0.5, zipf2=1.0, Independent Correlation",
+        z1: 0.5,
+        z2: 1.0,
+        corr: Correlation::Independent,
+    },
+    Spec {
+        id: "fig4",
+        title: "Single-Join, zipf1=0.5, zipf2=1.0, Negative Correlation",
+        z1: 0.5,
+        z2: 1.0,
+        corr: Correlation::Negative,
+    },
+    Spec {
+        id: "fig5",
+        title: "Single-Join, zipf1=0.5(smooth), zipf2=1.0(smooth)",
+        z1: 0.5,
+        z2: 1.0,
+        corr: Correlation::SmoothPositive,
+    },
+    Spec {
+        id: "fig6",
+        title: "Single-Join, zipf1=0.5, zipf2=1.5, Independent Correlation",
+        z1: 0.5,
+        z2: 1.5,
+        corr: Correlation::Independent,
+    },
+];
+
+/// Run one of Figures 1–6 (`figure` in `1..=6`).
+pub fn run(figure: usize, scale: Scale, reps_override: Option<usize>, seed: u64) -> Figure {
+    let spec = &SPECS[figure - 1];
+    let n = scale.typei_domain();
+    let total = scale.typei_tuples();
+    let budgets = scale.thin(grid(100, 1000, 100));
+    let reps = reps_override.unwrap_or_else(|| scale.reps(8));
+    run_single_join(spec.id, spec.title, &budgets, reps, seed, |rep| {
+        correlated_pair(
+            n,
+            spec.z1,
+            spec.z2,
+            total,
+            total,
+            spec.corr,
+            seed ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale end-to-end sanity: the qualitative ordering the paper
+    /// reports must hold — sketches win under strong positive correlation,
+    /// cosine wins when correlation is weak/absent/negative.
+    #[test]
+    fn quick_scale_reproduces_figure_shapes() {
+        let fig1 = run(1, Scale::Quick, Some(2), 11);
+        let fig3 = run(3, Scale::Quick, Some(2), 11);
+        let cosine1 = fig1.mean_error("Cosine").unwrap();
+        let skimmed1 = fig1.mean_error("Skimmed Sketch").unwrap();
+        let cosine3 = fig3.mean_error("Cosine").unwrap();
+        let basic3 = fig3.mean_error("Basic Sketch").unwrap();
+        // Figure 1: strongly correlated -> sketches beat cosine.
+        assert!(
+            skimmed1 < cosine1,
+            "fig1: skimmed {skimmed1:.1}% !< cosine {cosine1:.1}%"
+        );
+        // Figure 3: independent -> cosine beats the basic sketch clearly.
+        assert!(
+            cosine3 < basic3,
+            "fig3: cosine {cosine3:.1}% !< basic {basic3:.1}%"
+        );
+    }
+
+    #[test]
+    fn smoothness_helps_cosine() {
+        // Figure 5 vs Figure 1: same correlation strength, smooth mapping
+        // should reduce the cosine error.
+        let rough = run(1, Scale::Quick, Some(2), 3);
+        let smooth = run(5, Scale::Quick, Some(2), 3);
+        let e_rough = rough.mean_error("Cosine").unwrap();
+        let e_smooth = smooth.mean_error("Cosine").unwrap();
+        assert!(
+            e_smooth < e_rough,
+            "smooth {e_smooth:.2}% !< rough {e_rough:.2}%"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! `ablation-wavelet`: the §2 wavelet-maintenance critique, quantified.
+//!
+//! Four estimators at equal space on a smooth type-I workload:
+//!
+//! 1. the cosine synopsis (streaming, fixed coefficient set — every
+//!    update exact in bounded space);
+//! 2. the **offline** top-m Haar wavelet (needs the full frequency table,
+//!    i.e. `O(n)` working space — Gilbert et al. \[12\]'s objection);
+//! 3. the **streaming** top-m Haar wavelet (greedy bounded maintenance —
+//!    the best a one-pass wavelet can do in bounded space);
+//! 4. the offline wavelet at *half* the coefficients (its honest space
+//!    cost: each data-dependent coefficient stores value + index).
+//!
+//! The paper's argument reproduces when (1) ≈ (2) ≫ (3): the transform
+//! bases are comparably good, but only the cosine basis admits exact
+//! bounded-space streaming maintenance.
+
+use crate::config::{grid, Scale};
+use crate::report::Figure;
+use dctstream_baselines::{estimate_join_from_wavelets, HaarSynopsis, StreamingHaarSynopsis};
+use dctstream_core::{estimate_equi_join, CosineSynopsis, Domain, Grid};
+use dctstream_datagen::{round_to_total, ValueMapping};
+use dctstream_stream::DenseFreq;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Smooth two-bump frequency table with seeded jitter — favourable to
+/// both transform bases (no sharp head for wavelets to localize, no
+/// ruggedness to defeat the cosine basis).
+fn smooth_bumps(n: usize, total: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (c1, c2): (f64, f64) = (
+        rng.random_range(0.2..0.4) * n as f64,
+        rng.random_range(0.6..0.85) * n as f64,
+    );
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let g1 = (-(x - c1) * (x - c1) / (2.0 * (n as f64 / 10.0).powi(2))).exp();
+            let g2 = 0.6 * (-(x - c2) * (x - c2) / (2.0 * (n as f64 / 14.0).powi(2))).exp();
+            g1 + g2 + 0.05
+        })
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    round_to_total(&weights.iter().map(|w| w / sum).collect::<Vec<_>>(), total)
+}
+
+/// Run the wavelet-maintenance ablation.
+pub fn run(scale: Scale, seed: u64) -> Figure {
+    let n = match scale {
+        Scale::Quick => 1_024,
+        _ => 8_192,
+    };
+    let total = match scale {
+        Scale::Quick => 100_000u64,
+        _ => 1_000_000,
+    };
+    let budgets = scale.thin(grid(64, 640, 64));
+    let reps = scale.reps(5);
+    let mut errors = vec![vec![0.0; budgets.len()]; 4];
+    for rep in 0..reps {
+        let rep_seed = seed ^ (rep as u64).wrapping_mul(0xA3AA_C6B0_27F0_13F5);
+        // Smooth workload: favourable to both transform bases, so the
+        // maintenance gap is isolated.
+        let f1 = smooth_bumps(n, total, rep_seed);
+        let f2 = smooth_bumps(n, total, rep_seed ^ 0x5DEECE66D);
+        // Streaming arrival order: regions of the domain accumulate in an
+        // arbitrary interleaving, as in a real stream — this is what makes
+        // greedy top-m eviction lossy.
+        let order = ValueMapping::random(n, rep_seed ^ 0xABCD);
+        let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+        let d = Domain::of_size(n);
+        let max_b = *budgets.last().unwrap();
+        let c1 = CosineSynopsis::from_frequencies(d, Grid::Midpoint, max_b, &f1).unwrap();
+        let c2 = CosineSynopsis::from_frequencies(d, Grid::Midpoint, max_b, &f2).unwrap();
+
+        for (bi, &b) in budgets.iter().enumerate() {
+            // 1. Cosine prefix.
+            let est = estimate_equi_join(&c1, &c2, Some(b)).unwrap();
+            errors[0][bi] += (est - exact).abs() / exact;
+            // 2. Offline top-b wavelet (space-blind: ignores index cost).
+            let w1 = HaarSynopsis::from_frequencies(d, b, &f1).unwrap();
+            let w2 = HaarSynopsis::from_frequencies(d, b, &f2).unwrap();
+            let est = estimate_join_from_wavelets(&w1, &w2).unwrap();
+            errors[1][bi] += (est - exact).abs() / exact;
+            // 3. Streaming top-b wavelet (greedy bounded maintenance),
+            // fed in shuffled arrival order.
+            let mut s1 = StreamingHaarSynopsis::new(d, b).unwrap();
+            let mut s2 = StreamingHaarSynopsis::new(d, b).unwrap();
+            for &v in order.as_slice() {
+                let (x, y) = (f1[v], f2[v]);
+                if x > 0 {
+                    s1.update(v as i64, x as f64).unwrap();
+                }
+                if y > 0 {
+                    s2.update(v as i64, y as f64).unwrap();
+                }
+            }
+            let est = s1.estimate_join_streaming(&s2).unwrap();
+            errors[2][bi] += (est - exact).abs() / exact;
+            // 4. Offline wavelet at honest space (b/2 coefficients).
+            let w1 = HaarSynopsis::from_frequencies(d, (b / 2).max(1), &f1).unwrap();
+            let w2 = HaarSynopsis::from_frequencies(d, (b / 2).max(1), &f2).unwrap();
+            let est = estimate_join_from_wavelets(&w1, &w2).unwrap();
+            errors[3][bi] += (est - exact).abs() / exact;
+        }
+    }
+    for row in &mut errors {
+        for e in row.iter_mut() {
+            *e = *e / reps as f64 * 100.0;
+        }
+    }
+    Figure {
+        id: "ablation-wavelet".into(),
+        title: "Cosine vs Haar wavelets: offline, streaming, and honest-space variants".into(),
+        budgets,
+        methods: vec![
+            "Cosine (streaming)".into(),
+            "Wavelet (offline top-m)".into(),
+            "Wavelet (streaming top-m)".into(),
+            "Wavelet (offline, 2x index cost)".into(),
+        ],
+        errors,
+        notes: vec![
+            "smooth two-bump workload, shuffled arrival order; equal nominal coefficient budgets"
+                .into(),
+            "offline wavelets require the full O(n) frequency table to select coefficients".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_wavelet_pays_a_maintenance_penalty() {
+        let fig = run(Scale::Quick, 31);
+        let cosine = fig.mean_error("Cosine (streaming)").unwrap();
+        let offline = fig.mean_error("Wavelet (offline top-m)").unwrap();
+        let streaming = fig.mean_error("Wavelet (streaming top-m)").unwrap();
+        // Both fixed-basis offline methods are accurate on smooth data...
+        assert!(cosine < 30.0, "cosine {cosine:.2}%");
+        assert!(offline < 30.0, "offline wavelet {offline:.2}%");
+        // ...while greedy bounded streaming maintenance pays a clear
+        // penalty (the §2 critique).
+        assert!(
+            streaming > offline,
+            "streaming {streaming:.2}% !> offline {offline:.2}%"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Hashing substrate for the sketches.
+//!
+//! The AMS analysis requires the random ±1 variables `ξ_v` to be
+//! **four-wise independent**. We implement the standard construction: a
+//! degree-3 polynomial over the field `GF(p)` with the Mersenne prime
+//! `p = 2⁶¹ − 1`, whose low bit yields the sign. Arithmetic mod a Mersenne
+//! prime needs no division — `x mod (2⁶¹−1)` is a shift, a mask and an add.
+//!
+//! A deterministic [`SplitMix64`] generator derives all hash coefficients
+//! from user-provided seeds, so two sketches built from the same seed use
+//! *identical* ξ families — the prerequisite for join estimation across
+//! streams (Alon et al. \[3\]).
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// Reduce a 128-bit product modulo `2^61 − 1`.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    // x = hi·2^122 + mid·2^61 + lo  ≡  hi + mid + lo (mod 2^61 − 1)
+    let lo = (x as u64) & MERSENNE_P;
+    let mid = ((x >> 61) as u64) & MERSENNE_P;
+    let hi = (x >> 122) as u64;
+    let mut s = lo + mid + hi; // < 3·2^61, fits u64
+    while s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// Multiply modulo `2^61 − 1`.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_mersenne(a as u128 * b as u128)
+}
+
+/// Add modulo `2^61 − 1`.
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let mut s = a + b; // both < 2^61, no overflow in u64
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// SplitMix64 — a tiny, high-quality deterministic stream of 64-bit values
+/// used to derive hash-function coefficients from seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, MERSENNE_P)`.
+    #[inline]
+    fn next_field(&mut self) -> u64 {
+        // Rejection sampling over the top 61 bits; rejection probability ~2^-61.
+        loop {
+            let v = self.next_u64() >> 3;
+            if v < MERSENNE_P {
+                return v;
+            }
+        }
+    }
+}
+
+/// A four-wise independent hash `h(x) = ax³ + bx² + cx + d (mod p)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FourWiseHash {
+    a: u64,
+    b: u64,
+    c: u64,
+    d: u64,
+}
+
+impl FourWiseHash {
+    /// Draw a fresh function from the family.
+    pub fn generate(rng: &mut SplitMix64) -> Self {
+        Self {
+            a: rng.next_field(),
+            b: rng.next_field(),
+            c: rng.next_field(),
+            d: rng.next_field(),
+        }
+    }
+
+    /// Evaluate the polynomial at `x` (Horner).
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = self.a;
+        acc = add_mod(mul_mod(acc, x), self.b);
+        acc = add_mod(mul_mod(acc, x), self.c);
+        add_mod(mul_mod(acc, x), self.d)
+    }
+
+    /// The four-wise independent ±1 variable `ξ_x`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> f64 {
+        if self.eval(x) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A pairwise-independent hash `h(x) = (ax + b mod p) mod buckets`, used by
+/// the skimmed sketch's heavy-hitter machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoWiseHash {
+    a: u64,
+    b: u64,
+}
+
+impl TwoWiseHash {
+    /// Draw a fresh function from the family.
+    pub fn generate(rng: &mut SplitMix64) -> Self {
+        Self {
+            a: rng.next_field().max(1),
+            b: rng.next_field(),
+        }
+    }
+
+    /// Bucket of `x` among `buckets`.
+    #[inline]
+    pub fn bucket(&self, x: u64, buckets: usize) -> usize {
+        (add_mod(mul_mod(self.a, x % MERSENNE_P), self.b) % buckets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_reduction_matches_naive() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            MERSENNE_P as u128,
+            MERSENNE_P as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX >> 6,
+        ];
+        for x in cases {
+            assert_eq!(mod_mersenne(x) as u128, x % MERSENNE_P as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_naive() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let a = rng.next_u64() % MERSENNE_P;
+            let b = rng.next_u64() % MERSENNE_P;
+            let expect = (a as u128 * b as u128 % MERSENNE_P as u128) as u64;
+            assert_eq!(mul_mod(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn hash_is_deterministic_per_seed() {
+        let h1 = FourWiseHash::generate(&mut SplitMix64::new(5));
+        let h2 = FourWiseHash::generate(&mut SplitMix64::new(5));
+        for x in 0..100u64 {
+            assert_eq!(h1.eval(x), h2.eval(x));
+        }
+    }
+
+    #[test]
+    fn signs_are_pm_one_and_roughly_balanced() {
+        let mut rng = SplitMix64::new(99);
+        let h = FourWiseHash::generate(&mut rng);
+        let n = 100_000u64;
+        let mut sum = 0.0;
+        for x in 0..n {
+            let s = h.sign(x);
+            assert!(s == 1.0 || s == -1.0);
+            sum += s;
+        }
+        // Mean should be ~N(0, 1/sqrt(n)); 6 sigma bound.
+        assert!(
+            (sum / n as f64).abs() < 6.0 / (n as f64).sqrt() + 1e-3,
+            "bias {}",
+            sum / n as f64
+        );
+    }
+
+    /// Empirical four-wise independence check: E[ξ_w ξ_x ξ_y ξ_z] ≈ 0 for
+    /// distinct points, averaged over many functions from the family.
+    #[test]
+    fn fourth_moment_vanishes_over_family() {
+        let mut rng = SplitMix64::new(2024);
+        let trials = 4000;
+        let pts = [3u64, 17, 91, 12345];
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let h = FourWiseHash::generate(&mut rng);
+            acc += pts.iter().map(|&p| h.sign(p)).product::<f64>();
+        }
+        let mean = acc / trials as f64;
+        assert!(mean.abs() < 0.06, "fourth moment {mean}");
+    }
+
+    /// Pairwise: E[ξ_x ξ_y] ≈ 0 for x ≠ y.
+    #[test]
+    fn second_moment_vanishes_over_family() {
+        let mut rng = SplitMix64::new(77);
+        let trials = 4000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let h = FourWiseHash::generate(&mut rng);
+            acc += h.sign(10) * h.sign(20);
+        }
+        assert!((acc / trials as f64).abs() < 0.06);
+    }
+
+    #[test]
+    fn two_wise_buckets_in_range_and_spread() {
+        let mut rng = SplitMix64::new(31);
+        let h = TwoWiseHash::generate(&mut rng);
+        let buckets = 64;
+        let mut counts = vec![0usize; buckets];
+        for x in 0..64_000u64 {
+            let b = h.bucket(x, buckets);
+            assert!(b < buckets);
+            counts[b] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(min > 500 && max < 1500, "spread [{min}, {max}]");
+    }
+}

@@ -1,0 +1,238 @@
+//! Heavy-hitter tracking for the skimmed sketch.
+//!
+//! Ganguly et al. \[32\] recover dense frequencies directly from their hash
+//! sketch buckets; the net effect is an auxiliary frequency store of size
+//! `O(n)` (the paper: "extra space, in the order of the attribute domain
+//! size, is needed to store the dense frequencies"). We realize the same
+//! effect with a capacity-bounded counting tracker — a prune-to-top-k
+//! variant of the Misra–Gries/"Frequent" family: keys are counted exactly
+//! while tracked; when the table reaches twice its capacity it is pruned
+//! back to the `capacity` largest counters. Heavy keys are therefore
+//! tracked with (near-)exact counts, light keys churn in and out with
+//! underestimated counts, and every estimate is a **lower bound** on the
+//! true frequency.
+//!
+//! The skimming algebra (see [`crate::skimmed`]) is unbiased for *any*
+//! extracted frequency values, so tracker error only costs residual
+//! variance, never correctness.
+
+use std::collections::HashMap;
+
+/// Capacity-bounded heavy-hitter tracker over `u64` keys with weighted
+/// updates and amortized O(1) maintenance.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counters: HashMap<u64, f64>,
+    /// Total weight processed (inserts minus deletes).
+    total: f64,
+}
+
+impl MisraGries {
+    /// Create a tracker that retains up to `capacity` keys after pruning
+    /// (`capacity ≥ 1`; the physical table is allowed to grow to twice
+    /// that between prunes).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            counters: HashMap::with_capacity(2 * capacity.max(1)),
+            total: 0.0,
+        }
+    }
+
+    /// Retained-key capacity (the paper's "extra space" unit).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total weight processed.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of currently tracked keys (at most `2 × capacity`).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Add `w` occurrences of `key`. Negative `w` decrements the key's
+    /// counter if present (deletions of untracked keys are ignored — the
+    /// structure is a one-sided summary; see module docs).
+    pub fn update(&mut self, key: u64, w: f64) {
+        self.total += w;
+        if w <= 0.0 {
+            if let Some(c) = self.counters.get_mut(&key) {
+                *c += w;
+                if *c <= 0.0 {
+                    self.counters.remove(&key);
+                }
+            }
+            return;
+        }
+        *self.counters.entry(key).or_insert(0.0) += w;
+        if self.counters.len() > 2 * self.capacity {
+            self.prune();
+        }
+    }
+
+    /// Keep only the `capacity` largest counters. Amortized O(1) per
+    /// insert: at least `capacity` fresh keys arrive between prunes.
+    fn prune(&mut self) {
+        let mut counts: Vec<f64> = self.counters.values().copied().collect();
+        let k = self.capacity;
+        // k-th largest as the retention threshold.
+        counts.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite counts"));
+        let threshold = counts[k - 1];
+        // Retain strictly-above first, then fill ties up to capacity.
+        let mut room = k;
+        let mut above = 0usize;
+        for &c in &counts[..k] {
+            if c > threshold {
+                above += 1;
+            }
+        }
+        let mut tie_room = k - above;
+        self.counters.retain(|_, c| {
+            if *c > threshold {
+                room -= 1;
+                true
+            } else if *c == threshold && tie_room > 0 {
+                tie_room -= 1;
+                room -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        debug_assert!(self.counters.len() <= k);
+        let _ = room;
+    }
+
+    /// Lower-bound frequency estimate for `key` (0 if untracked).
+    pub fn estimate(&self, key: u64) -> f64 {
+        self.counters.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// All tracked `(key, count)` pairs with count at least `threshold`,
+    /// heaviest first.
+    pub fn heavy_entries(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_counts_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..5 {
+            mg.update(1, 1.0);
+        }
+        mg.update(2, 3.0);
+        assert_eq!(mg.estimate(1), 5.0);
+        assert_eq!(mg.estimate(2), 3.0);
+        assert_eq!(mg.estimate(3), 0.0);
+        assert_eq!(mg.total(), 8.0);
+    }
+
+    #[test]
+    fn guarantees_heavy_hitters_survive() {
+        // One key with half the mass among many light keys must stay
+        // tracked with its full count (it is always in the top-k).
+        let cap = 20;
+        let mut mg = MisraGries::new(cap);
+        let heavy_freq = 10_000.0;
+        mg.update(999_999, heavy_freq);
+        for k in 0..10_000u64 {
+            mg.update(k, 1.0);
+        }
+        assert_eq!(mg.estimate(999_999), heavy_freq);
+    }
+
+    #[test]
+    fn estimates_never_exceed_true_count() {
+        let mut mg = MisraGries::new(3);
+        let stream: Vec<u64> = (0..1000).map(|i| i % 7).collect();
+        let mut truth = HashMap::new();
+        for &k in &stream {
+            mg.update(k, 1.0);
+            *truth.entry(k).or_insert(0.0) += 1.0;
+        }
+        for (&k, &t) in &truth {
+            assert!(mg.estimate(k) <= t + 1e-9, "key {k}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected_up_to_slack() {
+        let mut mg = MisraGries::new(5);
+        for k in 0..1000u64 {
+            mg.update(k, (k % 13 + 1) as f64);
+        }
+        assert!(mg.len() <= 10, "len {}", mg.len());
+    }
+
+    #[test]
+    fn prune_keeps_the_heaviest() {
+        let mut mg = MisraGries::new(4);
+        // Heavy keys interleaved with floods of singletons.
+        for round in 0..50u64 {
+            mg.update(1, 100.0);
+            mg.update(2, 50.0);
+            for k in 0..20 {
+                mg.update(1000 + round * 20 + k, 1.0);
+            }
+        }
+        assert_eq!(mg.estimate(1), 5000.0);
+        assert_eq!(mg.estimate(2), 2500.0);
+    }
+
+    #[test]
+    fn deletions_decrement_tracked_keys() {
+        let mut mg = MisraGries::new(4);
+        mg.update(7, 10.0);
+        mg.update(7, -4.0);
+        assert_eq!(mg.estimate(7), 6.0);
+        mg.update(7, -6.0);
+        assert_eq!(mg.estimate(7), 0.0);
+        // Deleting an untracked key is a no-op apart from the total.
+        mg.update(1234, -1.0);
+        assert_eq!(mg.estimate(1234), 0.0);
+    }
+
+    #[test]
+    fn heavy_entries_sorted_and_thresholded() {
+        let mut mg = MisraGries::new(10);
+        mg.update(1, 100.0);
+        mg.update(2, 50.0);
+        mg.update(3, 5.0);
+        let h = mg.heavy_entries(10.0);
+        assert_eq!(h, vec![(1, 100.0), (2, 50.0)]);
+    }
+
+    #[test]
+    fn prune_handles_ties() {
+        let mut mg = MisraGries::new(2);
+        for k in 0..100u64 {
+            mg.update(k, 1.0); // all equal counts
+        }
+        assert!(mg.len() <= 4);
+        // Still functions after tie-pruning.
+        mg.update(5000, 10.0);
+        assert_eq!(mg.estimate(5000), 10.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dctstream-sketch
+//!
+//! Sketch-based streaming join size estimators — the comparators the
+//! cosine-series method is evaluated against in the paper:
+//!
+//! - [`ams`] — the **basic sketch** of Alon–Matias–Szegedy \[2\] / Alon et
+//!   al. \[3\] (four-wise independent ±1 atomic sketches, mean-of-group +
+//!   median-of-means estimation), extended to multi-join chains per Dobra
+//!   et al. \[9\].
+//! - [`skimmed`] — the **skimmed sketch** of Ganguly et al. \[32\]: dense
+//!   frequencies are extracted and joined exactly; the sketch estimates
+//!   only the residual cross terms.
+//! - [`fastams`] — the bucketed **fast-AGMS** ("hash sketch") variant:
+//!   `O(rows)` updates, bucket-grid contraction for multi-joins — the
+//!   structure the skimmed sketch is built on.
+//! - [`hash`] — the four-wise independent hash family over `GF(2⁶¹ − 1)`
+//!   all sketches are built on.
+//! - [`heavy`] — weighted Misra–Gries heavy-hitter tracking used by the
+//!   skimmed sketch's extraction step.
+//!
+//! All sketches implement [`dctstream_core::StreamSummary`], support
+//! turnstile (insert + delete) updates, and measure space in *atomic
+//! sketches*, matching the paper's experimental accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ams;
+pub mod fastams;
+pub mod hash;
+pub mod heavy;
+pub mod skimmed;
+
+pub use ams::{estimate_join, AmsSketch, SketchSchema};
+pub use fastams::{estimate_fast_join, FastAmsSketch, FastSchema};
+pub use hash::{FourWiseHash, SplitMix64, TwoWiseHash};
+pub use heavy::MisraGries;
+pub use skimmed::{estimate_skimmed_join, SkimmedSketch};

@@ -1,0 +1,132 @@
+//! Property-based tests for the sketch crate's invariants.
+
+use dctstream_sketch::{
+    estimate_fast_join, estimate_join, AmsSketch, FastAmsSketch, FastSchema, MisraGries,
+    SketchSchema, SplitMix64, TwoWiseHash,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two-wise bucket hashes always land in range, for any bucket count.
+    #[test]
+    fn buckets_always_in_range(seed in any::<u64>(), xs in vec(any::<u64>(), 1..50), b in 1usize..1000) {
+        let h = TwoWiseHash::generate(&mut SplitMix64::new(seed));
+        for x in xs {
+            prop_assert!(h.bucket(x, b) < b);
+        }
+    }
+
+    /// Atomic sketches are linear: updating with weight w then −w is a
+    /// no-op for any tuple sequence.
+    #[test]
+    fn ams_turnstile_cancellation(
+        values in vec((0i64..200, 1u32..20), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let schema = SketchSchema::new(seed, 3, 6, 1).unwrap();
+        let mut s = AmsSketch::new(schema, vec![0]).unwrap();
+        for &(v, w) in &values {
+            s.update(&[v], w as f64).unwrap();
+        }
+        let snap = s.atoms().to_vec();
+        for &(v, w) in &values {
+            s.update(&[v], 2.0 * w as f64).unwrap();
+        }
+        for &(v, w) in &values {
+            s.update(&[v], -2.0 * w as f64).unwrap();
+        }
+        for (a, b) in s.atoms().iter().zip(&snap) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Fast-AGMS turnstile cancellation, same property.
+    #[test]
+    fn fast_ams_turnstile_cancellation(
+        values in vec((0i64..200, 1u32..20), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let schema = FastSchema::new(seed, 3, vec![16]).unwrap();
+        let mut s = FastAmsSketch::new(schema, vec![0]).unwrap();
+        for &(v, w) in &values {
+            s.update(&[v], w as f64).unwrap();
+        }
+        let snap: Vec<f64> = (0..3).flat_map(|r| s.row(r).to_vec()).collect();
+        for &(v, w) in &values {
+            s.update(&[v], -(w as f64)).unwrap();
+            s.update(&[v], w as f64).unwrap();
+        }
+        let now: Vec<f64> = (0..3).flat_map(|r| s.row(r).to_vec()).collect();
+        for (a, b) in now.iter().zip(&snap) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Join estimates from identical streams equal the self-join estimate,
+    /// and estimates are invariant under stream arrival order.
+    #[test]
+    fn ams_order_invariance(mut values in vec(0i64..100, 2..60), seed in any::<u64>()) {
+        let schema = SketchSchema::new(seed, 3, 8, 1).unwrap();
+        let mut fwd = AmsSketch::new(schema, vec![0]).unwrap();
+        for &v in &values {
+            fwd.update(&[v], 1.0).unwrap();
+        }
+        values.reverse();
+        let mut rev = AmsSketch::new(schema, vec![0]).unwrap();
+        for &v in &values {
+            rev.update(&[v], 1.0).unwrap();
+        }
+        for (a, b) in fwd.atoms().iter().zip(rev.atoms()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        let j1 = estimate_join(&[&fwd, &rev], None).unwrap();
+        let j2 = estimate_join(&[&rev, &fwd], None).unwrap();
+        prop_assert!((j1 - j2).abs() < 1e-6 * (1.0 + j1.abs()));
+    }
+
+    /// On a point-mass stream every estimator is exact regardless of the
+    /// random seed — the sketches' analytical best case.
+    #[test]
+    fn point_mass_always_exact(seed in any::<u64>(), v in 0i64..10_000, w in 1u32..10_000) {
+        let w = w as f64;
+        let schema = SketchSchema::new(seed, 5, 4, 1).unwrap();
+        let mut a = AmsSketch::new(schema, vec![0]).unwrap();
+        let mut b = AmsSketch::new(schema, vec![0]).unwrap();
+        a.update(&[v], w).unwrap();
+        b.update(&[v], w).unwrap();
+        let est = estimate_join(&[&a, &b], None).unwrap();
+        prop_assert!((est - w * w).abs() < 1e-6 * w * w);
+
+        let fschema = FastSchema::new(seed, 3, vec![8]).unwrap();
+        let mut fa = FastAmsSketch::new(fschema.clone(), vec![0]).unwrap();
+        let mut fb = FastAmsSketch::new(fschema, vec![0]).unwrap();
+        fa.update(&[v], w).unwrap();
+        fb.update(&[v], w).unwrap();
+        let est = estimate_fast_join(&[&fa, &fb], None).unwrap();
+        prop_assert!((est - w * w).abs() < 1e-6 * w * w);
+    }
+
+    /// The heavy tracker's total is exact under arbitrary insert/delete
+    /// interleavings, and estimates stay non-negative lower bounds.
+    #[test]
+    fn heavy_tracker_total_and_bounds(
+        ops in vec((0u64..32, -5i32..20), 1..200),
+        cap in 1usize..10,
+    ) {
+        let mut mg = MisraGries::new(cap);
+        let mut total = 0.0;
+        let mut truth = std::collections::HashMap::new();
+        for &(k, w) in &ops {
+            mg.update(k, w as f64);
+            total += w as f64;
+            *truth.entry(k).or_insert(0.0f64) += w as f64;
+        }
+        prop_assert!((mg.total() - total).abs() < 1e-9);
+        for (&k, _) in truth.iter() {
+            prop_assert!(mg.estimate(k) >= 0.0);
+        }
+    }
+}

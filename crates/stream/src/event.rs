@@ -1,0 +1,146 @@
+//! Stream tuples and turnstile events.
+//!
+//! A data stream (paper §1) is an unbounded, one-pass sequence of tuple
+//! arrivals — and, in the turnstile model the synopses support, deletions.
+
+/// One stream element: the attribute values of a tuple, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple(pub Vec<i64>);
+
+impl Tuple {
+    /// Single-attribute tuple.
+    pub fn unary(v: i64) -> Self {
+        Tuple(vec![v])
+    }
+
+    /// Attribute values.
+    pub fn values(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<Vec<i64>> for Tuple {
+    fn from(v: Vec<i64>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl From<i64> for Tuple {
+    fn from(v: i64) -> Self {
+        Tuple::unary(v)
+    }
+}
+
+/// A turnstile stream event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StreamEvent {
+    /// A tuple arrives.
+    Insert(Tuple),
+    /// A previously arrived tuple is retracted.
+    Delete(Tuple),
+}
+
+impl StreamEvent {
+    /// The affected tuple.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            StreamEvent::Insert(t) | StreamEvent::Delete(t) => t,
+        }
+    }
+
+    /// +1 for inserts, −1 for deletes.
+    pub fn weight(&self) -> f64 {
+        match self {
+            StreamEvent::Insert(_) => 1.0,
+            StreamEvent::Delete(_) => -1.0,
+        }
+    }
+}
+
+/// Round-robin interleaving of several event streams, simulating
+/// concurrent arrival from independent sources with no ordering control
+/// (paper §1: "there is no control over the order in which they arrive").
+/// Exhausted sources drop out; the result ends when all do.
+pub fn interleave<I>(sources: Vec<I>) -> impl Iterator<Item = (usize, StreamEvent)>
+where
+    I: Iterator<Item = StreamEvent>,
+{
+    Interleave {
+        sources: sources.into_iter().map(Some).collect(),
+        next: 0,
+    }
+}
+
+struct Interleave<I> {
+    sources: Vec<Option<I>>,
+    next: usize,
+}
+
+impl<I: Iterator<Item = StreamEvent>> Iterator for Interleave<I> {
+    type Item = (usize, StreamEvent);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.sources.len();
+        for _ in 0..n {
+            let idx = self.next;
+            self.next = (self.next + 1) % n;
+            if let Some(src) = &mut self.sources[idx] {
+                match src.next() {
+                    Some(ev) => return Some((idx, ev)),
+                    None => self.sources[idx] = None,
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_conversions() {
+        let t: Tuple = 5i64.into();
+        assert_eq!(t.values(), &[5]);
+        assert_eq!(t.arity(), 1);
+        let t: Tuple = vec![1, 2, 3].into();
+        assert_eq!(t.arity(), 3);
+    }
+
+    #[test]
+    fn event_weight_and_tuple() {
+        let i = StreamEvent::Insert(Tuple::unary(1));
+        let d = StreamEvent::Delete(Tuple::unary(1));
+        assert_eq!(i.weight(), 1.0);
+        assert_eq!(d.weight(), -1.0);
+        assert_eq!(i.tuple(), d.tuple());
+    }
+
+    #[test]
+    fn interleave_round_robins_and_drains() {
+        let a: Vec<StreamEvent> = (0..3)
+            .map(|v| StreamEvent::Insert(Tuple::unary(v)))
+            .collect();
+        let b: Vec<StreamEvent> = (10..12)
+            .map(|v| StreamEvent::Insert(Tuple::unary(v)))
+            .collect();
+        let merged: Vec<(usize, i64)> = interleave(vec![a.into_iter(), b.into_iter()])
+            .map(|(src, ev)| (src, ev.tuple().values()[0]))
+            .collect();
+        assert_eq!(merged, vec![(0, 0), (1, 10), (0, 1), (1, 11), (0, 2)]);
+    }
+
+    #[test]
+    fn interleave_empty_sources() {
+        let v: Vec<std::vec::IntoIter<StreamEvent>> = vec![];
+        assert_eq!(interleave(v).count(), 0);
+        let empty: Vec<StreamEvent> = vec![];
+        assert_eq!(interleave(vec![empty.into_iter()]).count(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Exact join-size computation — the ground truth (`Act` in the paper's
+//! relative-error metric, §5.1).
+//!
+//! Frequencies are represented densely ([`DenseFreq`], value-indexed) for
+//! 1-d attributes and sparsely ([`SparseFreq2`]) for the 2-d inner
+//! relations of multi-join chains. Chain joins are evaluated by sparse
+//! message passing in `O(nnz)` per inner relation.
+
+use std::collections::HashMap;
+
+/// Dense frequency vector of a 1-d attribute: `counts[i]` is the number of
+/// tuples whose value has zero-based domain index `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseFreq(pub Vec<u64>);
+
+impl DenseFreq {
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of tuples `N`.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Exact single equi-join size `Σ_v f₁(v)·f₂(v)` (Eq. (4.1)).
+    /// Panics if domain sizes differ.
+    pub fn equi_join(&self, other: &DenseFreq) -> f64 {
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "join attributes must share a merged domain"
+        );
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
+    }
+
+    /// Exact self-join size (second frequency moment).
+    pub fn self_join(&self) -> f64 {
+        self.0.iter().map(|&a| a as f64 * a as f64).sum()
+    }
+
+    /// Exact count of tuples whose value index lies in `[lo, hi]`
+    /// (clipped; empty ranges give 0).
+    pub fn range_count(&self, lo: i64, hi: i64) -> u64 {
+        let n = self.0.len() as i64;
+        let lo = lo.max(0);
+        let hi = hi.min(n - 1);
+        if lo > hi {
+            return 0;
+        }
+        self.0[lo as usize..=hi as usize].iter().sum()
+    }
+
+    /// Exact band-join size `Σ_{|u−v| ≤ w} f₁(v)·f₂(u)`.
+    pub fn band_join(&self, other: &DenseFreq, width: i64) -> f64 {
+        assert_eq!(self.0.len(), other.0.len());
+        let mut acc = 0.0;
+        for (v, &fv) in self.0.iter().enumerate() {
+            if fv == 0 {
+                continue;
+            }
+            acc += fv as f64 * other.range_count(v as i64 - width, v as i64 + width) as f64;
+        }
+        acc
+    }
+}
+
+/// Sparse frequency table of a 2-attribute relation, keyed by zero-based
+/// domain index pairs.
+#[derive(Debug, Clone, Default)]
+pub struct SparseFreq2 {
+    /// `(left index, right index) -> multiplicity`.
+    pub map: HashMap<(i64, i64), u64>,
+}
+
+impl SparseFreq2 {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `f` tuples with index pair `(a, b)`.
+    pub fn add(&mut self, a: i64, b: i64, f: u64) {
+        if f > 0 {
+            *self.map.entry((a, b)).or_insert(0) += f;
+        }
+    }
+
+    /// Total number of tuples.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Number of non-zero cells.
+    pub fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Dense marginal over the left (0) or right (1) attribute.
+    pub fn marginal(&self, dim: usize, domain_size: usize) -> DenseFreq {
+        assert!(dim < 2);
+        let mut out = vec![0u64; domain_size];
+        for (&(a, b), &f) in &self.map {
+            let v = if dim == 0 { a } else { b };
+            out[v as usize] += f;
+        }
+        DenseFreq(out)
+    }
+}
+
+/// Exact size of the chain join
+/// `R₁(a) ⋈ M₁(a,b) ⋈ M₂(b,c) ⋈ … ⋈ R₂(z)` by sparse message passing.
+///
+/// `first` and `last` are the end relations' dense frequency vectors; each
+/// inner relation contributes its sparse table in chain order (left
+/// attribute joins toward `first`).
+pub fn exact_chain_join(first: &DenseFreq, mids: &[&SparseFreq2], last: &DenseFreq) -> f64 {
+    // msg[v] = Σ over join prefixes ending at open-attribute value v.
+    let mut msg: HashMap<i64, f64> = first
+        .0
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(v, &f)| (v as i64, f as f64))
+        .collect();
+    for mid in mids {
+        let mut next: HashMap<i64, f64> = HashMap::new();
+        for (&(a, b), &f) in &mid.map {
+            if let Some(&w) = msg.get(&a) {
+                *next.entry(b).or_insert(0.0) += w * f as f64;
+            }
+        }
+        msg = next;
+    }
+    msg.iter()
+        .filter_map(|(&v, &w)| {
+            let idx = usize::try_from(v).ok()?;
+            last.0.get(idx).map(|&f| w * f as f64)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_join_and_self_join() {
+        let f1 = DenseFreq(vec![1, 2, 3, 0]);
+        let f2 = DenseFreq(vec![4, 0, 2, 5]);
+        assert_eq!(f1.equi_join(&f2), 4.0 + 0.0 + 6.0 + 0.0);
+        assert_eq!(f1.self_join(), 1.0 + 4.0 + 9.0);
+        assert_eq!(f1.total(), 6);
+    }
+
+    #[test]
+    fn range_count_clips() {
+        let f = DenseFreq(vec![1, 2, 3, 4]);
+        assert_eq!(f.range_count(1, 2), 5);
+        assert_eq!(f.range_count(-10, 100), 10);
+        assert_eq!(f.range_count(3, 1), 0);
+        assert_eq!(f.range_count(10, 20), 0);
+    }
+
+    #[test]
+    fn band_join_matches_brute_force() {
+        let f1 = DenseFreq(vec![2, 0, 1, 3, 1]);
+        let f2 = DenseFreq(vec![1, 1, 0, 2, 4]);
+        for w in 0..5i64 {
+            let mut brute = 0.0;
+            for v in 0..5i64 {
+                for u in 0..5i64 {
+                    if (u - v).abs() <= w {
+                        brute += (f1.0[v as usize] * f2.0[u as usize]) as f64;
+                    }
+                }
+            }
+            assert_eq!(f1.band_join(&f2, w), brute, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn sparse_marginals() {
+        let mut s = SparseFreq2::new();
+        s.add(0, 1, 2);
+        s.add(0, 2, 3);
+        s.add(3, 1, 4);
+        s.add(1, 1, 0); // zero adds are dropped
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.marginal(0, 4).0, vec![5, 0, 0, 4]);
+        assert_eq!(s.marginal(1, 4).0, vec![0, 6, 3, 0]);
+    }
+
+    #[test]
+    fn chain_join_two_relations_reduces_to_equi_join() {
+        // With no inner relations the chain is a single equi-join.
+        let f1 = DenseFreq(vec![1, 2, 3]);
+        let f2 = DenseFreq(vec![2, 2, 2]);
+        assert_eq!(exact_chain_join(&f1, &[], &f2), f1.equi_join(&f2));
+    }
+
+    #[test]
+    fn chain_join_matches_brute_force() {
+        let n = 5i64;
+        let f1 = DenseFreq((0..n).map(|i| (i % 3) as u64).collect());
+        let f3 = DenseFreq((0..n).map(|i| (i % 2 + 1) as u64).collect());
+        let mut m = SparseFreq2::new();
+        for a in 0..n {
+            for b in 0..n {
+                if (a * b) % 3 == 1 {
+                    m.add(a, b, (a + b) as u64);
+                }
+            }
+        }
+        let mut brute = 0.0;
+        for (&(a, b), &f) in &m.map {
+            brute += f1.0[a as usize] as f64 * f as f64 * f3.0[b as usize] as f64;
+        }
+        assert_eq!(exact_chain_join(&f1, &[&m], &f3), brute);
+    }
+
+    #[test]
+    fn three_join_chain_matches_brute_force() {
+        let n = 4i64;
+        let f1 = DenseFreq(vec![1, 2, 0, 1]);
+        let f4 = DenseFreq(vec![2, 1, 1, 0]);
+        let mut m1 = SparseFreq2::new();
+        let mut m2 = SparseFreq2::new();
+        for a in 0..n {
+            for b in 0..n {
+                if (a + b) % 2 == 0 {
+                    m1.add(a, b, (a + 1) as u64);
+                }
+                if (a * 2 + b) % 3 == 0 {
+                    m2.add(a, b, (b + 1) as u64);
+                }
+            }
+        }
+        let mut brute = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let g1 = *m1.map.get(&(a, b)).unwrap_or(&0);
+                    let g2 = *m2.map.get(&(b, c)).unwrap_or(&0);
+                    brute +=
+                        f1.0[a as usize] as f64 * g1 as f64 * g2 as f64 * f4.0[c as usize] as f64;
+                }
+            }
+        }
+        assert_eq!(exact_chain_join(&f1, &[&m1, &m2], &f4), brute);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dctstream-stream
+//!
+//! The data-stream substrate of the `dctstream` workspace:
+//!
+//! - [`event`] — tuples, turnstile events, and source interleaving.
+//! - [`batch`] — the §3.2 batch-update buffer (coalesce events, flush per
+//!   distinct value).
+//! - [`processor`] — the stream registry, event routing, continuous join
+//!   queries, and a thread-safe shared handle.
+//! - [`query`] — declarative chain-join COUNT queries (§4's query form)
+//!   executed against registered summaries.
+//! - [`exact`] — exact join/range/band ground truth used as `Act` in the
+//!   experiments' relative-error metric.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod event;
+pub mod exact;
+pub mod processor;
+pub mod query;
+
+pub use batch::BatchBuffer;
+pub use event::{interleave, StreamEvent, Tuple};
+pub use exact::{exact_chain_join, DenseFreq, SparseFreq2};
+pub use processor::{shared, ContinuousJoinQuery, SharedProcessor, StreamProcessor, Summary};
+pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};

@@ -1,0 +1,95 @@
+//! Multi-join estimation on census-like microdata: the paper's §5.3
+//! two-join query
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM Jan, Feb, Mar
+//! WHERE Jan.Age = Feb.Age AND Feb.Education = Mar.Education
+//! ```
+//!
+//! estimated from per-relation cosine synopses via the chain contraction
+//! of §4.2, plus the §4.3 a-priori error bound for provisioning.
+//!
+//! ```text
+//! cargo run --release --example census_join
+//! ```
+
+use dctstream::core::bounds::coefficients_for_error;
+use dctstream::stream::{exact_chain_join, DenseFreq, SparseFreq2};
+use dctstream::{estimate_chain_join, ChainLink, CosineSynopsis, Domain, Grid, MultiDimSynopsis};
+use dctstream_datagen::census;
+
+fn main() -> dctstream::Result<()> {
+    let jan = census(0, 11);
+    let feb = census(1, 11);
+    let mar = census(2, 11);
+    let age_domain = Domain::of_size(jan.domain_a);
+    let edu_domain = Domain::of_size(jan.domain_b);
+
+    // Ground truth by sparse contraction.
+    let mut feb_joint = SparseFreq2::new();
+    for &((a, e), f) in &feb.cells {
+        feb_joint.add(a, e, f);
+    }
+    let exact = exact_chain_join(
+        &DenseFreq(jan.marginal(0)),
+        &[&feb_joint],
+        &DenseFreq(mar.marginal(1)),
+    );
+
+    // Synopses: 1-d on Jan.Age and Mar.Education, 2-d (triangular, §3.2)
+    // on Feb(Age, Education).
+    let degree = 25; // C(26, 2) = 325 coefficients for the inner relation
+    let mut syn_jan = CosineSynopsis::new(age_domain, Grid::Midpoint, degree)?;
+    let mut syn_mar = CosineSynopsis::new(edu_domain, Grid::Midpoint, degree)?;
+    let mut syn_feb = MultiDimSynopsis::new(vec![age_domain, edu_domain], Grid::Midpoint, degree)?;
+    for (age, &f) in jan.marginal(0).iter().enumerate() {
+        if f > 0 {
+            syn_jan.update(age as i64, f as f64)?;
+        }
+    }
+    for (edu, &f) in mar.marginal(1).iter().enumerate() {
+        if f > 0 {
+            syn_mar.update(edu as i64, f as f64)?;
+        }
+    }
+    for &((a, e), f) in &feb.cells {
+        syn_feb.update(&[a, e], f as f64)?;
+    }
+
+    let est = estimate_chain_join(
+        &[
+            ChainLink::End(&syn_jan),
+            ChainLink::Inner {
+                synopsis: &syn_feb,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&syn_mar),
+        ],
+        None,
+    )?;
+
+    println!("two-join over three census months");
+    println!(
+        "space: {} + {} + {} coefficients",
+        syn_jan.coefficient_count(),
+        syn_feb.coefficient_count(),
+        syn_mar.coefficient_count()
+    );
+    println!("exact COUNT(*)     : {exact:.0}");
+    println!("estimated COUNT(*) : {est:.0}");
+    println!(
+        "relative error     : {:.2}%",
+        (est - exact).abs() / exact * 100.0
+    );
+
+    // Provisioning with the §4.3 bound: how many coefficients would
+    // guarantee 5% error on the Age single-join in the worst case?
+    let n = age_domain.size();
+    let m = coefficients_for_error(0.05, n, jan.total() as f64, exact.max(1.0));
+    println!(
+        "\nEq. (4.9): m = {m} of n = {n} coefficients guarantee ≤ 5% error \
+         on the Age join (worst case; observed errors are far smaller)"
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # dctstream
+//!
+//! Join size estimation over data streams using cosine series — the
+//! umbrella crate of a from-scratch Rust reproduction of
+//! *"Join Size Estimation Over Data Streams Using Cosine Series"*
+//! (Jiang, Luo, Hou, Yan, Zhu, Wang — International Journal of
+//! Information Technology 13(1), 2007).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! - [`core`] (`dctstream-core`) — cosine-series synopses, incremental
+//!   updates, (multi-)equi-join estimation, error bounds, and the §6
+//!   extensions (range / point / band-join estimation).
+//! - [`sketch`] (`dctstream-sketch`) — the AMS basic sketch and the
+//!   skimmed sketch the paper compares against.
+//! - [`stream`] (`dctstream-stream`) — tuples, turnstile events, batch
+//!   updates, continuous queries, and exact ground-truth joins.
+//! - [`datagen`] (`dctstream-datagen`) — every workload generator from
+//!   the paper's evaluation.
+//! - [`baselines`] (`dctstream-baselines`) — classical sampling,
+//!   histogram (equi-width and V-optimal), and Haar-wavelet estimators
+//!   from the related-work landscape.
+//!
+//! The workspace additionally ships the `dctstream` command-line tool
+//! (`dctstream-cli`) and the `repro` experiment harness
+//! (`dctstream-experiments`), which are binaries rather than re-exported
+//! libraries.
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dctstream::{CosineSynopsis, Domain, Grid, estimate_equi_join};
+//!
+//! let domain = Domain::new(0, 9_999);
+//! let mut orders = CosineSynopsis::new(domain, Grid::Midpoint, 128).unwrap();
+//! let mut shipments = CosineSynopsis::new(domain, Grid::Midpoint, 128).unwrap();
+//! for id in 0..5_000i64 {
+//!     orders.insert(id % 2_000).unwrap();
+//!     shipments.insert((id * 3) % 10_000).unwrap();
+//! }
+//! let est = estimate_equi_join(&orders, &shipments, None).unwrap();
+//! assert!(est > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/experiments` for the paper-figure reproduction harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dctstream_baselines as baselines;
+pub use dctstream_core as core;
+pub use dctstream_datagen as datagen;
+pub use dctstream_sketch as sketch;
+pub use dctstream_stream as stream;
+
+pub use dctstream_core::{
+    estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis,
+    DctError, Domain, Grid, MultiDimSynopsis, Result, StreamSummary,
+};
+pub use dctstream_sketch::{AmsSketch, FastAmsSketch, FastSchema, SketchSchema, SkimmedSketch};
+pub use dctstream_stream::{
+    BatchBuffer, ChainJoinQuery, ContinuousJoinQuery, StreamEvent, StreamProcessor, Summary, Tuple,
+};

@@ -1,0 +1,272 @@
+//! Failure injection and adversarial inputs across the public API:
+//! errors must be reported, state must stay consistent, and extreme
+//! distributions must not break any estimator.
+
+use dctstream::stream::DenseFreq;
+use dctstream::{
+    estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis, DctError, Domain, Grid,
+    MultiDimSynopsis, StreamProcessor, StreamSummary, Summary,
+};
+use dctstream_sketch::{
+    estimate_fast_join, estimate_join, estimate_skimmed_join, AmsSketch, FastAmsSketch, FastSchema,
+    SketchSchema, SkimmedSketch,
+};
+
+/// A rejected update must leave the summary exactly as it was — no
+/// partial coefficient writes, no count drift.
+#[test]
+fn rejected_updates_do_not_corrupt_state() {
+    let d = Domain::of_size(64);
+    let mut cos = CosineSynopsis::new(d, Grid::Midpoint, 16).unwrap();
+    cos.insert(10).unwrap();
+    let snap_sums = cos.sums().to_vec();
+    let snap_count = cos.count();
+
+    assert!(cos.insert(64).is_err()); // out of domain
+    assert!(cos.insert(-1).is_err());
+    assert!(cos.update(10, f64::NAN).is_err());
+    assert!(cos.update(10, f64::INFINITY).is_err());
+
+    assert_eq!(cos.sums(), &snap_sums[..]);
+    assert_eq!(cos.count(), snap_count);
+
+    let mut md = MultiDimSynopsis::new(vec![d, d], Grid::Midpoint, 4).unwrap();
+    md.insert(&[1, 2]).unwrap();
+    let snap = md.sums().to_vec();
+    assert!(md.insert(&[1]).is_err()); // arity
+    assert!(md.insert(&[1, 64]).is_err()); // domain
+    assert!(md.update(&[1, 2], f64::NAN).is_err());
+    assert_eq!(md.sums(), &snap[..]);
+    assert_eq!(md.count(), 1.0);
+}
+
+/// Mid-stream errors routed through the processor surface but leave other
+/// streams untouched.
+#[test]
+fn processor_isolates_stream_errors() {
+    let d = Domain::of_size(10);
+    let mut p = StreamProcessor::new();
+    p.register(
+        "good",
+        Summary::Cosine(CosineSynopsis::new(d, Grid::Midpoint, 4).unwrap()),
+    )
+    .unwrap();
+    p.register(
+        "other",
+        Summary::Cosine(CosineSynopsis::new(d, Grid::Midpoint, 4).unwrap()),
+    )
+    .unwrap();
+    p.process_weighted("good", &[3], 1.0).unwrap();
+    assert!(p.process_weighted("good", &[99], 1.0).is_err());
+    assert!(p.process_weighted("missing", &[1], 1.0).is_err());
+    // Only the successful event counted.
+    assert_eq!(p.events_processed(), 1);
+    assert_eq!(p.summary("good").unwrap().tuple_count(), 1.0);
+    assert_eq!(p.summary("other").unwrap().tuple_count(), 0.0);
+}
+
+/// The single-value worst case (§4.3.2) for every estimator: the sketches
+/// are exact; the cosine synopsis degrades gracefully and respects its
+/// bound.
+#[test]
+fn single_value_distribution_all_methods() {
+    let n = 256usize;
+    let d = Domain::of_size(n);
+    let mut f = vec![0u64; n];
+    f[200] = 5_000;
+    let exact = DenseFreq(f.clone()).equi_join(&DenseFreq(f.clone()));
+
+    // Sketches: exact (their best case).
+    let schema = SketchSchema::new(5, 3, 10, 1).unwrap();
+    let mut a = AmsSketch::new(schema, vec![0]).unwrap();
+    let mut b = AmsSketch::new(schema, vec![0]).unwrap();
+    a.update(&[200], 5_000.0).unwrap();
+    b.update(&[200], 5_000.0).unwrap();
+    let est = estimate_join(&[&a, &b], None).unwrap();
+    assert!((est - exact).abs() < 1e-6 * exact);
+
+    let fschema = FastSchema::for_single_join(5, 30, 3).unwrap();
+    let mut fa = FastAmsSketch::new(fschema.clone(), vec![0]).unwrap();
+    let mut fb = FastAmsSketch::new(fschema, vec![0]).unwrap();
+    fa.update(&[200], 5_000.0).unwrap();
+    fb.update(&[200], 5_000.0).unwrap();
+    let est = estimate_fast_join(&[&fa, &fb], None).unwrap();
+    assert!((est - exact).abs() < 1e-6 * exact);
+
+    // Cosine: error bounded by Eq. (4.8) at every truncation level, exact
+    // at full length.
+    let ca = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f).unwrap();
+    let cb = ca.clone();
+    for m in [1usize, 64, 128, 255, 256] {
+        let est = estimate_equi_join(&ca, &cb, Some(m)).unwrap();
+        let bound = dctstream::core::bounds::absolute_error_bound(n, m, 5_000.0, 5_000.0);
+        assert!(
+            (est - exact).abs() <= bound + 1e-6,
+            "m={m}: err {} bound {bound}",
+            (est - exact).abs()
+        );
+    }
+    let est = estimate_equi_join(&ca, &cb, None).unwrap();
+    assert!((est - exact).abs() < 1e-6 * exact);
+}
+
+/// Disjoint supports: the exact join is zero; unbiased estimators must
+/// hover near zero rather than blow up.
+#[test]
+fn disjoint_supports_estimate_near_zero() {
+    let n = 512usize;
+    let d = Domain::of_size(n);
+    let mut f1 = vec![0u64; n];
+    let mut f2 = vec![0u64; n];
+    for i in 0..n / 2 {
+        f1[i] = 10;
+        f2[n / 2 + i] = 10;
+    }
+    let total: f64 = 10.0 * (n / 2) as f64;
+    let ca = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f1).unwrap();
+    let cb = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f2).unwrap();
+    // Exact with all coefficients: 0 (within fp noise relative to N²).
+    let est = estimate_equi_join(&ca, &cb, None).unwrap();
+    assert!(est.abs() < 1e-6 * total * total);
+}
+
+/// Deleting below zero (turnstile retractions arriving before inserts)
+/// keeps working: the synopsis recovers once matching inserts arrive.
+#[test]
+fn out_of_order_turnstile_recovers() {
+    let d = Domain::of_size(32);
+    let mut s = CosineSynopsis::new(d, Grid::Midpoint, 8).unwrap();
+    s.delete(5).unwrap(); // retraction first
+    assert_eq!(s.count(), -1.0);
+    s.insert(5).unwrap(); // matching insert arrives late
+    assert_eq!(s.count(), 0.0);
+    for v in s.sums() {
+        assert!(v.abs() < 1e-12);
+    }
+}
+
+/// Chain estimation with pathological budgets: budget 1 per relation
+/// (only DC terms) reduces to the cross-product-over-domain estimate.
+#[test]
+fn budget_one_reduces_to_dc_estimate() {
+    let n = 64usize;
+    let d = Domain::of_size(n);
+    let f: Vec<u64> = (0..n as u64).map(|i| i % 3 + 1).collect();
+    let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f).unwrap();
+    let b = a.clone();
+    let est = estimate_equi_join(&a, &b, Some(1)).unwrap();
+    let big_n: f64 = f.iter().map(|&x| x as f64).sum();
+    // DC-only estimate = N₁N₂/n.
+    assert!((est - big_n * big_n / n as f64).abs() < 1e-6);
+}
+
+/// Skimmed sketches must refuse estimation after any post-prepare update,
+/// even via the StreamSummary trait path.
+#[test]
+fn skimmed_staleness_is_enforced_through_trait() {
+    let d = Domain::of_size(32);
+    let schema = SketchSchema::new(7, 3, 8, 1).unwrap();
+    let mut a = SkimmedSketch::new(schema, vec![0], vec![d], 8).unwrap();
+    let mut b = SkimmedSketch::new(schema, vec![0], vec![d], 8).unwrap();
+    a.update(&[1], 1.0).unwrap();
+    b.update(&[1], 1.0).unwrap();
+    a.prepare_default();
+    b.prepare_default();
+    assert!(estimate_skimmed_join(&[&a, &b], None).is_ok());
+    StreamSummary::insert_tuple(&mut a, &[2]).unwrap();
+    assert!(matches!(
+        estimate_skimmed_join(&[&a, &b], None),
+        Err(DctError::InvalidParameter(_))
+    ));
+}
+
+/// Degenerate chains: an inner relation with extra non-join attributes is
+/// marginalized implicitly, matching the equivalent 2-attribute synopsis.
+#[test]
+fn three_attribute_inner_relation_marginalizes() {
+    let n = 8usize;
+    let d = Domain::of_size(n);
+    let mut wide = MultiDimSynopsis::new(vec![d, d, d], Grid::Midpoint, n).unwrap();
+    let mut narrow = MultiDimSynopsis::new(vec![d, d], Grid::Midpoint, n).unwrap();
+    for a in 0..n as i64 {
+        for b in 0..n as i64 {
+            for c in 0..n as i64 {
+                if (a + b + c) % 3 == 0 {
+                    wide.update(&[a, c, b], 1.0).unwrap(); // join dims 0 and 2
+                }
+            }
+        }
+    }
+    for a in 0..n as i64 {
+        for b in 0..n as i64 {
+            let cnt = (0..n as i64).filter(|c| (a + b + c) % 3 == 0).count();
+            if cnt > 0 {
+                narrow.update(&[a, b], cnt as f64).unwrap();
+            }
+        }
+    }
+    let f: Vec<u64> = vec![2; n];
+    let ends = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f).unwrap();
+    let est_wide = estimate_chain_join(
+        &[
+            ChainLink::End(&ends),
+            ChainLink::Inner {
+                synopsis: &wide,
+                left: 0,
+                right: 2,
+            },
+            ChainLink::End(&ends),
+        ],
+        None,
+    )
+    .unwrap();
+    let est_narrow = estimate_chain_join(
+        &[
+            ChainLink::End(&ends),
+            ChainLink::Inner {
+                synopsis: &narrow,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&ends),
+        ],
+        None,
+    )
+    .unwrap();
+    // Same degree bound and same marginalized content: close estimates
+    // (the wide synopsis truncates over three dims, so allow tolerance).
+    let rel = (est_wide - est_narrow).abs() / est_narrow.abs().max(1.0);
+    assert!(rel < 0.2, "wide {est_wide} vs narrow {est_narrow}");
+}
+
+/// Persistence under adversarial bytes: random mutations must never
+/// produce a silently-wrong synopsis that differs from the original
+/// (either decode fails, or the mutation hit a benign float and decode
+/// yields finite state).
+#[test]
+fn persistence_rejects_or_stays_finite_under_mutation() {
+    let d = Domain::of_size(64);
+    let mut s = CosineSynopsis::new(d, Grid::Midpoint, 16).unwrap();
+    for v in 0..64i64 {
+        s.update(v, (v % 5 + 1) as f64).unwrap();
+    }
+    let base = s.to_bytes();
+    for i in 0..base.len() {
+        let mut mutated = base.to_vec();
+        mutated[i] ^= 0xFF;
+        match CosineSynopsis::from_bytes(bytes_from(mutated)) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // Accepted mutations may change values but must stay finite
+                // and structurally sound.
+                assert!(decoded.count().is_finite());
+                assert!(decoded.sums().iter().all(|x| x.is_finite()));
+                assert!(decoded.coefficient_count() <= decoded.domain().size());
+            }
+        }
+    }
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}

@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use dctstream::stream::DenseFreq;
+use dctstream::{
+    estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis, Domain,
+    Grid, MultiDimSynopsis,
+};
+use dctstream_datagen::{round_to_total, zipf_frequencies, ValueMapping};
+use dctstream_sketch::{AmsSketch, MisraGries, SketchSchema};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn freq_table(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..50, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. (3.4) claim: the incrementally maintained coefficients equal
+    /// the batch-computed ones, for any insertion sequence.
+    #[test]
+    fn incremental_equals_batch(values in vec(0i64..64, 1..200)) {
+        let d = Domain::of_size(64);
+        let mut streamed = CosineSynopsis::new(d, Grid::Midpoint, 16).unwrap();
+        for &v in &values {
+            streamed.insert(v).unwrap();
+        }
+        let mut freqs = vec![0u64; 64];
+        for &v in &values {
+            freqs[v as usize] += 1;
+        }
+        let batch = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 16, &freqs).unwrap();
+        prop_assert_eq!(streamed.count(), batch.count());
+        for (a, b) in streamed.sums().iter().zip(batch.sums()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Insertions followed by their deletions restore the synopsis, no
+    /// matter how the two phases interleave.
+    #[test]
+    fn insert_delete_cancellation(
+        base in vec(0i64..32, 1..50),
+        churn in vec(0i64..32, 0..50),
+    ) {
+        let d = Domain::of_size(32);
+        let mut syn = CosineSynopsis::new(d, Grid::Midpoint, 12).unwrap();
+        for &v in &base {
+            syn.insert(v).unwrap();
+        }
+        let snapshot = syn.sums().to_vec();
+        // Interleave inserts and deletes of the churn set.
+        for &v in &churn {
+            syn.insert(v).unwrap();
+        }
+        for &v in &churn {
+            syn.delete(v).unwrap();
+        }
+        for (a, b) in syn.sums().iter().zip(&snapshot) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        prop_assert_eq!(syn.count(), base.len() as f64);
+    }
+
+    /// Parseval (Eq. 4.3): with all n coefficients on the midpoint grid,
+    /// the join estimate is exact for arbitrary frequency tables.
+    #[test]
+    fn full_coefficient_join_is_exact(
+        f1 in freq_table(48),
+        f2 in freq_table(48),
+    ) {
+        let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+        prop_assume!(exact > 0.0);
+        let d = Domain::of_size(48);
+        let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 48, &f1).unwrap();
+        let b = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 48, &f2).unwrap();
+        let est = estimate_equi_join(&a, &b, None).unwrap();
+        prop_assert!((est - exact).abs() < 1e-6 * exact.max(1.0),
+            "est {} exact {}", est, exact);
+    }
+
+    /// Self-join via the synopsis equals the second frequency moment with
+    /// full coefficients.
+    #[test]
+    fn self_join_equals_f2(f in freq_table(40)) {
+        prop_assume!(f.iter().any(|&x| x > 0));
+        let exact: f64 = f.iter().map(|&x| (x * x) as f64).sum();
+        let d = Domain::of_size(40);
+        let s = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 40, &f).unwrap();
+        prop_assert!((s.self_join(None) - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    /// Range estimates with full coefficients equal exact range counts
+    /// for every subrange.
+    #[test]
+    fn full_coefficient_ranges_are_exact(
+        f in freq_table(32),
+        lo in 0i64..32,
+        width in 0i64..32,
+    ) {
+        prop_assume!(f.iter().any(|&x| x > 0));
+        let d = Domain::of_size(32);
+        let s = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 32, &f).unwrap();
+        let hi = (lo + width).min(31);
+        let exact = DenseFreq(f).range_count(lo, hi);
+        let est = s.estimate_range_count(lo, hi).unwrap();
+        prop_assert!((est - exact as f64).abs() < 1e-6 * (exact as f64).max(1.0));
+    }
+
+    /// Band join with full coefficients equals brute force for any width.
+    #[test]
+    fn full_coefficient_band_join_is_exact(
+        f1 in freq_table(24),
+        f2 in freq_table(24),
+        w in 0i64..24,
+    ) {
+        prop_assume!(f1.iter().any(|&x| x > 0) && f2.iter().any(|&x| x > 0));
+        let d = Domain::of_size(24);
+        let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 24, &f1).unwrap();
+        let b = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 24, &f2).unwrap();
+        let est = estimate_band_join(&a, &b, w).unwrap();
+        let exact = DenseFreq(f1).band_join(&DenseFreq(f2), w);
+        prop_assert!((est - exact).abs() < 1e-5 * exact.max(1.0),
+            "w={} est {} exact {}", w, est, exact);
+    }
+
+    /// The chain estimator with two end links must agree with the single
+    /// join estimator at every budget.
+    #[test]
+    fn chain_of_two_equals_single_join(
+        f1 in freq_table(30),
+        f2 in freq_table(30),
+        budget in 1usize..30,
+    ) {
+        let d = Domain::of_size(30);
+        let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 30, &f1).unwrap();
+        let b = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 30, &f2).unwrap();
+        let single = estimate_equi_join(&a, &b, Some(budget)).unwrap();
+        let chain = estimate_chain_join(
+            &[ChainLink::End(&a), ChainLink::End(&b)], Some(budget)).unwrap();
+        prop_assert!((single - chain).abs() < 1e-9 * (1.0 + single.abs()));
+    }
+
+    /// Multi-dim marginals commute with data marginals: building a 1-d
+    /// synopsis of the marginal equals extracting the marginal from the
+    /// 2-d synopsis.
+    #[test]
+    fn marginal_extraction_commutes(
+        cells in vec(((0i64..12, 0i64..12), 1u64..10), 1..40),
+    ) {
+        let domains = vec![Domain::of_size(12), Domain::of_size(12)];
+        let tuples: Vec<([i64; 2], u64)> =
+            cells.iter().map(|&((a, b), f)| ([a, b], f)).collect();
+        let md = MultiDimSynopsis::from_sparse_frequencies(
+            domains, Grid::Midpoint, 8,
+            tuples.iter().map(|(t, f)| (&t[..], *f))).unwrap();
+        let mut marg = vec![0u64; 12];
+        for &((a, _), f) in &cells {
+            marg[a as usize] += f;
+        }
+        let direct = CosineSynopsis::from_frequencies(
+            Domain::of_size(12), Grid::Midpoint, 8, &marg).unwrap();
+        let extracted = md.marginal(0).unwrap();
+        for k in 0..8 {
+            prop_assert!((extracted.coefficient(k) - direct.coefficient(k)).abs() < 1e-9);
+        }
+    }
+
+    /// AMS atomic sketches are linear: sketch(A ∪ B) = sketch(A) + sketch(B).
+    #[test]
+    fn ams_sketch_is_linear(
+        s1 in vec(0i64..100, 1..60),
+        s2 in vec(0i64..100, 1..60),
+    ) {
+        let schema = SketchSchema::new(11, 2, 6, 1).unwrap();
+        let mut a = AmsSketch::new(schema, vec![0]).unwrap();
+        let mut b = AmsSketch::new(schema, vec![0]).unwrap();
+        let mut union = AmsSketch::new(schema, vec![0]).unwrap();
+        for &v in &s1 {
+            a.update(&[v], 1.0).unwrap();
+            union.update(&[v], 1.0).unwrap();
+        }
+        for &v in &s2 {
+            b.update(&[v], 1.0).unwrap();
+            union.update(&[v], 1.0).unwrap();
+        }
+        for ((x, y), u) in a.atoms().iter().zip(b.atoms()).zip(union.atoms()) {
+            prop_assert!((x + y - u).abs() < 1e-9);
+        }
+    }
+
+    /// The heavy tracker never overestimates and never exceeds its
+    /// physical size bound.
+    #[test]
+    fn heavy_tracker_is_a_lower_bound(
+        stream in vec((0u64..64, 1u64..20), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut mg = MisraGries::new(cap);
+        let mut truth = std::collections::HashMap::new();
+        for &(k, w) in &stream {
+            mg.update(k, w as f64);
+            *truth.entry(k).or_insert(0.0) += w as f64;
+        }
+        prop_assert!(mg.len() <= 2 * cap);
+        for (&k, &t) in &truth {
+            prop_assert!(mg.estimate(k) <= t + 1e-9);
+        }
+    }
+
+    /// Largest-remainder rounding conserves totals and stays within one
+    /// of the exact shares.
+    #[test]
+    fn rounding_conserves_total(
+        weights in vec(0.0f64..10.0, 1..100),
+        total in 0u64..100_000,
+    ) {
+        let sum: f64 = weights.iter().sum();
+        prop_assume!(sum > 0.0);
+        let norm: Vec<f64> = weights.iter().map(|w| w / sum).collect();
+        let counts = round_to_total(&norm, total);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        for (c, w) in counts.iter().zip(&norm) {
+            let exact = w * total as f64;
+            prop_assert!((*c as f64 - exact).abs() <= 1.0 + 1e-9,
+                "count {} vs exact {}", c, exact);
+        }
+    }
+
+    /// Zipf frequency tables are monotone in rank and conserve the total.
+    #[test]
+    fn zipf_tables_are_well_formed(n in 1usize..500, z in 0.0f64..2.0, total in 0u64..1_000_000) {
+        let f = zipf_frequencies(n, z, total);
+        prop_assert_eq!(f.len(), n);
+        prop_assert_eq!(f.iter().sum::<u64>(), total);
+        prop_assert!(f.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Value mappings are permutations, and applying them preserves the
+    /// frequency multiset.
+    #[test]
+    fn mappings_are_permutations(n in 1usize..300, seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let m = ValueMapping::random(n, seed).partially_permuted(frac, seed ^ 1);
+        let mut seen = vec![false; n];
+        for &v in m.as_slice() {
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+        let f: Vec<u64> = (0..n as u64).collect();
+        let mut applied = m.apply(&f);
+        applied.sort_unstable();
+        prop_assert_eq!(applied, f);
+    }
+
+    /// The chain-join contraction equals an independent brute-force
+    /// reference over the same coefficient set, for arbitrary sparse inner
+    /// relations and budgets.
+    #[test]
+    fn chain_contraction_matches_brute_force(
+        f1 in freq_table(14),
+        f3 in freq_table(14),
+        cells in vec(((0i64..14, 0i64..14), 1u64..9), 1..30),
+        budget in 1usize..120,
+    ) {
+        let n = 14usize;
+        let d = Domain::of_size(n);
+        let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f1).unwrap();
+        let c = CosineSynopsis::from_frequencies(d, Grid::Midpoint, n, &f3).unwrap();
+        let tuples: Vec<([i64; 2], u64)> =
+            cells.iter().map(|&((x, y), f)| ([x, y], f)).collect();
+        let b = MultiDimSynopsis::from_sparse_frequencies(
+            vec![d, d], Grid::Midpoint, n,
+            tuples.iter().map(|(t, f)| (&t[..], *f))).unwrap();
+        let est = estimate_chain_join(
+            &[
+                ChainLink::End(&a),
+                ChainLink::Inner { synopsis: &b, left: 0, right: 1 },
+                ChainLink::End(&c),
+            ],
+            Some(budget),
+        ).unwrap();
+        // Brute force over the same graded-prefix coefficient set.
+        let m_end = a.coefficient_count().min(budget);
+        let used = b.indices().len().min(budget);
+        let mut brute = 0.0;
+        for (rank, idx) in b.indices().iter().take(used) {
+            let (k1, k2) = (idx[0] as usize, idx[1] as usize);
+            if k1 < m_end && k2 < c.coefficient_count().min(budget) {
+                brute += a.sums()[k1] * b.sums()[rank] * c.sums()[k2];
+            }
+        }
+        brute /= (n * n) as f64;
+        prop_assert!((est - brute).abs() < 1e-6 * (1.0 + brute.abs()),
+            "est {} vs brute {}", est, brute);
+    }
+
+    /// Truncation error bound (Eq. 4.7/4.8): for any data, the observed
+    /// error at any budget respects the a-priori bound.
+    #[test]
+    fn truncation_respects_error_bound(
+        f1 in freq_table(40),
+        f2 in freq_table(40),
+        m in 1usize..40,
+    ) {
+        let n1: u64 = f1.iter().sum();
+        let n2: u64 = f2.iter().sum();
+        prop_assume!(n1 > 0 && n2 > 0);
+        let exact = DenseFreq(f1.clone()).equi_join(&DenseFreq(f2.clone()));
+        let d = Domain::of_size(40);
+        let a = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 40, &f1).unwrap();
+        let b = CosineSynopsis::from_frequencies(d, Grid::Midpoint, 40, &f2).unwrap();
+        let est = estimate_equi_join(&a, &b, Some(m)).unwrap();
+        let bound = dctstream::core::bounds::absolute_error_bound(
+            40, m, n1 as f64, n2 as f64);
+        prop_assert!((est - exact).abs() <= bound + 1e-6,
+            "err {} bound {}", (est - exact).abs(), bound);
+    }
+}
