@@ -9,15 +9,24 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dctstream_bench::{ams_from, cosine_from, skimmed_from, typei_pair};
-use dctstream_core::{estimate_equi_join, CosineSynopsis, Domain, Grid};
+use dctstream_core::{
+    estimate_chain_join, estimate_chain_join_threads, estimate_equi_join, ChainLink,
+    CosineSynopsis, Domain, Grid, MultiDimSynopsis,
+};
 use dctstream_sketch::{
     estimate_fast_join, estimate_join, estimate_skimmed_join, AmsSketch, FastAmsSketch, FastSchema,
     SketchSchema,
 };
-use dctstream_stream::{BatchBuffer, StreamEvent, Tuple};
+use dctstream_stream::{BatchBuffer, ParallelIngest, StreamEvent, Tuple};
 use std::hint::black_box;
 
 const DOMAIN: usize = 100_000;
+
+/// Ingestion benchmark shape: the issue's acceptance point is m = 4096
+/// coefficients; 50k tuples keeps a serial iteration in the hundreds of
+/// milliseconds.
+const INGEST_M: usize = 4_096;
+const INGEST_N: usize = 50_000;
 
 /// Per-tuple cosine coefficient update at several synopsis sizes
 /// (paper: 0.32 µs × m).
@@ -148,10 +157,104 @@ fn bench_batch_update(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar vs blocked vs shard-and-merge parallel ingestion of one large
+/// weighted batch into an m = 4096 synopsis. `serial` is the historical
+/// per-tuple `update` loop, `blocked` the 8-wide Chebyshev kernel
+/// ([`CosineSynopsis::update_batch`]), and `parallel/{2,4,8}` the
+/// [`ParallelIngest`] shard-and-merge engine at fixed worker counts.
+fn bench_ingest(c: &mut Criterion) {
+    let batch: Vec<(i64, f64)> = (0..INGEST_N)
+        .map(|i| (((i * 7_919) % DOMAIN) as i64, 1.0))
+        .collect();
+    let fresh = || CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, INGEST_M).unwrap();
+    let mut g = c.benchmark_group("ingest_50k_m4096");
+    g.throughput(Throughput::Elements(INGEST_N as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut syn = fresh();
+            for &(v, w) in &batch {
+                syn.update(v, w).unwrap();
+            }
+            black_box(syn.count())
+        })
+    });
+    g.bench_function("blocked", |b| {
+        b.iter(|| {
+            let mut syn = fresh();
+            syn.update_batch(&batch).unwrap();
+            black_box(syn.count())
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                let ingest = ParallelIngest::with_threads(threads);
+                b.iter(|| {
+                    let mut syn = fresh();
+                    ingest.flush_cosine(&mut syn, &batch).unwrap();
+                    black_box(syn.count())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Serial vs multi-threaded chain-join contraction over an inner relation
+/// large enough (131k stored coefficients) to cross the parallel
+/// threshold.
+fn bench_chain_join(c: &mut Criterion) {
+    let n = 512usize;
+    let f1: Vec<u64> = (0..n as u64).map(|i| i % 11 + 1).collect();
+    let f3: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 13 + 1).collect();
+    let s1 = cosine_from(&f1, n);
+    let s3 = cosine_from(&f3, n);
+    let entries: Vec<([i64; 2], u64)> = (0..2_000)
+        .map(|i| {
+            let a = (i * 73) % n as i64;
+            let b = (i * 131) % n as i64;
+            ([a, b], (i % 9 + 1) as u64)
+        })
+        .collect();
+    let s2 = MultiDimSynopsis::from_sparse_frequencies(
+        vec![Domain::of_size(n), Domain::of_size(n)],
+        Grid::Midpoint,
+        n,
+        entries.iter().map(|(t, f)| (&t[..], *f)),
+    )
+    .unwrap();
+    let links = [
+        ChainLink::End(&s1),
+        ChainLink::Inner {
+            synopsis: &s2,
+            left: 0,
+            right: 1,
+        },
+        ChainLink::End(&s3),
+    ];
+    let mut g = c.benchmark_group("chain_join_contraction");
+    g.throughput(Throughput::Elements(s2.coefficient_count() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(estimate_chain_join(&links, None).unwrap()))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(estimate_chain_join_threads(&links, None, threads).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = speed;
     config = Criterion::default().sample_size(20);
     targets = bench_cosine_update, bench_sketch_update, bench_fast_ams_update,
-              bench_estimate, bench_batch_update
+              bench_estimate, bench_batch_update, bench_ingest, bench_chain_join
 }
 criterion_main!(speed);

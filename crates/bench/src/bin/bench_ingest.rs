@@ -1,0 +1,224 @@
+//! Self-contained timing harness for the parallel ingestion engine.
+//!
+//! Measures the three ingestion paths (per-tuple scalar loop, blocked
+//! 8-wide Chebyshev kernel, shard-and-merge parallel flush at several
+//! worker counts) plus the serial vs parallel chain-join contraction,
+//! using plain wall-clock medians — no Criterion, so it runs as a normal
+//! release binary and can be wired into trajectory tooling.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dctstream-bench --bin bench_ingest [-- --json]
+//! ```
+//!
+//! Always prints a human-readable table; with `--json` it also writes
+//! `BENCH_ingest.json` (items/sec and speedup vs the serial baseline for
+//! every measured configuration) into the current directory.
+
+use dctstream_core::{
+    estimate_chain_join, estimate_chain_join_threads, ChainLink, CosineSynopsis, Domain, Grid,
+    MultiDimSynopsis,
+};
+use dctstream_stream::ParallelIngest;
+use std::time::Instant;
+
+/// Tuples ingested per measured iteration.
+const TUPLES: usize = 50_000;
+/// Synopsis size — the issue's acceptance point is m = 4096.
+const COEFFS: usize = 4_096;
+/// Value domain for the synthetic stream.
+const DOMAIN: usize = 100_000;
+/// Timed repetitions per configuration; the median is reported.
+const REPS: usize = 5;
+
+/// One measured configuration: wall-clock median and derived rates.
+struct Row {
+    name: &'static str,
+    median_secs: f64,
+    items_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Median of `REPS` wall-clock timings of `f` (one warmup run first).
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn rows_to_json(section: &str, items: u64, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  \"{section}\": {{\n    \"items_per_iteration\": {items},\n    \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"median_secs\": {:.6}, \"items_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.name,
+            r.median_secs,
+            r.items_per_sec,
+            r.speedup_vs_serial,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  }");
+    out
+}
+
+fn print_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "  {:<12} {:>12} {:>16} {:>10}",
+        "path", "median", "items/sec", "speedup"
+    );
+    for r in rows {
+        println!(
+            "  {:<12} {:>9.1} ms {:>16.0} {:>9.2}x",
+            r.name,
+            r.median_secs * 1e3,
+            r.items_per_sec,
+            r.speedup_vs_serial
+        );
+    }
+}
+
+fn finish_rows(mut rows: Vec<Row>, items: usize) -> Vec<Row> {
+    let serial = rows[0].median_secs;
+    for r in &mut rows {
+        r.items_per_sec = items as f64 / r.median_secs;
+        r.speedup_vs_serial = serial / r.median_secs;
+    }
+    rows
+}
+
+fn bench_ingest() -> Vec<Row> {
+    let batch: Vec<(i64, f64)> = (0..TUPLES)
+        .map(|i| (((i * 7_919) % DOMAIN) as i64, 1.0))
+        .collect();
+    let fresh = || CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap();
+
+    let mut rows = Vec::new();
+    rows.push(Row {
+        name: "serial",
+        median_secs: median_secs(|| {
+            let mut syn = fresh();
+            for &(v, w) in &batch {
+                syn.update(v, w).unwrap();
+            }
+            std::hint::black_box(syn.count());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    rows.push(Row {
+        name: "blocked",
+        median_secs: median_secs(|| {
+            let mut syn = fresh();
+            syn.update_batch(&batch).unwrap();
+            std::hint::black_box(syn.count());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    for (name, threads) in [("parallel/2", 2), ("parallel/4", 4), ("parallel/8", 8)] {
+        let ingest = ParallelIngest::with_threads(threads);
+        rows.push(Row {
+            name,
+            median_secs: median_secs(|| {
+                let mut syn = fresh();
+                ingest.flush_cosine(&mut syn, &batch).unwrap();
+                std::hint::black_box(syn.count());
+            }),
+            items_per_sec: 0.0,
+            speedup_vs_serial: 1.0,
+        });
+    }
+    finish_rows(rows, TUPLES)
+}
+
+fn bench_chain() -> (Vec<Row>, usize) {
+    let n = 512usize;
+    let f1: Vec<u64> = (0..n as u64).map(|i| i % 11 + 1).collect();
+    let f3: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 13 + 1).collect();
+    let s1 = CosineSynopsis::from_frequencies(Domain::of_size(n), Grid::Midpoint, n, &f1).unwrap();
+    let s3 = CosineSynopsis::from_frequencies(Domain::of_size(n), Grid::Midpoint, n, &f3).unwrap();
+    let entries: Vec<([i64; 2], u64)> = (0..2_000i64)
+        .map(|i| {
+            let a = (i * 73) % n as i64;
+            let b = (i * 131) % n as i64;
+            ([a, b], (i % 9 + 1) as u64)
+        })
+        .collect();
+    let s2 = MultiDimSynopsis::from_sparse_frequencies(
+        vec![Domain::of_size(n), Domain::of_size(n)],
+        Grid::Midpoint,
+        n,
+        entries.iter().map(|(t, f)| (&t[..], *f)),
+    )
+    .unwrap();
+    let coeffs = s2.coefficient_count();
+    let links = [
+        ChainLink::End(&s1),
+        ChainLink::Inner {
+            synopsis: &s2,
+            left: 0,
+            right: 1,
+        },
+        ChainLink::End(&s3),
+    ];
+
+    let mut rows = Vec::new();
+    rows.push(Row {
+        name: "serial",
+        median_secs: median_secs(|| {
+            std::hint::black_box(estimate_chain_join(&links, None).unwrap());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    for (name, threads) in [("parallel/2", 2), ("parallel/4", 4), ("parallel/8", 8)] {
+        rows.push(Row {
+            name,
+            median_secs: median_secs(|| {
+                std::hint::black_box(estimate_chain_join_threads(&links, None, threads).unwrap());
+            }),
+            items_per_sec: 0.0,
+            speedup_vs_serial: 1.0,
+        });
+    }
+    (finish_rows(rows, coeffs), coeffs)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    println!("dctstream ingestion/contraction speed summary");
+    println!("  tuples per batch: {TUPLES}, coefficients: {COEFFS}, reps: {REPS} (median)");
+
+    let ingest = bench_ingest();
+    print_table(
+        "ingest (scalar loop vs blocked kernel vs shard-and-merge)",
+        &ingest,
+    );
+
+    let (chain, chain_coeffs) = bench_chain();
+    print_table("chain-join contraction (serial vs threaded)", &chain);
+
+    if json {
+        let body = format!(
+            "{{\n{},\n{}\n}}\n",
+            rows_to_json("ingest", TUPLES as u64, &ingest),
+            rows_to_json("chain_join", chain_coeffs as u64, &chain),
+        );
+        std::fs::write("BENCH_ingest.json", &body).expect("write BENCH_ingest.json");
+        println!("\nwrote BENCH_ingest.json");
+    }
+}

@@ -27,6 +27,7 @@ use dctstream_core::{
     estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis,
     DctError, Domain, Grid, MultiDimSynopsis,
 };
+use dctstream_stream::ParallelIngest;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -87,6 +88,8 @@ pub enum Command {
         out: PathBuf,
         /// Skip the first line.
         skip_header: bool,
+        /// Ingestion worker threads (1 = serial per-tuple path).
+        threads: usize,
     },
     /// Build a 2-d synopsis from two CSV columns.
     Build2 {
@@ -162,6 +165,8 @@ pub enum Command {
         inputs: Vec<PathBuf>,
         /// Output synopsis path.
         out: PathBuf,
+        /// Merge worker threads (1 = serial pairwise merge).
+        threads: usize,
     },
 }
 
@@ -169,7 +174,7 @@ pub enum Command {
 pub fn usage() -> &'static str {
     "usage: dctstream <command> [options]\n\
      commands:\n\
-       build    --input F --column I --domain LO:HI -m M --out F [--skip-header]\n\
+       build    --input F --column I --domain LO:HI -m M --out F [--skip-header] [--threads N]\n\
        build2   --input F --columns I,J --domains LO:HI,LO:HI --degree D --out F [--skip-header]\n\
        info     <synopsis>\n\
        join     <left> <right> [--budget N]\n\
@@ -178,7 +183,9 @@ pub fn usage() -> &'static str {
        selfjoin <synopsis>\n\
        band     <left> <right> --width W\n\
        box      <synopsis2d> --lo A,B --hi A,B\n\
-       merge    <shard>... --out F"
+       merge    <shard>... --out F [--threads N]\n\
+     --threads N runs ingestion/merging on N shard-and-merge worker\n\
+     threads (exact up to floating-point rounding; N=1 is the serial path)"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -254,6 +261,23 @@ impl Flags {
     }
 }
 
+/// Optional `--threads N` flag shared by `build` and `merge`; defaults
+/// to 1 (the exact serial path).
+fn parse_threads(f: &mut Flags) -> CliResult<usize> {
+    match f.take_opt("threads") {
+        None => Ok(1),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --threads '{v}'")))?;
+            if n == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".into()));
+            }
+            Ok(n)
+        }
+    }
+}
+
 /// Parse a command line (without the program name).
 pub fn parse(args: &[String]) -> CliResult<Command> {
     let (cmd, rest) = args
@@ -269,6 +293,7 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 m: f.parse("m")?,
                 out: PathBuf::from(f.take("out")?),
                 skip_header: f.bools.contains("skip-header"),
+                threads: parse_threads(&mut f)?,
             })
         }
         "build2" => {
@@ -402,12 +427,14 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
         "merge" => {
             let mut f = split_flags(rest, &[])?;
             let out = PathBuf::from(f.take("out")?);
+            let threads = parse_threads(&mut f)?;
             if f.positional.is_empty() {
                 return Err(CliError::Usage("merge takes at least one shard".into()));
             }
             Ok(Command::Merge {
                 inputs: f.positional.iter().map(PathBuf::from).collect(),
                 out,
+                threads,
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -460,16 +487,31 @@ pub fn run(cmd: Command) -> CliResult<String> {
             m,
             out,
             skip_header,
+            threads,
         } => {
             let text = fs::read_to_string(&input)?;
             let mut syn = CosineSynopsis::new(Domain::new(domain.0, domain.1), Grid::Midpoint, m)?;
             let mut rows = 0u64;
-            for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
-                if line.trim().is_empty() {
-                    continue;
+            if threads > 1 {
+                // Shard-and-merge ingestion: parse the whole column into a
+                // weighted batch, then flush it across worker threads.
+                let mut batch: Vec<(i64, f64)> = Vec::new();
+                for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    batch.push((parse_csv_value(line, column, i + 1)?, 1.0));
+                    rows += 1;
                 }
-                syn.insert(parse_csv_value(line, column, i + 1)?)?;
-                rows += 1;
+                ParallelIngest::with_threads(threads).flush_cosine(&mut syn, &batch)?;
+            } else {
+                for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    syn.insert(parse_csv_value(line, column, i + 1)?)?;
+                    rows += 1;
+                }
             }
             fs::write(&out, syn.to_bytes())?;
             Ok(format!(
@@ -625,14 +667,27 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 lo.0, hi.0, lo.1, hi.1
             ))
         }
-        Command::Merge { inputs, out } => {
-            let mut iter = inputs.iter();
-            let first = iter.next().expect("validated non-empty");
-            let mut acc = load_cosine(first)?;
-            for p in iter {
-                let shard = load_cosine(p)?;
-                acc.merge_from(&shard)?;
-            }
+        Command::Merge {
+            inputs,
+            out,
+            threads,
+        } => {
+            let acc = if threads > 1 {
+                let parts = inputs
+                    .iter()
+                    .map(|p| load_cosine(p))
+                    .collect::<CliResult<Vec<_>>>()?;
+                ParallelIngest::with_threads(threads).merge_cosine(parts)?
+            } else {
+                let mut iter = inputs.iter();
+                let first = iter.next().expect("validated non-empty");
+                let mut acc = load_cosine(first)?;
+                for p in iter {
+                    let shard = load_cosine(p)?;
+                    acc.merge_from(&shard)?;
+                }
+                acc
+            };
             fs::write(&out, acc.to_bytes())?;
             Ok(format!(
                 "merged {} shard(s): {} tuples -> {}",
@@ -673,6 +728,7 @@ mod tests {
                 m: 32,
                 out: "s.dcts".into(),
                 skip_header: true,
+                threads: 1,
             }
         );
     }
@@ -717,6 +773,7 @@ mod tests {
             m: 10,
             out: syn_a.clone(),
             skip_header: true,
+            threads: 1,
         })
         .unwrap();
         run(Command::Build {
@@ -726,6 +783,7 @@ mod tests {
             m: 10,
             out: syn_b.clone(),
             skip_header: false,
+            threads: 1,
         })
         .unwrap();
         let info = run(Command::Info {
@@ -786,6 +844,7 @@ mod tests {
             m: 5,
             out: end.clone(),
             skip_header: false,
+            threads: 1,
         })
         .unwrap();
         let out = run(Command::Chain {
@@ -819,12 +878,14 @@ mod tests {
                 m: 8,
                 out: p.clone(),
                 skip_header: false,
+                threads: 1,
             })
             .unwrap();
         }
         let out = run(Command::Merge {
             inputs: vec![p1, p2],
             out: merged.clone(),
+            threads: 1,
         })
         .unwrap();
         assert!(out.contains("4 tuples"), "{out}");
@@ -845,6 +906,7 @@ mod tests {
             m: 8,
             out: syn.clone(),
             skip_header: false,
+            threads: 1,
         })
         .unwrap();
         // Band width 1 self-join of {1,2,2,3}: per tuple a, count of b
@@ -924,6 +986,7 @@ mod tests {
             m: 4,
             out: tmp("bad.dcts"),
             skip_header: false,
+            threads: 1,
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -935,5 +998,72 @@ mod tests {
         let p = tmp("garbage.dcts");
         fs::write(&p, b"definitely not a synopsis").unwrap();
         assert!(run(Command::Info { path: p }).is_err());
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let cmd = parse(&args(
+            "build --input in.csv --column 0 --domain 0:9 -m 4 --out s.dcts --threads 4",
+        ))
+        .unwrap();
+        assert!(matches!(cmd, Command::Build { threads: 4, .. }));
+        let cmd = parse(&args("merge a.dcts b.dcts --out m.dcts --threads 2")).unwrap();
+        assert!(matches!(cmd, Command::Merge { threads: 2, .. }));
+        // Zero workers is a usage error.
+        assert!(matches!(
+            parse(&args(
+                "build --input in.csv --column 0 --domain 0:9 -m 4 --out s.dcts --threads 0"
+            )),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn threaded_build_and_merge_match_serial() {
+        let csv = tmp("threaded.csv");
+        let rows: String = (0..2_000).map(|i| format!("{}\n", i % 50)).collect();
+        fs::write(&csv, rows).unwrap();
+
+        let serial_out = tmp("threaded_serial.dcts");
+        run(Command::Build {
+            input: csv.clone(),
+            column: 0,
+            domain: (0, 49),
+            m: 32,
+            out: serial_out.clone(),
+            skip_header: false,
+            threads: 1,
+        })
+        .unwrap();
+        let par_out = tmp("threaded_par.dcts");
+        run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 49),
+            m: 32,
+            out: par_out.clone(),
+            skip_header: false,
+            threads: 3,
+        })
+        .unwrap();
+        let serial = load_cosine(&serial_out).unwrap();
+        let par = load_cosine(&par_out).unwrap();
+        assert_eq!(serial.count(), par.count());
+        for (a, b) in serial.sums().iter().zip(par.sums()) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                "serial {a} vs threaded {b}"
+            );
+        }
+
+        // Threaded merge of the two (identical) synopses doubles the count.
+        let merged = tmp("threaded_merged.dcts");
+        let out = run(Command::Merge {
+            inputs: vec![serial_out, par_out],
+            out: merged.clone(),
+            threads: 2,
+        })
+        .unwrap();
+        assert!(out.contains("4000 tuples"), "{out}");
     }
 }

@@ -81,6 +81,90 @@ pub fn accumulate_phi(x: f64, w: f64, acc: &mut [f64]) {
     }
 }
 
+/// Number of tuples processed together by [`accumulate_phi_block`]. Eight
+/// `f64` lanes fill two AVX2 registers (or one AVX-512 register) per
+/// recurrence array, which is what lets the autovectorizer keep the whole
+/// recurrence state in registers.
+pub const PHI_BLOCK: usize = 8;
+
+/// Accumulate `acc[k] += Σ_i ws[i] · φ_k(xs[i])` over a batch of tuples.
+///
+/// Semantically identical (up to floating-point rounding ≤ ~1e-12
+/// relative, see the property tests) to calling [`accumulate_phi`] once
+/// per `(x, w)` pair, but processes [`PHI_BLOCK`] tuples per pass over
+/// `acc`: the scalar loop is memory-bound — it re-reads and re-writes the
+/// whole coefficient array for every tuple — while the blocked loop
+/// amortizes that traffic over 8 tuples and runs 8 independent Chebyshev
+/// recurrence chains that vectorize cleanly. The ragged tail
+/// (`len % PHI_BLOCK` tuples) falls back to the scalar kernel.
+///
+/// # Panics
+/// Panics if `xs.len() != ws.len()`.
+pub fn accumulate_phi_block(xs: &[f64], ws: &[f64], acc: &mut [f64]) {
+    assert_eq!(
+        xs.len(),
+        ws.len(),
+        "accumulate_phi_block: {} values vs {} weights",
+        xs.len(),
+        ws.len()
+    );
+    if acc.is_empty() {
+        return;
+    }
+    let mut xs_blocks = xs.chunks_exact(PHI_BLOCK);
+    let mut ws_blocks = ws.chunks_exact(PHI_BLOCK);
+    for (bx, bw) in (&mut xs_blocks).zip(&mut ws_blocks) {
+        let bx: &[f64; PHI_BLOCK] = bx.try_into().expect("chunks_exact");
+        let bw: &[f64; PHI_BLOCK] = bw.try_into().expect("chunks_exact");
+        accumulate_phi_block8(bx, bw, acc);
+    }
+    for (&x, &w) in xs_blocks.remainder().iter().zip(ws_blocks.remainder()) {
+        accumulate_phi(x, w, acc);
+    }
+}
+
+/// One full block: 8 recurrence lanes advanced in lockstep, one pass over
+/// `acc`. All lane state lives in fixed-size arrays so it stays in
+/// registers; the inner loop is 8 independent FMA chains plus a horizontal
+/// add per coefficient.
+#[inline]
+fn accumulate_phi_block8(xs: &[f64; PHI_BLOCK], ws: &[f64; PHI_BLOCK], acc: &mut [f64]) {
+    let m = acc.len();
+    let mut sum_w = 0.0;
+    for &w in ws {
+        sum_w += w;
+    }
+    acc[0] += sum_w;
+    if m == 1 {
+        return;
+    }
+    let mut t_prev = [1.0_f64; PHI_BLOCK];
+    let mut t_cur = [0.0_f64; PHI_BLOCK];
+    let mut two_c1 = [0.0_f64; PHI_BLOCK];
+    let mut w2 = [0.0_f64; PHI_BLOCK];
+    for i in 0..PHI_BLOCK {
+        let c1 = (PI * xs[i]).cos();
+        t_cur[i] = c1;
+        two_c1[i] = 2.0 * c1;
+        w2[i] = ws[i] * SQRT_2;
+    }
+    let mut s1 = 0.0;
+    for i in 0..PHI_BLOCK {
+        s1 += w2[i] * t_cur[i];
+    }
+    acc[1] += s1;
+    for slot in acc.iter_mut().skip(2) {
+        let mut s = 0.0;
+        for i in 0..PHI_BLOCK {
+            let t_next = two_c1[i] * t_cur[i] - t_prev[i];
+            t_prev[i] = t_cur[i];
+            t_cur[i] = t_next;
+            s += w2[i] * t_next;
+        }
+        *slot += s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +232,37 @@ mod tests {
         for (a, e) in acc.iter().zip(&expect) {
             assert!((a - e).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn block_matches_scalar_for_all_tail_shapes() {
+        // Lengths straddling every residue class mod PHI_BLOCK, plus the
+        // empty batch; coefficient counts including the m ∈ {0, 1} edges.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 23, 64] {
+            for m in [0usize, 1, 2, 5, 64] {
+                let xs: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect();
+                let ws: Vec<f64> = (0..len).map(|i| (i as f64 - 3.0) * 0.5).collect();
+                let mut blocked = vec![0.0; m];
+                accumulate_phi_block(&xs, &ws, &mut blocked);
+                let mut scalar = vec![0.0; m];
+                for (&x, &w) in xs.iter().zip(&ws) {
+                    accumulate_phi(x, w, &mut scalar);
+                }
+                for (k, (a, b)) in blocked.iter().zip(&scalar).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "len={len} m={m} k={k}: blocked {a} vs scalar {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulate_phi_block")]
+    fn block_rejects_mismatched_lengths() {
+        let mut acc = [0.0; 4];
+        accumulate_phi_block(&[0.1, 0.2], &[1.0], &mut acc);
     }
 
     /// Discrete orthogonality on the midpoint grid: Σ_j φ_k(x_j)φ_l(x_j) = n·δ_kl.

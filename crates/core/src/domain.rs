@@ -19,7 +19,6 @@
 
 /// How the `i`-th value of an `n`-value domain is mapped into `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Grid {
     /// DCT-II midpoints `x_i = (2i + 1) / (2n)` (zero-based `i`).
     ///
@@ -58,7 +57,6 @@ impl Grid {
 /// `[min(l_A, l_B), max(r_A, r_B)]`, with frequencies of values outside an
 /// attribute's original domain implicitly zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Domain {
     lo: i64,
     hi: i64,

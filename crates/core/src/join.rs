@@ -95,6 +95,29 @@ pub enum ChainLink<'a> {
 /// the graded-lex enumeration for inner relations), mirroring the paper's
 /// per-stream space accounting.
 pub fn estimate_chain_join(links: &[ChainLink<'_>], budget: Option<usize>) -> Result<f64> {
+    estimate_chain_join_threads(links, budget, 1)
+}
+
+/// Entry-count threshold below which [`estimate_chain_join_threads`] stays
+/// serial: contracting a link is ~4 flops per stored coefficient, so small
+/// coefficient sets cannot amortize a thread spawn.
+const MIN_PARALLEL_ENTRIES: usize = 4096;
+
+/// [`estimate_chain_join`] with the per-link tensor contraction spread
+/// over `threads` worker threads.
+///
+/// Each worker contracts a contiguous chunk of the graded-lex coefficient
+/// range into a thread-local output vector; the locals are then summed in
+/// fixed chunk order, so the result is deterministic run-to-run for a
+/// given thread count. `threads == 1` (or a link below
+/// `MIN_PARALLEL_ENTRIES` coefficients) takes the exact serial code path;
+/// different thread counts agree to floating-point reassociation only
+/// (≤ 1e-9 relative, property-tested).
+pub fn estimate_chain_join_threads(
+    links: &[ChainLink<'_>],
+    budget: Option<usize>,
+    threads: usize,
+) -> Result<f64> {
     if links.len() < 2 {
         return Err(DctError::InvalidChain(
             "a chain join needs at least two relations".into(),
@@ -164,25 +187,8 @@ pub fn estimate_chain_join(links: &[ChainLink<'_>], budget: Option<usize>) -> Re
         }
 
         let m_out = syn.degree().min(cap);
-        let mut next = vec![0.0f64; m_out];
-        let entries = syn.indices();
-        let used = entries.len().min(cap);
-        for (rank, idx) in entries.iter().take(used) {
-            // Marginalize every dimension other than (left, right).
-            let others_zero = idx
-                .iter()
-                .enumerate()
-                .all(|(j, &k)| j == left || j == right || k == 0);
-            if !others_zero {
-                continue;
-            }
-            let kl = idx[left] as usize;
-            let kr = idx[right] as usize;
-            if kl < vec.len() && kr < next.len() {
-                next[kr] += vec[kl] * syn.sums()[rank];
-            }
-        }
-        vec = next;
+        let used = syn.indices().len().min(cap);
+        vec = contract_link(syn, left, right, &vec, m_out, used, threads);
         open_domain = syn.domains()[right];
         norm *= open_domain.size() as f64;
     }
@@ -203,6 +209,94 @@ pub fn estimate_chain_join(links: &[ChainLink<'_>], budget: Option<usize>) -> Re
         .map(|(x, y)| x * y)
         .sum();
     Ok(dot / norm)
+}
+
+/// Contract one inner link: fold the incoming coefficient vector `vec`
+/// (over the link's `left` dimension) against the stored coefficient
+/// tensor, producing the outgoing vector over the `right` dimension.
+/// Dimensions other than (`left`, `right`) are marginalized by keeping
+/// only entries whose wavenumber there is zero.
+///
+/// With `threads > 1` and at least [`MIN_PARALLEL_ENTRIES`] stored
+/// coefficients, the graded-lex rank range is split into contiguous
+/// chunks contracted on worker threads; the thread-local partial vectors
+/// are summed in fixed chunk order, so the result is deterministic for a
+/// given thread count. The single-shard path iterates ranks in the same
+/// order as the historical serial loop and is bit-identical to it.
+fn contract_link(
+    syn: &MultiDimSynopsis,
+    left: usize,
+    right: usize,
+    vec: &[f64],
+    m_out: usize,
+    used: usize,
+    threads: usize,
+) -> Vec<f64> {
+    let shards = if threads <= 1 || used < MIN_PARALLEL_ENTRIES {
+        1
+    } else {
+        threads
+            .min(64)
+            .min(used.div_ceil(MIN_PARALLEL_ENTRIES / 4))
+            .max(1)
+    };
+    if shards <= 1 {
+        return contract_range(syn, left, right, vec, m_out, 0, used);
+    }
+    let chunk = used.div_ceil(shards);
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(used);
+                scope.spawn(move || contract_range(syn, left, right, vec, m_out, lo, hi))
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("chain-join worker panicked"));
+        }
+    });
+    let mut next = vec![0.0f64; m_out];
+    for part in partials {
+        for (dst, src) in next.iter_mut().zip(part) {
+            *dst += src;
+        }
+    }
+    next
+}
+
+/// Serial contraction of the graded-lex ranks `lo..hi` of one inner link
+/// into a fresh output vector of length `m_out`.
+fn contract_range(
+    syn: &MultiDimSynopsis,
+    left: usize,
+    right: usize,
+    vec: &[f64],
+    m_out: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<f64> {
+    let entries = syn.indices();
+    let sums = syn.sums();
+    let mut next = vec![0.0f64; m_out];
+    for (rank, &sum) in sums.iter().enumerate().take(hi).skip(lo) {
+        let idx = entries.tuple(rank);
+        // Marginalize every dimension other than (left, right).
+        let others_zero = idx
+            .iter()
+            .enumerate()
+            .all(|(j, &k)| j == left || j == right || k == 0);
+        if !others_zero {
+            continue;
+        }
+        let kl = idx[left] as usize;
+        let kr = idx[right] as usize;
+        if kl < vec.len() && kr < next.len() {
+            next[kr] += vec[kl] * sum;
+        }
+    }
+    next
 }
 
 /// Convenience: validate that two raw attribute domains were merged per
@@ -494,5 +588,111 @@ mod tests {
         let chain =
             estimate_chain_join(&[ChainLink::End(&a), ChainLink::End(&b)], Some(10)).unwrap();
         assert!((single - chain).abs() < 1e-9);
+    }
+
+    // ---- parallel contraction ----------------------------------------
+
+    /// A chain whose inner link stores enough coefficients (> 4096) to
+    /// actually take the multi-threaded contraction path.
+    fn big_chain() -> (CosineSynopsis, MultiDimSynopsis, CosineSynopsis) {
+        let n = 128;
+        let f1: Vec<u64> = (0..n as u64).map(|i| i % 11 + 1).collect();
+        let f3: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 13 + 1).collect();
+        let s1 = syn_from(n, n, &f1);
+        let s3 = syn_from(n, n, &f3);
+        let entries: Vec<([i64; 2], u64)> = (0..n as i64)
+            .flat_map(|a| (0..n as i64).map(move |b| (a, b)))
+            .filter(|&(a, b)| (a * 31 + b * 17) % 5 != 0)
+            .map(|(a, b)| ([a, b], ((a * b) % 9 + 1) as u64))
+            .collect();
+        let s2 = MultiDimSynopsis::from_sparse_frequencies(
+            vec![Domain::of_size(n), Domain::of_size(n)],
+            Grid::Midpoint,
+            n,
+            entries.iter().map(|(t, f)| (&t[..], *f)),
+        )
+        .unwrap();
+        assert!(
+            s2.indices().len() >= MIN_PARALLEL_ENTRIES,
+            "test setup must exceed the parallel threshold, got {}",
+            s2.indices().len()
+        );
+        (s1, s2, s3)
+    }
+
+    #[test]
+    fn chain_join_parallel_matches_serial() {
+        let (s1, s2, s3) = big_chain();
+        let links = [
+            ChainLink::End(&s1),
+            ChainLink::Inner {
+                synopsis: &s2,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&s3),
+        ];
+        let serial = estimate_chain_join(&links, None).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = estimate_chain_join_threads(&links, None, threads).unwrap();
+            let rel = (par - serial).abs() / serial.abs().max(1.0);
+            assert!(
+                rel <= 1e-9,
+                "threads={threads}: serial {serial} vs parallel {par} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_join_threads_one_is_bit_identical() {
+        let (s1, s2, s3) = big_chain();
+        let links = [
+            ChainLink::End(&s1),
+            ChainLink::Inner {
+                synopsis: &s2,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&s3),
+        ];
+        let serial = estimate_chain_join(&links, None).unwrap();
+        let one = estimate_chain_join_threads(&links, None, 1).unwrap();
+        assert_eq!(serial.to_bits(), one.to_bits());
+    }
+
+    #[test]
+    fn chain_join_parallel_is_deterministic_across_runs() {
+        let (s1, s2, s3) = big_chain();
+        let links = [
+            ChainLink::End(&s1),
+            ChainLink::Inner {
+                synopsis: &s2,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&s3),
+        ];
+        let a = estimate_chain_join_threads(&links, None, 4).unwrap();
+        let b = estimate_chain_join_threads(&links, None, 4).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn chain_join_parallel_respects_budget() {
+        let (s1, s2, s3) = big_chain();
+        let links = [
+            ChainLink::End(&s1),
+            ChainLink::Inner {
+                synopsis: &s2,
+                left: 0,
+                right: 1,
+            },
+            ChainLink::End(&s3),
+        ];
+        // A budget below the parallel threshold must agree bit-for-bit with
+        // the serial estimator (the contraction stays single-shard).
+        let serial = estimate_chain_join(&links, Some(100)).unwrap();
+        let par = estimate_chain_join_threads(&links, Some(100), 8).unwrap();
+        assert_eq!(serial.to_bits(), par.to_bits());
     }
 }

@@ -72,7 +72,7 @@ pub mod triangular;
 pub use bandjoin::estimate_band_join;
 pub use domain::{Domain, Grid};
 pub use error::{DctError, Result};
-pub use join::{estimate_chain_join, estimate_equi_join, ChainLink};
+pub use join::{estimate_chain_join, estimate_chain_join_threads, estimate_equi_join, ChainLink};
 pub use multidim::MultiDimSynopsis;
 pub use synopsis::CosineSynopsis;
 pub use traits::StreamSummary;

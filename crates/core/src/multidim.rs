@@ -167,6 +167,45 @@ impl MultiDimSynopsis {
         Ok(())
     }
 
+    /// An empty synopsis with this one's domains, grid, and degree — the
+    /// shard template for parallel shard-and-merge ingestion (see
+    /// [`Self::merge_from`]).
+    pub fn empty_like(&self) -> Self {
+        Self::new(self.domains.clone(), self.grid, self.index.degree())
+            .expect("parameters were validated when self was built")
+    }
+
+    /// Apply a batch of weighted tuple updates.
+    ///
+    /// Validates every tuple and weight before applying anything, so a
+    /// failed call leaves the synopsis unchanged — matching the atomic
+    /// batch semantics of [`crate::CosineSynopsis::update_batch`].
+    pub fn update_batch(&mut self, batch: &[(&[i64], f64)]) -> Result<()> {
+        let d = self.domains.len();
+        for &(tuple, w) in batch {
+            crate::synopsis::check_weight(w)?;
+            if tuple.len() != d {
+                return Err(DctError::ArityMismatch {
+                    expected: d,
+                    got: tuple.len(),
+                });
+            }
+            for (&v, dom) in tuple.iter().zip(&self.domains) {
+                if dom.normalize(v, self.grid).is_none() {
+                    return Err(DctError::ValueOutOfDomain {
+                        value: v,
+                        domain: dom.bounds(),
+                    });
+                }
+            }
+        }
+        for &(tuple, w) in batch {
+            self.update(tuple, w)
+                .expect("batch was validated before applying");
+        }
+        Ok(())
+    }
+
     /// Build from a sparse frequency table `(tuple, multiplicity)`.
     /// Equivalent to streaming inserts but `O(nnz)` basis work.
     pub fn from_sparse_frequencies<'a, I>(

@@ -17,7 +17,7 @@
 //! join estimation independent of `N` bookkeeping:
 //! `Est = N₁N₂/n Σ α_k β_k = (1/n) Σ S_k T_k` (Eq. (4.4)).
 
-use crate::basis::{accumulate_phi, fill_phi};
+use crate::basis::{accumulate_phi, accumulate_phi_block, fill_phi};
 use crate::domain::{Domain, Grid};
 use crate::error::{DctError, Result};
 
@@ -166,11 +166,66 @@ impl CosineSynopsis {
     }
 
     /// Insert a batch of raw values.
+    ///
+    /// Runs through the blocked kernel
+    /// ([`accumulate_phi_block`]): one pass over the coefficient array per
+    /// 8 values instead of one per value. Validates the whole batch before
+    /// touching any state, so a failed call leaves the synopsis unchanged.
     pub fn insert_many<I: IntoIterator<Item = i64>>(&mut self, values: I) -> Result<()> {
+        let values = values.into_iter();
+        let mut xs = Vec::with_capacity(values.size_hint().0);
         for v in values {
-            self.insert(v)?;
+            xs.push(self.normalize_checked(v)?);
         }
+        let ws = vec![1.0; xs.len()];
+        accumulate_phi_block(&xs, &ws, &mut self.sums);
+        self.count += xs.len() as f64;
         Ok(())
+    }
+
+    /// An empty synopsis with this one's domain, grid, and coefficient
+    /// count — the shard template for parallel shard-and-merge ingestion:
+    /// workers accumulate into `empty_like()` partials that
+    /// [`Self::merge_from`] later combines exactly (coefficient sums are
+    /// linear in the data).
+    pub fn empty_like(&self) -> Self {
+        Self::new(self.domain, self.grid, self.sums.len())
+            .expect("parameters were validated when self was built")
+    }
+
+    /// Apply a batch of weighted updates at once (the batched form of
+    /// [`Self::update`], routed through the blocked kernel).
+    ///
+    /// Equivalent to `for (v, w) in batch { self.update(v, w)? }` up to
+    /// floating-point rounding ≤ ~1e-12 relative (property-tested), at
+    /// roughly an eighth of the coefficient-array traffic. Validates every
+    /// value and weight *before* applying anything: on error the synopsis
+    /// is untouched, unlike the sequential loop which would stop half-way.
+    pub fn update_batch(&mut self, batch: &[(i64, f64)]) -> Result<()> {
+        let mut xs = Vec::with_capacity(batch.len());
+        let mut ws = Vec::with_capacity(batch.len());
+        let mut sum_w = 0.0;
+        for &(v, w) in batch {
+            check_weight(w)?;
+            xs.push(self.normalize_checked(v)?);
+            ws.push(w);
+            sum_w += w;
+        }
+        accumulate_phi_block(&xs, &ws, &mut self.sums);
+        self.count += sum_w;
+        Ok(())
+    }
+
+    /// Normalize `v` onto the grid, mapping out-of-domain values to the
+    /// standard error.
+    #[inline]
+    fn normalize_checked(&self, v: i64) -> Result<f64> {
+        self.domain
+            .normalize(v, self.grid)
+            .ok_or(DctError::ValueOutOfDomain {
+                value: v,
+                domain: self.domain.bounds(),
+            })
     }
 
     /// Insert an already-normalized value `x ∈ [0, 1]` (continuous
@@ -206,14 +261,17 @@ impl CosineSynopsis {
         }
         let mut syn = Self::new(domain, grid, m)?;
         let n = domain.size();
+        let mut xs = Vec::new();
+        let mut ws = Vec::new();
         for (i, &f) in freqs.iter().enumerate() {
             if f == 0 {
                 continue;
             }
-            let x = grid.position(i, n);
-            accumulate_phi(x, f as f64, &mut syn.sums);
+            xs.push(grid.position(i, n));
+            ws.push(f as f64);
             syn.count += f as f64;
         }
+        accumulate_phi_block(&xs, &ws, &mut syn.sums);
         Ok(syn)
     }
 

@@ -29,6 +29,21 @@ pub trait StreamSummary {
     /// sample slots / buckets for the baselines).
     fn space(&self) -> usize;
 
+    /// Process a batch of weighted arrivals at once.
+    ///
+    /// Semantically `for (tuple, w) in batch { self.update_weighted(..)? }`
+    /// (the default does exactly that), but implementations with a blocked
+    /// update kernel override it to amortize per-call overhead — the
+    /// cosine synopsis processes the batch 8 tuples per coefficient-array
+    /// pass. Overrides may validate the whole batch up front and apply it
+    /// atomically; the default stops at the first failing tuple.
+    fn update_weighted_batch(&mut self, batch: &[(&[i64], f64)]) -> Result<()> {
+        for &(tuple, w) in batch {
+            self.update_weighted(tuple, w)?;
+        }
+        Ok(())
+    }
+
     /// Process a single arrival.
     fn insert_tuple(&mut self, tuple: &[i64]) -> Result<()> {
         self.update_weighted(tuple, 1.0)
@@ -55,6 +70,23 @@ impl StreamSummary for CosineSynopsis {
         self.update(tuple[0], w)
     }
 
+    /// Routed through the blocked Chebyshev kernel
+    /// ([`crate::basis::accumulate_phi_block`]); validates the whole batch
+    /// before applying any of it.
+    fn update_weighted_batch(&mut self, batch: &[(&[i64], f64)]) -> Result<()> {
+        let mut pairs = Vec::with_capacity(batch.len());
+        for &(tuple, w) in batch {
+            if tuple.len() != 1 {
+                return Err(crate::error::DctError::ArityMismatch {
+                    expected: 1,
+                    got: tuple.len(),
+                });
+            }
+            pairs.push((tuple[0], w));
+        }
+        self.update_batch(&pairs)
+    }
+
     fn tuple_count(&self) -> f64 {
         self.count()
     }
@@ -71,6 +103,11 @@ impl StreamSummary for MultiDimSynopsis {
 
     fn update_weighted(&mut self, tuple: &[i64], w: f64) -> Result<()> {
         self.update(tuple, w)
+    }
+
+    /// Validates the whole batch before applying any of it.
+    fn update_weighted_batch(&mut self, batch: &[(&[i64], f64)]) -> Result<()> {
+        self.update_batch(batch)
     }
 
     fn tuple_count(&self) -> f64 {

@@ -14,16 +14,41 @@ use std::collections::HashMap;
 
 /// A buffer that coalesces turnstile events into net per-tuple weights and
 /// flushes them into any [`StreamSummary`] at once.
+///
+/// Both the `HashMap` and the flush scratch vector keep their allocations
+/// across flushes, so a long-lived buffer in a steady-state pipeline stops
+/// allocating once it has seen its working set.
 #[derive(Debug, Default)]
 pub struct BatchBuffer {
     pending: HashMap<Vec<i64>, f64>,
     buffered_events: usize,
+    flush_threshold: Option<usize>,
+    /// Drain target reused across flushes.
+    scratch: Vec<(Vec<i64>, f64)>,
 }
 
 impl BatchBuffer {
     /// New empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New buffer that reports [`Self::should_flush`] once `threshold` raw
+    /// events have been buffered. The buffer never flushes on its own (it
+    /// has no summary to flush into); owners such as
+    /// [`crate::processor::StreamProcessor`] poll `should_flush` after each
+    /// push.
+    pub fn with_flush_threshold(threshold: usize) -> Self {
+        BatchBuffer {
+            flush_threshold: Some(threshold.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the auto-flush threshold (if configured) has been reached.
+    pub fn should_flush(&self) -> bool {
+        self.flush_threshold
+            .is_some_and(|t| self.buffered_events >= t)
     }
 
     /// Buffer one event.
@@ -52,13 +77,26 @@ impl BatchBuffer {
     }
 
     /// Apply every pending net weight to `summary` and clear the buffer.
-    /// On error the buffer is left cleared of the entries already applied.
+    ///
+    /// Pending tuples are applied in sorted (lexicographic) order through
+    /// [`StreamSummary::update_weighted_batch`], so a flush is both
+    /// deterministic run-to-run (independent of `HashMap` iteration order)
+    /// and routed through the summary's blocked kernel when it has one.
+    /// On error the buffer is cleared; summaries with an atomic batch
+    /// kernel (the cosine synopsis) are left untouched, while summaries on
+    /// the default per-tuple path keep the entries applied before the
+    /// failure.
     pub fn flush_into<S: StreamSummary + ?Sized>(&mut self, summary: &mut S) -> Result<()> {
-        for (tuple, w) in self.pending.drain() {
-            summary.update_weighted(&tuple, w)?;
-        }
+        self.scratch.clear();
+        self.scratch.extend(self.pending.drain());
+        self.scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         self.buffered_events = 0;
-        Ok(())
+        let batch: Vec<(&[i64], f64)> = self
+            .scratch
+            .iter()
+            .map(|(t, w)| (t.as_slice(), *w))
+            .collect();
+        summary.update_weighted_batch(&batch)
     }
 }
 

@@ -5,6 +5,9 @@
 //! - [`event`] — tuples, turnstile events, and source interleaving.
 //! - [`batch`] — the §3.2 batch-update buffer (coalesce events, flush per
 //!   distinct value).
+//! - [`parallel`] — shard-and-merge parallel ingestion: batches split
+//!   across worker threads into thread-local partial synopses, combined
+//!   exactly via coefficient-sum linearity.
 //! - [`processor`] — the stream registry, event routing, continuous join
 //!   queries, and a thread-safe shared handle.
 //! - [`query`] — declarative chain-join COUNT queries (§4's query form)
@@ -18,11 +21,13 @@
 pub mod batch;
 pub mod event;
 pub mod exact;
+pub mod parallel;
 pub mod processor;
 pub mod query;
 
 pub use batch::BatchBuffer;
 pub use event::{interleave, StreamEvent, Tuple};
 pub use exact::{exact_chain_join, DenseFreq, SparseFreq2};
+pub use parallel::ParallelIngest;
 pub use processor::{shared, ContinuousJoinQuery, SharedProcessor, StreamProcessor, Summary};
 pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};

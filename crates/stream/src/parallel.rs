@@ -1,0 +1,372 @@
+//! Shard-and-merge parallel ingestion (paper §3.2 meets multicore).
+//!
+//! Cosine-synopsis coefficient sums are *linear* in the data:
+//! `S_k = Σ_i w_i φ_k(x_i)` splits over any partition of the tuples, and
+//! `merge_from` adds partial sums exactly. So a buffered batch can be
+//! sharded across worker threads — each accumulating into a thread-local
+//! [`CosineSynopsis::empty_like`] partial via the blocked Chebyshev
+//! kernel — and the partials combined afterwards with **zero**
+//! approximation error beyond floating-point rounding. This is the same
+//! property streaming-sketch systems exploit for distributed ingestion;
+//! here it buys single-machine multicore scaling.
+//!
+//! # Determinism
+//!
+//! Results must reproduce run-to-run, so nothing about scheduling may
+//! leak into the output:
+//! - tuples are sharded by *position* (contiguous chunks, fixed chunk
+//!   size), never by which worker finishes first;
+//! - partials are combined by a fixed-shape binary tree over the shard
+//!   index (adjacent pairs per round), regardless of completion order.
+//!
+//! For a given batch and thread count the result is therefore
+//! bit-identical across runs. With `threads == 1` no worker threads or
+//! partials exist at all — the call reduces to exactly the serial
+//! [`CosineSynopsis::update_batch`] path, bit-identical to not using
+//! [`ParallelIngest`]. Across different thread counts results agree to
+//! floating-point reassociation only (≤ 1e-9 relative, property-tested).
+
+use dctstream_core::{CosineSynopsis, MultiDimSynopsis, Result};
+
+/// Upper bound on worker threads; far above any core count this code
+/// meets, it only guards against absurd configuration values.
+pub const MAX_THREADS: usize = 64;
+
+/// Configuration for shard-and-merge parallel flushes.
+///
+/// ```
+/// use dctstream_core::{CosineSynopsis, Domain, Grid};
+/// use dctstream_stream::ParallelIngest;
+///
+/// let mut syn = CosineSynopsis::new(Domain::of_size(100), Grid::Midpoint, 32).unwrap();
+/// let batch: Vec<(i64, f64)> = (0..100).map(|v| (v, 1.0)).collect();
+/// ParallelIngest::with_threads(4).flush_cosine(&mut syn, &batch).unwrap();
+/// assert_eq!(syn.count(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelIngest {
+    threads: usize,
+    /// Below this batch size a parallel flush falls back to the serial
+    /// path: thread spawn/join costs more than the work it would split.
+    min_parallel_batch: usize,
+}
+
+impl Default for ParallelIngest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelIngest {
+    /// Use one worker per available core (clamped to [`MAX_THREADS`]).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Use exactly `n` worker threads (clamped to `1..=`[`MAX_THREADS`]).
+    ///
+    /// `with_threads(1)` is the exact serial code path — no threads, no
+    /// partials, bit-identical to calling the synopsis directly.
+    pub fn with_threads(n: usize) -> Self {
+        ParallelIngest {
+            threads: n.clamp(1, MAX_THREADS),
+            min_parallel_batch: 1024,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Override the batch size below which flushes stay serial
+    /// (default 1024; clamped to at least 1). Mostly useful for tests
+    /// that want to force the sharded path on small batches.
+    pub fn with_min_parallel_batch(mut self, n: usize) -> Self {
+        self.min_parallel_batch = n.max(1);
+        self
+    }
+
+    /// Effective worker count for a batch of `len` items.
+    fn shards_for(&self, len: usize) -> usize {
+        if len < self.min_parallel_batch {
+            1
+        } else {
+            // No shard smaller than one reasonable work unit.
+            self.threads.min(len.div_ceil(256)).max(1)
+        }
+    }
+
+    /// Flush `(value, weight)` pairs into a 1-d synopsis, sharding across
+    /// the configured workers. Exact up to floating-point reassociation;
+    /// atomic (on any invalid value/weight the synopsis is untouched).
+    pub fn flush_cosine(&self, syn: &mut CosineSynopsis, batch: &[(i64, f64)]) -> Result<()> {
+        let shards = self.shards_for(batch.len());
+        if shards <= 1 {
+            return syn.update_batch(batch);
+        }
+        let chunk = batch.len().div_ceil(shards);
+        let partials = std::thread::scope(|scope| {
+            let workers: Vec<_> = batch
+                .chunks(chunk)
+                .map(|shard| {
+                    let template = &*syn;
+                    scope.spawn(move || -> Result<CosineSynopsis> {
+                        let mut part = template.empty_like();
+                        part.update_batch(shard)?;
+                        Ok(part)
+                    })
+                })
+                .collect();
+            // Collect in shard-index order — completion order must not
+            // influence anything downstream.
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("ingest worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+        let combined = tree_reduce_cosine(partials)?;
+        syn.merge_from(&combined)
+    }
+
+    /// Flush weighted tuples into a multi-dimensional synopsis, sharding
+    /// across the configured workers. Same exactness/atomicity contract
+    /// as [`Self::flush_cosine`].
+    pub fn flush_multi(&self, syn: &mut MultiDimSynopsis, batch: &[(&[i64], f64)]) -> Result<()> {
+        let shards = self.shards_for(batch.len());
+        if shards <= 1 {
+            return syn.update_batch(batch);
+        }
+        let chunk = batch.len().div_ceil(shards);
+        let partials = std::thread::scope(|scope| {
+            let workers: Vec<_> = batch
+                .chunks(chunk)
+                .map(|shard| {
+                    let template = &*syn;
+                    scope.spawn(move || -> Result<MultiDimSynopsis> {
+                        let mut part = template.empty_like();
+                        part.update_batch(shard)?;
+                        Ok(part)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("ingest worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+        let combined = tree_reduce_multi(partials)?;
+        syn.merge_from(&combined)
+    }
+
+    /// Merge pre-built synopses (e.g. per-file shards loaded from disk)
+    /// into one, pairing adjacent partials per round across the workers.
+    /// The reduction tree's shape depends only on `parts.len()`, so the
+    /// result is deterministic for a given input order.
+    pub fn merge_cosine(&self, mut parts: Vec<CosineSynopsis>) -> Result<CosineSynopsis> {
+        if parts.is_empty() {
+            return Err(dctstream_core::DctError::InvalidParameter(
+                "nothing to merge".into(),
+            ));
+        }
+        while parts.len() > 1 {
+            if self.threads <= 1 || parts.len() < 4 {
+                return tree_reduce_cosine(parts);
+            }
+            // One tree round, pairs merged concurrently.
+            let mut pairs: Vec<(CosineSynopsis, Option<CosineSynopsis>)> = Vec::new();
+            let mut it = parts.into_iter();
+            while let Some(a) = it.next() {
+                pairs.push((a, it.next()));
+            }
+            parts = std::thread::scope(|scope| {
+                let workers: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(mut a, b)| {
+                        scope.spawn(move || -> Result<CosineSynopsis> {
+                            if let Some(b) = b {
+                                a.merge_from(&b)?;
+                            }
+                            Ok(a)
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("merge worker panicked"))
+                    .collect::<Result<Vec<_>>>()
+            })?;
+        }
+        Ok(parts.pop().expect("non-empty by construction"))
+    }
+}
+
+/// Fold partials with a fixed-shape binary tree (adjacent pairs per
+/// round): `((p0+p1)+(p2+p3))+…`. The shape depends only on the count, so
+/// rounding is reproducible run-to-run.
+fn tree_reduce_cosine(mut parts: Vec<CosineSynopsis>) -> Result<CosineSynopsis> {
+    assert!(!parts.is_empty(), "tree_reduce of zero partials");
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_from(&b)?;
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    Ok(parts.pop().expect("non-empty by construction"))
+}
+
+/// Multi-dimensional twin of [`tree_reduce_cosine`].
+fn tree_reduce_multi(mut parts: Vec<MultiDimSynopsis>) -> Result<MultiDimSynopsis> {
+    assert!(!parts.is_empty(), "tree_reduce of zero partials");
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_from(&b)?;
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    Ok(parts.pop().expect("non-empty by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctstream_core::{Domain, Grid};
+
+    fn big_batch(n_domain: usize, len: usize) -> Vec<(i64, f64)> {
+        (0..len)
+            .map(|i| {
+                let v = (i * 7919) % n_domain;
+                let w = if i % 11 == 0 { -1.0 } else { 1.0 };
+                (v as i64, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_is_bit_identical_to_serial() {
+        let d = Domain::of_size(500);
+        let batch = big_batch(500, 40_000);
+        let mut serial = CosineSynopsis::new(d, Grid::Midpoint, 128).unwrap();
+        serial.update_batch(&batch).unwrap();
+        let mut par = CosineSynopsis::new(d, Grid::Midpoint, 128).unwrap();
+        ParallelIngest::with_threads(1)
+            .flush_cosine(&mut par, &batch)
+            .unwrap();
+        assert_eq!(serial.count(), par.count());
+        for (a, b) in serial.sums().iter().zip(par.sums()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "W=1 must be the serial path");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_within_rounding() {
+        let d = Domain::of_size(1000);
+        let batch = big_batch(1000, 50_000);
+        let mut serial = CosineSynopsis::new(d, Grid::Midpoint, 256).unwrap();
+        serial.update_batch(&batch).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let mut par = CosineSynopsis::new(d, Grid::Midpoint, 256).unwrap();
+            ParallelIngest::with_threads(threads)
+                .flush_cosine(&mut par, &batch)
+                .unwrap();
+            assert!((serial.count() - par.count()).abs() < 1e-9);
+            for (k, (a, b)) in serial.sums().iter().zip(par.sums()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "threads={threads} k={k}: serial {a} vs parallel {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flush_is_deterministic_across_runs() {
+        let d = Domain::of_size(300);
+        let batch = big_batch(300, 20_000);
+        let ingest = ParallelIngest::with_threads(4);
+        let mut first = CosineSynopsis::new(d, Grid::Midpoint, 64).unwrap();
+        ingest.flush_cosine(&mut first, &batch).unwrap();
+        for _ in 0..3 {
+            let mut again = CosineSynopsis::new(d, Grid::Midpoint, 64).unwrap();
+            ingest.flush_cosine(&mut again, &batch).unwrap();
+            for (a, b) in first.sums().iter().zip(again.sums()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "same input must give same bits");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_flush_leaves_synopsis_untouched() {
+        let d = Domain::of_size(100);
+        let mut syn = CosineSynopsis::new(d, Grid::Midpoint, 32).unwrap();
+        syn.insert(5).unwrap();
+        let before = syn.sums().to_vec();
+        let mut batch = big_batch(100, 5_000);
+        batch[4_321] = (100_000, 1.0); // out of domain
+        let err = ParallelIngest::with_threads(4).flush_cosine(&mut syn, &batch);
+        assert!(err.is_err());
+        assert_eq!(syn.sums(), &before[..]);
+        assert_eq!(syn.count(), 1.0);
+    }
+
+    #[test]
+    fn multi_dim_parallel_matches_serial() {
+        let domains = vec![Domain::of_size(20), Domain::of_size(20)];
+        let tuples: Vec<[i64; 2]> = (0..6_000)
+            .map(|i| [(i % 20) as i64, ((i * 13) % 20) as i64])
+            .collect();
+        let batch: Vec<(&[i64], f64)> = tuples.iter().map(|t| (&t[..], 1.0)).collect();
+        let mut serial = MultiDimSynopsis::new(domains.clone(), Grid::Midpoint, 6).unwrap();
+        serial.update_batch(&batch).unwrap();
+        let mut par = MultiDimSynopsis::new(domains, Grid::Midpoint, 6).unwrap();
+        ParallelIngest::with_threads(4)
+            .flush_multi(&mut par, &batch)
+            .unwrap();
+        assert!((serial.count() - par.count()).abs() < 1e-9);
+        for (a, b) in serial.sums().iter().zip(par.sums()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn merge_cosine_combines_shards_exactly() {
+        let d = Domain::of_size(64);
+        let mut whole = CosineSynopsis::new(d, Grid::Midpoint, 32).unwrap();
+        let mut parts = Vec::new();
+        for p in 0..7 {
+            let mut shard = CosineSynopsis::new(d, Grid::Midpoint, 32).unwrap();
+            for v in 0..64 {
+                if (v + p) % 3 == 0 {
+                    shard.insert(v).unwrap();
+                    whole.insert(v).unwrap();
+                }
+            }
+            parts.push(shard);
+        }
+        let merged = ParallelIngest::with_threads(4).merge_cosine(parts).unwrap();
+        assert_eq!(merged.count(), whole.count());
+        for (a, b) in merged.sums().iter().zip(whole.sums()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(ParallelIngest::with_threads(0).threads(), 1);
+        assert_eq!(ParallelIngest::with_threads(10_000).threads(), MAX_THREADS);
+        assert!(ParallelIngest::new().threads() >= 1);
+    }
+}

@@ -8,14 +8,14 @@
 //! [`ContinuousJoinQuery`] values that sample an estimate every `k` events
 //! and keep the resulting time series.
 
+use crate::batch::BatchBuffer;
 use crate::event::StreamEvent;
 use dctstream_core::{
     estimate_equi_join, CosineSynopsis, DctError, MultiDimSynopsis, Result, StreamSummary,
 };
 use dctstream_sketch::{AmsSketch, FastAmsSketch, SkimmedSketch};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Any of the workspace's summary structures, unified for registry storage.
 #[derive(Debug, Clone)]
@@ -95,6 +95,16 @@ impl StreamSummary for Summary {
         }
     }
 
+    fn update_weighted_batch(&mut self, batch: &[(&[i64], f64)]) -> Result<()> {
+        match self {
+            Summary::Cosine(s) => s.update_weighted_batch(batch),
+            Summary::Multi(s) => s.update_weighted_batch(batch),
+            Summary::Ams(s) => s.update_weighted_batch(batch),
+            Summary::Skimmed(s) => s.update_weighted_batch(batch),
+            Summary::FastAms(s) => s.update_weighted_batch(batch),
+        }
+    }
+
     fn tuple_count(&self) -> f64 {
         match self {
             Summary::Cosine(s) => s.tuple_count(),
@@ -118,16 +128,46 @@ impl StreamSummary for Summary {
 
 /// Registry of named streams and their summaries; the single-threaded
 /// event-dispatch engine. Wrap in [`SharedProcessor`] for concurrent use.
+///
+/// In *buffered* mode ([`Self::with_flush_threshold`]) events collect in a
+/// per-stream [`BatchBuffer`] and are applied through the summary's
+/// blocked batch kernel whenever a stream's buffer reaches the threshold —
+/// the §3.2 batch-update scheme. Estimates read only flushed state, so
+/// call [`Self::flush_all`] before estimating in buffered mode.
 #[derive(Debug, Default)]
 pub struct StreamProcessor {
     streams: HashMap<String, Summary>,
+    buffers: HashMap<String, BatchBuffer>,
+    flush_threshold: Option<usize>,
     events: u64,
 }
 
 impl StreamProcessor {
-    /// Empty processor.
+    /// Empty processor applying every event immediately.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty processor in buffered mode: each stream coalesces events in a
+    /// [`BatchBuffer`] that auto-flushes after `threshold` raw events.
+    pub fn with_flush_threshold(threshold: usize) -> Self {
+        StreamProcessor {
+            flush_threshold: Some(threshold.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Flush every stream's pending buffered events into its summary.
+    /// No-op outside buffered mode.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for (name, buf) in &mut self.buffers {
+            let summary = self
+                .streams
+                .get_mut(name)
+                .expect("buffer exists only for registered streams");
+            buf.flush_into(summary)?;
+        }
+        Ok(())
     }
 
     /// Register a stream. Errors on duplicate names.
@@ -137,6 +177,10 @@ impl StreamProcessor {
             return Err(DctError::InvalidParameter(format!(
                 "stream '{name}' is already registered"
             )));
+        }
+        if let Some(t) = self.flush_threshold {
+            self.buffers
+                .insert(name.clone(), BatchBuffer::with_flush_threshold(t));
         }
         self.streams.insert(name, summary);
         Ok(())
@@ -168,13 +212,22 @@ impl StreamProcessor {
         self.process_weighted(stream, ev.tuple().values(), ev.weight())
     }
 
-    /// Route a weighted update to the named stream's summary.
+    /// Route a weighted update to the named stream's summary (or, in
+    /// buffered mode, to its batch buffer — flushing it when full).
     pub fn process_weighted(&mut self, stream: &str, tuple: &[i64], w: f64) -> Result<()> {
         let s = self
             .streams
             .get_mut(stream)
             .ok_or_else(|| DctError::InvalidParameter(format!("unknown stream '{stream}'")))?;
-        s.update_weighted(tuple, w)?;
+        match self.buffers.get_mut(stream) {
+            Some(buf) => {
+                buf.push_weighted(tuple, w);
+                if buf.should_flush() {
+                    buf.flush_into(s)?;
+                }
+            }
+            None => s.update_weighted(tuple, w)?,
+        }
         self.events += 1;
         Ok(())
     }
@@ -205,6 +258,10 @@ impl StreamProcessor {
 }
 
 /// Thread-safe shared processor handle.
+///
+/// Lock with `.read().unwrap()` / `.write().unwrap()`: the processor's
+/// methods don't panic mid-update, so a poisoned lock only follows a
+/// caller panic.
 pub type SharedProcessor = Arc<RwLock<StreamProcessor>>;
 
 /// Create a [`SharedProcessor`].
@@ -353,6 +410,7 @@ mod tests {
                 let name = if t % 2 == 0 { "l" } else { "r" };
                 for v in 0..250i64 {
                     h.write()
+                        .unwrap()
                         .process_weighted(name, &[(v + t) % 64], 1.0)
                         .unwrap();
                 }
@@ -361,7 +419,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let guard = shared.read();
+        let guard = shared.read().unwrap();
         assert_eq!(guard.events_processed(), 1000);
         assert!(guard.estimate_cosine_join("l", "r", None).unwrap() > 0.0);
     }

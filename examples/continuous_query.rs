@@ -1,5 +1,5 @@
 //! Continuous query over live streams: two producer threads push tuples
-//! through crossbeam channels into a shared [`StreamProcessor`]; a
+//! through a bounded mpsc channel into a shared [`StreamProcessor`]; a
 //! [`ContinuousJoinQuery`] — "issued once and then run continuously"
 //! (§1) — samples the join-size estimate as the data flows by.
 //!
@@ -7,7 +7,6 @@
 //! cargo run --release --example continuous_query
 //! ```
 
-use crossbeam::channel;
 use dctstream::stream::shared;
 use dctstream::{ContinuousJoinQuery, CosineSynopsis, Domain, Grid, StreamProcessor, Summary};
 use dctstream_datagen::{correlated_pair, frequencies_to_stream, Correlation};
@@ -34,7 +33,7 @@ fn main() -> dctstream::Result<()> {
 
     // Producers simulate two unbounded, unsynchronized sources (§1: "no
     // control over the order in which they arrive").
-    let (tx, rx) = channel::bounded::<(&'static str, i64)>(1024);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(&'static str, i64)>(1024);
     let (f1, f2) = correlated_pair(
         n,
         0.5,
@@ -63,7 +62,7 @@ fn main() -> dctstream::Result<()> {
     // Consumer: route events, let the continuous query observe progress.
     println!("{:>12} {:>16}", "events", "estimated join");
     for (stream, v) in rx.iter() {
-        let mut guard = processor.write();
+        let mut guard = processor.write().expect("processor lock");
         guard.process_weighted(stream, &[v], 1.0)?;
         if let Some(est) = query.observe(&guard)? {
             println!("{:>12} {est:>16.0}", guard.events_processed());
@@ -73,7 +72,7 @@ fn main() -> dctstream::Result<()> {
     t2.join().expect("producer 2");
 
     // Final report.
-    let guard = processor.read();
+    let guard = processor.read().expect("processor lock");
     let final_est = guard.estimate_cosine_join("trades", "calls", None)?;
     let exact: f64 = f1.iter().zip(&f2).map(|(&a, &b)| a as f64 * b as f64).sum();
     println!("\nprocessed {} events", guard.events_processed());

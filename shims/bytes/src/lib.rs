@@ -1,0 +1,278 @@
+//! In-tree stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the `bytes` API that `dctstream-core::persist`
+//! and the CLI use: an immutable, cheaply-cloneable byte buffer with a
+//! read cursor ([`Bytes`] + [`Buf`]) and an append-only builder
+//! ([`BytesMut`] + [`BufMut`]) with little-endian primitive accessors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Immutable shared byte buffer with an internal read position.
+///
+/// Cloning is O(1): clones share the underlying allocation and each keep
+/// their own cursor, which is all the persist layer needs.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copy the unconsumed bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new `Bytes` viewing `range` of the unconsumed bytes.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes::from(&self.as_slice()[lo..hi])
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Sequential reads from a byte buffer. Accessors panic when the buffer
+/// has too few bytes left, exactly like the upstream crate; callers are
+/// expected to check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copy exactly `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.pos += n;
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// Growable byte buffer used to build wire-format messages.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Sequential writes into a byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"DCTS");
+        b.put_u8(7);
+        b.put_u64_le(0xDEAD_BEEF);
+        b.put_i64_le(-42);
+        b.put_f64_le(3.25);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 4 + 1 + 8 + 8 + 8);
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"DCTS");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 3.25);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn clones_have_independent_cursors() {
+        let mut a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        a.advance(2);
+        assert_eq!(a.remaining(), 2);
+        assert_eq!(b.remaining(), 4);
+        assert_eq!(a.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u64_le();
+    }
+}

@@ -1,0 +1,322 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the Criterion API its `harness = false` bench
+//! binaries use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short calibration run sizes a
+//! batch to roughly ~5 ms, then `sample_size` batches
+//! are timed and the **median** ns/iter is reported (median resists
+//! scheduler noise better than the mean on shared machines). Under
+//! `cargo bench -- --test` each benchmark body runs exactly once and
+//! nothing is timed, matching upstream's smoke-test mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Aim each timed batch at ~5ms so short benches still get stable
+/// medians without long wall-clock runs.
+const TARGET_BATCH_NANOS: u128 = 5_000_000;
+
+/// Measurement throughput annotation: converts ns/iter into an
+/// items-per-second figure in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form, for groups benching one function at many
+    /// parameter values.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly and record its median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until it costs ~TARGET_BATCH_NANOS.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos().max(1);
+            if elapsed >= TARGET_BATCH_NANOS / 2 || batch >= 1 << 30 {
+                break;
+            }
+            // Aim directly at the target from the observed cost.
+            let scale = (TARGET_BATCH_NANOS / elapsed).max(2) as u64;
+            batch = batch.saturating_mul(scale).min(1 << 30);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&self, id: &str, mut f: F) {
+        let mut result_ns = None;
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.criterion.sample_size,
+            result_ns: &mut result_ns,
+        };
+        f(&mut b);
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return;
+        }
+        match result_ns {
+            Some(ns) => {
+                let mut line = format!("{full:<56} time: {:>12} ns/iter", format_sig(ns));
+                if let Some(tp) = self.throughput {
+                    let (n, unit) = match tp {
+                        Throughput::Elements(n) => (n, "elem/s"),
+                        Throughput::Bytes(n) => (n, "B/s"),
+                    };
+                    let per_sec = n as f64 * 1e9 / ns;
+                    line.push_str(&format!("   thrpt: {:>10} {unit}", format_sig(per_sec)));
+                }
+                println!("{line}");
+            }
+            None => println!("{full:<56} (no measurement: bencher not invoked)"),
+        }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmark a closure that borrows a setup input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads process arguments: `--test` (as passed by
+    /// `cargo bench -- --test`) switches to run-once smoke mode; other
+    /// flags Criterion would accept are ignored.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder-style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("group: {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+        };
+        g.run_one(&id.to_string(), f);
+    }
+}
+
+fn format_sig(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}e9", v / 1e9)
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Bundle benchmark functions into a named group runner, upstream
+/// `criterion_group!` syntax (both the struct-like and plain forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            $(
+                {
+                    let mut c = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main()` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter(4096).to_string(), "4096");
+    }
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut out = None;
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            result_ns: &mut out,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(out.expect("sample recorded") > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut out = None;
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            result_ns: &mut out,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(out.is_none());
+    }
+}

@@ -1,0 +1,543 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API its test suites use: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, range / tuple /
+//! [`collection::vec`] strategies, [`arbitrary::any`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//! - no shrinking: a failing case panics with the assertion message and
+//!   the case index (inputs are reproducible — see below);
+//! - case generation is deterministic per test *name* (FNV-seeded
+//!   SplitMix64), so failures reproduce exactly on re-run with no
+//!   persistence files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// Test-case generation and the runner loop.
+pub mod test_runner {
+    use super::fmt;
+
+    /// Deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically (one scramble round decorrelates
+        /// nearby seeds).
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = TestRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// Next 64 uniform bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!` — draw a fresh case.
+        Reject(String),
+        /// Assertion failed — the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection error.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test seed from the test name.
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: generate cases until `config.cases` are
+    /// accepted, panicking on the first failure. Rejections
+    /// (`prop_assume!`) draw a replacement case, up to a global cap.
+    pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name));
+        let max_rejects = 1024 + 64 * config.cases as usize;
+        let mut accepted: u32 = 0;
+        let mut rejected: usize = 0;
+        let mut case_index: u64 = 0;
+        while accepted < config.cases {
+            // Each case gets a private stream forked off the master rng,
+            // so a case's number of draws never shifts later cases.
+            let mut case_rng = TestRng::seed_from_u64(rng.next_u64());
+            case_index += 1;
+            match case(&mut case_rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property `{name}`: too many prop_assume! rejections \
+                             ({rejected}) before {} cases were accepted",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` failed at case #{case_index} \
+                         (accepted {accepted} before it): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value from `rng`.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+/// Integer and float primitives drawable from a `lo..hi` range strategy.
+pub trait RangeSample: Copy {
+    /// Uniform draw from `[lo, hi)`; panics if the range is empty.
+    fn sample_range(rng: &mut test_runner::TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[inline]
+            fn sample_range(rng: &mut test_runner::TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl RangeSample for f64 {
+    #[inline]
+    fn sample_range(rng: &mut test_runner::TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl RangeSample for f32 {
+    #[inline]
+    fn sample_range(rng: &mut test_runner::TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + (rng.next_f64() as f32) * (hi - lo)
+    }
+}
+
+impl<T: RangeSample> Strategy for Range<T> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `any::<T>()` — the full-range strategy for primitives.
+pub mod arbitrary {
+    use super::{test_runner::TestRng, Strategy};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[inline]
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        #[inline]
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        #[inline]
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            // Finite values only; upstream's any::<f64>() also includes
+            // specials, but the workspace's properties assume finite.
+            rng.next_f64() * 2e6 - 1e6
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        #[inline]
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full range for primitives).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{test_runner::TestRng, Strategy};
+    use std::ops::Range;
+
+    /// Length specification accepted by [`vec()`]: an exact `usize` or a
+    /// `lo..hi` range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)` — vectors with `size` elements (exact count
+    /// or `lo..hi` range), each drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property-test file needs, glob-imported.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that generates inputs and runs the body for
+/// every accepted case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { [$config] $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            [$crate::test_runner::ProptestConfig::default()]
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: consumes one `fn` item at a
+/// time. The written-out `#[test]` attribute (and doc comments) on each
+/// item pass through via `$(#[$meta])*`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( [$config:expr] ) => {};
+    (
+        [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                &__config,
+                |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __out
+                },
+            );
+        }
+        $crate::__proptest_items! { [$config] $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_ne!({}, {}) failed: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (draw a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5i64..17, y in 0usize..3, z in 0.25f64..0.75) {
+            prop_assert!((-5..17).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes_and_tuples(
+            v in vec(0i64..64, 1..20),
+            exact in vec(any::<u64>(), 5usize),
+            cells in vec(((0i64..12, 0i64..12), 1u64..10), 1..40),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0..64).contains(&x)));
+            prop_assert_eq!(exact.len(), 5);
+            for ((a, b), w) in cells {
+                prop_assert!(a < 12 && b < 12);
+                prop_assert!((1..10).contains(&w));
+            }
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in vec(0u32..100, 2..30)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn assume_rejects_not_fails(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut a = crate::test_runner::TestRng::seed_from_u64(9);
+        let mut b = crate::test_runner::TestRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run_proptest(
+            "always_fails",
+            &crate::test_runner::ProptestConfig::with_cases(4),
+            |_| Err(crate::test_runner::TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -317,3 +317,75 @@ proptest! {
             "err {} bound {}", (est - exact).abs(), bound);
     }
 }
+
+// ---- blocked kernel & parallel ingestion -----------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 8-wide blocked Chebyshev kernel must agree with repeated
+    /// scalar accumulation for any batch shape: empty, shorter than one
+    /// block, ragged tails (len % 8 != 0), and degenerate coefficient
+    /// counts m ∈ {0, 1}.
+    #[test]
+    fn blocked_kernel_matches_scalar(
+        pairs in vec((0.0f64..1.0, -2.0f64..2.0), 0..41),
+        m_sel in 0usize..6,
+    ) {
+        use dctstream::core::basis::{accumulate_phi, accumulate_phi_block};
+        let m = [0usize, 1, 2, 7, 8, 33][m_sel];
+        let xs: Vec<f64> = pairs.iter().map(|&(x, _)| x).collect();
+        let ws: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
+        let mut blocked = vec![0.0f64; m];
+        accumulate_phi_block(&xs, &ws, &mut blocked);
+        let mut scalar = vec![0.0f64; m];
+        for (&x, &w) in xs.iter().zip(&ws) {
+            accumulate_phi(x, w, &mut scalar);
+        }
+        for (k, (a, b)) in blocked.iter().zip(&scalar).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                "coefficient {}: blocked {} vs scalar {}", k, a, b
+            );
+        }
+    }
+
+    /// Shard-and-merge parallel flush must agree with the serial batch
+    /// path for any insert/delete mix, at every worker count; W = 1 is
+    /// bit-identical by construction.
+    #[test]
+    fn parallel_flush_matches_serial(
+        ops in vec((0i64..64, 0usize..4), 8..300),
+        w_sel in 0usize..3,
+    ) {
+        use dctstream::stream::ParallelIngest;
+        let threads = [1usize, 2, 7][w_sel];
+        // ~25% deletions.
+        let batch: Vec<(i64, f64)> = ops
+            .iter()
+            .map(|&(v, k)| (v, if k == 0 { -1.0 } else { 1.0 }))
+            .collect();
+        let d = Domain::of_size(64);
+        let mut serial = CosineSynopsis::new(d, Grid::Midpoint, 24).unwrap();
+        serial.update_batch(&batch).unwrap();
+        let mut par = CosineSynopsis::new(d, Grid::Midpoint, 24).unwrap();
+        ParallelIngest::with_threads(threads)
+            .with_min_parallel_batch(8)
+            .flush_cosine(&mut par, &batch)
+            .unwrap();
+        prop_assert_eq!(serial.count(), par.count());
+        for (k, (a, b)) in serial.sums().iter().zip(par.sums()).enumerate() {
+            if threads == 1 {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "W=1 must be bit-identical at coefficient {}", k
+                );
+            } else {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                    "coefficient {}: serial {} vs parallel {}", k, a, b
+                );
+            }
+        }
+    }
+}
