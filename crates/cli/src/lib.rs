@@ -14,6 +14,8 @@
 //! dctstream range  r1.dcts --from 10 --to 500
 //! dctstream selfjoin r1.dcts
 //! dctstream merge  shard1.dcts shard2.dcts … --out merged.dcts
+//! dctstream checkpoint orders=r1.dcts parts=r2.dcts --out registry.dctr
+//! dctstream restore registry.dctr [--extract dir/]
 //! ```
 //!
 //! The command layer is a library (`run` + `Command`), so every code path
@@ -27,7 +29,9 @@ use dctstream_core::{
     estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis,
     DctError, Domain, Grid, MultiDimSynopsis,
 };
-use dctstream_stream::ParallelIngest;
+use dctstream_stream::{
+    read_checkpoint, write_checkpoint, ParallelIngest, StreamProcessor, Summary,
+};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -42,6 +46,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Core-library failure.
     Dct(DctError),
+    /// Command output did not match the expected shape.
+    Parse(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -50,6 +56,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Dct(e) => write!(f, "{e}"),
+            CliError::Parse(m) => write!(f, "output parse error: {m}"),
         }
     }
 }
@@ -168,6 +175,20 @@ pub enum Command {
         /// Merge worker threads (1 = serial pairwise merge).
         threads: usize,
     },
+    /// Bundle summary files into a durable registry checkpoint.
+    Checkpoint {
+        /// `(stream name, summary file)` pairs to register.
+        streams: Vec<(String, PathBuf)>,
+        /// Checkpoint manifest output path.
+        out: PathBuf,
+    },
+    /// Validate a registry checkpoint and report (or extract) its streams.
+    Restore {
+        /// Checkpoint manifest path.
+        path: PathBuf,
+        /// Directory to write each stream's summary payload into.
+        extract: Option<PathBuf>,
+    },
 }
 
 /// The usage text.
@@ -184,8 +205,12 @@ pub fn usage() -> &'static str {
        band     <left> <right> --width W\n\
        box      <synopsis2d> --lo A,B --hi A,B\n\
        merge    <shard>... --out F [--threads N]\n\
+       checkpoint NAME=FILE... --out F\n\
+       restore  <checkpoint> [--extract DIR]\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
-     threads (exact up to floating-point rounding; N=1 is the serial path)"
+     threads (exact up to floating-point rounding; N=1 is the serial path)\n\
+     checkpoint bundles summary files into one checksummed manifest;\n\
+     restore validates it and reports (or --extract's) every stream"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -435,6 +460,37 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 inputs: f.positional.iter().map(PathBuf::from).collect(),
                 out,
                 threads,
+            })
+        }
+        "checkpoint" => {
+            let mut f = split_flags(rest, &[])?;
+            let out = PathBuf::from(f.take("out")?);
+            if f.positional.is_empty() {
+                return Err(CliError::Usage(
+                    "checkpoint takes at least one NAME=FILE pair".into(),
+                ));
+            }
+            let mut streams = Vec::with_capacity(f.positional.len());
+            for p in &f.positional {
+                let (name, path) = p
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("'{p}' must be NAME=FILE")))?;
+                if name.is_empty() {
+                    return Err(CliError::Usage(format!("empty stream name in '{p}'")));
+                }
+                streams.push((name.to_string(), PathBuf::from(path)));
+            }
+            Ok(Command::Checkpoint { streams, out })
+        }
+        "restore" => {
+            let mut f = split_flags(rest, &[])?;
+            let extract = f.take_opt("extract").map(PathBuf::from);
+            let [path] = f.positional.as_slice() else {
+                return Err(CliError::Usage("restore takes one checkpoint path".into()));
+            };
+            Ok(Command::Restore {
+                path: PathBuf::from(path),
+                extract,
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -696,7 +752,82 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 out.display()
             ))
         }
+        Command::Checkpoint { streams, out } => {
+            let mut p = StreamProcessor::new();
+            for (name, path) in &streams {
+                let raw = Bytes::from(fs::read(path)?);
+                let summary = Summary::from_bytes(raw)
+                    .map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
+                p.register(name.clone(), summary)?;
+            }
+            write_checkpoint(&mut p, &out)?;
+            Ok(format!(
+                "checkpointed {} stream(s) -> {}",
+                streams.len(),
+                out.display()
+            ))
+        }
+        Command::Restore { path, extract } => {
+            let p = read_checkpoint(&path)?;
+            let mut names: Vec<&str> = p.stream_names().collect();
+            names.sort_unstable();
+            let mut out = String::new();
+            writeln!(
+                out,
+                "checkpoint: {} stream(s), {} event(s) processed",
+                names.len(),
+                p.events_processed()
+            )
+            .unwrap();
+            for name in &names {
+                let s = p.summary(name).expect("name from stream_names");
+                writeln!(
+                    out,
+                    "  {name}: {}, {:.0} tuple(s)",
+                    s.kind_name(),
+                    s.count()
+                )
+                .unwrap();
+            }
+            if let Some(dir) = extract {
+                for name in &names {
+                    if name.contains(['/', '\\']) {
+                        return Err(CliError::Usage(format!(
+                            "stream name '{name}' contains a path separator; refusing to extract"
+                        )));
+                    }
+                }
+                fs::create_dir_all(&dir)?;
+                for name in &names {
+                    let s = p.summary(name).expect("name from stream_names");
+                    fs::write(dir.join(format!("{name}.dcts")), s.to_bytes().as_slice())?;
+                }
+                writeln!(
+                    out,
+                    "extracted {} payload(s) to {}",
+                    names.len(),
+                    dir.display()
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
     }
+}
+
+/// Parse the last whitespace-separated token of a command's output as a
+/// number — the convention every estimate-printing command follows.
+/// Errors (rather than panicking) on unexpected output, quoting it.
+pub fn trailing_number(output: &str) -> CliResult<f64> {
+    let token = output
+        .split_whitespace()
+        .last()
+        .ok_or_else(|| CliError::Parse(format!("empty output '{output}'")))?;
+    token.parse().map_err(|_| {
+        CliError::Parse(format!(
+            "expected a trailing number, found '{token}' in output '{output}'"
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -939,7 +1070,7 @@ mod tests {
         .unwrap();
         // Degree-4 triangular truncation of a diagonal is approximate;
         // exact count is 2.
-        let est: f64 = out.rsplit(' ').next().unwrap().parse().unwrap();
+        let est = trailing_number(&out).unwrap();
         assert!((est - 2.0).abs() < 0.5, "{out}");
         // box on a 1-d synopsis is a usage error.
         assert!(matches!(
@@ -991,6 +1122,104 @@ mod tests {
         .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_number_errors_quote_the_output() {
+        assert_eq!(trailing_number("estimate: 4.5").unwrap(), 4.5);
+        let err = trailing_number("no numbers here").unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        assert!(err.to_string().contains("no numbers here"), "{err}");
+        assert!(matches!(trailing_number("  "), Err(CliError::Parse(_))));
+    }
+
+    #[test]
+    fn parse_checkpoint_and_restore() {
+        let cmd = parse(&args("checkpoint a=a.dcts b=b.dcts --out reg.dctr")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Checkpoint {
+                streams: vec![("a".into(), "a.dcts".into()), ("b".into(), "b.dcts".into())],
+                out: "reg.dctr".into(),
+            }
+        );
+        let cmd = parse(&args("restore reg.dctr --extract dir")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Restore {
+                path: "reg.dctr".into(),
+                extract: Some("dir".into()),
+            }
+        );
+        // Pairs must be NAME=FILE and at least one is required.
+        assert!(matches!(
+            parse(&args("checkpoint plain.dcts --out r")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("checkpoint --out r")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("checkpoint =x.dcts --out r")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip_and_corruption() {
+        let csv = tmp("ckpt.csv");
+        fs::write(&csv, "1\n2\n2\n3\n").unwrap();
+        let (a, b) = (tmp("ckpt_a.dcts"), tmp("ckpt_b.dcts"));
+        for p in [&a, &b] {
+            run(Command::Build {
+                input: csv.clone(),
+                column: 0,
+                domain: (0, 7),
+                m: 8,
+                out: p.clone(),
+                skip_header: false,
+                threads: 1,
+            })
+            .unwrap();
+        }
+        let reg = tmp("ckpt.dctr");
+        let out = run(Command::Checkpoint {
+            streams: vec![("orders".into(), a.clone()), ("parts".into(), b)],
+            out: reg.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("2 stream(s)"), "{out}");
+
+        let dir = tmp("ckpt_extract");
+        let out = run(Command::Restore {
+            path: reg.clone(),
+            extract: Some(dir.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("orders: cosine, 4 tuple(s)"), "{out}");
+        assert!(out.contains("parts:"), "{out}");
+        // The extracted payload is bit-identical to the original file.
+        assert_eq!(
+            fs::read(dir.join("orders.dcts")).unwrap(),
+            fs::read(&a).unwrap()
+        );
+
+        // A corrupted checkpoint degrades to a named error, not a panic.
+        let mut raw = fs::read(&reg).unwrap();
+        let pos = raw
+            .windows(6)
+            .position(|w| w == b"orders")
+            .expect("name in manifest");
+        raw[pos + 20] ^= 0xFF;
+        let bad = tmp("ckpt_bad.dctr");
+        fs::write(&bad, raw).unwrap();
+        let err = run(Command::Restore {
+            path: bad,
+            extract: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("'orders'"), "{err}");
     }
 
     #[test]

@@ -88,9 +88,27 @@ impl Domain {
     }
 
     /// Number of values in the domain (`n` in the paper).
+    ///
+    /// Panics if the width does not fit a `usize` (only possible for the
+    /// near-full `i64` range); use [`Domain::try_size`] when the bounds come
+    /// from untrusted input.
     #[inline]
     pub fn size(&self) -> usize {
-        (self.hi - self.lo + 1) as usize
+        self.try_size()
+            .unwrap_or_else(|| panic!("domain [{}, {}] wider than usize::MAX", self.lo, self.hi))
+    }
+
+    /// Number of values in the domain, or `None` if `hi - lo + 1` does not
+    /// fit a `usize`.
+    ///
+    /// The naive `(hi - lo + 1) as usize` wraps for ranges wider than
+    /// `i64::MAX`; the width is computed in `i128` so that every inclusive
+    /// `[lo, hi]` interval — including the full `i64` range — is handled
+    /// exactly.
+    #[inline]
+    pub fn try_size(&self) -> Option<usize> {
+        let width = self.hi as i128 - self.lo as i128 + 1;
+        usize::try_from(width).ok()
     }
 
     /// Whether `v` lies inside the domain.
@@ -102,7 +120,9 @@ impl Domain {
     /// Zero-based index of `v`, or `None` if out of domain.
     #[inline]
     pub fn index_of(&self, v: i64) -> Option<usize> {
-        self.contains(v).then(|| (v - self.lo) as usize)
+        // `v - lo` overflows i64 for very wide domains; go through i128.
+        self.contains(v)
+            .then(|| (v as i128 - self.lo as i128) as usize)
     }
 
     /// Raw value at zero-based index `i`. Panics if `i >= size()`.
@@ -156,6 +176,34 @@ mod tests {
     #[should_panic]
     fn empty_domain_panics() {
         let _ = Domain::new(3, 2);
+    }
+
+    #[test]
+    fn try_size_handles_overwide_domains() {
+        // The full i64 range holds 2^64 values — one more than usize::MAX
+        // on 64-bit targets. The old `(hi - lo + 1) as usize` wrapped here.
+        let full = Domain::new(i64::MIN, i64::MAX);
+        assert_eq!(full.try_size(), None);
+        // One short of the full range is exactly usize::MAX values.
+        let almost = Domain::new(i64::MIN, i64::MAX - 1);
+        assert_eq!(almost.try_size(), Some(usize::MAX));
+        assert_eq!(almost.size(), usize::MAX);
+        // Narrow domains are unchanged.
+        assert_eq!(Domain::new(-5, 4).try_size(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than usize::MAX")]
+    fn size_panics_instead_of_wrapping() {
+        let _ = Domain::new(i64::MIN, i64::MAX).size();
+    }
+
+    #[test]
+    fn index_of_is_overflow_safe_on_wide_domains() {
+        let d = Domain::new(i64::MIN, i64::MAX - 1);
+        assert_eq!(d.index_of(i64::MIN), Some(0));
+        assert_eq!(d.index_of(i64::MIN + 7), Some(7));
+        assert_eq!(d.index_of(i64::MAX - 1), Some(usize::MAX - 1));
     }
 
     #[test]

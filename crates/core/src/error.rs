@@ -42,6 +42,11 @@ pub enum DctError {
     InvalidChain(String),
     /// An estimate was requested from a synopsis that has seen no tuples.
     EmptySynopsis,
+    /// A checkpoint could not be written, read, or validated.
+    ///
+    /// The message names the failing stream or manifest field so recovery
+    /// tooling can report *which* piece of durable state is damaged.
+    Checkpoint(String),
 }
 
 impl fmt::Display for DctError {
@@ -69,6 +74,7 @@ impl fmt::Display for DctError {
             }
             DctError::InvalidChain(msg) => write!(f, "invalid chain join: {msg}"),
             DctError::EmptySynopsis => write!(f, "synopsis has seen no tuples"),
+            DctError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -21,10 +21,32 @@ use crate::multidim::MultiDimSynopsis;
 use crate::synopsis::CosineSynopsis;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: &[u8; 4] = b"DCTS";
-const VERSION: u8 = 1;
-const KIND_COSINE: u8 = 1;
-const KIND_MULTI: u8 = 2;
+/// Magic tag opening every persisted summary payload.
+pub const MAGIC: &[u8; 4] = b"DCTS";
+/// Current payload format version.
+pub const VERSION: u8 = 1;
+/// Payload kind byte for [`CosineSynopsis`].
+pub const KIND_COSINE: u8 = 1;
+/// Payload kind byte for [`MultiDimSynopsis`].
+pub const KIND_MULTI: u8 = 2;
+/// Payload kind byte for the sketch crate's `AmsSketch`.
+pub const KIND_AMS: u8 = 3;
+/// Payload kind byte for the sketch crate's `FastAmsSketch`.
+pub const KIND_FAST_AMS: u8 = 4;
+/// Payload kind byte for the sketch crate's `SkimmedSketch`.
+pub const KIND_SKIMMED: u8 = 5;
+
+/// Human-readable label for a payload kind byte.
+pub fn kind_label(kind: u8) -> &'static str {
+    match kind {
+        KIND_COSINE => "cosine",
+        KIND_MULTI => "multidim",
+        KIND_AMS => "ams",
+        KIND_FAST_AMS => "fast-ams",
+        KIND_SKIMMED => "skimmed",
+        _ => "unknown",
+    }
+}
 
 fn grid_tag(grid: Grid) -> u8 {
     match grid {
@@ -43,45 +65,76 @@ fn grid_from_tag(tag: u8) -> Result<Grid> {
     }
 }
 
-fn put_header(buf: &mut BytesMut, kind: u8, grid: Grid) {
+/// Append the 8-byte payload header.
+///
+/// `aux` is a kind-specific byte: the grid tag for cosine synopses, zero for
+/// sketches.
+pub fn put_header(buf: &mut BytesMut, kind: u8, aux: u8) {
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(kind);
-    buf.put_u8(grid_tag(grid));
+    buf.put_u8(aux);
     buf.put_u8(0); // reserved
 }
 
-fn check_header(buf: &mut Bytes, expect_kind: u8) -> Result<Grid> {
+/// Validate the 8-byte payload header and return the kind-specific `aux`
+/// byte.
+pub fn check_header(buf: &mut Bytes, expect_kind: u8) -> Result<u8> {
     if buf.remaining() < 8 {
         return Err(DctError::InvalidParameter(
-            "buffer too short for a synopsis header".into(),
+            "buffer too short for a summary header".into(),
         ));
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
         return Err(DctError::InvalidParameter(
-            "not a dctstream synopsis (bad magic)".into(),
+            "not a dctstream summary (bad magic)".into(),
         ));
     }
     let version = buf.get_u8();
     if version != VERSION {
         return Err(DctError::InvalidParameter(format!(
-            "unsupported synopsis format version {version}"
+            "unsupported summary format version {version}"
         )));
     }
     let kind = buf.get_u8();
     if kind != expect_kind {
         return Err(DctError::InvalidParameter(format!(
-            "synopsis kind mismatch: found {kind}, expected {expect_kind}"
+            "summary kind mismatch: found {kind}, expected {expect_kind}"
         )));
     }
-    let grid = grid_from_tag(buf.get_u8())?;
+    let aux = buf.get_u8();
     let _reserved = buf.get_u8();
-    Ok(grid)
+    Ok(aux)
 }
 
-fn get_f64_checked(buf: &mut Bytes) -> Result<f64> {
+/// Peek the kind byte of a framed payload without consuming it.
+///
+/// Validates the magic and version first, so garbage is rejected rather
+/// than dispatched on a random byte.
+pub fn peek_kind(bytes: &[u8]) -> Result<u8> {
+    if bytes.len() < 8 {
+        return Err(DctError::InvalidParameter(
+            "buffer too short for a summary header".into(),
+        ));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(DctError::InvalidParameter(
+            "not a dctstream summary (bad magic)".into(),
+        ));
+    }
+    if bytes[4] != VERSION {
+        return Err(DctError::InvalidParameter(format!(
+            "unsupported summary format version {}",
+            bytes[4]
+        )));
+    }
+    Ok(bytes[5])
+}
+
+/// Read a finite little-endian `f64`, rejecting truncation and NaN/±inf.
+pub fn get_f64_checked(buf: &mut Bytes) -> Result<f64> {
     if buf.remaining() < 8 {
         return Err(DctError::InvalidParameter(
             "buffer truncated inside float data".into(),
@@ -90,17 +143,54 @@ fn get_f64_checked(buf: &mut Bytes) -> Result<f64> {
     let v = buf.get_f64_le();
     if !v.is_finite() {
         return Err(DctError::InvalidParameter(
-            "corrupted synopsis: non-finite float".into(),
+            "corrupted summary: non-finite float".into(),
         ));
     }
     Ok(v)
+}
+
+/// Read a little-endian `u64`, naming `what` in the truncation error.
+pub fn get_u64_checked(buf: &mut Bytes, what: &str) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(DctError::InvalidParameter(format!(
+            "buffer truncated inside {what}"
+        )));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Decode an inclusive `[lo, hi]` domain from untrusted bytes.
+///
+/// Rejects truncation, empty intervals, and intervals wider than
+/// `usize::MAX` (which the naive width computation used to wrap on);
+/// returns the domain together with its exact size.
+pub fn get_domain_checked(buf: &mut Bytes) -> Result<(Domain, usize)> {
+    if buf.remaining() < 16 {
+        return Err(DctError::InvalidParameter(
+            "buffer truncated inside domain bounds".into(),
+        ));
+    }
+    let lo = buf.get_i64_le();
+    let hi = buf.get_i64_le();
+    if lo > hi {
+        return Err(DctError::InvalidParameter(format!(
+            "corrupted summary: empty domain [{lo}, {hi}]"
+        )));
+    }
+    let domain = Domain::new(lo, hi);
+    let size = domain.try_size().ok_or_else(|| {
+        DctError::InvalidParameter(format!(
+            "corrupted summary: domain [{lo}, {hi}] wider than usize::MAX"
+        ))
+    })?;
+    Ok((domain, size))
 }
 
 impl CosineSynopsis {
     /// Serialize to a compact binary buffer.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(8 + 8 * 3 + 8 + 8 * self.coefficient_count());
-        put_header(&mut buf, KIND_COSINE, self.grid());
+        put_header(&mut buf, KIND_COSINE, grid_tag(self.grid()));
         buf.put_i64_le(self.domain().lo());
         buf.put_i64_le(self.domain().hi());
         buf.put_u64_le(self.coefficient_count() as u64);
@@ -113,25 +203,12 @@ impl CosineSynopsis {
 
     /// Deserialize from [`Self::to_bytes`] output, with validation.
     pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
-        let grid = check_header(&mut buf, KIND_COSINE)?;
-        if buf.remaining() < 8 * 3 {
-            return Err(DctError::InvalidParameter(
-                "buffer truncated inside cosine header".into(),
-            ));
-        }
-        let lo = buf.get_i64_le();
-        let hi = buf.get_i64_le();
-        if lo > hi {
+        let grid = grid_from_tag(check_header(&mut buf, KIND_COSINE)?)?;
+        let (domain, n) = get_domain_checked(&mut buf)?;
+        let m = get_u64_checked(&mut buf, "cosine header")? as usize;
+        if m == 0 || m > n {
             return Err(DctError::InvalidParameter(format!(
-                "corrupted synopsis: empty domain [{lo}, {hi}]"
-            )));
-        }
-        let domain = Domain::new(lo, hi);
-        let m = buf.get_u64_le() as usize;
-        if m == 0 || m > domain.size() {
-            return Err(DctError::InvalidParameter(format!(
-                "corrupted synopsis: {m} coefficients for domain size {}",
-                domain.size()
+                "corrupted synopsis: {m} coefficients for domain size {n}"
             )));
         }
         let count = get_f64_checked(&mut buf)?;
@@ -156,7 +233,7 @@ impl MultiDimSynopsis {
     pub fn to_bytes(&self) -> Bytes {
         let mut buf =
             BytesMut::with_capacity(16 + 16 * self.arity() + 8 + 8 * self.coefficient_count());
-        put_header(&mut buf, KIND_MULTI, self.grid());
+        put_header(&mut buf, KIND_MULTI, grid_tag(self.grid()));
         buf.put_u64_le(self.arity() as u64);
         for d in self.domains() {
             buf.put_i64_le(d.lo());
@@ -172,13 +249,8 @@ impl MultiDimSynopsis {
 
     /// Deserialize from [`Self::to_bytes`] output, with validation.
     pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
-        let grid = check_header(&mut buf, KIND_MULTI)?;
-        if buf.remaining() < 8 {
-            return Err(DctError::InvalidParameter(
-                "buffer truncated inside multidim header".into(),
-            ));
-        }
-        let arity = buf.get_u64_le() as usize;
+        let grid = grid_from_tag(check_header(&mut buf, KIND_MULTI)?)?;
+        let arity = get_u64_checked(&mut buf, "multidim header")? as usize;
         if arity == 0 || arity > 16 {
             return Err(DctError::InvalidParameter(format!(
                 "corrupted synopsis: implausible arity {arity}"
@@ -191,14 +263,8 @@ impl MultiDimSynopsis {
         }
         let mut domains = Vec::with_capacity(arity);
         for _ in 0..arity {
-            let lo = buf.get_i64_le();
-            let hi = buf.get_i64_le();
-            if lo > hi {
-                return Err(DctError::InvalidParameter(format!(
-                    "corrupted synopsis: empty domain [{lo}, {hi}]"
-                )));
-            }
-            domains.push(Domain::new(lo, hi));
+            let (domain, _) = get_domain_checked(&mut buf)?;
+            domains.push(domain);
         }
         let degree = buf.get_u64_le() as usize;
         let count = get_f64_checked(&mut buf)?;
@@ -334,6 +400,38 @@ mod tests {
         // m = 0.
         raw[24..32].copy_from_slice(&0u64.to_le_bytes());
         assert!(CosineSynopsis::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_overwide_domain_from_crafted_buffer() {
+        // Regression: a crafted buffer declaring the full i64 range used to
+        // be validated against the *wrapped* `(hi - lo + 1) as usize` size
+        // (a debug-build panic, or a bogus bound in release). The decoder
+        // must reject over-wide domains with an Err, never panic.
+        let mut raw = sample_cosine().to_bytes().to_vec();
+        raw[8..16].copy_from_slice(&i64::MIN.to_le_bytes());
+        raw[16..24].copy_from_slice(&i64::MAX.to_le_bytes());
+        let err = CosineSynopsis::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("wider than usize::MAX"), "{err}");
+
+        // Same attack through the multidim domain list.
+        let mut raw = sample_multi().to_bytes().to_vec();
+        // Header 8 + arity 8, then the first (lo, hi) pair.
+        raw[16..24].copy_from_slice(&i64::MIN.to_le_bytes());
+        raw[24..32].copy_from_slice(&i64::MAX.to_le_bytes());
+        let err = MultiDimSynopsis::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("wider than usize::MAX"), "{err}");
+    }
+
+    #[test]
+    fn peek_kind_dispatches_and_rejects_garbage() {
+        let cosine = sample_cosine().to_bytes();
+        assert_eq!(peek_kind(cosine.as_slice()).unwrap(), KIND_COSINE);
+        let multi = sample_multi().to_bytes();
+        assert_eq!(peek_kind(multi.as_slice()).unwrap(), KIND_MULTI);
+        assert!(peek_kind(b"short").is_err());
+        assert!(peek_kind(b"XXXXXXXXXXXX").is_err());
+        assert_eq!(kind_label(KIND_SKIMMED), "skimmed");
     }
 
     #[test]

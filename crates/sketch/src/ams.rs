@@ -72,6 +72,15 @@ impl SketchSchema {
         Self::new(seed, groups, per_group.max(1), join_attrs)
     }
 
+    /// Base seed every (family, atom) ξ hash is derived from.
+    ///
+    /// Persisting the seed (plus the layout) is all the "random" state a
+    /// checkpoint needs: the hash functions themselves are reconstructed
+    /// deterministically on restore, so resumed updates see identical signs.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of groups (`s₂`).
     pub fn groups(&self) -> usize {
         self.groups
@@ -186,6 +195,14 @@ impl AmsSketch {
     /// Signed count of summarized tuples.
     pub fn count(&self) -> f64 {
         self.count
+    }
+
+    /// Overwrite the accumulated state with checkpointed values. The
+    /// caller (the persist module) has already validated the length.
+    pub(crate) fn load_raw(&mut self, atoms: Vec<f64>, count: f64) {
+        debug_assert_eq!(atoms.len(), self.atoms.len());
+        self.atoms = atoms;
+        self.count = count;
     }
 
     /// Apply `w` copies of `tuple` (negative `w` deletes — atomic sketches

@@ -70,6 +70,15 @@ impl FastSchema {
         Self::new(seed, rows.max(1), vec![buckets])
     }
 
+    /// Base seed the bucket and sign hashes are derived from.
+    ///
+    /// As with the basic sketch, the seed plus the layout fully determine
+    /// every hash function, so a checkpoint only stores the schema and the
+    /// counter table.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of medianed rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -194,6 +203,19 @@ impl FastAmsSketch {
     /// Signed tuple count.
     pub fn count(&self) -> f64 {
         self.count
+    }
+
+    /// Full row-major counter table.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Overwrite the accumulated state with checkpointed values. The
+    /// caller (the persist module) has already validated the length.
+    pub(crate) fn load_raw(&mut self, table: Vec<f64>, count: f64) {
+        debug_assert_eq!(table.len(), self.table.len());
+        self.table = table;
+        self.count = count;
     }
 
     /// One row's counters.

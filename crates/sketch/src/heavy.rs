@@ -82,35 +82,22 @@ impl MisraGries {
 
     /// Keep only the `capacity` largest counters. Amortized O(1) per
     /// insert: at least `capacity` fresh keys arrive between prunes.
+    ///
+    /// Ties are broken by key so pruning is a deterministic function of
+    /// the tracked state — a checkpointed-and-restored tracker (whose
+    /// `HashMap` iteration order differs) resumes identically.
     fn prune(&mut self) {
-        let mut counts: Vec<f64> = self.counters.values().copied().collect();
         let k = self.capacity;
-        // k-th largest as the retention threshold.
-        counts.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite counts"));
-        let threshold = counts[k - 1];
-        // Retain strictly-above first, then fill ties up to capacity.
-        let mut room = k;
-        let mut above = 0usize;
-        for &c in &counts[..k] {
-            if c > threshold {
-                above += 1;
-            }
-        }
-        let mut tie_room = k - above;
-        self.counters.retain(|_, c| {
-            if *c > threshold {
-                room -= 1;
-                true
-            } else if *c == threshold && tie_room > 0 {
-                tie_room -= 1;
-                room -= 1;
-                true
-            } else {
-                false
-            }
+        let mut entries: Vec<(u64, f64)> =
+            self.counters.iter().map(|(&key, &c)| (key, c)).collect();
+        entries.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite counts")
+                .then(a.0.cmp(&b.0))
         });
+        entries.truncate(k);
+        self.counters = entries.into_iter().collect();
         debug_assert!(self.counters.len() <= k);
-        let _ = room;
     }
 
     /// Lower-bound frequency estimate for `key` (0 if untracked).
@@ -119,7 +106,8 @@ impl MisraGries {
     }
 
     /// All tracked `(key, count)` pairs with count at least `threshold`,
-    /// heaviest first.
+    /// heaviest first (ties broken by key, so the order — and everything
+    /// derived from it — is deterministic across restore).
     pub fn heavy_entries(&self, threshold: f64) -> Vec<(u64, f64)> {
         let mut v: Vec<(u64, f64)> = self
             .counters
@@ -127,8 +115,30 @@ impl MisraGries {
             .filter(|(_, &c)| c >= threshold)
             .map(|(&k, &c)| (k, c))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("counts are finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
+    }
+
+    /// All tracked `(key, count)` pairs sorted by key — the canonical
+    /// order used by checkpoint serialization.
+    pub fn entries_sorted(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
+    }
+
+    /// Rebuild a tracker from checkpointed parts. The caller (the persist
+    /// module) has already validated entry counts and finiteness.
+    pub(crate) fn from_parts(capacity: usize, entries: Vec<(u64, f64)>, total: f64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            counters: entries.into_iter().collect(),
+            total,
+        }
     }
 }
 

@@ -17,6 +17,10 @@
 //!   all sketches are built on.
 //! - [`heavy`] — weighted Misra–Gries heavy-hitter tracking used by the
 //!   skimmed sketch's extraction step.
+//! - [`persist`] — compact binary (de)serialization of every sketch for
+//!   checkpointing, sharing the core crate's framing. Hash functions are
+//!   rebuilt from the persisted seed, so restored sketches resume updates
+//!   deterministically.
 //!
 //! All sketches implement [`dctstream_core::StreamSummary`], support
 //! turnstile (insert + delete) updates, and measure space in *atomic
@@ -29,6 +33,7 @@ pub mod ams;
 pub mod fastams;
 pub mod hash;
 pub mod heavy;
+pub mod persist;
 pub mod skimmed;
 
 pub use ams::{estimate_join, AmsSketch, SketchSchema};

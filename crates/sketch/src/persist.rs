@@ -1,0 +1,509 @@
+//! Compact binary (de)serialization of the sketch summaries.
+//!
+//! Shares the core crate's framing (`magic | version | kind | aux |
+//! reserved`, little-endian fields; see [`dctstream_core::persist`]) with
+//! three new kind bytes: [`KIND_AMS`], [`KIND_FAST_AMS`], [`KIND_SKIMMED`].
+//!
+//! Only the *seed state* of each sketch is persisted — the ξ sign families
+//! and bucket hashes are pure functions of `(seed, layout)` and are rebuilt
+//! on restore, so a restored sketch resumes updates deterministically and
+//! bit-identically to the original. Decoding validates every declared
+//! length against the actual buffer size **before** allocating, so a
+//! crafted or truncated payload is rejected with an `Err`, never a panic
+//! or an allocation bomb.
+//!
+//! ```text
+//! ams:      seed u64 | groups u64 | per_group u64 | join_attrs u64
+//!           | nfam u64 | fam u64 × nfam | count f64 | atoms f64 × groups·per_group
+//! fast-ams: seed u64 | rows u64 | nbuckets u64 | bucket u64 × nbuckets
+//!           | nfam u64 | fam u64 × nfam | count f64 | table f64 × rows·row_size
+//! skimmed:  ams_len u64 | framed ams payload | ndom u64 | (lo i64, hi i64) × ndom
+//!           | capacity u64 | total f64 | nent u64 | (key u64, count f64) × nent
+//! ```
+
+use crate::ams::{AmsSketch, SketchSchema};
+use crate::fastams::{FastAmsSketch, FastSchema};
+use crate::heavy::MisraGries;
+use crate::skimmed::SkimmedSketch;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dctstream_core::persist::{
+    check_header, get_domain_checked, get_f64_checked, get_u64_checked, put_header, KIND_AMS,
+    KIND_FAST_AMS, KIND_SKIMMED,
+};
+use dctstream_core::{DctError, Result};
+
+/// Largest plausible tuple arity, mirroring the multidim decoder's bound.
+const MAX_ARITY: usize = 16;
+
+fn get_len(buf: &mut Bytes, what: &str, max: usize) -> Result<usize> {
+    let raw = get_u64_checked(buf, what)?;
+    let n = usize::try_from(raw)
+        .map_err(|_| DctError::InvalidParameter(format!("implausible {what} {raw}")))?;
+    if n > max {
+        return Err(DctError::InvalidParameter(format!(
+            "implausible {what} {n} (max {max})"
+        )));
+    }
+    Ok(n)
+}
+
+/// Reject unless exactly `expect` bytes remain — catches both truncation
+/// and trailing garbage before any data-sized allocation happens.
+fn expect_remaining(buf: &Bytes, expect: usize, what: &str) -> Result<()> {
+    if buf.remaining() != expect {
+        return Err(DctError::InvalidParameter(format!(
+            "{what}: payload declares {expect} bytes but {} remain",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl AmsSketch {
+    /// Serialize to a compact binary buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let schema = self.schema();
+        let mut buf = BytesMut::with_capacity(
+            8 + 8 * 5 + 8 * self.families().len() + 8 + 8 * self.atoms().len(),
+        );
+        put_header(&mut buf, KIND_AMS, 0);
+        buf.put_u64_le(schema.seed());
+        buf.put_u64_le(schema.groups() as u64);
+        buf.put_u64_le(schema.per_group() as u64);
+        buf.put_u64_le(schema.join_attrs() as u64);
+        buf.put_u64_le(self.families().len() as u64);
+        for &f in self.families() {
+            buf.put_u64_le(f as u64);
+        }
+        buf.put_f64_le(self.count());
+        for &a in self.atoms() {
+            buf.put_f64_le(a);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output, with validation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
+        check_header(&mut buf, KIND_AMS)?;
+        let seed = get_u64_checked(&mut buf, "ams header")?;
+        let groups = get_len(&mut buf, "ams group count", 1 << 32)?;
+        let per_group = get_len(&mut buf, "ams atoms per group", 1 << 32)?;
+        let join_attrs = get_len(&mut buf, "ams join-attribute count", MAX_ARITY)?;
+        let nfam = get_len(&mut buf, "ams family count", MAX_ARITY)?;
+        if buf.remaining() < 8 * nfam {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside ams family list".into(),
+            ));
+        }
+        let mut families = Vec::with_capacity(nfam);
+        for _ in 0..nfam {
+            families.push(get_len(&mut buf, "ams family index", MAX_ARITY)?);
+        }
+        let total = groups
+            .checked_mul(per_group)
+            .ok_or_else(|| DctError::InvalidParameter("ams atom count overflows usize".into()))?;
+        expect_remaining(&buf, 8 + 8 * total, "ams atom data")?;
+        let count = get_f64_checked(&mut buf)?;
+        let schema = SketchSchema::new(seed, groups, per_group, join_attrs)?;
+        let mut sketch = AmsSketch::new(schema, families)?;
+        let mut atoms = Vec::with_capacity(total);
+        for _ in 0..total {
+            atoms.push(get_f64_checked(&mut buf)?);
+        }
+        sketch.load_raw(atoms, count);
+        Ok(sketch)
+    }
+}
+
+impl FastAmsSketch {
+    /// Serialize to a compact binary buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let schema = self.schema();
+        let mut buf = BytesMut::with_capacity(
+            8 + 8 * 4
+                + 8 * (schema.buckets().len() + self.families().len())
+                + 8
+                + 8 * self.table().len(),
+        );
+        put_header(&mut buf, KIND_FAST_AMS, 0);
+        buf.put_u64_le(schema.seed());
+        buf.put_u64_le(schema.rows() as u64);
+        buf.put_u64_le(schema.buckets().len() as u64);
+        for &b in schema.buckets() {
+            buf.put_u64_le(b as u64);
+        }
+        buf.put_u64_le(self.families().len() as u64);
+        for &f in self.families() {
+            buf.put_u64_le(f as u64);
+        }
+        buf.put_f64_le(self.count());
+        for &c in self.table() {
+            buf.put_f64_le(c);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output, with validation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
+        check_header(&mut buf, KIND_FAST_AMS)?;
+        let seed = get_u64_checked(&mut buf, "fast-ams header")?;
+        let rows = get_len(&mut buf, "fast-ams row count", 1 << 32)?;
+        let nbuckets = get_len(&mut buf, "fast-ams bucket-count list", MAX_ARITY)?;
+        if buf.remaining() < 8 * nbuckets {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside fast-ams bucket counts".into(),
+            ));
+        }
+        let mut buckets = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            buckets.push(get_len(&mut buf, "fast-ams bucket count", 1 << 32)?);
+        }
+        let nfam = get_len(&mut buf, "fast-ams family count", MAX_ARITY)?;
+        if buf.remaining() < 8 * nfam {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside fast-ams family list".into(),
+            ));
+        }
+        let mut families = Vec::with_capacity(nfam);
+        let mut row_size: usize = 1;
+        for _ in 0..nfam {
+            let f = get_len(&mut buf, "fast-ams family index", MAX_ARITY)?;
+            let b = *buckets.get(f).ok_or_else(|| {
+                DctError::InvalidParameter(format!(
+                    "fast-ams family index {f} out of range ({nbuckets} bucket counts)"
+                ))
+            })?;
+            row_size = row_size.checked_mul(b).ok_or_else(|| {
+                DctError::InvalidParameter("fast-ams row size overflows usize".into())
+            })?;
+            families.push(f);
+        }
+        let cells = rows.checked_mul(row_size).ok_or_else(|| {
+            DctError::InvalidParameter("fast-ams table size overflows usize".into())
+        })?;
+        expect_remaining(&buf, 8 + 8 * cells, "fast-ams table data")?;
+        let count = get_f64_checked(&mut buf)?;
+        let schema = FastSchema::new(seed, rows, buckets)?;
+        let mut sketch = FastAmsSketch::new(schema, families)?;
+        let mut table = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            table.push(get_f64_checked(&mut buf)?);
+        }
+        sketch.load_raw(table, count);
+        Ok(sketch)
+    }
+}
+
+impl SkimmedSketch {
+    /// Serialize to a compact binary buffer.
+    ///
+    /// The prepared (skimmed) projection is *not* persisted — it is a pure
+    /// function of the tracker state and is recomputed by calling
+    /// [`SkimmedSketch::prepare`] after restore, exactly as after an
+    /// update.
+    pub fn to_bytes(&self) -> Bytes {
+        let ams_bytes = self.ams().to_bytes();
+        let entries = self.heavy().entries_sorted();
+        let mut buf = BytesMut::with_capacity(
+            8 + 8
+                + ams_bytes.len()
+                + 8
+                + 16 * self.domains().len()
+                + 8
+                + 8
+                + 8
+                + 16 * entries.len(),
+        );
+        put_header(&mut buf, KIND_SKIMMED, 0);
+        buf.put_u64_le(ams_bytes.len() as u64);
+        buf.put_slice(ams_bytes.as_slice());
+        buf.put_u64_le(self.domains().len() as u64);
+        for d in self.domains() {
+            buf.put_i64_le(d.lo());
+            buf.put_i64_le(d.hi());
+        }
+        buf.put_u64_le(self.heavy().capacity() as u64);
+        buf.put_f64_le(self.heavy().total());
+        buf.put_u64_le(entries.len() as u64);
+        for (k, c) in entries {
+            buf.put_u64_le(k);
+            buf.put_f64_le(c);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output, with validation.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self> {
+        check_header(&mut buf, KIND_SKIMMED)?;
+        let ams_len = get_len(&mut buf, "skimmed embedded-sketch length", usize::MAX)?;
+        if buf.remaining() < ams_len {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside skimmed embedded sketch".into(),
+            ));
+        }
+        let ams = AmsSketch::from_bytes(buf.slice(0..ams_len))?;
+        buf.advance(ams_len);
+        let ndom = get_len(&mut buf, "skimmed domain count", MAX_ARITY)?;
+        if buf.remaining() < 16 * ndom {
+            return Err(DctError::InvalidParameter(
+                "buffer truncated inside skimmed domain list".into(),
+            ));
+        }
+        let mut domains = Vec::with_capacity(ndom);
+        for _ in 0..ndom {
+            let (domain, _) = get_domain_checked(&mut buf)?;
+            domains.push(domain);
+        }
+        let capacity = get_len(&mut buf, "skimmed tracker capacity", usize::MAX)?;
+        if capacity == 0 {
+            return Err(DctError::InvalidParameter(
+                "skimmed tracker capacity must be at least 1".into(),
+            ));
+        }
+        let total = get_f64_checked(&mut buf)?;
+        let nent = get_len(&mut buf, "skimmed tracker entry count", usize::MAX)?;
+        if nent > 2 * capacity.min(usize::MAX / 2) {
+            return Err(DctError::InvalidParameter(format!(
+                "skimmed tracker holds {nent} entries but capacity is {capacity}"
+            )));
+        }
+        expect_remaining(&buf, 16 * nent, "skimmed tracker entries")?;
+        let mut entries = Vec::with_capacity(nent);
+        let mut prev: Option<u64> = None;
+        for _ in 0..nent {
+            let key = buf.get_u64_le();
+            let count = get_f64_checked(&mut buf)?;
+            if count <= 0.0 {
+                return Err(DctError::InvalidParameter(format!(
+                    "skimmed tracker entry {key} has non-positive count {count}"
+                )));
+            }
+            if prev.is_some_and(|p| p >= key) {
+                return Err(DctError::InvalidParameter(
+                    "skimmed tracker entries out of order (duplicate or unsorted key)".into(),
+                ));
+            }
+            prev = Some(key);
+            entries.push((key, count));
+        }
+        let heavy = MisraGries::from_parts(capacity, entries, total);
+        SkimmedSketch::from_parts(ams, heavy, domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ams::estimate_join;
+    use crate::fastams::estimate_fast_join;
+    use crate::skimmed::estimate_skimmed_join;
+    use dctstream_core::Domain;
+
+    fn sample_ams() -> AmsSketch {
+        let schema = SketchSchema::new(42, 3, 8, 2).unwrap();
+        let mut s = AmsSketch::new(schema, vec![0, 1]).unwrap();
+        for i in 0..40i64 {
+            s.update(&[i % 7, i % 5], 1.0 + (i % 3) as f64).unwrap();
+        }
+        s.update(&[1, 1], -1.0).unwrap();
+        s
+    }
+
+    fn sample_fast() -> FastAmsSketch {
+        let schema = FastSchema::new(7, 3, vec![8, 4]).unwrap();
+        let mut s = FastAmsSketch::new(schema, vec![0, 1]).unwrap();
+        for i in 0..40i64 {
+            s.update(&[i % 9, i % 4], 1.0).unwrap();
+        }
+        s.update(&[2, 2], -1.0).unwrap();
+        s
+    }
+
+    fn sample_skimmed() -> SkimmedSketch {
+        let schema = SketchSchema::new(11, 3, 8, 1).unwrap();
+        let d = Domain::new(-4, 27);
+        let mut s = SkimmedSketch::new(schema, vec![0], vec![d], 6).unwrap();
+        for i in 0..60i64 {
+            s.update(&[i % 16 - 4], 1.0).unwrap();
+        }
+        s.update(&[0], 25.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn ams_roundtrip_bit_identical() {
+        let a = sample_ams();
+        let back = AmsSketch::from_bytes(a.to_bytes()).unwrap();
+        assert_eq!(back.schema(), a.schema());
+        assert_eq!(back.families(), a.families());
+        assert_eq!(back.atoms(), a.atoms());
+        assert_eq!(back.count(), a.count());
+    }
+
+    #[test]
+    fn ams_restored_updates_match_original() {
+        // The ξ families are rebuilt from the seed, so post-restore updates
+        // must produce bit-identical atoms.
+        let mut a = sample_ams();
+        let mut b = AmsSketch::from_bytes(a.to_bytes()).unwrap();
+        for i in 0..10i64 {
+            a.update(&[i, i + 1], 2.0).unwrap();
+            b.update(&[i, i + 1], 2.0).unwrap();
+        }
+        assert_eq!(a.atoms(), b.atoms());
+    }
+
+    #[test]
+    fn fast_roundtrip_bit_identical() {
+        let s = sample_fast();
+        let back = FastAmsSketch::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(back.schema(), s.schema());
+        assert_eq!(back.families(), s.families());
+        assert_eq!(back.table(), s.table());
+        assert_eq!(back.count(), s.count());
+        // Resumed updates agree bit-for-bit.
+        let mut a = s.clone();
+        let mut b = back;
+        a.update(&[3, 3], 1.0).unwrap();
+        b.update(&[3, 3], 1.0).unwrap();
+        assert_eq!(a.table(), b.table());
+    }
+
+    #[test]
+    fn skimmed_roundtrip_estimates_bit_identical() {
+        let mut a = sample_skimmed();
+        let mut other = sample_skimmed();
+        let mut b = SkimmedSketch::from_bytes(a.to_bytes()).unwrap();
+        a.prepare_default();
+        b.prepare_default();
+        other.prepare_default();
+        let direct = estimate_skimmed_join(&[&a, &other], None).unwrap();
+        let restored = estimate_skimmed_join(&[&b, &other], None).unwrap();
+        assert_eq!(direct, restored);
+    }
+
+    #[test]
+    fn skimmed_restored_resumes_deterministically() {
+        let mut a = sample_skimmed();
+        let mut b = SkimmedSketch::from_bytes(a.to_bytes()).unwrap();
+        // Push both trackers through prunes; deterministic tie-breaking
+        // keeps them in lockstep despite different HashMap orders.
+        for i in 0..200i64 {
+            a.update(&[i % 32 - 4], 1.0).unwrap();
+            b.update(&[i % 32 - 4], 1.0).unwrap();
+        }
+        a.prepare_default();
+        b.prepare_default();
+        let mut c = sample_skimmed();
+        c.prepare_default();
+        assert_eq!(
+            estimate_skimmed_join(&[&a, &c], None).unwrap(),
+            estimate_skimmed_join(&[&b, &c], None).unwrap()
+        );
+    }
+
+    #[test]
+    fn join_estimates_survive_roundtrip() {
+        let a = sample_ams();
+        let b = sample_ams();
+        let direct = estimate_join(&[&a, &b], None).unwrap();
+        let ra = AmsSketch::from_bytes(a.to_bytes()).unwrap();
+        assert_eq!(estimate_join(&[&ra, &b], None).unwrap(), direct);
+
+        // Fast-AGMS chain ends must cover a single join attribute.
+        let single = |seed: u64| {
+            let schema = FastSchema::new(seed, 3, vec![16]).unwrap();
+            let mut s = FastAmsSketch::new(schema, vec![0]).unwrap();
+            for i in 0..40i64 {
+                s.update(&[i % 9], 1.0).unwrap();
+            }
+            s
+        };
+        let fa = single(7);
+        let fb = single(7);
+        let direct = estimate_fast_join(&[&fa, &fb], None).unwrap();
+        let rf = FastAmsSketch::from_bytes(fa.to_bytes()).unwrap();
+        assert_eq!(estimate_fast_join(&[&rf, &fb], None).unwrap(), direct);
+    }
+
+    #[test]
+    fn truncation_always_errs_never_panics() {
+        for full in [
+            sample_ams().to_bytes(),
+            sample_fast().to_bytes(),
+            sample_skimmed().to_bytes(),
+        ] {
+            let kind = full.as_slice()[5];
+            for cut in 0..full.len() {
+                let sub = full.slice(0..cut);
+                let res = match kind {
+                    KIND_AMS => AmsSketch::from_bytes(sub).map(|_| ()),
+                    KIND_FAST_AMS => FastAmsSketch::from_bytes(sub).map(|_| ()),
+                    _ => SkimmedSketch::from_bytes(sub).map(|_| ()),
+                };
+                assert!(res.is_err(), "kind {kind} cut {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        let ams = sample_ams().to_bytes();
+        assert!(FastAmsSketch::from_bytes(ams.clone()).is_err());
+        assert!(SkimmedSketch::from_bytes(ams).is_err());
+        let fast = sample_fast().to_bytes();
+        assert!(AmsSketch::from_bytes(fast).is_err());
+    }
+
+    #[test]
+    fn corrupt_fields_rejected() {
+        // Oversized family count.
+        let mut raw = sample_ams().to_bytes().to_vec();
+        raw[40..48].copy_from_slice(&1000u64.to_le_bytes());
+        assert!(AmsSketch::from_bytes(Bytes::from(raw)).is_err());
+        // Non-finite atom.
+        let mut raw = sample_ams().to_bytes().to_vec();
+        let n = raw.len();
+        raw[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(AmsSketch::from_bytes(Bytes::from(raw)).is_err());
+        // Trailing garbage.
+        let mut raw = sample_fast().to_bytes().to_vec();
+        raw.push(0);
+        assert!(FastAmsSketch::from_bytes(Bytes::from(raw)).is_err());
+        // Tracker entry count exceeding capacity.
+        let s = sample_skimmed();
+        let raw = s.to_bytes().to_vec();
+        let nent_off = raw.len() - 16 * s.heavy().len() - 8;
+        let mut bad = raw.clone();
+        bad[nent_off..nent_off + 8].copy_from_slice(&10_000u64.to_le_bytes());
+        assert!(SkimmedSketch::from_bytes(Bytes::from(bad)).is_err());
+        // Unsorted tracker keys.
+        let mut bad = raw;
+        let first_key = nent_off + 8;
+        bad[first_key..first_key + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SkimmedSketch::from_bytes(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        // A flipped bit may still decode (payloads carry no checksum — the
+        // registry manifest layers CRCs on top), but it must never panic.
+        for full in [
+            sample_ams().to_bytes(),
+            sample_fast().to_bytes(),
+            sample_skimmed().to_bytes(),
+        ] {
+            let kind = full.as_slice()[5];
+            for off in 0..full.len() {
+                let mut raw = full.to_vec();
+                raw[off] ^= 0x01;
+                let sub = Bytes::from(raw);
+                let _ = match kind {
+                    KIND_AMS => AmsSketch::from_bytes(sub).map(|_| ()),
+                    KIND_FAST_AMS => FastAmsSketch::from_bytes(sub).map(|_| ()),
+                    _ => SkimmedSketch::from_bytes(sub).map(|_| ()),
+                };
+            }
+        }
+    }
+}

@@ -76,12 +76,47 @@ impl SkimmedSketch {
                 families.len()
             )));
         }
+        validate_key_space(&domains)?;
         Ok(Self {
             ams: AmsSketch::new(schema, families)?,
             heavy: MisraGries::new(heavy_capacity),
             domains,
             prepared: None,
         })
+    }
+
+    /// Reassemble from checkpointed parts. Re-runs the same key-space
+    /// validation as [`SkimmedSketch::new`]; the tracker and sketch state
+    /// have been validated by the persist module.
+    pub(crate) fn from_parts(
+        ams: AmsSketch,
+        heavy: MisraGries,
+        domains: Vec<Domain>,
+    ) -> Result<Self> {
+        if domains.len() != ams.families().len() {
+            return Err(DctError::InvalidParameter(format!(
+                "{} domains for {} tuple positions",
+                domains.len(),
+                ams.families().len()
+            )));
+        }
+        validate_key_space(&domains)?;
+        Ok(Self {
+            ams,
+            heavy,
+            domains,
+            prepared: None,
+        })
+    }
+
+    /// Per-position attribute domains.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// The heavy-hitter tracker holding candidate dense frequencies.
+    pub fn heavy(&self) -> &MisraGries {
+        &self.heavy
     }
 
     /// The underlying schema.
@@ -203,6 +238,32 @@ impl StreamSummary for SkimmedSketch {
     fn space(&self) -> usize {
         self.atom_space()
     }
+}
+
+/// The heavy tracker flattens each tuple to a single `u64` by mixed-radix
+/// encoding over the attribute domains; if the product of domain sizes
+/// exceeds `u64::MAX` the encoding would silently wrap and alias distinct
+/// tuples, so such domain combinations are rejected up front.
+fn validate_key_space(domains: &[Domain]) -> Result<()> {
+    let mut key_space: u128 = 1;
+    for dom in domains {
+        let n = dom.try_size().ok_or_else(|| {
+            DctError::InvalidParameter(format!(
+                "attribute domain [{}, {}] wider than usize::MAX",
+                dom.lo(),
+                dom.hi()
+            ))
+        })?;
+        key_space = key_space.saturating_mul(n as u128);
+        if key_space > u64::MAX as u128 {
+            return Err(DctError::InvalidParameter(format!(
+                "composite key space of {} attribute domains exceeds u64 \
+                 ({key_space} keys); narrow the attribute domains",
+                domains.len()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Exact chain join over the extracted dense maps:
@@ -356,6 +417,26 @@ mod tests {
             assert_eq!(s.decode(k), t.to_vec());
         }
         assert!(s.encode(&[11, 100]).is_err());
+    }
+
+    #[test]
+    fn overwide_key_space_rejected_at_construction() {
+        let schema = SketchSchema::new(1, 2, 2, 2).unwrap();
+        // 2^32 × 2^32 = 2^64 keys — one more than u64 can index. The old
+        // mixed-radix encoding silently wrapped here, aliasing tuples.
+        let wide = Domain::new(0, (1i64 << 32) - 1);
+        let err = SkimmedSketch::new(schema, vec![0, 1], vec![wide, wide], 8).unwrap_err();
+        assert!(err.to_string().contains("composite key space"), "{err}");
+        // 2^32 × 2^31 = 2^63 keys fits and is accepted (the boundary).
+        let half = Domain::new(0, (1i64 << 31) - 1);
+        let mut s = SkimmedSketch::new(schema, vec![0, 1], vec![wide, half], 8).unwrap();
+        s.update(&[(1 << 32) - 1, (1 << 31) - 1], 2.0).unwrap();
+        let k = s.encode(&[(1 << 32) - 1, (1 << 31) - 1]).unwrap();
+        assert_eq!(s.decode(k), vec![(1 << 32) - 1, (1 << 31) - 1]);
+        // A single over-wide domain is also rejected.
+        let schema1 = SketchSchema::new(1, 2, 2, 1).unwrap();
+        let full = Domain::new(i64::MIN, i64::MAX);
+        assert!(SkimmedSketch::new(schema1, vec![0], vec![full], 8).is_err());
     }
 
     #[test]

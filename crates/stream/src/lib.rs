@@ -14,11 +14,15 @@
 //!   executed against registered summaries.
 //! - [`exact`] — exact join/range/band ground truth used as `Act` in the
 //!   experiments' relative-error metric.
+//! - [`checkpoint`] — durable registry checkpoints: a versioned,
+//!   checksummed manifest bundling every stream's summary, written
+//!   atomically and restored with graceful validation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod event;
 pub mod exact;
 pub mod parallel;
@@ -26,6 +30,7 @@ pub mod processor;
 pub mod query;
 
 pub use batch::BatchBuffer;
+pub use checkpoint::{read_checkpoint, write_checkpoint};
 pub use event::{interleave, StreamEvent, Tuple};
 pub use exact::{exact_chain_join, DenseFreq, SparseFreq2};
 pub use parallel::ParallelIngest;

@@ -132,8 +132,11 @@ impl StreamSummary for Summary {
 /// In *buffered* mode ([`Self::with_flush_threshold`]) events collect in a
 /// per-stream [`BatchBuffer`] and are applied through the summary's
 /// blocked batch kernel whenever a stream's buffer reaches the threshold —
-/// the §3.2 batch-update scheme. Estimates read only flushed state, so
-/// call [`Self::flush_all`] before estimating in buffered mode.
+/// the §3.2 batch-update scheme. Estimation entry points
+/// ([`Self::estimate_cosine_join`], [`crate::query::ChainJoinQuery`],
+/// [`ContinuousJoinQuery`]) drain the involved streams' buffers first, so
+/// estimates always see every processed event; [`Self::summary`] alone
+/// reads only flushed state.
 #[derive(Debug, Default)]
 pub struct StreamProcessor {
     streams: HashMap<String, Summary>,
@@ -168,6 +171,22 @@ impl StreamProcessor {
             buf.flush_into(summary)?;
         }
         Ok(())
+    }
+
+    /// Flush one stream's pending buffered events into its summary.
+    /// No-op outside buffered mode or for unknown streams (lookup errors
+    /// are left to the caller, which has the context to name the stream).
+    pub fn flush_stream(&mut self, name: &str) -> Result<()> {
+        if let (Some(buf), Some(summary)) = (self.buffers.get_mut(name), self.streams.get_mut(name))
+        {
+            buf.flush_into(summary)?;
+        }
+        Ok(())
+    }
+
+    /// The buffered-mode flush threshold, if any.
+    pub fn flush_threshold(&self) -> Option<usize> {
+        self.flush_threshold
     }
 
     /// Register a stream. Errors on duplicate names.
@@ -207,6 +226,29 @@ impl StreamProcessor {
         self.events
     }
 
+    /// Reassemble a processor from checkpointed state (the checkpoint
+    /// module has already validated every summary payload). Buffers start
+    /// empty: a checkpoint is only taken after flushing.
+    pub(crate) fn from_restored(
+        streams: HashMap<String, Summary>,
+        flush_threshold: Option<usize>,
+        events: u64,
+    ) -> Self {
+        let buffers = match flush_threshold {
+            Some(t) => streams
+                .keys()
+                .map(|n| (n.clone(), BatchBuffer::with_flush_threshold(t)))
+                .collect(),
+            None => HashMap::new(),
+        };
+        Self {
+            streams,
+            buffers,
+            flush_threshold,
+            events,
+        }
+    }
+
     /// Route one event to the named stream's summary.
     pub fn process(&mut self, stream: &str, ev: &StreamEvent) -> Result<()> {
         self.process_weighted(stream, ev.tuple().values(), ev.weight())
@@ -233,12 +275,19 @@ impl StreamProcessor {
     }
 
     /// Estimate the equi-join of two cosine-summarized streams.
+    ///
+    /// In buffered mode both streams' pending events are drained first, so
+    /// the estimate reflects every processed event (reading without
+    /// flushing used to silently ignore up to `flush_threshold − 1` recent
+    /// updates per stream).
     pub fn estimate_cosine_join(
-        &self,
+        &mut self,
         left: &str,
         right: &str,
         budget: Option<usize>,
     ) -> Result<f64> {
+        self.flush_stream(left)?;
+        self.flush_stream(right)?;
         let l = self.cosine(left)?;
         let r = self.cosine(right)?;
         estimate_equi_join(l, r, budget)
@@ -304,8 +353,9 @@ impl ContinuousJoinQuery {
 
     /// Call after events have been processed; samples the estimate if the
     /// processor crossed the next sampling point. Returns the new sample,
-    /// if any.
-    pub fn observe(&mut self, processor: &StreamProcessor) -> Result<Option<f64>> {
+    /// if any. Takes the processor mutably so buffered events are drained
+    /// into the summaries before sampling.
+    pub fn observe(&mut self, processor: &mut StreamProcessor) -> Result<Option<f64>> {
         if processor.events_processed() < self.next_sample {
             return Ok(None);
         }
@@ -388,7 +438,7 @@ mod tests {
                 .unwrap();
             p.process("r", &StreamEvent::Insert(Tuple::unary(v % 5)))
                 .unwrap();
-            q.observe(&p).unwrap();
+            q.observe(&mut p).unwrap();
         }
         // 60 events, sampling every 10 → 6 samples.
         assert_eq!(q.history().len(), 6);
@@ -419,8 +469,37 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let guard = shared.read().unwrap();
+        let mut guard = shared.write().unwrap();
         assert_eq!(guard.events_processed(), 1000);
         assert!(guard.estimate_cosine_join("l", "r", None).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn buffered_estimates_match_unbuffered() {
+        // Regression: estimates used to read summaries without draining
+        // pending batch buffers, silently ignoring up to threshold − 1
+        // recent events. After identical event sequences — with the
+        // buffered threshold deliberately larger than the event count, so
+        // nothing auto-flushes — both processors must agree.
+        let mut plain = StreamProcessor::new();
+        let mut buffered = StreamProcessor::with_flush_threshold(10_000);
+        for p in [&mut plain, &mut buffered] {
+            p.register("l", cosine(32, 16)).unwrap();
+            p.register("r", cosine(32, 16)).unwrap();
+        }
+        for v in 0..123i64 {
+            for p in [&mut plain, &mut buffered] {
+                p.process_weighted("l", &[v % 32], 1.0).unwrap();
+                p.process_weighted("r", &[(v * 3) % 32], 1.0).unwrap();
+            }
+        }
+        let direct = plain.estimate_cosine_join("l", "r", None).unwrap();
+        let via_buffer = buffered.estimate_cosine_join("l", "r", None).unwrap();
+        assert_eq!(direct, via_buffer);
+
+        // The continuous-query path flushes too.
+        let mut q = ContinuousJoinQuery::new("l", "r", None, 1);
+        let sample = q.observe(&mut buffered).unwrap().unwrap();
+        assert_eq!(sample, direct);
     }
 }

@@ -120,8 +120,13 @@ impl ChainJoinQuery {
 
     /// Estimate the query against the processor's current summaries,
     /// optionally capping the per-relation space used (cosine
-    /// coefficients / atomic sketches).
-    pub fn estimate(&self, processor: &StreamProcessor, budget: Option<usize>) -> Result<f64> {
+    /// coefficients / atomic sketches). Takes the processor mutably so
+    /// each relation's pending buffered events are drained before the
+    /// summaries are read.
+    pub fn estimate(&self, processor: &mut StreamProcessor, budget: Option<usize>) -> Result<f64> {
+        for link in &self.links {
+            processor.flush_stream(link.stream())?;
+        }
         // Resolve every stream first so errors name the offender.
         let mut summaries = Vec::with_capacity(self.links.len());
         for link in &self.links {
@@ -279,14 +284,14 @@ mod tests {
 
     #[test]
     fn cosine_query_matches_direct_estimation() {
-        let p = cosine_processor();
+        let mut p = cosine_processor();
         let q = ChainJoinQuery::builder()
             .end("r1")
             .inner("r2", 0, 1)
             .end("r3")
             .build()
             .unwrap();
-        let via_query = q.estimate(&p, None).unwrap();
+        let via_query = q.estimate(&mut p, None).unwrap();
         // Direct computation with the same synopses.
         let r1 = p.summary("r1").unwrap().as_cosine().unwrap();
         let r2 = p.summary("r2").unwrap().as_multi().unwrap();
@@ -335,7 +340,7 @@ mod tests {
         p.register("a", Summary::Ams(a)).unwrap();
         p.register("b", Summary::Ams(b)).unwrap();
         let q = ChainJoinQuery::builder().end("a").end("b").build().unwrap();
-        assert!(q.estimate(&p, None).unwrap().is_finite());
+        assert!(q.estimate(&mut p, None).unwrap().is_finite());
 
         let fschema = FastSchema::for_single_join(4, 60, 3).unwrap();
         let mut fa = FastAmsSketch::new(fschema.clone(), vec![0]).unwrap();
@@ -351,7 +356,7 @@ mod tests {
             .end("fb")
             .build()
             .unwrap();
-        assert!(q.estimate(&p, None).unwrap().is_finite());
+        assert!(q.estimate(&mut p, None).unwrap().is_finite());
     }
 
     #[test]
@@ -368,12 +373,12 @@ mod tests {
             .end("ams")
             .build()
             .unwrap();
-        assert!(q.estimate(&p, None).is_err());
+        assert!(q.estimate(&mut p, None).is_err());
     }
 
     #[test]
     fn wrong_summary_shape_rejected() {
-        let p = cosine_processor();
+        let mut p = cosine_processor();
         // r2 is multi-dimensional; using it as an end must fail.
         let q = ChainJoinQuery::builder()
             .end("r2")
@@ -381,7 +386,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            q.estimate(&p, None),
+            q.estimate(&mut p, None),
             Err(DctError::InvalidChain(_))
         ));
         // Unknown stream.
@@ -390,7 +395,7 @@ mod tests {
             .end("r3")
             .build()
             .unwrap();
-        assert!(q.estimate(&p, None).is_err());
+        assert!(q.estimate(&mut p, None).is_err());
     }
 
     #[test]

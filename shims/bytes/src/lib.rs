@@ -119,6 +119,13 @@ pub trait Buf {
         b[0]
     }
 
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
     /// Read a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64 {
         let mut b = [0u8; 8];
@@ -210,6 +217,11 @@ pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Append a little-endian `u64`.

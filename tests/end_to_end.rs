@@ -43,13 +43,13 @@ fn streaming_pipeline_tracks_exact_join() {
         processor
             .process("left", &StreamEvent::Insert(Tuple::unary(v)))
             .unwrap();
-        query.observe(&processor).unwrap();
+        query.observe(&mut processor).unwrap();
     }
     for v in frequencies_to_stream(&f2, 2) {
         processor
             .process("right", &StreamEvent::Insert(Tuple::unary(v)))
             .unwrap();
-        query.observe(&processor).unwrap();
+        query.observe(&mut processor).unwrap();
     }
     let est = processor
         .estimate_cosine_join("left", "right", None)
@@ -339,7 +339,7 @@ fn shared_processor_concurrent_ingestion() {
             });
         }
     });
-    let guard = sp.read().unwrap();
+    let mut guard = sp.write().unwrap();
     assert_eq!(guard.events_processed(), 40_000);
     // Both streams are uniform over the domain -> join ≈ N_a·N_b/n.
     let est = guard.estimate_cosine_join("a", "b", None).unwrap();
