@@ -1,0 +1,245 @@
+//! Timing harness for the write-ahead-logged registry.
+//!
+//! Answers the durability question "what does the WAL cost per event?"
+//! by ingesting the same synthetic stream through five paths: the bare
+//! synopsis (the `bench_ingest` serial baseline), the registry without a
+//! WAL, and the durable registry under the three sync policies. A
+//! second, smaller section measures `SyncPolicy::Always` against real
+//! files, where every append pays an fsync.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dctstream-bench --bin bench_wal [-- --json]
+//! ```
+//!
+//! Always prints a human-readable table; with `--json` it also writes
+//! `BENCH_wal.json` (items/sec and slowdown vs the WAL-off registry for
+//! every measured configuration) into the current directory.
+
+use dctstream_core::{CosineSynopsis, Domain, Grid};
+use dctstream_stream::{
+    DirStorage, DurableProcessor, MemStorage, RecoveryOptions, StreamProcessor, Summary,
+    SyncPolicy, WalOptions,
+};
+use std::time::Instant;
+
+/// Tuples ingested per measured iteration (matches `bench_ingest`).
+const TUPLES: usize = 50_000;
+/// Synopsis size (matches `bench_ingest`).
+const COEFFS: usize = 4_096;
+/// Value domain for the synthetic stream.
+const DOMAIN: usize = 100_000;
+/// Timed repetitions per configuration; the median is reported.
+const REPS: usize = 5;
+/// Tuples for the fsync-per-append section — every event is an fsync,
+/// so the full workload would take minutes.
+const ALWAYS_TUPLES: usize = 500;
+
+struct Row {
+    name: &'static str,
+    median_secs: f64,
+    items_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Median of `REPS` wall-clock timings of `f` (one warmup run first).
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn rows_to_json(section: &str, items: u64, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  \"{section}\": {{\n    \"items_per_iteration\": {items},\n    \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"median_secs\": {:.6}, \"items_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.name,
+            r.median_secs,
+            r.items_per_sec,
+            r.speedup_vs_serial,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  }");
+    out
+}
+
+fn print_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "  {:<16} {:>12} {:>16} {:>10}",
+        "path", "median", "items/sec", "speedup"
+    );
+    for r in rows {
+        println!(
+            "  {:<16} {:>9.1} ms {:>16.0} {:>9.2}x",
+            r.name,
+            r.median_secs * 1e3,
+            r.items_per_sec,
+            r.speedup_vs_serial
+        );
+    }
+}
+
+fn finish_rows(mut rows: Vec<Row>, items: usize) -> Vec<Row> {
+    let serial = rows[0].median_secs;
+    for r in &mut rows {
+        r.items_per_sec = items as f64 / r.median_secs;
+        r.speedup_vs_serial = serial / r.median_secs;
+    }
+    rows
+}
+
+fn batch(n: usize) -> Vec<(i64, f64)> {
+    (0..n)
+        .map(|i| (((i * 7_919) % DOMAIN) as i64, 1.0))
+        .collect()
+}
+
+fn fresh_summary() -> Summary {
+    Summary::Cosine(CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap())
+}
+
+fn opts(sync: SyncPolicy) -> RecoveryOptions {
+    RecoveryOptions {
+        wal: WalOptions {
+            sync,
+            ..WalOptions::default()
+        },
+        flush_threshold: None,
+    }
+}
+
+/// Ingest the batch through a durable registry over `storage`, syncing
+/// at the end so every policy leaves the same durable state.
+fn durable_run<S: dctstream_stream::WalStorage>(storage: S, sync: SyncPolicy, b: &[(i64, f64)]) {
+    let (mut dp, _) = DurableProcessor::open_with(storage, opts(sync)).unwrap();
+    dp.register("s", fresh_summary()).unwrap();
+    for &(v, w) in b {
+        dp.process_weighted("s", &[v], w).unwrap();
+    }
+    dp.sync().unwrap();
+    std::hint::black_box(dp.events_processed());
+}
+
+fn bench_wal() -> Vec<Row> {
+    let b = batch(TUPLES);
+    let mut rows = Vec::new();
+    rows.push(Row {
+        name: "direct",
+        median_secs: median_secs(|| {
+            let mut syn =
+                CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap();
+            for &(v, w) in &b {
+                syn.update(v, w).unwrap();
+            }
+            std::hint::black_box(syn.count());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    rows.push(Row {
+        name: "registry-no-wal",
+        median_secs: median_secs(|| {
+            let mut p = StreamProcessor::new();
+            p.register("s", fresh_summary()).unwrap();
+            for &(v, w) in &b {
+                p.process_weighted("s", &[v], w).unwrap();
+            }
+            std::hint::black_box(p.events_processed());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    for (name, sync) in [
+        ("wal-manual", SyncPolicy::Manual),
+        ("wal-every-1024", SyncPolicy::EveryN(1024)),
+    ] {
+        rows.push(Row {
+            name,
+            median_secs: median_secs(|| durable_run(MemStorage::new(), sync, &b)),
+            items_per_sec: 0.0,
+            speedup_vs_serial: 1.0,
+        });
+    }
+    let dir = std::env::temp_dir().join("dctstream_bench_wal");
+    rows.push(Row {
+        name: "wal-dir-every-256",
+        median_secs: median_secs(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            durable_run(DirStorage::open(&dir).unwrap(), SyncPolicy::EveryN(256), &b);
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    finish_rows(rows, TUPLES)
+}
+
+fn bench_always() -> Vec<Row> {
+    let b = batch(ALWAYS_TUPLES);
+    let dir = std::env::temp_dir().join("dctstream_bench_wal_always");
+    let mut rows = Vec::new();
+    rows.push(Row {
+        name: "registry-no-wal",
+        median_secs: median_secs(|| {
+            let mut p = StreamProcessor::new();
+            p.register("s", fresh_summary()).unwrap();
+            for &(v, w) in &b {
+                p.process_weighted("s", &[v], w).unwrap();
+            }
+            std::hint::black_box(p.events_processed());
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    rows.push(Row {
+        name: "wal-dir-always",
+        median_secs: median_secs(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            durable_run(DirStorage::open(&dir).unwrap(), SyncPolicy::Always, &b);
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    finish_rows(rows, ALWAYS_TUPLES)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    println!("dctstream write-ahead log overhead summary");
+    println!("  tuples per batch: {TUPLES}, coefficients: {COEFFS}, reps: {REPS} (median)");
+
+    let wal = bench_wal();
+    print_table("event ingestion (WAL off vs sync policies)", &wal);
+
+    let always = bench_always();
+    print_table(
+        "fsync-per-append (SyncPolicy::Always, small batch)",
+        &always,
+    );
+
+    if json {
+        let body = format!(
+            "{{\n{},\n{}\n}}\n",
+            rows_to_json("wal", TUPLES as u64, &wal),
+            rows_to_json("wal_sync_always", ALWAYS_TUPLES as u64, &always),
+        );
+        std::fs::write("BENCH_wal.json", &body).expect("write BENCH_wal.json");
+        println!("\nwrote BENCH_wal.json");
+    }
+}

@@ -16,6 +16,8 @@
 //! dctstream merge  shard1.dcts shard2.dcts … --out merged.dcts
 //! dctstream checkpoint orders=r1.dcts parts=r2.dcts --out registry.dctr
 //! dctstream restore registry.dctr [--extract dir/]
+//! dctstream build  --input r1.csv --column 0 --domain 0:99999 -m 512 --out r1.dcts --wal-dir wal/
+//! dctstream wal-replay wal/ [--checkpoint]
 //! ```
 //!
 //! The command layer is a library (`run` + `Command`), so every code path
@@ -30,7 +32,8 @@ use dctstream_core::{
     DctError, Domain, Grid, MultiDimSynopsis,
 };
 use dctstream_stream::{
-    read_checkpoint, write_checkpoint, ParallelIngest, StreamProcessor, Summary,
+    read_checkpoint, write_checkpoint, DurableProcessor, ParallelIngest, StreamEvent,
+    StreamProcessor, Summary, Tuple,
 };
 use std::fmt::Write as _;
 use std::fs;
@@ -97,6 +100,9 @@ pub enum Command {
         skip_header: bool,
         /// Ingestion worker threads (1 = serial per-tuple path).
         threads: usize,
+        /// Route every tuple through a write-ahead-logged registry in
+        /// this directory (crash-durable ingestion; serial only).
+        wal_dir: Option<PathBuf>,
     },
     /// Build a 2-d synopsis from two CSV columns.
     Build2 {
@@ -179,8 +185,11 @@ pub enum Command {
     Checkpoint {
         /// `(stream name, summary file)` pairs to register.
         streams: Vec<(String, PathBuf)>,
-        /// Checkpoint manifest output path.
-        out: PathBuf,
+        /// Standalone checkpoint manifest output path.
+        out: Option<PathBuf>,
+        /// Register the streams into a write-ahead-logged registry in
+        /// this directory and checkpoint it there instead.
+        wal_dir: Option<PathBuf>,
     },
     /// Validate a registry checkpoint and report (or extract) its streams.
     Restore {
@@ -188,6 +197,15 @@ pub enum Command {
         path: PathBuf,
         /// Directory to write each stream's summary payload into.
         extract: Option<PathBuf>,
+    },
+    /// Recover a write-ahead-logged registry directory and report what
+    /// the checkpoint + WAL replay reconstructed.
+    WalReplay {
+        /// Registry directory (checkpoint manifest + WAL segments).
+        dir: PathBuf,
+        /// Write a fresh checkpoint after replay, retiring covered
+        /// WAL segments.
+        checkpoint: bool,
     },
 }
 
@@ -205,12 +223,16 @@ pub fn usage() -> &'static str {
        band     <left> <right> --width W\n\
        box      <synopsis2d> --lo A,B --hi A,B\n\
        merge    <shard>... --out F [--threads N]\n\
-       checkpoint NAME=FILE... --out F\n\
+       checkpoint NAME=FILE... [--out F] [--wal-dir DIR]\n\
        restore  <checkpoint> [--extract DIR]\n\
+       wal-replay <dir> [--checkpoint]\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
-     restore validates it and reports (or --extract's) every stream"
+     restore validates it and reports (or --extract's) every stream\n\
+     --wal-dir DIR (build, checkpoint) write-ahead logs every event into\n\
+     DIR so a crash mid-ingest loses nothing past the last synced record;\n\
+     wal-replay recovers DIR and reports (or --checkpoint's) the result"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -311,6 +333,15 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
     match cmd.as_str() {
         "build" => {
             let mut f = split_flags(rest, &["skip-header"])?;
+            let threads = parse_threads(&mut f)?;
+            let wal_dir = f.take_opt("wal-dir").map(PathBuf::from);
+            if wal_dir.is_some() && threads > 1 {
+                return Err(CliError::Usage(
+                    "--wal-dir logs events one at a time and needs the serial \
+                     path; drop --threads or the WAL"
+                        .into(),
+                ));
+            }
             Ok(Command::Build {
                 input: PathBuf::from(f.take("input")?),
                 column: f.parse("column")?,
@@ -318,7 +349,8 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 m: f.parse("m")?,
                 out: PathBuf::from(f.take("out")?),
                 skip_header: f.bools.contains("skip-header"),
-                threads: parse_threads(&mut f)?,
+                threads,
+                wal_dir,
             })
         }
         "build2" => {
@@ -464,7 +496,13 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
         }
         "checkpoint" => {
             let mut f = split_flags(rest, &[])?;
-            let out = PathBuf::from(f.take("out")?);
+            let out = f.take_opt("out").map(PathBuf::from);
+            let wal_dir = f.take_opt("wal-dir").map(PathBuf::from);
+            if out.is_none() && wal_dir.is_none() {
+                return Err(CliError::Usage(
+                    "checkpoint needs --out FILE, --wal-dir DIR, or both".into(),
+                ));
+            }
             if f.positional.is_empty() {
                 return Err(CliError::Usage(
                     "checkpoint takes at least one NAME=FILE pair".into(),
@@ -480,7 +518,11 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 }
                 streams.push((name.to_string(), PathBuf::from(path)));
             }
-            Ok(Command::Checkpoint { streams, out })
+            Ok(Command::Checkpoint {
+                streams,
+                out,
+                wal_dir,
+            })
         }
         "restore" => {
             let mut f = split_flags(rest, &[])?;
@@ -491,6 +533,18 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
             Ok(Command::Restore {
                 path: PathBuf::from(path),
                 extract,
+            })
+        }
+        "wal-replay" => {
+            let f = split_flags(rest, &["checkpoint"])?;
+            let [dir] = f.positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "wal-replay takes one registry directory".into(),
+                ));
+            };
+            Ok(Command::WalReplay {
+                dir: PathBuf::from(dir),
+                checkpoint: f.bools.contains("checkpoint"),
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -524,6 +578,20 @@ fn load_cosine(path: &Path) -> CliResult<CosineSynopsis> {
     }
 }
 
+/// Stream name used when `build --wal-dir` registers its synopsis: the
+/// output file's stem, so `--out orders.dcts` logs under `orders`.
+fn wal_stream_name(out: &Path) -> CliResult<String> {
+    out.file_stem()
+        .and_then(|s| s.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "cannot derive a stream name from output path '{}'",
+                out.display()
+            ))
+        })
+}
+
 fn parse_csv_value(line: &str, column: usize, lineno: usize) -> CliResult<i64> {
     line.split(',')
         .nth(column)
@@ -544,10 +612,50 @@ pub fn run(cmd: Command) -> CliResult<String> {
             out,
             skip_header,
             threads,
+            wal_dir,
         } => {
             let text = fs::read_to_string(&input)?;
             let mut syn = CosineSynopsis::new(Domain::new(domain.0, domain.1), Grid::Midpoint, m)?;
             let mut rows = 0u64;
+            if let Some(dir) = wal_dir {
+                // Crash-durable ingestion: every tuple is write-ahead
+                // logged into `dir`, then the registry is checkpointed
+                // so the covered WAL segments can retire. A crash mid-
+                // build is recovered with `wal-replay`.
+                let name = wal_stream_name(&out)?;
+                let (mut dp, _) = DurableProcessor::open(&dir)?;
+                if dp.processor().summary(&name).is_none() {
+                    dp.register(name.clone(), Summary::Cosine(syn))?;
+                }
+                for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let v = parse_csv_value(line, column, i + 1)?;
+                    dp.process(&name, &StreamEvent::Insert(Tuple::unary(v)))?;
+                    rows += 1;
+                }
+                dp.checkpoint()?;
+                let s = dp
+                    .processor()
+                    .summary(&name)
+                    .and_then(Summary::as_cosine)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "stream '{name}' in {} is not a 1-d cosine synopsis",
+                            dir.display()
+                        ))
+                    })?;
+                fs::write(&out, s.to_bytes())?;
+                return Ok(format!(
+                    "built 1-d synopsis: {rows} tuples, {} coefficients -> {} \
+                     (WAL at {}, watermark {})",
+                    s.coefficient_count(),
+                    out.display(),
+                    dir.display(),
+                    dp.wal_watermark()
+                ));
+            }
             if threads > 1 {
                 // Shard-and-merge ingestion: parse the whole column into a
                 // weighted batch, then flush it across worker threads.
@@ -612,6 +720,8 @@ pub fn run(cmd: Command) -> CliResult<String> {
             ))
         }
         Command::Info { path } => {
+            // invariant: fmt::Write to a String cannot fail, so the
+            // writeln! unwraps in this block are infallible.
             let mut out = String::new();
             match load_synopsis(&path)? {
                 AnySynopsis::Cosine(s) => {
@@ -736,6 +846,7 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 ParallelIngest::with_threads(threads).merge_cosine(parts)?
             } else {
                 let mut iter = inputs.iter();
+                // invariant: parse() rejects `merge` with no inputs.
                 let first = iter.next().expect("validated non-empty");
                 let mut acc = load_cosine(first)?;
                 for p in iter {
@@ -752,22 +863,57 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 out.display()
             ))
         }
-        Command::Checkpoint { streams, out } => {
-            let mut p = StreamProcessor::new();
+        Command::Checkpoint {
+            streams,
+            out,
+            wal_dir,
+        } => {
+            let mut summaries = Vec::with_capacity(streams.len());
             for (name, path) in &streams {
                 let raw = Bytes::from(fs::read(path)?);
                 let summary = Summary::from_bytes(raw)
                     .map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
-                p.register(name.clone(), summary)?;
+                summaries.push((name.clone(), summary));
             }
-            write_checkpoint(&mut p, &out)?;
-            Ok(format!(
-                "checkpointed {} stream(s) -> {}",
-                streams.len(),
-                out.display()
-            ))
+            let mut msg = String::new();
+            if let Some(dir) = &wal_dir {
+                // Registrations are write-ahead logged, so even a crash
+                // before the manifest lands loses nothing.
+                let (mut dp, _) = DurableProcessor::open(dir)?;
+                for (name, summary) in &summaries {
+                    dp.register(name.clone(), summary.clone())?;
+                }
+                dp.checkpoint()?;
+                writeln!(
+                    msg,
+                    "checkpointed {} stream(s) -> WAL registry at {} (watermark {})",
+                    streams.len(),
+                    dir.display(),
+                    dp.wal_watermark()
+                )
+                // invariant: fmt::Write to a String cannot fail.
+                .expect("write to String");
+            }
+            if let Some(out) = &out {
+                let mut p = StreamProcessor::new();
+                for (name, summary) in summaries {
+                    p.register(name, summary)?;
+                }
+                write_checkpoint(&mut p, out)?;
+                writeln!(
+                    msg,
+                    "checkpointed {} stream(s) -> {}",
+                    streams.len(),
+                    out.display()
+                )
+                // invariant: fmt::Write to a String cannot fail.
+                .expect("write to String");
+            }
+            Ok(msg)
         }
         Command::Restore { path, extract } => {
+            // invariant: fmt::Write to a String cannot fail, so the
+            // writeln! unwraps in this block are infallible.
             let p = read_checkpoint(&path)?;
             let mut names: Vec<&str> = p.stream_names().collect();
             names.sort_unstable();
@@ -780,6 +926,7 @@ pub fn run(cmd: Command) -> CliResult<String> {
             )
             .unwrap();
             for name in &names {
+                // invariant: `name` was just produced by stream_names().
                 let s = p.summary(name).expect("name from stream_names");
                 writeln!(
                     out,
@@ -799,6 +946,7 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 }
                 fs::create_dir_all(&dir)?;
                 for name in &names {
+                    // invariant: `name` was just produced by stream_names().
                     let s = p.summary(name).expect("name from stream_names");
                     fs::write(dir.join(format!("{name}.dcts")), s.to_bytes().as_slice())?;
                 }
@@ -807,6 +955,60 @@ pub fn run(cmd: Command) -> CliResult<String> {
                     "extracted {} payload(s) to {}",
                     names.len(),
                     dir.display()
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::WalReplay { dir, checkpoint } => {
+            // invariant: fmt::Write to a String cannot fail, so the
+            // writeln! unwraps in this block are infallible.
+            let (mut dp, report) = DurableProcessor::open(&dir)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "recovered {}: checkpoint had {} event(s) (watermark {}), \
+                 replayed {} WAL record(s) from {} segment(s)",
+                dir.display(),
+                report.checkpoint_events,
+                report.checkpoint_watermark,
+                report.replayed,
+                report.segments_scanned
+            )
+            .unwrap();
+            if let Some(tail) = &report.torn_tail {
+                writeln!(
+                    out,
+                    "torn tail truncated: {} byte(s) at {} offset {} \
+                     (an unsynced write was cut mid-record)",
+                    tail.dropped, tail.segment, tail.offset
+                )
+                .unwrap();
+            }
+            for (name, cause) in &report.quarantined {
+                writeln!(out, "quarantined {name}: {cause}").unwrap();
+            }
+            let p = dp.processor();
+            let mut names: Vec<&str> = p.stream_names().collect();
+            names.sort_unstable();
+            for name in &names {
+                // invariant: `name` was just produced by stream_names().
+                let s = p.summary(name).expect("name from stream_names");
+                writeln!(
+                    out,
+                    "  {name}: {}, {:.0} tuple(s)",
+                    s.kind_name(),
+                    s.count()
+                )
+                .unwrap();
+            }
+            if checkpoint {
+                let retired = dp.checkpoint()?;
+                writeln!(
+                    out,
+                    "checkpointed at watermark {} ({} WAL segment(s) retired)",
+                    dp.wal_watermark(),
+                    retired
                 )
                 .unwrap();
             }
@@ -860,8 +1062,25 @@ mod tests {
                 out: "s.dcts".into(),
                 skip_header: true,
                 threads: 1,
+                wal_dir: None,
             }
         );
+        let cmd = parse(&args(
+            "build --input in.csv --column 0 --domain 0:9 -m 4 --out s.dcts --wal-dir w",
+        ))
+        .unwrap();
+        assert!(
+            matches!(&cmd, Command::Build { wal_dir: Some(d), .. } if d == &PathBuf::from("w")),
+            "{cmd:?}"
+        );
+        // The WAL path logs one event at a time; it has no parallel mode.
+        assert!(matches!(
+            parse(&args(
+                "build --input in.csv --column 0 --domain 0:9 -m 4 --out s.dcts \
+                 --wal-dir w --threads 4"
+            )),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -905,6 +1124,7 @@ mod tests {
             out: syn_a.clone(),
             skip_header: true,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap();
         run(Command::Build {
@@ -915,6 +1135,7 @@ mod tests {
             out: syn_b.clone(),
             skip_header: false,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap();
         let info = run(Command::Info {
@@ -976,6 +1197,7 @@ mod tests {
             out: end.clone(),
             skip_header: false,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap();
         let out = run(Command::Chain {
@@ -1010,6 +1232,7 @@ mod tests {
                 out: p.clone(),
                 skip_header: false,
                 threads: 1,
+                wal_dir: None,
             })
             .unwrap();
         }
@@ -1038,6 +1261,7 @@ mod tests {
             out: syn.clone(),
             skip_header: false,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap();
         // Band width 1 self-join of {1,2,2,3}: per tuple a, count of b
@@ -1118,6 +1342,7 @@ mod tests {
             out: tmp("bad.dcts"),
             skip_header: false,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -1140,9 +1365,36 @@ mod tests {
             cmd,
             Command::Checkpoint {
                 streams: vec![("a".into(), "a.dcts".into()), ("b".into(), "b.dcts".into())],
-                out: "reg.dctr".into(),
+                out: Some("reg.dctr".into()),
+                wal_dir: None,
             }
         );
+        let cmd = parse(&args("checkpoint a=a.dcts --wal-dir w")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Checkpoint {
+                streams: vec![("a".into(), "a.dcts".into())],
+                out: None,
+                wal_dir: Some("w".into()),
+            }
+        );
+        let cmd = parse(&args("wal-replay w --checkpoint")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::WalReplay {
+                dir: "w".into(),
+                checkpoint: true,
+            }
+        );
+        // A destination is required: --out, --wal-dir, or both.
+        assert!(matches!(
+            parse(&args("checkpoint a=a.dcts")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("wal-replay")),
+            Err(CliError::Usage(_))
+        ));
         let cmd = parse(&args("restore reg.dctr --extract dir")).unwrap();
         assert_eq!(
             cmd,
@@ -1180,13 +1432,15 @@ mod tests {
                 out: p.clone(),
                 skip_header: false,
                 threads: 1,
+                wal_dir: None,
             })
             .unwrap();
         }
         let reg = tmp("ckpt.dctr");
         let out = run(Command::Checkpoint {
             streams: vec![("orders".into(), a.clone()), ("parts".into(), b)],
-            out: reg.clone(),
+            out: Some(reg.clone()),
+            wal_dir: None,
         })
         .unwrap();
         assert!(out.contains("2 stream(s)"), "{out}");
@@ -1262,6 +1516,7 @@ mod tests {
             out: serial_out.clone(),
             skip_header: false,
             threads: 1,
+            wal_dir: None,
         })
         .unwrap();
         let par_out = tmp("threaded_par.dcts");
@@ -1273,6 +1528,7 @@ mod tests {
             out: par_out.clone(),
             skip_header: false,
             threads: 3,
+            wal_dir: None,
         })
         .unwrap();
         let serial = load_cosine(&serial_out).unwrap();
@@ -1294,5 +1550,70 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("4000 tuples"), "{out}");
+    }
+
+    #[test]
+    fn build_with_wal_dir_and_replay() {
+        let csv = tmp("wal_build.csv");
+        fs::write(&csv, "1\n2\n2\n3\n5\n").unwrap();
+        let wal = tmp("wal_build_dir");
+        let _ = fs::remove_dir_all(&wal);
+        let syn_path = tmp("wal_build.dcts");
+
+        // The durable build writes the same synopsis the plain build does.
+        let out = run(Command::Build {
+            input: csv.clone(),
+            column: 0,
+            domain: (0, 9),
+            m: 8,
+            out: syn_path.clone(),
+            skip_header: false,
+            threads: 1,
+            wal_dir: Some(wal.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("5 tuples"), "{out}");
+        assert!(out.contains("watermark"), "{out}");
+        let plain_path = tmp("wal_build_plain.dcts");
+        run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 8,
+            out: plain_path.clone(),
+            skip_header: false,
+            threads: 1,
+            wal_dir: None,
+        })
+        .unwrap();
+        assert_eq!(fs::read(&syn_path).unwrap(), fs::read(&plain_path).unwrap());
+
+        // wal-replay reopens the registry and reports the stream; the
+        // build checkpointed, so nothing needs replaying.
+        let out = run(Command::WalReplay {
+            dir: wal.clone(),
+            checkpoint: false,
+        })
+        .unwrap();
+        assert!(out.contains("wal_build: cosine, 5 tuple(s)"), "{out}");
+        assert!(out.contains("replayed 0 WAL record(s)"), "{out}");
+
+        // checkpoint --wal-dir registers summary files durably too.
+        let wal2 = tmp("wal_ckpt_dir");
+        let _ = fs::remove_dir_all(&wal2);
+        let out = run(Command::Checkpoint {
+            streams: vec![("orders".into(), syn_path)],
+            out: None,
+            wal_dir: Some(wal2.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("WAL registry"), "{out}");
+        let out = run(Command::WalReplay {
+            dir: wal2,
+            checkpoint: true,
+        })
+        .unwrap();
+        assert!(out.contains("orders: cosine, 5 tuple(s)"), "{out}");
+        assert!(out.contains("checkpointed at watermark"), "{out}");
     }
 }

@@ -47,6 +47,33 @@ pub enum DctError {
     /// The message names the failing stream or manifest field so recovery
     /// tooling can report *which* piece of durable state is damaged.
     Checkpoint(String),
+    /// A write-ahead-log segment could not be appended, synced, or
+    /// replayed.
+    ///
+    /// Carries the segment name and byte offset of the failure, plus the
+    /// affected stream when the damaged record's header is still
+    /// readable, so operators can locate the exact corrupt record.
+    Wal {
+        /// Segment file name (e.g. `wal-00000000000000000001.dwal`).
+        segment: String,
+        /// Byte offset of the failing record (or operation) within the
+        /// segment.
+        offset: u64,
+        /// Stream the damaged record routes to, when recoverable.
+        stream: Option<String>,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An operation touched a stream that was quarantined because its
+    /// write-ahead-log replay failed. The rest of the registry stays
+    /// queryable; this stream's state is suspect until an operator drops
+    /// or repairs it.
+    StreamQuarantined {
+        /// The quarantined stream.
+        stream: String,
+        /// Why replay failed.
+        cause: String,
+    },
 }
 
 impl fmt::Display for DctError {
@@ -75,6 +102,21 @@ impl fmt::Display for DctError {
             DctError::InvalidChain(msg) => write!(f, "invalid chain join: {msg}"),
             DctError::EmptySynopsis => write!(f, "synopsis has seen no tuples"),
             DctError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            DctError::Wal {
+                segment,
+                offset,
+                stream,
+                detail,
+            } => {
+                write!(f, "wal error: segment '{segment}' offset {offset}")?;
+                if let Some(s) = stream {
+                    write!(f, " (stream '{s}')")?;
+                }
+                write!(f, ": {detail}")
+            }
+            DctError::StreamQuarantined { stream, cause } => {
+                write!(f, "stream '{stream}' is quarantined: {cause}")
+            }
         }
     }
 }
@@ -106,6 +148,33 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn wal_errors_name_segment_offset_and_stream() {
+        let e = DctError::Wal {
+            segment: "wal-7.dwal".into(),
+            offset: 123,
+            stream: Some("orders".into()),
+            detail: "checksum mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("wal-7.dwal") && s.contains("123") && s.contains("'orders'"));
+
+        let e = DctError::Wal {
+            segment: "wal-7.dwal".into(),
+            offset: 0,
+            stream: None,
+            detail: "bad header".into(),
+        };
+        assert!(!e.to_string().contains("stream '"));
+
+        let e = DctError::StreamQuarantined {
+            stream: "orders".into(),
+            cause: "value 99 outside domain".into(),
+        };
+        assert!(e.to_string().contains("quarantined"));
+        assert!(e.to_string().contains("'orders'"));
     }
 
     #[test]

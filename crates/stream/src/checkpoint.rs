@@ -11,12 +11,18 @@
 //!
 //! ```text
 //! magic "DCTR" (4) | version (1) | reserved (3)
-//! events u64 | flush_threshold u64 (0 = unbuffered) | stream_count u64
+//! events u64 | flush_threshold u64 (0 = unbuffered)
+//! wal_watermark u64 (version ≥ 2; sequence of the last WAL record the
+//!                    snapshot covers, 0 = no WAL)
+//! stream_count u64
 //! per stream, sorted by name:
 //!   name_len u64 | name utf-8 | kind u8 | payload_len u64 | payload
 //!   | crc32 u32 over (name | kind | payload)
 //! crc32 u32 over every preceding byte of the file
 //! ```
+//!
+//! Version 1 manifests (no watermark field) are still read; their
+//! watermark is reported as 0, so a paired WAL replays from the start.
 //!
 //! Two checksum layers serve different failure modes: the per-stream CRC
 //! localizes corruption ("stream 'x': checksum mismatch"), while the
@@ -50,27 +56,20 @@ use std::path::Path;
 /// Magic tag opening a registry checkpoint manifest.
 pub const MANIFEST_MAGIC: &[u8; 4] = b"DCTR";
 /// Current manifest format version.
-pub const MANIFEST_VERSION: u8 = 1;
+pub const MANIFEST_VERSION: u8 = 2;
+/// Oldest manifest version [`StreamProcessor::restore_bytes`] still reads.
+pub const MANIFEST_MIN_VERSION: u8 = 1;
+
+/// Manifest file name used by the recovery orchestrator
+/// ([`crate::recovery::DurableProcessor`]) inside its storage directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.dctr";
 
 /// Longest accepted stream name, bounding a crafted manifest's parse work.
 const MAX_NAME_LEN: usize = 4096;
 /// Most streams a manifest may declare.
 const MAX_STREAMS: usize = 1 << 20;
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
-/// guarding checkpoint records. Bitwise, table-free: checkpoints are small
-/// and the dependency-free form keeps the workspace std-only.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use dctstream_core::persist::crc32;
 
 impl Summary {
     /// Serialize to the variant's framed binary payload.
@@ -133,6 +132,14 @@ impl StreamProcessor {
     /// events. Streams are written in name order, so identical state
     /// produces identical bytes.
     pub fn checkpoint_bytes(&mut self) -> Result<Bytes> {
+        self.checkpoint_bytes_with_watermark(0)
+    }
+
+    /// [`Self::checkpoint_bytes`], stamping the manifest with the
+    /// write-ahead-log watermark: the sequence number of the last WAL
+    /// record this snapshot covers (0 when no WAL is in use). Recovery
+    /// replays only records past the watermark.
+    pub fn checkpoint_bytes_with_watermark(&mut self, wal_watermark: u64) -> Result<Bytes> {
         self.flush_all()?;
         let mut names: Vec<&str> = self.stream_names().collect();
         names.sort_unstable();
@@ -142,8 +149,10 @@ impl StreamProcessor {
         buf.put_slice(&[0u8; 3]);
         buf.put_u64_le(self.events_processed());
         buf.put_u64_le(self.flush_threshold().unwrap_or(0) as u64);
+        buf.put_u64_le(wal_watermark);
         buf.put_u64_le(names.len() as u64);
         for name in names {
+            // invariant: `name` was just produced by stream_names().
             let summary = self.summary(name).expect("name from stream_names");
             let payload = summary.to_bytes();
             let mut record = BytesMut::with_capacity(name.len() + 1 + payload.len());
@@ -168,6 +177,12 @@ impl StreamProcessor {
     /// an error naming that stream; corrupt manifest metadata is caught by
     /// field checks or the whole-file checksum. No input panics.
     pub fn restore_bytes(data: &[u8]) -> Result<Self> {
+        Self::restore_bytes_with_watermark(data).map(|(p, _)| p)
+    }
+
+    /// [`Self::restore_bytes`], also returning the manifest's WAL
+    /// watermark (0 for version-1 manifests, which predate the field).
+    pub fn restore_bytes_with_watermark(data: &[u8]) -> Result<(Self, u64)> {
         let err = |msg: String| DctError::Checkpoint(msg);
         if data.len() < 8 + 24 + 4 {
             return Err(err(format!(
@@ -184,14 +199,22 @@ impl StreamProcessor {
             ));
         }
         let version = buf.get_u8();
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(err(format!(
                 "field 'version': unsupported checkpoint version {version}"
             )));
         }
         buf.advance(3); // reserved
+        let fixed_fields = if version >= 2 { 32 } else { 24 };
+        if buf.remaining() < fixed_fields + 4 {
+            return Err(err(format!(
+                "field 'header': version-{version} manifest truncated to {} bytes",
+                data.len()
+            )));
+        }
         let events = buf.get_u64_le();
         let threshold = buf.get_u64_le();
+        let wal_watermark = if version >= 2 { buf.get_u64_le() } else { 0 };
         let flush_threshold = match threshold {
             0 => None,
             t => Some(
@@ -274,10 +297,9 @@ impl StreamProcessor {
         if crc32(&data[..data.len() - 4]) != stored {
             return Err(err("field 'file checksum': mismatch".into()));
         }
-        Ok(StreamProcessor::from_restored(
-            streams,
-            flush_threshold,
-            events,
+        Ok((
+            StreamProcessor::from_restored(streams, flush_threshold, events),
+            wal_watermark,
         ))
     }
 }
@@ -291,7 +313,17 @@ fn io_err(path: &Path, op: &str, e: std::io::Error) -> DctError {
 /// renamed over `path` so a crash mid-write never clobbers the previous
 /// checkpoint.
 pub fn write_checkpoint(processor: &mut StreamProcessor, path: &Path) -> Result<()> {
-    let bytes = processor.checkpoint_bytes()?;
+    write_checkpoint_with_watermark(processor, path, 0)
+}
+
+/// [`write_checkpoint`], stamping the manifest with a WAL watermark (see
+/// [`StreamProcessor::checkpoint_bytes_with_watermark`]).
+pub fn write_checkpoint_with_watermark(
+    processor: &mut StreamProcessor,
+    path: &Path,
+    wal_watermark: u64,
+) -> Result<()> {
+    let bytes = processor.checkpoint_bytes_with_watermark(wal_watermark)?;
     let mut tmp_name = path
         .file_name()
         .ok_or_else(|| DctError::Checkpoint(format!("invalid checkpoint path {}", path.display())))?
@@ -306,8 +338,30 @@ pub fn write_checkpoint(processor: &mut StreamProcessor, path: &Path) -> Result<
 /// Restore a [`StreamProcessor`] from a checkpoint file written by
 /// [`write_checkpoint`].
 pub fn read_checkpoint(path: &Path) -> Result<StreamProcessor> {
+    read_checkpoint_with_watermark(path).map(|(p, _)| p)
+}
+
+/// [`read_checkpoint`], also returning the manifest's WAL watermark.
+///
+/// Misuse is reported as a typed [`DctError::Checkpoint`] rather than a
+/// raw I/O passthrough: pointing at a directory or an empty file names
+/// the path and the actual problem.
+pub fn read_checkpoint_with_watermark(path: &Path) -> Result<(StreamProcessor, u64)> {
+    let meta = fs::metadata(path).map_err(|e| io_err(path, "reading", e))?;
+    if meta.is_dir() {
+        return Err(DctError::Checkpoint(format!(
+            "{} is a directory, not a checkpoint manifest",
+            path.display()
+        )));
+    }
     let data = fs::read(path).map_err(|e| io_err(path, "reading", e))?;
-    StreamProcessor::restore_bytes(&data)
+    if data.is_empty() {
+        return Err(DctError::Checkpoint(format!(
+            "{} is empty: not a checkpoint manifest (was the write interrupted?)",
+            path.display()
+        )));
+    }
+    StreamProcessor::restore_bytes_with_watermark(&data)
 }
 
 #[cfg(test)]

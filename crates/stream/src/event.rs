@@ -2,6 +2,25 @@
 //!
 //! A data stream (paper §1) is an unbounded, one-pass sequence of tuple
 //! arrivals — and, in the turnstile model the synopses support, deletions.
+//!
+//! Tuples and events also define their write-ahead-log wire form here
+//! ([`Tuple::encode_into`] / [`Tuple::decode_from`],
+//! [`StreamEvent::encode_into`] / [`StreamEvent::decode_from`]): arity as
+//! `u32` followed by the attribute values as little-endian `i64`, with an
+//! event prefixed by a one-byte tag. Decoding is bounds-checked and
+//! returns `None` on truncation or an implausible arity — never panics —
+//! because the WAL replays these from possibly-damaged files.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Widest tuple the wire format accepts, bounding a crafted record's
+/// allocation (real schemas are a handful of attributes).
+pub const MAX_WIRE_ARITY: usize = 1 << 16;
+
+/// Wire tag for [`StreamEvent::Insert`].
+pub const EVENT_TAG_INSERT: u8 = 1;
+/// Wire tag for [`StreamEvent::Delete`].
+pub const EVENT_TAG_DELETE: u8 = 2;
 
 /// One stream element: the attribute values of a tuple, in schema order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -21,6 +40,33 @@ impl Tuple {
     /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.0.len()
+    }
+
+    /// Append the wire form (`arity u32 | values i64...`, little-endian)
+    /// to `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.0.len() as u32);
+        for &v in &self.0 {
+            buf.put_i64_le(v);
+        }
+    }
+
+    /// Decode one tuple from the front of `buf`, advancing it. Returns
+    /// `None` (consuming nothing useful) if the buffer is truncated or
+    /// declares an arity above [`MAX_WIRE_ARITY`].
+    pub fn decode_from(buf: &mut Bytes) -> Option<Tuple> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let arity = buf.get_u32_le() as usize;
+        if arity > MAX_WIRE_ARITY || buf.remaining() < arity * 8 {
+            return None;
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(buf.get_i64_le());
+        }
+        Some(Tuple(values))
     }
 }
 
@@ -58,6 +104,31 @@ impl StreamEvent {
         match self {
             StreamEvent::Insert(_) => 1.0,
             StreamEvent::Delete(_) => -1.0,
+        }
+    }
+
+    /// Append the wire form (tag byte, then the tuple) to `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let (tag, tuple) = match self {
+            StreamEvent::Insert(t) => (EVENT_TAG_INSERT, t),
+            StreamEvent::Delete(t) => (EVENT_TAG_DELETE, t),
+        };
+        buf.put_u8(tag);
+        tuple.encode_into(buf);
+    }
+
+    /// Decode one event from the front of `buf`, advancing it. Returns
+    /// `None` on truncation or an unknown tag.
+    pub fn decode_from(buf: &mut Bytes) -> Option<StreamEvent> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let tuple = Tuple::decode_from(buf)?;
+        match tag {
+            EVENT_TAG_INSERT => Some(StreamEvent::Insert(tuple)),
+            EVENT_TAG_DELETE => Some(StreamEvent::Delete(tuple)),
+            _ => None,
         }
     }
 }
@@ -134,6 +205,43 @@ mod tests {
             .map(|(src, ev)| (src, ev.tuple().values()[0]))
             .collect();
         assert_eq!(merged, vec![(0, 0), (1, 10), (0, 1), (1, 11), (0, 2)]);
+    }
+
+    #[test]
+    fn event_wire_roundtrip() {
+        let events = [
+            StreamEvent::Insert(Tuple(vec![i64::MIN, -1, 0, 1, i64::MAX])),
+            StreamEvent::Delete(Tuple(vec![42])),
+            StreamEvent::Insert(Tuple(vec![])),
+        ];
+        for ev in &events {
+            let mut buf = BytesMut::new();
+            ev.encode_into(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(StreamEvent::decode_from(&mut bytes).as_ref(), Some(ev));
+            assert_eq!(bytes.remaining(), 0, "decode must consume exactly");
+        }
+    }
+
+    #[test]
+    fn event_wire_decode_rejects_damage() {
+        let mut buf = BytesMut::new();
+        StreamEvent::Insert(Tuple(vec![7, 8, 9])).encode_into(&mut buf);
+        let full = buf.freeze().to_vec();
+        // Every truncation fails cleanly.
+        for n in 0..full.len() {
+            let mut cut = Bytes::from(&full[..n]);
+            assert!(StreamEvent::decode_from(&mut cut).is_none(), "len {n}");
+        }
+        // Unknown tag fails.
+        let mut bad = full.clone();
+        bad[0] = 0xEE;
+        assert!(StreamEvent::decode_from(&mut Bytes::from(bad)).is_none());
+        // Implausible arity fails instead of allocating.
+        let mut huge = BytesMut::new();
+        huge.put_u8(EVENT_TAG_INSERT);
+        huge.put_u32_le(u32::MAX);
+        assert!(StreamEvent::decode_from(&mut huge.freeze()).is_none());
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! - [`checkpoint`] — durable registry checkpoints: a versioned,
 //!   checksummed manifest bundling every stream's summary, written
 //!   atomically and restored with graceful validation.
+//! - [`wal`] — segmented write-ahead log: every event between checkpoints
+//!   is framed, checksummed, and replayable, with torn-tail truncation
+//!   and interior-corruption rejection.
+//! - [`recovery`] — the crash-recovery orchestrator composing checkpoint
+//!   and WAL behind one `open`/`process`/`checkpoint` API, with bounded
+//!   retries on transient I/O and per-stream quarantine on replay
+//!   failure.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +35,8 @@ pub mod exact;
 pub mod parallel;
 pub mod processor;
 pub mod query;
+pub mod recovery;
+pub mod wal;
 
 pub use batch::BatchBuffer;
 pub use checkpoint::{read_checkpoint, write_checkpoint};
@@ -36,3 +45,8 @@ pub use exact::{exact_chain_join, DenseFreq, SparseFreq2};
 pub use parallel::ParallelIngest;
 pub use processor::{shared, ContinuousJoinQuery, SharedProcessor, StreamProcessor, Summary};
 pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};
+pub use recovery::{DurableProcessor, RecoveryOptions, RecoveryReport};
+pub use wal::{
+    DirStorage, FailingStorage, MemStorage, RetryPolicy, SyncPolicy, Wal, WalOptions, WalRecord,
+    WalStorage,
+};

@@ -125,7 +125,7 @@ impl ParallelIngest {
             // influence anything downstream.
             workers
                 .into_iter()
-                .map(|w| w.join().expect("ingest worker panicked"))
+                .map(|w| join_worker(w, "ingest"))
                 .collect::<Result<Vec<_>>>()
         })?;
         let combined = tree_reduce_cosine(partials)?;
@@ -155,7 +155,7 @@ impl ParallelIngest {
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("ingest worker panicked"))
+                .map(|w| join_worker(w, "ingest"))
                 .collect::<Result<Vec<_>>>()
         })?;
         let combined = tree_reduce_multi(partials)?;
@@ -196,12 +196,31 @@ impl ParallelIngest {
                     .collect();
                 workers
                     .into_iter()
-                    .map(|w| w.join().expect("merge worker panicked"))
+                    .map(|w| join_worker(w, "merge"))
                     .collect::<Result<Vec<_>>>()
             })?;
         }
+        // invariant: the while-loop guard keeps `parts` non-empty.
         Ok(parts.pop().expect("non-empty by construction"))
     }
+}
+
+/// Join a worker, converting a worker panic into a typed error instead
+/// of propagating it into (and tearing down) the caller's thread.
+fn join_worker<'scope, T>(
+    worker: std::thread::ScopedJoinHandle<'scope, Result<T>>,
+    what: &str,
+) -> Result<T> {
+    worker.join().unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(dctstream_core::DctError::InvalidParameter(format!(
+            "{what} worker panicked: {msg}"
+        )))
+    })
 }
 
 /// Fold partials with a fixed-shape binary tree (adjacent pairs per
@@ -220,6 +239,7 @@ fn tree_reduce_cosine(mut parts: Vec<CosineSynopsis>) -> Result<CosineSynopsis> 
         }
         parts = next;
     }
+    // invariant: asserted non-empty on entry; rounds only halve, never drain.
     Ok(parts.pop().expect("non-empty by construction"))
 }
 
@@ -237,6 +257,7 @@ fn tree_reduce_multi(mut parts: Vec<MultiDimSynopsis>) -> Result<MultiDimSynopsi
         }
         parts = next;
     }
+    // invariant: asserted non-empty on entry; rounds only halve, never drain.
     Ok(parts.pop().expect("non-empty by construction"))
 }
 

@@ -164,6 +164,8 @@ impl StreamProcessor {
     /// No-op outside buffered mode.
     pub fn flush_all(&mut self) -> Result<()> {
         for (name, buf) in &mut self.buffers {
+            // invariant: register/unregister/from_restored keep `buffers`
+            // keyed by a subset of `streams`.
             let summary = self
                 .streams
                 .get_mut(name)
@@ -203,6 +205,14 @@ impl StreamProcessor {
         }
         self.streams.insert(name, summary);
         Ok(())
+    }
+
+    /// Remove a stream, returning its summary. Pending buffered events
+    /// for the stream are discarded with it. Recovery uses this to drop
+    /// quarantined streams whose WAL replay failed.
+    pub fn unregister(&mut self, name: &str) -> Option<Summary> {
+        self.buffers.remove(name);
+        self.streams.remove(name)
     }
 
     /// Names of registered streams (unordered).
@@ -308,14 +318,95 @@ impl StreamProcessor {
 
 /// Thread-safe shared processor handle.
 ///
-/// Lock with `.read().unwrap()` / `.write().unwrap()`: the processor's
-/// methods don't panic mid-update, so a poisoned lock only follows a
-/// caller panic.
-pub type SharedProcessor = Arc<RwLock<StreamProcessor>>;
+/// Unlike a bare `Arc<RwLock<_>>`, locking never panics: if another
+/// thread panicked while holding the lock, [`Self::read`] and
+/// [`Self::write`] recover the guard from the poisoned lock
+/// (`PoisonError::into_inner`) instead of propagating the panic across
+/// threads. The processor's own methods never panic mid-update, so the
+/// recovered state is internally consistent; the poisoning is still
+/// recorded and observable via [`Self::was_poisoned`], and callers that
+/// must not trust post-panic state can use [`Self::checked_read`] /
+/// [`Self::checked_write`], which return a typed error instead.
+#[derive(Debug, Clone)]
+pub struct SharedProcessor {
+    inner: Arc<RwLock<StreamProcessor>>,
+    poisoned: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl SharedProcessor {
+    /// Wrap a processor for concurrent use.
+    pub fn new(processor: StreamProcessor) -> Self {
+        SharedProcessor {
+            inner: Arc::new(RwLock::new(processor)),
+            poisoned: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    fn note_poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Lock for shared reading, recovering (and recording) a poisoned
+    /// lock instead of panicking.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, StreamProcessor> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.note_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Lock for exclusive writing, recovering (and recording) a poisoned
+    /// lock instead of panicking.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, StreamProcessor> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.note_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Whether any locking call has ever observed the lock poisoned by a
+    /// panicking thread.
+    pub fn was_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::SeqCst) || self.inner.is_poisoned()
+    }
+
+    /// [`Self::read`] for callers that must not trust post-panic state:
+    /// returns a typed error once the lock has been poisoned.
+    pub fn checked_read(&self) -> Result<std::sync::RwLockReadGuard<'_, StreamProcessor>> {
+        if self.was_poisoned() {
+            return Err(poison_error());
+        }
+        Ok(self.read())
+    }
+
+    /// [`Self::write`] with the same typed-error contract as
+    /// [`Self::checked_read`].
+    pub fn checked_write(&self) -> Result<std::sync::RwLockWriteGuard<'_, StreamProcessor>> {
+        if self.was_poisoned() {
+            return Err(poison_error());
+        }
+        Ok(self.write())
+    }
+}
+
+fn poison_error() -> DctError {
+    DctError::InvalidParameter(
+        "shared processor lock was poisoned by a panicking thread; \
+         use read()/write() to recover the state anyway"
+            .into(),
+    )
+}
 
 /// Create a [`SharedProcessor`].
 pub fn shared(processor: StreamProcessor) -> SharedProcessor {
-    Arc::new(RwLock::new(processor))
+    SharedProcessor::new(processor)
 }
 
 /// A continuous equi-join COUNT query over two cosine-summarized streams:
@@ -455,12 +546,11 @@ mod tests {
         let shared = shared(p);
         let mut handles = Vec::new();
         for t in 0..4 {
-            let h = Arc::clone(&shared);
+            let h = shared.clone();
             handles.push(std::thread::spawn(move || {
                 let name = if t % 2 == 0 { "l" } else { "r" };
                 for v in 0..250i64 {
                     h.write()
-                        .unwrap()
                         .process_weighted(name, &[(v + t) % 64], 1.0)
                         .unwrap();
                 }
@@ -469,9 +559,33 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let mut guard = shared.write().unwrap();
+        assert!(!shared.was_poisoned());
+        let mut guard = shared.write();
         assert_eq!(guard.events_processed(), 1000);
         assert!(guard.estimate_cosine_join("l", "r", None).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn shared_processor_recovers_from_poison() {
+        let mut p = StreamProcessor::new();
+        p.register("s", cosine(16, 4)).unwrap();
+        let shared = shared(p);
+        let h = shared.clone();
+        // Poison the lock: panic while holding the write guard.
+        let t = std::thread::spawn(move || {
+            let _guard = h.write();
+            panic!("deliberate test panic while holding the lock");
+        });
+        assert!(t.join().is_err());
+        // Strict accessors now surface a typed error...
+        assert!(shared.inner.is_poisoned());
+        let e = shared.checked_write().unwrap_err();
+        assert!(e.to_string().contains("poisoned"), "{e}");
+        assert!(shared.checked_read().is_err());
+        // ...while the recovering accessors keep working without panicking.
+        shared.write().process_weighted("s", &[3], 1.0).unwrap();
+        assert_eq!(shared.read().events_processed(), 1);
+        assert!(shared.was_poisoned());
     }
 
     #[test]

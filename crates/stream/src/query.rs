@@ -173,6 +173,7 @@ impl ChainJoinQuery {
         if summaries.iter().all(|s| matches!(s, Summary::Ams(_))) {
             let refs: Vec<_> = summaries
                 .iter()
+                // invariant: the enclosing `all(matches!(...))` guard holds.
                 .map(|s| s.as_ams().expect("checked"))
                 .collect();
             return estimate_join(&refs, budget);
@@ -182,6 +183,7 @@ impl ChainJoinQuery {
         if summaries.iter().all(|s| matches!(s, Summary::Skimmed(_))) {
             let refs: Vec<_> = summaries
                 .iter()
+                // invariant: the enclosing `all(matches!(...))` guard holds.
                 .map(|s| s.as_skimmed().expect("checked"))
                 .collect();
             return estimate_skimmed_join(&refs, budget);
@@ -191,6 +193,7 @@ impl ChainJoinQuery {
         if summaries.iter().all(|s| matches!(s, Summary::FastAms(_))) {
             let refs: Vec<_> = summaries
                 .iter()
+                // invariant: the enclosing `all(matches!(...))` guard holds.
                 .map(|s| s.as_fast_ams().expect("checked"))
                 .collect();
             return estimate_fast_join(&refs, budget);

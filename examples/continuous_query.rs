@@ -62,7 +62,7 @@ fn main() -> dctstream::Result<()> {
     // Consumer: route events, let the continuous query observe progress.
     println!("{:>12} {:>16}", "events", "estimated join");
     for (stream, v) in rx.iter() {
-        let mut guard = processor.write().expect("processor lock");
+        let mut guard = processor.write();
         guard.process_weighted(stream, &[v], 1.0)?;
         if let Some(est) = query.observe(&mut guard)? {
             println!("{:>12} {est:>16.0}", guard.events_processed());
@@ -72,7 +72,7 @@ fn main() -> dctstream::Result<()> {
     t2.join().expect("producer 2");
 
     // Final report.
-    let mut guard = processor.write().expect("processor lock");
+    let mut guard = processor.write();
     let final_est = guard.estimate_cosine_join("trades", "calls", None)?;
     let exact: f64 = f1.iter().zip(&f2).map(|(&a, &b)| a as f64 * b as f64).sum();
     println!("\nprocessed {} events", guard.events_processed());

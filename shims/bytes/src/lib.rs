@@ -21,6 +21,16 @@ pub struct Bytes {
     pos: usize,
 }
 
+impl PartialEq for Bytes {
+    /// Equality over the *remaining* bytes, matching upstream `bytes`
+    /// semantics where a `Bytes` value is just a byte-string view.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
 impl Bytes {
     /// Bytes not yet consumed.
     #[inline]

@@ -284,3 +284,36 @@ fn trailing_garbage_rejected() {
     let err = StreamProcessor::restore_bytes(&full).unwrap_err();
     assert!(err.to_string().contains("field '"), "{err}");
 }
+
+#[test]
+fn read_checkpoint_of_a_directory_is_a_typed_error() {
+    let dir = std::env::temp_dir().join("dctstream_ckpt_dir_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = read_checkpoint(&dir).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, dctstream_core::DctError::Checkpoint(_)),
+        "{err:?}"
+    );
+    assert!(msg.contains("directory"), "{msg}");
+}
+
+#[test]
+fn read_checkpoint_of_an_empty_file_is_a_typed_error() {
+    let path = std::env::temp_dir().join("dctstream_ckpt_empty_test.dctr");
+    std::fs::write(&path, b"").unwrap();
+    let err = read_checkpoint(&path).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, dctstream_core::DctError::Checkpoint(_)),
+        "{err:?}"
+    );
+    assert!(msg.contains("empty"), "{msg}");
+}
+
+#[test]
+fn read_checkpoint_of_a_missing_file_is_an_io_error() {
+    let path = std::env::temp_dir().join("dctstream_ckpt_missing_test.dctr");
+    let _ = std::fs::remove_file(&path);
+    assert!(read_checkpoint(&path).is_err());
+}

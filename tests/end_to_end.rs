@@ -332,14 +332,13 @@ fn shared_processor_concurrent_ingestion() {
                 let name = if t % 2 == 0 { "a" } else { "b" };
                 for i in 0..10_000i64 {
                     sp.write()
-                        .unwrap()
                         .process_weighted(name, &[(i + t as i64 * 7) % n as i64], 1.0)
                         .unwrap();
                 }
             });
         }
     });
-    let mut guard = sp.write().unwrap();
+    let mut guard = sp.write();
     assert_eq!(guard.events_processed(), 40_000);
     // Both streams are uniform over the domain -> join ≈ N_a·N_b/n.
     let est = guard.estimate_cosine_join("a", "b", None).unwrap();
