@@ -624,9 +624,20 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 // build is recovered with `wal-replay`.
                 let name = wal_stream_name(&out)?;
                 let (mut dp, _) = DurableProcessor::open(&dir)?;
-                if dp.processor().summary(&name).is_none() {
-                    dp.register(name.clone(), Summary::Cosine(syn))?;
+                if dp.processor().summary(&name).is_some() {
+                    // A prior build (possibly one that crashed mid-way)
+                    // already logged rows for this stream; re-ingesting
+                    // the CSV from the start would double-count them.
+                    return Err(CliError::Usage(format!(
+                        "stream '{name}' already has logged state in {}; \
+                         re-running build would double-count every row already \
+                         ingested. Run `wal-replay {}` to recover it, or point \
+                         --wal-dir at a fresh directory",
+                        dir.display(),
+                        dir.display()
+                    )));
                 }
+                dp.register(name.clone(), Summary::Cosine(syn))?;
                 for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
                     if line.trim().is_empty() {
                         continue;
@@ -1615,5 +1626,31 @@ mod tests {
         .unwrap();
         assert!(out.contains("orders: cosine, 5 tuple(s)"), "{out}");
         assert!(out.contains("checkpointed at watermark"), "{out}");
+    }
+
+    #[test]
+    fn build_refuses_reingesting_into_an_existing_wal_stream() {
+        let csv = tmp("wal_rebuild.csv");
+        fs::write(&csv, "1\n2\n3\n").unwrap();
+        let wal = tmp("wal_rebuild_dir");
+        let _ = fs::remove_dir_all(&wal);
+        let build = Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 8,
+            out: tmp("wal_rebuild.dcts"),
+            skip_header: false,
+            threads: 1,
+            wal_dir: Some(wal),
+        };
+        run(build.clone()).unwrap();
+        // Re-running the same build would replay the logged rows AND
+        // re-ingest the CSV, double-counting every tuple: refuse.
+        let e = run(build).unwrap_err();
+        assert!(
+            e.to_string().contains("already has logged state"),
+            "{e}"
+        );
     }
 }

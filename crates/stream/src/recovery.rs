@@ -4,9 +4,11 @@
 //! A [`DurableProcessor`] owns a [`StreamProcessor`] and a [`Wal`] over
 //! the same storage. Every mutation is applied to the in-memory registry
 //! *first* and then logged, so replay can never re-deliver an event the
-//! live run rejected; if logging fails, the WAL wedges itself and the
-//! typed error tells the caller durability is gone while the in-memory
-//! state remains usable.
+//! live run rejected. If logging fails *after* the apply succeeded, the
+//! registry holds an update the log does not: the WAL wedges itself and
+//! the stream is **quarantined**, so a natural retry of the failed call
+//! is rejected with [`DctError::StreamQuarantined`] instead of silently
+//! double-applying the update to the synopsis.
 //!
 //! [`DurableProcessor::open`] composes the recovery protocol:
 //!
@@ -175,6 +177,17 @@ impl<S: WalStorage> DurableProcessor<S> {
         }
     }
 
+    /// The mutation is in the registry but not in the log: a retry of
+    /// the failed call would apply it twice and silently skew the
+    /// synopsis. Quarantine the stream so retries are rejected with a
+    /// typed error instead.
+    fn quarantine_unlogged(&mut self, stream: &str, e: &DctError) {
+        self.quarantined.insert(
+            stream.to_string(),
+            format!("update applied in memory but WAL append failed ({e}); a retry would double-apply"),
+        );
+    }
+
     /// Register a stream and log the registration, so a recovery without
     /// an intervening checkpoint still knows the stream's summary shape.
     pub fn register(&mut self, name: impl Into<String>, summary: Summary) -> Result<()> {
@@ -182,7 +195,10 @@ impl<S: WalStorage> DurableProcessor<S> {
         self.check_stream(&name)?;
         let payload = summary.to_bytes();
         self.processor.register(name.clone(), summary)?;
-        self.wal.append(&WalRecord::register(name, payload))?;
+        if let Err(e) = self.wal.append(&WalRecord::register(name.clone(), payload)) {
+            self.quarantine_unlogged(&name, &e);
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -197,7 +213,13 @@ impl<S: WalStorage> DurableProcessor<S> {
     pub fn process_weighted(&mut self, stream: &str, tuple: &[i64], w: f64) -> Result<u64> {
         self.check_stream(stream)?;
         self.processor.process_weighted(stream, tuple, w)?;
-        self.wal.append(&WalRecord::weighted(stream, tuple, w))
+        match self.wal.append(&WalRecord::weighted(stream, tuple, w)) {
+            Ok(seq) => Ok(seq),
+            Err(e) => {
+                self.quarantine_unlogged(stream, &e);
+                Err(e)
+            }
+        }
     }
 
     /// Durably sync every logged record to storage.
@@ -295,7 +317,7 @@ impl<S: WalStorage> DurableProcessor<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wal::{MemStorage, RetryPolicy, SyncPolicy};
+    use crate::wal::{FailingStorage, MemStorage, RetryPolicy, SyncPolicy};
     use dctstream_core::{CosineSynopsis, Domain, Grid};
 
     fn cosine(n: usize, m: usize) -> Summary {
@@ -392,6 +414,38 @@ mod tests {
         dp2.checkpoint().unwrap();
         assert!(dp2.processor().summary("bad").is_none());
         assert!(dp2.processor().summary("good").is_some());
+    }
+
+    #[test]
+    fn failed_wal_append_quarantines_the_stream_against_retries() {
+        let failing = FailingStorage::with_budget(MemStorage::new(), 4096);
+        let opts = RecoveryOptions {
+            wal: WalOptions {
+                sync: SyncPolicy::Always,
+                retry: RetryPolicy::none(),
+                ..WalOptions::default()
+            },
+            flush_threshold: None,
+        };
+        let (mut dp, _) = DurableProcessor::open_with(failing, opts).unwrap();
+        dp.register("s", cosine(16, 4)).unwrap();
+        // Append until the injected crash fires mid-write.
+        let mut first_err = None;
+        for v in 0..100_000i64 {
+            if let Err(e) = dp.process_weighted("s", &[v % 16], 1.0) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        let first_err = first_err.expect("byte budget must run out");
+        assert!(matches!(first_err, DctError::Wal { .. }), "{first_err}");
+        // The failed update is in memory but not in the log: a retry must
+        // be rejected rather than double-applied.
+        let e = dp.process_weighted("s", &[1], 1.0).unwrap_err();
+        assert!(matches!(e, DctError::StreamQuarantined { .. }), "{e}");
+        // And a checkpoint cannot launder the divergent state.
+        let e = dp.checkpoint().unwrap_err();
+        assert!(e.to_string().contains("quarantined"), "{e}");
     }
 
     #[test]

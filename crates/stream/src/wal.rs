@@ -296,6 +296,10 @@ pub trait WalStorage {
 pub struct DirStorage {
     root: PathBuf,
     handles: HashMap<String, fs::File>,
+    /// Set when a file handle was (possibly) freshly created since the
+    /// last directory fsync: its directory entry is not durable until
+    /// the directory itself is synced.
+    dirty_root: bool,
 }
 
 impl DirStorage {
@@ -306,6 +310,7 @@ impl DirStorage {
         Ok(DirStorage {
             root,
             handles: HashMap::new(),
+            dirty_root: false,
         })
     }
 
@@ -327,9 +332,18 @@ impl DirStorage {
                     .create(true)
                     .append(true)
                     .open(self.root.join(name))?;
+                self.dirty_root = true;
                 Ok(e.insert(f))
             }
         }
+    }
+
+    /// Fsync the directory itself: file creations and renames are only
+    /// power-loss durable once their directory entry is synced.
+    fn sync_root(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
     }
 }
 
@@ -340,7 +354,12 @@ impl WalStorage for DirStorage {
     }
 
     fn sync(&mut self, name: &str) -> io::Result<()> {
-        self.handle(name)?.sync_data()
+        self.handle(name)?.sync_data()?;
+        if self.dirty_root {
+            self.sync_root()?;
+            self.dirty_root = false;
+        }
+        Ok(())
     }
 
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
@@ -380,7 +399,8 @@ impl WalStorage for DirStorage {
             f.write_all(data)?;
             f.sync_data()?;
         }
-        fs::rename(&tmp, self.path(name))
+        fs::rename(&tmp, self.path(name))?;
+        self.sync_root()
     }
 }
 
@@ -890,6 +910,14 @@ impl<S: WalStorage> Wal<S> {
         }
 
         let (segment, segment_len, next_seq) = match last_state {
+            // A torn header truncated the newest segment to nothing: the
+            // file holds zero bytes, so it must not be the active segment
+            // (append only writes a header when starting one). Leaving it
+            // inactive makes the next append re-emit the header — same
+            // first_seq, hence the same file name — instead of writing
+            // frames into a headerless file that the next open would
+            // reject as corrupt.
+            Some((_, 0, next)) => (None, 0, next),
             Some((name, len, next)) => (Some(name), len, next),
             None => (None, 0, after + 1),
         };
@@ -1407,6 +1435,34 @@ mod tests {
         // Storage was actually truncated.
         assert_eq!(mem.snapshot()[&name].len(), full_len);
         assert_eq!(wal2.watermark(), 5);
+    }
+
+    #[test]
+    fn append_after_torn_header_recovery_reopens_cleanly() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = Wal::open(mem.clone(), manual_opts(), 0).unwrap();
+        for v in 0..3 {
+            wal.append(&rec("s", v)).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.note_checkpoint(wal.watermark()).unwrap();
+        // Crash mid-header of the next segment: only 5 of 20 bytes land.
+        let name = segment_name(4);
+        let mut files = mem.snapshot();
+        files.insert(name.clone(), encode_segment_header(4)[..5].to_vec());
+        mem.restore(files);
+        let (mut wal2, out) = Wal::open(mem.clone(), manual_opts(), 3).unwrap();
+        let torn = out.torn_tail.expect("header was torn");
+        assert_eq!(torn.offset, 0);
+        // The truncated-to-nothing segment must not be left active:
+        // post-recovery appends re-emit the header into the same file,
+        // and the log stays openable with the records intact.
+        wal2.append(&rec("s", 99)).unwrap();
+        wal2.sync().unwrap();
+        let (_, out) = Wal::open(mem, manual_opts(), 3).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].0, 4);
+        assert_eq!(out.records[0].1, rec("s", 99));
     }
 
     #[test]

@@ -148,7 +148,7 @@ fn kill_sweep(sync: SyncPolicy, with_checkpoint: bool) {
         run_until_crash(failing, sync, &ops);
 
         // The "disk" now holds whatever survived the crash. Recover.
-        let (mut dp, report) = DurableProcessor::open_with(mem, opts(sync))
+        let (mut dp, report) = DurableProcessor::open_with(mem.clone(), opts(sync))
             .unwrap_or_else(|e| panic!("budget {budget}: recovery must not fail, got {e}"));
         assert!(
             report.quarantined.is_empty(),
@@ -160,6 +160,29 @@ fn kill_sweep(sync: SyncPolicy, with_checkpoint: bool) {
             recovered,
             reference_manifest(&ops, k),
             "budget {budget}: recovered state (k = {k}) diverges from the uninterrupted prefix"
+        );
+
+        // Append-after-recovery leg: the recovered log must accept new
+        // records that survive yet another reopen (regression: a torn
+        // segment header used to leave a headerless active segment whose
+        // post-recovery appends made the next open fail).
+        if dp.processor().summary("left").is_none() {
+            dp.register("left", summary())
+                .unwrap_or_else(|e| panic!("budget {budget}: post-recovery register failed: {e}"));
+        }
+        dp.process_weighted("left", &[3], 1.0)
+            .unwrap_or_else(|e| panic!("budget {budget}: post-recovery append failed: {e}"));
+        dp.sync()
+            .unwrap_or_else(|e| panic!("budget {budget}: post-recovery sync failed: {e}"));
+        let k2 = recovered_record_count(&dp);
+        drop(dp);
+        let (dp2, _) = DurableProcessor::open_with(mem, opts(sync)).unwrap_or_else(|e| {
+            panic!("budget {budget}: reopen after post-recovery appends failed: {e}")
+        });
+        assert_eq!(
+            recovered_record_count(&dp2),
+            k2,
+            "budget {budget}: records appended after recovery were lost"
         );
     }
 }
