@@ -18,6 +18,9 @@
 //! dctstream restore registry.dctr [--extract dir/]
 //! dctstream build  --input r1.csv --column 0 --domain 0:99999 -m 512 --out r1.dcts --wal-dir wal/
 //! dctstream wal-replay wal/ [--checkpoint]
+//! dctstream health wal/
+//! dctstream scrub  wal/
+//! dctstream repair wal/ [STREAM]... [--checkpoint]
 //! ```
 //!
 //! The command layer is a library (`run` + `Command`), so every code path
@@ -207,6 +210,27 @@ pub enum Command {
         /// WAL segments.
         checkpoint: bool,
     },
+    /// Report the per-stream health of a write-ahead-logged registry.
+    Health {
+        /// Registry directory.
+        dir: PathBuf,
+    },
+    /// Integrity-scrub a registry: audit live summaries and re-verify
+    /// checkpoint + WAL checksums, demoting damaged streams.
+    Scrub {
+        /// Registry directory.
+        dir: PathBuf,
+    },
+    /// Repair quarantined streams from the checkpoint + WAL.
+    Repair {
+        /// Registry directory.
+        dir: PathBuf,
+        /// Streams to repair (empty = every quarantined stream).
+        streams: Vec<String>,
+        /// Write a checkpoint after repairing, persisting the healed
+        /// state and retiring covered WAL segments.
+        checkpoint: bool,
+    },
 }
 
 /// The usage text.
@@ -226,13 +250,20 @@ pub fn usage() -> &'static str {
        checkpoint NAME=FILE... [--out F] [--wal-dir DIR]\n\
        restore  <checkpoint> [--extract DIR]\n\
        wal-replay <dir> [--checkpoint]\n\
+       health   <dir>\n\
+       scrub    <dir>\n\
+       repair   <dir> [STREAM]... [--checkpoint]\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
      restore validates it and reports (or --extract's) every stream\n\
      --wal-dir DIR (build, checkpoint) write-ahead logs every event into\n\
      DIR so a crash mid-ingest loses nothing past the last synced record;\n\
-     wal-replay recovers DIR and reports (or --checkpoint's) the result"
+     wal-replay recovers DIR and reports (or --checkpoint's) the result;\n\
+     health reports each stream's supervisor state, scrub audits live\n\
+     summaries and durable checksums (demoting damaged streams), repair\n\
+     rebuilds quarantined streams from checkpoint + WAL and re-verifies\n\
+     them before promoting back to healthy"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -544,6 +575,39 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
             };
             Ok(Command::WalReplay {
                 dir: PathBuf::from(dir),
+                checkpoint: f.bools.contains("checkpoint"),
+            })
+        }
+        "health" => {
+            let f = split_flags(rest, &[])?;
+            let [dir] = f.positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "health takes one registry directory".into(),
+                ));
+            };
+            Ok(Command::Health {
+                dir: PathBuf::from(dir),
+            })
+        }
+        "scrub" => {
+            let f = split_flags(rest, &[])?;
+            let [dir] = f.positional.as_slice() else {
+                return Err(CliError::Usage("scrub takes one registry directory".into()));
+            };
+            Ok(Command::Scrub {
+                dir: PathBuf::from(dir),
+            })
+        }
+        "repair" => {
+            let f = split_flags(rest, &["checkpoint"])?;
+            let Some((dir, streams)) = f.positional.split_first() else {
+                return Err(CliError::Usage(
+                    "repair takes a registry directory, then optional stream names".into(),
+                ));
+            };
+            Ok(Command::Repair {
+                dir: PathBuf::from(dir),
+                streams: streams.to_vec(),
                 checkpoint: f.bools.contains("checkpoint"),
             })
         }
@@ -1012,6 +1076,113 @@ pub fn run(cmd: Command) -> CliResult<String> {
                     s.count()
                 )
                 .unwrap();
+            }
+            if checkpoint {
+                let retired = dp.checkpoint()?;
+                writeln!(
+                    out,
+                    "checkpointed at watermark {} ({} WAL segment(s) retired)",
+                    dp.wal_watermark(),
+                    retired
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Health { dir } => {
+            // invariant: fmt::Write to a String cannot fail, so the
+            // writeln! unwraps in this block are infallible.
+            let (dp, _) = DurableProcessor::open(&dir)?;
+            let mut out = String::new();
+            let mut names: Vec<String> =
+                dp.processor().stream_names().map(str::to_string).collect();
+            names.sort_unstable();
+            writeln!(
+                out,
+                "{}: {} stream(s), watermark {}",
+                dir.display(),
+                names.len(),
+                dp.wal_watermark()
+            )
+            .unwrap();
+            for name in &names {
+                let state = dp.health().state(name);
+                match dp.health().cause(name) {
+                    Some(cause) => writeln!(out, "  {name}: {state} ({cause})").unwrap(),
+                    None => writeln!(out, "  {name}: {state}").unwrap(),
+                }
+            }
+            // Streams the ledger tracks but the registry no longer
+            // holds (e.g. a registration that failed to replay).
+            for (name, state, cause) in dp.health().report() {
+                if !names.contains(&name) {
+                    writeln!(out, "  {name}: {state} ({cause}) [no live summary]").unwrap();
+                }
+            }
+            if dp.health().all_healthy() {
+                writeln!(out, "all healthy").unwrap();
+            }
+            Ok(out)
+        }
+        Command::Scrub { dir } => {
+            // invariant: writeln! to a String is infallible.
+            let (mut dp, _) = DurableProcessor::open(&dir)?;
+            let report = dp.scrub()?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "scrubbed {}: {} live stream(s), {} checkpoint record(s), {} WAL segment(s)",
+                dir.display(),
+                report.live_streams_checked,
+                report.checkpoint_streams_checked,
+                report.wal_segments_checked
+            )
+            .unwrap();
+            for v in &report.violations {
+                writeln!(out, "violation: {v}").unwrap();
+            }
+            for (name, state) in &report.demoted {
+                writeln!(out, "demoted {name} -> {state}").unwrap();
+            }
+            for name in &report.promoted {
+                writeln!(out, "promoted {name} -> healthy").unwrap();
+            }
+            if report.is_clean() {
+                writeln!(out, "clean").unwrap();
+            }
+            Ok(out)
+        }
+        Command::Repair {
+            dir,
+            streams,
+            checkpoint,
+        } => {
+            // invariant: writeln! to a String is infallible.
+            let (mut dp, _) = DurableProcessor::open(&dir)?;
+            let outcomes: Vec<_> = if streams.is_empty() {
+                dp.repair_all()
+            } else {
+                streams.iter().map(|n| (n.clone(), dp.repair(n))).collect()
+            };
+            let mut out = String::new();
+            if outcomes.is_empty() {
+                writeln!(out, "nothing to repair: no stream is quarantined").unwrap();
+            }
+            for (name, res) in &outcomes {
+                match res {
+                    Ok(r) if r.removed => writeln!(
+                        out,
+                        "repaired {name}: absent from durable state, unregistered"
+                    )
+                    .unwrap(),
+                    Ok(r) => writeln!(
+                        out,
+                        "repaired {name}: {} WAL record(s) replayed past watermark {}",
+                        r.replayed, r.from_watermark
+                    )
+                    .unwrap(),
+                    Err(e) => writeln!(out, "repair of {name} failed: {e}").unwrap(),
+                }
             }
             if checkpoint {
                 let retired = dp.checkpoint()?;
@@ -1648,9 +1819,150 @@ mod tests {
         // Re-running the same build would replay the logged rows AND
         // re-ingest the CSV, double-counting every tuple: refuse.
         let e = run(build).unwrap_err();
-        assert!(
-            e.to_string().contains("already has logged state"),
-            "{e}"
+        assert!(e.to_string().contains("already has logged state"), "{e}");
+    }
+
+    #[test]
+    fn parse_health_scrub_repair_commands() {
+        assert_eq!(
+            parse(&args("health wal/")).unwrap(),
+            Command::Health { dir: "wal/".into() }
         );
+        assert_eq!(
+            parse(&args("scrub wal/")).unwrap(),
+            Command::Scrub { dir: "wal/".into() }
+        );
+        assert_eq!(
+            parse(&args("repair wal/")).unwrap(),
+            Command::Repair {
+                dir: "wal/".into(),
+                streams: vec![],
+                checkpoint: false,
+            }
+        );
+        assert_eq!(
+            parse(&args("repair wal/ orders parts --checkpoint")).unwrap(),
+            Command::Repair {
+                dir: "wal/".into(),
+                streams: vec!["orders".into(), "parts".into()],
+                checkpoint: true,
+            }
+        );
+        assert!(parse(&args("health")).is_err());
+        assert!(parse(&args("scrub a b")).is_err());
+    }
+
+    #[test]
+    fn health_scrub_and_repair_on_a_healthy_directory() {
+        let csv = tmp("health_ok.csv");
+        fs::write(
+            &csv, "1
+2
+3
+4
+",
+        )
+        .unwrap();
+        let wal = tmp("health_ok_dir");
+        let _ = fs::remove_dir_all(&wal);
+        run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 8,
+            out: tmp("health_ok.dcts"),
+            skip_header: false,
+            threads: 1,
+            wal_dir: Some(wal.clone()),
+        })
+        .unwrap();
+
+        let out = run(Command::Health { dir: wal.clone() }).unwrap();
+        assert!(out.contains("health_ok: healthy"), "{out}");
+        assert!(out.contains("all healthy"), "{out}");
+
+        let out = run(Command::Scrub { dir: wal.clone() }).unwrap();
+        assert!(out.contains("1 live stream(s)"), "{out}");
+        assert!(out.contains("clean"), "{out}");
+
+        let out = run(Command::Repair {
+            dir: wal,
+            streams: vec![],
+            checkpoint: false,
+        })
+        .unwrap();
+        assert!(out.contains("nothing to repair"), "{out}");
+    }
+
+    #[test]
+    fn repair_heals_a_stream_quarantined_by_a_duplicate_register_record() {
+        use dctstream_stream::{DirStorage, Wal, WalOptions, WalRecord};
+
+        let csv = tmp("health_dup.csv");
+        fs::write(
+            &csv,
+            "1
+2
+3
+4
+5
+",
+        )
+        .unwrap();
+        let wal = tmp("health_dup_dir");
+        let _ = fs::remove_dir_all(&wal);
+        run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 8,
+            out: tmp("health_dup.dcts"),
+            skip_header: false,
+            threads: 1,
+            wal_dir: Some(wal.clone()),
+        })
+        .unwrap();
+
+        // Corrupt the log logically: append a second Register record for
+        // the same stream. Plain reopen-replay treats a duplicate
+        // registration as damage and quarantines the stream; repair's
+        // scratch replay handles it idempotently and heals.
+        let (payload, watermark) = {
+            let (dp, _) = DurableProcessor::open(&wal).unwrap();
+            (
+                dp.processor().summary("health_dup").unwrap().to_bytes(),
+                dp.wal_watermark(),
+            )
+        };
+        {
+            let storage = DirStorage::open(&wal).unwrap();
+            // Seed sequencing past the checkpoint watermark so the bad
+            // record lands where reopen-replay will actually read it.
+            let (mut raw, _) = Wal::open(storage, WalOptions::default(), watermark).unwrap();
+            raw.append(&WalRecord::register("health_dup", payload))
+                .unwrap();
+            raw.sync().unwrap();
+        }
+
+        let out = run(Command::Health { dir: wal.clone() }).unwrap();
+        assert!(out.contains("health_dup: quarantined"), "{out}");
+        assert!(out.contains("already registered"), "{out}");
+
+        // repair --checkpoint heals the stream and retires the damaged
+        // segments so the next open replays past the bad record.
+        let out = run(Command::Repair {
+            dir: wal.clone(),
+            streams: vec![],
+            checkpoint: true,
+        })
+        .unwrap();
+        assert!(out.contains("repaired health_dup"), "{out}");
+        assert!(out.contains("checkpointed at watermark"), "{out}");
+
+        let out = run(Command::Health { dir: wal.clone() }).unwrap();
+        assert!(out.contains("health_dup: healthy"), "{out}");
+        assert!(out.contains("all healthy"), "{out}");
+        let out = run(Command::Scrub { dir: wal }).unwrap();
+        assert!(out.contains("clean"), "{out}");
     }
 }

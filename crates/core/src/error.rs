@@ -74,6 +74,24 @@ pub enum DctError {
         /// Why replay failed.
         cause: String,
     },
+    /// An integrity audit found live state or a durable artifact in
+    /// violation of a structural invariant.
+    ///
+    /// Names the stream (when the violation is attributable to one), the
+    /// specific field that failed the check, and the artifact the field
+    /// lives in (`"summary"`, `"checkpoint"`, or a WAL segment name), so
+    /// scrub reports pinpoint exactly what is damaged.
+    IntegrityViolation {
+        /// Stream the damaged state belongs to, when attributable.
+        stream: Option<String>,
+        /// The field or counter that violated its invariant.
+        field: String,
+        /// Which artifact holds the field: `"summary"` for in-memory
+        /// state, `"checkpoint"` or a segment file name for durable state.
+        artifact: String,
+        /// What the check expected and what it saw.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DctError {
@@ -116,6 +134,18 @@ impl fmt::Display for DctError {
             }
             DctError::StreamQuarantined { stream, cause } => {
                 write!(f, "stream '{stream}' is quarantined: {cause}")
+            }
+            DctError::IntegrityViolation {
+                stream,
+                field,
+                artifact,
+                detail,
+            } => {
+                write!(f, "integrity violation")?;
+                if let Some(s) = stream {
+                    write!(f, " in stream '{s}'")?;
+                }
+                write!(f, ": field '{field}' of {artifact}: {detail}")
             }
         }
     }
@@ -175,6 +205,28 @@ mod tests {
         };
         assert!(e.to_string().contains("quarantined"));
         assert!(e.to_string().contains("'orders'"));
+    }
+
+    #[test]
+    fn integrity_violation_names_stream_field_and_artifact() {
+        let e = DctError::IntegrityViolation {
+            stream: Some("orders".into()),
+            field: "sums[3]".into(),
+            artifact: "summary".into(),
+            detail: "coefficient is NaN".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("'orders'") && s.contains("sums[3]") && s.contains("summary"));
+
+        let e = DctError::IntegrityViolation {
+            stream: None,
+            field: "manifest crc".into(),
+            artifact: "checkpoint".into(),
+            detail: "mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(!s.contains("stream '"));
+        assert!(s.contains("checkpoint"));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct MultiDimSynopsis {
     /// Flat coefficient sums aligned with `index`.
     sums: Vec<f64>,
     count: f64,
+    /// Gross update mass `Σ|w|` (monotone; see
+    /// [`crate::CosineSynopsis`]'s field of the same name).
+    gross: f64,
     /// Scratch: per-dimension basis vectors, `d × m` values.
     phi_buf: Vec<f64>,
 }
@@ -60,6 +63,7 @@ impl MultiDimSynopsis {
             index,
             sums: vec![0.0; len],
             count: 0.0,
+            gross: 0.0,
             phi_buf: vec![0.0; d * m],
         })
     }
@@ -100,6 +104,13 @@ impl MultiDimSynopsis {
         self.count
     }
 
+    /// Gross update mass `Σ|w|` absorbed over the synopsis lifetime
+    /// (monotone; bounds every coefficient by `(√2)^d · gross`).
+    #[inline]
+    pub fn gross(&self) -> f64 {
+        self.gross
+    }
+
     /// Unnormalized coefficient sums in graded-lex order.
     #[inline]
     pub fn sums(&self) -> &[f64] {
@@ -120,6 +131,98 @@ impl MultiDimSynopsis {
         } else {
             self.sums[rank] / self.count
         }
+    }
+
+    /// Audit the synopsis against its structural invariants.
+    ///
+    /// Checks, in order: the flat sum vector is exactly as long as the
+    /// triangular enumeration says it must be (`C(m+d−1, d)` entries —
+    /// the triangular-index sanity check); the count and every sum are
+    /// finite; the rank-0 sum equals `N` (every `φ_0 ≡ 1`, so
+    /// `S_{0…0} = N`); and every sum respects the `(√2)^d·N` scale bound
+    /// implied by `|φ_k| ≤ √2` per dimension over a nonnegative frequency
+    /// distribution. Returns [`DctError::IntegrityViolation`] naming the
+    /// first failing field.
+    pub fn check_invariants(&self) -> Result<()> {
+        let violation = |field: String, detail: String| DctError::IntegrityViolation {
+            stream: None,
+            field,
+            artifact: "summary".into(),
+            detail,
+        };
+        if self.sums.len() != self.index.len() {
+            return Err(violation(
+                "sums.len".into(),
+                format!(
+                    "{} coefficient sums stored but triangular index (m = {}, d = {}) \
+                     enumerates {}",
+                    self.sums.len(),
+                    self.index.degree(),
+                    self.index.arity(),
+                    self.index.len()
+                ),
+            ));
+        }
+        if !self.count.is_finite() {
+            return Err(violation(
+                "count".into(),
+                format!("tuple count {} is not finite", self.count),
+            ));
+        }
+        for (rank, &s) in self.sums.iter().enumerate() {
+            if !s.is_finite() {
+                return Err(violation(
+                    format!("sums[{rank}]"),
+                    format!("coefficient sum {s} is not finite"),
+                ));
+            }
+        }
+        if !self.gross.is_finite() || self.gross < 0.0 {
+            return Err(violation(
+                "gross".into(),
+                format!(
+                    "gross update mass {} is not a finite non-negative value",
+                    self.gross
+                ),
+            ));
+        }
+        let tol = 1e-9 * self.gross.max(1.0);
+        if (self.sums[0] - self.count).abs() > tol {
+            return Err(violation(
+                "sums[0]".into(),
+                format!(
+                    "rank-0 sum {} disagrees with tuple count N = {} \
+                     (all phi_0 = 1 requires S_0...0 = N)",
+                    self.sums[0], self.count
+                ),
+            ));
+        }
+        if self.count.abs() > self.gross + tol {
+            return Err(violation(
+                "count".into(),
+                format!(
+                    "|N| = {} exceeds the gross update mass {} that produced it",
+                    self.count.abs(),
+                    self.gross
+                ),
+            ));
+        }
+        // Each update moves a coefficient by at most (√2)^d · |w|, so the
+        // gross mass bounds every coefficient even when the net count
+        // passes through zero (turnstile streams).
+        let bound = std::f64::consts::SQRT_2.powi(self.arity() as i32) * self.gross + tol;
+        for (rank, &s) in self.sums.iter().enumerate().skip(1) {
+            if s.abs() > bound {
+                return Err(violation(
+                    format!("sums[{rank}]"),
+                    format!(
+                        "|S| = {} exceeds the sqrt(2)^d * gross = {bound} scale bound",
+                        s.abs()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Record the arrival of `tuple` (Eq. (3.4) generalized).
@@ -164,6 +267,7 @@ impl MultiDimSynopsis {
             self.sums[rank] += prod;
         }
         self.count += w;
+        self.gross += w.abs();
         Ok(())
     }
 
@@ -250,6 +354,7 @@ impl MultiDimSynopsis {
             *a += b;
         }
         self.count += other.count;
+        self.gross += other.gross;
         Ok(())
     }
 
@@ -277,16 +382,17 @@ impl MultiDimSynopsis {
                 }
             }
         }
-        out.load_raw(sums, self.count);
+        out.load_raw(sums, self.count, self.gross);
         Ok(out)
     }
 
     /// Overwrite internal state from raw coefficient sums — crate-internal
     /// helper for deserialization.
-    pub(crate) fn load_raw(&mut self, sums: Vec<f64>, count: f64) {
+    pub(crate) fn load_raw(&mut self, sums: Vec<f64>, count: f64, gross: f64) {
         debug_assert_eq!(sums.len(), self.sums.len());
         self.sums = sums;
         self.count = count;
+        self.gross = gross;
     }
 
     /// Estimated relative frequency at a raw tuple:
@@ -337,6 +443,44 @@ mod tests {
 
     fn dom(n: usize) -> Domain {
         Domain::of_size(n)
+    }
+
+    #[test]
+    fn invariant_audit_accepts_live_state_and_flags_damage() {
+        let mut s = MultiDimSynopsis::new(vec![dom(8), dom(8)], Grid::Midpoint, 4).unwrap();
+        s.check_invariants().unwrap();
+        for v in 0..8 {
+            s.insert(&[v, 7 - v]).unwrap();
+        }
+        s.check_invariants().unwrap();
+
+        let mut bad = s.clone();
+        bad.sums[5] = f64::INFINITY;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums[5]"
+        ));
+
+        let mut bad = s.clone();
+        bad.sums[0] -= 2.0;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums[0]"
+        ));
+
+        let mut bad = s.clone();
+        bad.sums.push(0.0);
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums.len"
+        ));
+
+        let mut bad = s;
+        bad.sums[4] = 1e6;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums[4]"
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic (4) | version (1) | kind (1) | grid (1) | reserved (1)
-//! | header fields … | count (f64) | coefficient sums (f64 × len)
+//! | header fields … | count (f64) | gross (f64) | coefficient sums (f64 × len)
 //! ```
 //!
 //! Decoding validates the magic, version, kind, grid, declared lengths,
@@ -24,7 +24,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Magic tag opening every persisted summary payload.
 pub const MAGIC: &[u8; 4] = b"DCTS";
 /// Current payload format version.
-pub const VERSION: u8 = 1;
+///
+/// Version 2 added the gross update mass (`Σ|w|`) field after the tuple
+/// count in every payload kind; version-1 payloads are rejected.
+pub const VERSION: u8 = 2;
 /// Payload kind byte for [`CosineSynopsis`].
 pub const KIND_COSINE: u8 = 1;
 /// Payload kind byte for [`MultiDimSynopsis`].
@@ -205,12 +208,13 @@ pub fn get_domain_checked(buf: &mut Bytes) -> Result<(Domain, usize)> {
 impl CosineSynopsis {
     /// Serialize to a compact binary buffer.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + 8 * 3 + 8 + 8 * self.coefficient_count());
+        let mut buf = BytesMut::with_capacity(8 + 8 * 3 + 16 + 8 * self.coefficient_count());
         put_header(&mut buf, KIND_COSINE, grid_tag(self.grid()));
         buf.put_i64_le(self.domain().lo());
         buf.put_i64_le(self.domain().hi());
         buf.put_u64_le(self.coefficient_count() as u64);
         buf.put_f64_le(self.count());
+        buf.put_f64_le(self.gross());
         for &s in self.sums() {
             buf.put_f64_le(s);
         }
@@ -228,6 +232,7 @@ impl CosineSynopsis {
             )));
         }
         let count = get_f64_checked(&mut buf)?;
+        let gross = get_f64_checked(&mut buf)?;
         let mut sums = Vec::with_capacity(m);
         for _ in 0..m {
             sums.push(get_f64_checked(&mut buf)?);
@@ -239,7 +244,7 @@ impl CosineSynopsis {
             )));
         }
         let mut syn = CosineSynopsis::new(domain, grid, m)?;
-        syn.load_raw(sums, count);
+        syn.load_raw(sums, count, gross);
         Ok(syn)
     }
 }
@@ -248,7 +253,7 @@ impl MultiDimSynopsis {
     /// Serialize to a compact binary buffer.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf =
-            BytesMut::with_capacity(16 + 16 * self.arity() + 8 + 8 * self.coefficient_count());
+            BytesMut::with_capacity(16 + 16 * self.arity() + 16 + 8 * self.coefficient_count());
         put_header(&mut buf, KIND_MULTI, grid_tag(self.grid()));
         buf.put_u64_le(self.arity() as u64);
         for d in self.domains() {
@@ -257,6 +262,7 @@ impl MultiDimSynopsis {
         }
         buf.put_u64_le(self.degree() as u64);
         buf.put_f64_le(self.count());
+        buf.put_f64_le(self.gross());
         for &s in self.sums() {
             buf.put_f64_le(s);
         }
@@ -284,6 +290,7 @@ impl MultiDimSynopsis {
         }
         let degree = buf.get_u64_le() as usize;
         let count = get_f64_checked(&mut buf)?;
+        let gross = get_f64_checked(&mut buf)?;
         let mut syn = MultiDimSynopsis::new(domains, grid, degree)?;
         if syn.degree() != degree {
             return Err(DctError::InvalidParameter(format!(
@@ -301,7 +308,7 @@ impl MultiDimSynopsis {
                 buf.remaining()
             )));
         }
-        syn.load_raw(sums, count);
+        syn.load_raw(sums, count, gross);
         Ok(syn)
     }
 }

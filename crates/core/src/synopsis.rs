@@ -57,6 +57,12 @@ pub struct CosineSynopsis {
     /// Signed tuple count `N` (deletions may be processed before their
     /// inserts in a turnstile stream, so this may transiently be anything).
     count: f64,
+    /// Gross update mass `Σ|w|` over every update ever applied. Monotone
+    /// non-decreasing, and the sound scale bound for a turnstile stream:
+    /// each update moves a coefficient by at most `√2·|w|`, so
+    /// `|S_k| ≤ √2·gross` always — whereas the net count `N` can pass
+    /// through zero while the coefficients legitimately do not.
+    gross: f64,
 }
 
 impl CosineSynopsis {
@@ -77,6 +83,7 @@ impl CosineSynopsis {
             grid,
             sums: vec![0.0; m],
             count: 0.0,
+            gross: 0.0,
         })
     }
 
@@ -103,6 +110,13 @@ impl CosineSynopsis {
     #[inline]
     pub fn count(&self) -> f64 {
         self.count
+    }
+
+    /// Gross update mass `Σ|w|` absorbed over the synopsis lifetime
+    /// (monotone; bounds every `|S_k|` by `√2 · gross`).
+    #[inline]
+    pub fn gross(&self) -> f64 {
+        self.gross
     }
 
     /// Whether no tuples are summarized.
@@ -134,6 +148,92 @@ impl CosineSynopsis {
         (0..self.sums.len()).map(|k| self.coefficient(k)).collect()
     }
 
+    /// Audit the synopsis against its structural invariants.
+    ///
+    /// A well-formed cosine synopsis summarizes a nonnegative frequency
+    /// distribution, which pins three facts checkable without the data:
+    ///
+    /// 1. every coefficient sum `S_k` and the count `N` are finite;
+    /// 2. `S_0 = N` exactly up to accumulation rounding, because
+    ///    `φ_0 ≡ 1` (the `α_0`-consistency check);
+    /// 3. `|S_k| ≤ √2·N` up to rounding, because `|φ_k| ≤ √2` and the
+    ///    summarized frequencies are nonnegative (the `|α_k| ≤ √2` scale
+    ///    bound of §3).
+    ///
+    /// Returns [`DctError::IntegrityViolation`] naming the first failing
+    /// field; the caller (e.g. the stream-health scrubber) attaches the
+    /// owning stream name.
+    pub fn check_invariants(&self) -> Result<()> {
+        let violation = |field: String, detail: String| DctError::IntegrityViolation {
+            stream: None,
+            field,
+            artifact: "summary".into(),
+            detail,
+        };
+        if !self.count.is_finite() {
+            return Err(violation(
+                "count".into(),
+                format!("tuple count {} is not finite", self.count),
+            ));
+        }
+        for (k, &s) in self.sums.iter().enumerate() {
+            if !s.is_finite() {
+                return Err(violation(
+                    format!("sums[{k}]"),
+                    format!("coefficient sum {s} is not finite"),
+                ));
+            }
+        }
+        if !self.gross.is_finite() || self.gross < 0.0 {
+            return Err(violation(
+                "gross".into(),
+                format!(
+                    "gross update mass {} is not a finite non-negative value",
+                    self.gross
+                ),
+            ));
+        }
+        // Rounding slack: each accumulated term contributes O(eps·√2·|w|)
+        // worst-case error, so scale tolerance with the gross mass.
+        let tol = 1e-9 * self.gross.max(1.0);
+        if (self.sums[0] - self.count).abs() > tol {
+            return Err(violation(
+                "sums[0]".into(),
+                format!(
+                    "S_0 = {} disagrees with tuple count N = {} (phi_0 = 1 requires S_0 = N)",
+                    self.sums[0], self.count
+                ),
+            ));
+        }
+        // The net count can never exceed the gross mass it was built from.
+        if self.count.abs() > self.gross + tol {
+            return Err(violation(
+                "count".into(),
+                format!(
+                    "|N| = {} exceeds the gross update mass {} that produced it",
+                    self.count.abs(),
+                    self.gross
+                ),
+            ));
+        }
+        // Every update moves a coefficient by at most √2·|w|, so the
+        // gross mass bounds every coefficient — valid even for turnstile
+        // streams whose net count passes through zero.
+        let bound = std::f64::consts::SQRT_2 * self.gross + tol;
+        for (k, &s) in self.sums.iter().enumerate().skip(1) {
+            if s.abs() > bound {
+                return Err(violation(
+                    format!("sums[{k}]"),
+                    format!(
+                        "|S_{k}| = {} exceeds the sqrt(2)*gross = {bound} scale bound",
+                        s.abs()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Record the arrival of a tuple with attribute value `v` (Eq. (3.4)).
     pub fn insert(&mut self, v: i64) -> Result<()> {
         self.update(v, 1.0)
@@ -162,6 +262,7 @@ impl CosineSynopsis {
             })?;
         accumulate_phi(x, w, &mut self.sums);
         self.count += w;
+        self.gross += w.abs();
         Ok(())
     }
 
@@ -180,6 +281,7 @@ impl CosineSynopsis {
         let ws = vec![1.0; xs.len()];
         accumulate_phi_block(&xs, &ws, &mut self.sums);
         self.count += xs.len() as f64;
+        self.gross += xs.len() as f64;
         Ok(())
     }
 
@@ -205,14 +307,17 @@ impl CosineSynopsis {
         let mut xs = Vec::with_capacity(batch.len());
         let mut ws = Vec::with_capacity(batch.len());
         let mut sum_w = 0.0;
+        let mut sum_abs = 0.0;
         for &(v, w) in batch {
             check_weight(w)?;
             xs.push(self.normalize_checked(v)?);
             ws.push(w);
             sum_w += w;
+            sum_abs += w.abs();
         }
         accumulate_phi_block(&xs, &ws, &mut self.sums);
         self.count += sum_w;
+        self.gross += sum_abs;
         Ok(())
     }
 
@@ -244,6 +349,7 @@ impl CosineSynopsis {
         }
         accumulate_phi(x, w, &mut self.sums);
         self.count += w;
+        self.gross += w.abs();
         Ok(())
     }
 
@@ -270,6 +376,7 @@ impl CosineSynopsis {
             xs.push(grid.position(i, n));
             ws.push(f as f64);
             syn.count += f as f64;
+            syn.gross += f as f64;
         }
         accumulate_phi_block(&xs, &ws, &mut syn.sums);
         Ok(syn)
@@ -337,6 +444,7 @@ impl CosineSynopsis {
             *a += b;
         }
         self.count += other.count;
+        self.gross += other.gross;
         Ok(())
     }
 
@@ -360,10 +468,11 @@ impl CosineSynopsis {
 
     /// Overwrite internal state from raw coefficient sums — crate-internal
     /// helper for marginal extraction from multi-dimensional synopses.
-    pub(crate) fn load_raw(&mut self, sums: Vec<f64>, count: f64) {
+    pub(crate) fn load_raw(&mut self, sums: Vec<f64>, count: f64, gross: f64) {
         debug_assert_eq!(sums.len(), self.sums.len());
         self.sums = sums;
         self.count = count;
+        self.gross = gross;
     }
 }
 
@@ -373,6 +482,45 @@ mod tests {
 
     fn syn(n: usize, m: usize) -> CosineSynopsis {
         CosineSynopsis::new(Domain::of_size(n), Grid::Midpoint, m).unwrap()
+    }
+
+    #[test]
+    fn invariant_audit_accepts_live_synopses_and_names_damaged_fields() {
+        let mut s = syn(16, 6);
+        s.check_invariants().unwrap();
+        for v in 0..16 {
+            s.insert(v).unwrap();
+        }
+        s.check_invariants().unwrap();
+
+        // A non-finite coefficient is caught and named.
+        let mut bad = s.clone();
+        bad.sums[3] = f64::NAN;
+        match bad.check_invariants().unwrap_err() {
+            DctError::IntegrityViolation {
+                field, artifact, ..
+            } => {
+                assert_eq!(field, "sums[3]");
+                assert_eq!(artifact, "summary");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+
+        // S_0 drifting away from N is caught.
+        let mut bad = s.clone();
+        bad.sums[0] += 1.0;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums[0]"
+        ));
+
+        // A coefficient past the sqrt(2)*N scale bound is caught.
+        let mut bad = s.clone();
+        bad.sums[2] = 100.0 * bad.count;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "sums[2]"
+        ));
     }
 
     #[test]

@@ -146,6 +146,9 @@ pub struct AmsSketch {
     /// Atomic sketch values, grouped: atom `g·s₁ + j` is slot `j` of group `g`.
     atoms: Vec<f64>,
     count: f64,
+    /// Gross update mass `Σ|w|` (monotone non-decreasing; bounds every
+    /// atom's magnitude even when the net count passes through zero).
+    gross: f64,
 }
 
 impl AmsSketch {
@@ -174,6 +177,7 @@ impl AmsSketch {
             hashes,
             atoms,
             count: 0.0,
+            gross: 0.0,
         })
     }
 
@@ -197,12 +201,18 @@ impl AmsSketch {
         self.count
     }
 
+    /// Gross update mass `Σ|w|` over every update applied so far.
+    pub fn gross(&self) -> f64 {
+        self.gross
+    }
+
     /// Overwrite the accumulated state with checkpointed values. The
     /// caller (the persist module) has already validated the length.
-    pub(crate) fn load_raw(&mut self, atoms: Vec<f64>, count: f64) {
+    pub(crate) fn load_raw(&mut self, atoms: Vec<f64>, count: f64, gross: f64) {
         debug_assert_eq!(atoms.len(), self.atoms.len());
         self.atoms = atoms;
         self.count = count;
+        self.gross = gross;
     }
 
     /// Apply `w` copies of `tuple` (negative `w` deletes — atomic sketches
@@ -227,6 +237,7 @@ impl AmsSketch {
             *atom += sign;
         }
         self.count += w;
+        self.gross += w.abs();
         Ok(())
     }
 
@@ -238,6 +249,79 @@ impl AmsSketch {
             sign *= self.hashes[pos][atom_idx].sign(v as u64);
         }
         sign
+    }
+
+    /// Audit the sketch against its structural invariants.
+    ///
+    /// Checks that the atom vector matches the schema layout
+    /// (`s₁·s₂` slots), that the count and every atomic sketch value are
+    /// finite, and that every atom respects `|X| ≤ gross`: each atom is
+    /// `Σ ±w` over the applied updates, so its magnitude cannot exceed
+    /// the gross update mass `Σ|w|` (which also bounds `|N|`). Returns
+    /// [`DctError::IntegrityViolation`] naming the first failing field.
+    pub fn check_invariants(&self) -> Result<()> {
+        let violation = |field: String, detail: String| DctError::IntegrityViolation {
+            stream: None,
+            field,
+            artifact: "summary".into(),
+            detail,
+        };
+        if self.atoms.len() != self.schema.total_atoms() {
+            return Err(violation(
+                "atoms.len".into(),
+                format!(
+                    "{} atoms stored but schema lays out {}",
+                    self.atoms.len(),
+                    self.schema.total_atoms()
+                ),
+            ));
+        }
+        if !self.count.is_finite() {
+            return Err(violation(
+                "count".into(),
+                format!("tuple count {} is not finite", self.count),
+            ));
+        }
+        if !self.gross.is_finite() || self.gross < 0.0 {
+            return Err(violation(
+                "gross".into(),
+                format!(
+                    "gross update mass {} is not a finite non-negative value",
+                    self.gross
+                ),
+            ));
+        }
+        let tol = 1e-9 * self.gross.max(1.0);
+        if self.count.abs() > self.gross + tol {
+            return Err(violation(
+                "count".into(),
+                format!(
+                    "|N| = {} exceeds the gross update mass {} that produced it",
+                    self.count.abs(),
+                    self.gross
+                ),
+            ));
+        }
+        let bound = self.gross + tol;
+        for (i, &x) in self.atoms.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(violation(
+                    format!("atoms[{i}]"),
+                    format!("atomic sketch value {x} is not finite"),
+                ));
+            }
+            if x.abs() > bound {
+                return Err(violation(
+                    format!("atoms[{i}]"),
+                    format!(
+                        "|X| = {} exceeds the gross-mass bound {bound} \
+                         (atoms are +/-1-signed weight sums)",
+                        x.abs()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Self-join (second frequency moment) estimate, optionally restricted
@@ -505,6 +589,37 @@ mod tests {
         let b = AmsSketch::new(s2, vec![0]).unwrap();
         assert!(estimate_join(&[&a, &b], None).is_err());
         assert!(estimate_join(&[], None).is_err());
+    }
+
+    #[test]
+    fn invariant_audit_flags_damaged_atoms() {
+        let schema = SketchSchema::new(7, 2, 3, 1).unwrap();
+        let mut s = AmsSketch::new(schema, vec![0]).unwrap();
+        s.check_invariants().unwrap();
+        s.update(&[5], 10.0).unwrap();
+        s.update(&[9], 7.0).unwrap();
+        s.check_invariants().unwrap();
+
+        let mut bad = s.clone();
+        bad.atoms[2] = f64::NAN;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "atoms[2]"
+        ));
+
+        let mut bad = s.clone();
+        bad.atoms[4] = 1e9;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "atoms[4]"
+        ));
+
+        let mut bad = s;
+        bad.atoms.pop();
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "atoms.len"
+        ));
     }
 
     #[test]

@@ -140,6 +140,9 @@ pub struct FastAmsSketch {
     table: Vec<f64>,
     row_size: usize,
     count: f64,
+    /// Gross update mass `Σ|w|` (monotone non-decreasing; bounds each
+    /// row's L1 mass even when the net count passes through zero).
+    gross: f64,
 }
 
 impl FastAmsSketch {
@@ -177,6 +180,7 @@ impl FastAmsSketch {
             table,
             row_size,
             count: 0.0,
+            gross: 0.0,
         })
     }
 
@@ -205,6 +209,11 @@ impl FastAmsSketch {
         self.count
     }
 
+    /// Gross update mass `Σ|w|` over every update applied so far.
+    pub fn gross(&self) -> f64 {
+        self.gross
+    }
+
     /// Full row-major counter table.
     pub fn table(&self) -> &[f64] {
         &self.table
@@ -212,10 +221,11 @@ impl FastAmsSketch {
 
     /// Overwrite the accumulated state with checkpointed values. The
     /// caller (the persist module) has already validated the length.
-    pub(crate) fn load_raw(&mut self, table: Vec<f64>, count: f64) {
+    pub(crate) fn load_raw(&mut self, table: Vec<f64>, count: f64, gross: f64) {
         debug_assert_eq!(table.len(), self.table.len());
         self.table = table;
         self.count = count;
+        self.gross = gross;
     }
 
     /// One row's counters.
@@ -247,6 +257,83 @@ impl FastAmsSketch {
             self.table[r * self.row_size + idx] += sign;
         }
         self.count += w;
+        self.gross += w.abs();
+        Ok(())
+    }
+
+    /// Audit the sketch against its structural invariants.
+    ///
+    /// Checks that the counter table matches the schema layout
+    /// (`rows × Π buckets`), that the count and every counter are finite,
+    /// and that each row's L1 mass `Σ_b |X[b]|` respects the gross-mass
+    /// bound: every update adds `±w` to exactly one counter per row, so
+    /// no row can hold more absolute mass than the gross update mass
+    /// `Σ|w|` (which also bounds `|N|`). Returns
+    /// [`DctError::IntegrityViolation`] naming the first failing field.
+    pub fn check_invariants(&self) -> Result<()> {
+        let violation = |field: String, detail: String| DctError::IntegrityViolation {
+            stream: None,
+            field,
+            artifact: "summary".into(),
+            detail,
+        };
+        let expect_len = self.schema.rows * self.row_size;
+        if self.table.len() != expect_len {
+            return Err(violation(
+                "table.len".into(),
+                format!(
+                    "{} counters stored but schema lays out {expect_len}",
+                    self.table.len()
+                ),
+            ));
+        }
+        if !self.count.is_finite() {
+            return Err(violation(
+                "count".into(),
+                format!("tuple count {} is not finite", self.count),
+            ));
+        }
+        if !self.gross.is_finite() || self.gross < 0.0 {
+            return Err(violation(
+                "gross".into(),
+                format!(
+                    "gross update mass {} is not a finite non-negative value",
+                    self.gross
+                ),
+            ));
+        }
+        let tol = 1e-9 * self.gross.max(1.0);
+        if self.count.abs() > self.gross + tol {
+            return Err(violation(
+                "count".into(),
+                format!(
+                    "|N| = {} exceeds the gross update mass {} that produced it",
+                    self.count.abs(),
+                    self.gross
+                ),
+            ));
+        }
+        for (i, &x) in self.table.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(violation(
+                    format!("table[{i}]"),
+                    format!("counter value {x} is not finite"),
+                ));
+            }
+        }
+        let bound = self.gross + tol;
+        for r in 0..self.schema.rows {
+            let mass: f64 = self.row(r).iter().map(|x| x.abs()).sum();
+            if mass > bound {
+                return Err(violation(
+                    format!("row[{r}]"),
+                    format!(
+                        "row L1 mass {mass} exceeds the gross-mass bound {bound} \
+                         (each update lands in one bucket per row)"
+                    ),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -558,6 +645,38 @@ mod tests {
         a.update(&[17], 1.0).unwrap();
         b.update(&[17], 1.0).unwrap();
         assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn invariant_audit_flags_damaged_counters() {
+        let schema = FastSchema::new(2, 3, vec![8]).unwrap();
+        let mut s = FastAmsSketch::new(schema, vec![0]).unwrap();
+        s.check_invariants().unwrap();
+        for v in 0..20i64 {
+            s.update(&[v], 1.0).unwrap();
+        }
+        s.check_invariants().unwrap();
+
+        let mut bad = s.clone();
+        bad.table[5] = f64::NEG_INFINITY;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "table[5]"
+        ));
+
+        let mut bad = s.clone();
+        bad.table[9] += 1e6;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "row[1]"
+        ));
+
+        let mut bad = s;
+        bad.table.truncate(10);
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "table.len"
+        ));
     }
 
     /// At equal space, the bucketed estimator's accuracy is comparable to

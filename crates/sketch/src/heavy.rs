@@ -18,6 +18,8 @@
 
 use std::collections::HashMap;
 
+use dctstream_core::{DctError, Result};
+
 /// Capacity-bounded heavy-hitter tracker over `u64` keys with weighted
 /// updates and amortized O(1) maintenance.
 #[derive(Debug, Clone)]
@@ -98,6 +100,46 @@ impl MisraGries {
         entries.truncate(k);
         self.counters = entries.into_iter().collect();
         debug_assert!(self.counters.len() <= k);
+    }
+
+    /// Audit the tracker against its structural invariants: the table
+    /// never exceeds twice its pruning capacity, the processed total is
+    /// finite, and every tracked counter is finite and strictly positive
+    /// (zero/negative counters are evicted on update, so their presence
+    /// means the table was corrupted). Returns
+    /// [`DctError::IntegrityViolation`] naming the first failing field.
+    pub fn check_invariants(&self) -> Result<()> {
+        let violation = |field: String, detail: String| DctError::IntegrityViolation {
+            stream: None,
+            field,
+            artifact: "summary".into(),
+            detail,
+        };
+        if self.counters.len() > 2 * self.capacity {
+            return Err(violation(
+                "heavy.len".into(),
+                format!(
+                    "{} tracked keys exceed the 2*capacity = {} bound",
+                    self.counters.len(),
+                    2 * self.capacity
+                ),
+            ));
+        }
+        if !self.total.is_finite() {
+            return Err(violation(
+                "heavy.total".into(),
+                format!("processed total {} is not finite", self.total),
+            ));
+        }
+        for (&key, &c) in &self.counters {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(violation(
+                    format!("heavy[{key}]"),
+                    format!("tracked count {c} must be finite and positive"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Lower-bound frequency estimate for `key` (0 if untracked).
@@ -232,6 +274,37 @@ mod tests {
         mg.update(3, 5.0);
         let h = mg.heavy_entries(10.0);
         assert_eq!(h, vec![(1, 100.0), (2, 50.0)]);
+    }
+
+    #[test]
+    fn invariant_audit_flags_damaged_trackers() {
+        let mut mg = MisraGries::new(4);
+        mg.check_invariants().unwrap();
+        for k in 0..30u64 {
+            mg.update(k, (k + 1) as f64);
+        }
+        mg.check_invariants().unwrap();
+
+        let mut bad = mg.clone();
+        let key = *bad.counters.keys().next().unwrap();
+        bad.counters.insert(key, f64::NAN);
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == format!("heavy[{key}]")
+        ));
+
+        let mut bad = mg.clone();
+        bad.counters.insert(777, -3.0);
+        assert!(bad.check_invariants().is_err());
+
+        let mut bad = mg;
+        for k in 10_000..10_100u64 {
+            bad.counters.insert(k, 1.0);
+        }
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "heavy.len"
+        ));
     }
 
     #[test]

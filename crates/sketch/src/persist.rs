@@ -14,9 +14,11 @@
 //!
 //! ```text
 //! ams:      seed u64 | groups u64 | per_group u64 | join_attrs u64
-//!           | nfam u64 | fam u64 × nfam | count f64 | atoms f64 × groups·per_group
+//!           | nfam u64 | fam u64 × nfam | count f64 | gross f64
+//!           | atoms f64 × groups·per_group
 //! fast-ams: seed u64 | rows u64 | nbuckets u64 | bucket u64 × nbuckets
-//!           | nfam u64 | fam u64 × nfam | count f64 | table f64 × rows·row_size
+//!           | nfam u64 | fam u64 × nfam | count f64 | gross f64
+//!           | table f64 × rows·row_size
 //! skimmed:  ams_len u64 | framed ams payload | ndom u64 | (lo i64, hi i64) × ndom
 //!           | capacity u64 | total f64 | nent u64 | (key u64, count f64) × nent
 //! ```
@@ -64,7 +66,7 @@ impl AmsSketch {
     pub fn to_bytes(&self) -> Bytes {
         let schema = self.schema();
         let mut buf = BytesMut::with_capacity(
-            8 + 8 * 5 + 8 * self.families().len() + 8 + 8 * self.atoms().len(),
+            8 + 8 * 5 + 8 * self.families().len() + 16 + 8 * self.atoms().len(),
         );
         put_header(&mut buf, KIND_AMS, 0);
         buf.put_u64_le(schema.seed());
@@ -76,6 +78,7 @@ impl AmsSketch {
             buf.put_u64_le(f as u64);
         }
         buf.put_f64_le(self.count());
+        buf.put_f64_le(self.gross());
         for &a in self.atoms() {
             buf.put_f64_le(a);
         }
@@ -102,15 +105,16 @@ impl AmsSketch {
         let total = groups
             .checked_mul(per_group)
             .ok_or_else(|| DctError::InvalidParameter("ams atom count overflows usize".into()))?;
-        expect_remaining(&buf, 8 + 8 * total, "ams atom data")?;
+        expect_remaining(&buf, 16 + 8 * total, "ams atom data")?;
         let count = get_f64_checked(&mut buf)?;
+        let gross = get_f64_checked(&mut buf)?;
         let schema = SketchSchema::new(seed, groups, per_group, join_attrs)?;
         let mut sketch = AmsSketch::new(schema, families)?;
         let mut atoms = Vec::with_capacity(total);
         for _ in 0..total {
             atoms.push(get_f64_checked(&mut buf)?);
         }
-        sketch.load_raw(atoms, count);
+        sketch.load_raw(atoms, count, gross);
         Ok(sketch)
     }
 }
@@ -122,7 +126,7 @@ impl FastAmsSketch {
         let mut buf = BytesMut::with_capacity(
             8 + 8 * 4
                 + 8 * (schema.buckets().len() + self.families().len())
-                + 8
+                + 16
                 + 8 * self.table().len(),
         );
         put_header(&mut buf, KIND_FAST_AMS, 0);
@@ -137,6 +141,7 @@ impl FastAmsSketch {
             buf.put_u64_le(f as u64);
         }
         buf.put_f64_le(self.count());
+        buf.put_f64_le(self.gross());
         for &c in self.table() {
             buf.put_f64_le(c);
         }
@@ -181,15 +186,16 @@ impl FastAmsSketch {
         let cells = rows.checked_mul(row_size).ok_or_else(|| {
             DctError::InvalidParameter("fast-ams table size overflows usize".into())
         })?;
-        expect_remaining(&buf, 8 + 8 * cells, "fast-ams table data")?;
+        expect_remaining(&buf, 16 + 8 * cells, "fast-ams table data")?;
         let count = get_f64_checked(&mut buf)?;
+        let gross = get_f64_checked(&mut buf)?;
         let schema = FastSchema::new(seed, rows, buckets)?;
         let mut sketch = FastAmsSketch::new(schema, families)?;
         let mut table = Vec::with_capacity(cells);
         for _ in 0..cells {
             table.push(get_f64_checked(&mut buf)?);
         }
-        sketch.load_raw(table, count);
+        sketch.load_raw(table, count, gross);
         Ok(sketch)
     }
 }

@@ -213,6 +213,52 @@ impl SkimmedSketch {
         self.prepared.as_ref().map_or(0, |p| p.dense.len())
     }
 
+    /// Audit the skimmed sketch against its structural invariants:
+    /// delegates to the embedded [`AmsSketch::check_invariants`] and
+    /// [`MisraGries::check_invariants`], then checks that any prepared
+    /// dense projection is finite and aligned with the atom vector.
+    /// Returns [`DctError::IntegrityViolation`] naming the first failing
+    /// field.
+    pub fn check_invariants(&self) -> Result<()> {
+        self.ams.check_invariants()?;
+        self.heavy.check_invariants()?;
+        if let Some(p) = &self.prepared {
+            let violation = |field: String, detail: String| DctError::IntegrityViolation {
+                stream: None,
+                field,
+                artifact: "summary".into(),
+                detail,
+            };
+            if p.proj.len() != self.ams.atoms().len() {
+                return Err(violation(
+                    "proj.len".into(),
+                    format!(
+                        "{} dense projections for {} atoms",
+                        p.proj.len(),
+                        self.ams.atoms().len()
+                    ),
+                ));
+            }
+            for (i, &d) in p.proj.iter().enumerate() {
+                if !d.is_finite() {
+                    return Err(violation(
+                        format!("proj[{i}]"),
+                        format!("dense projection {d} is not finite"),
+                    ));
+                }
+            }
+            for (t, h) in &p.dense {
+                if !h.is_finite() {
+                    return Err(violation(
+                        format!("dense[{t:?}]"),
+                        format!("extracted frequency {h} is not finite"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn prepared(&self) -> Result<&Prepared> {
         self.prepared.as_ref().ok_or_else(|| {
             DctError::InvalidParameter(
@@ -370,6 +416,42 @@ pub fn estimate_skimmed_join(sketches: &[&SkimmedSketch], budget: Option<usize>)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn invariant_audit_covers_embedded_parts() {
+        let schema = SketchSchema::new(3, 2, 4, 1).unwrap();
+        let d = Domain::of_size(64);
+        let mut s = SkimmedSketch::new(schema, vec![0], vec![d], 8).unwrap();
+        s.check_invariants().unwrap();
+        for v in 0..40i64 {
+            s.update(&[v % 16], 1.0).unwrap();
+        }
+        s.check_invariants().unwrap();
+        s.prepare_default();
+        s.check_invariants().unwrap();
+
+        // Damage in the embedded AMS sketch surfaces through the audit.
+        let mut bad = s.clone();
+        bad.ams.load_raw(
+            vec![f64::NAN; bad.ams.atoms().len()],
+            bad.ams.count(),
+            bad.ams.gross(),
+        );
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "atoms[0]"
+        ));
+
+        // Damage in the prepared projection is caught too.
+        let mut bad = s;
+        if let Some(p) = bad.prepared.as_mut() {
+            p.proj[1] = f64::INFINITY;
+        }
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(DctError::IntegrityViolation { field, .. }) if field == "proj[1]"
+        ));
+    }
 
     fn build_pair(
         seed: u64,

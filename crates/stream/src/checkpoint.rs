@@ -304,6 +304,153 @@ impl StreamProcessor {
     }
 }
 
+/// Re-verify a checkpoint manifest's checksums without rebuilding any
+/// summary: each per-stream CRC is checked against the raw record bytes
+/// (deserialization is skipped entirely), then the whole-file CRC.
+///
+/// Returns `(streams_checked, violations)`. A violation naming a stream
+/// carries it in [`DctError::IntegrityViolation::stream`]; structural
+/// damage (truncation, bad lengths, file-checksum mismatch) is reported
+/// unattributed, since the stream boundaries themselves can no longer be
+/// trusted. Used by the integrity scrubber, which must localize damage
+/// to one stream whenever the manifest structure still permits it.
+pub fn verify_checkpoint_bytes(data: &[u8]) -> (usize, Vec<DctError>) {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    let structural = |field: &str, detail: String| DctError::IntegrityViolation {
+        stream: None,
+        field: field.into(),
+        artifact: "checkpoint".into(),
+        detail,
+    };
+    if data.len() < 8 + 24 + 4 {
+        violations.push(structural(
+            "header",
+            format!("manifest truncated to {} bytes", data.len()),
+        ));
+        return (checked, violations);
+    }
+    let mut buf = Bytes::from(data);
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MANIFEST_MAGIC {
+        violations.push(structural(
+            "magic",
+            "not a dctstream checkpoint manifest".into(),
+        ));
+        return (checked, violations);
+    }
+    let version = buf.get_u8();
+    if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
+        violations.push(structural(
+            "version",
+            format!("unsupported checkpoint version {version}"),
+        ));
+        return (checked, violations);
+    }
+    buf.advance(3); // reserved
+    let fixed_fields = if version >= 2 { 32 } else { 24 };
+    if buf.remaining() < fixed_fields + 4 {
+        violations.push(structural(
+            "header",
+            format!(
+                "version-{version} manifest truncated to {} bytes",
+                data.len()
+            ),
+        ));
+        return (checked, violations);
+    }
+    buf.advance(fixed_fields - 8); // events, threshold, (watermark)
+    let nstreams = buf.get_u64_le();
+    let Some(nstreams) = usize::try_from(nstreams).ok().filter(|&n| n <= MAX_STREAMS) else {
+        violations.push(structural(
+            "stream_count",
+            format!("implausible value {nstreams}"),
+        ));
+        return (checked, violations);
+    };
+    for i in 0..nstreams {
+        let truncated = |what: &str| {
+            structural(
+                "stream records",
+                format!("record {i} of {nstreams}: {what}"),
+            )
+        };
+        if buf.remaining() < 8 {
+            violations.push(truncated("truncated before name length"));
+            return (checked, violations);
+        }
+        let name_len = buf.get_u64_le();
+        let Some(name_len) = usize::try_from(name_len)
+            .ok()
+            .filter(|&n| n <= MAX_NAME_LEN)
+        else {
+            violations.push(truncated(&format!("implausible name length {name_len}")));
+            return (checked, violations);
+        };
+        if buf.remaining() < name_len + 1 + 8 {
+            violations.push(truncated("truncated inside name or kind"));
+            return (checked, violations);
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        // A non-UTF-8 name still has well-defined record bounds; verify
+        // the CRC and report lossily so one flipped name byte does not
+        // hide the rest of the manifest.
+        let name = String::from_utf8_lossy(&name_bytes).into_owned();
+        let kind = buf.get_u8();
+        let payload_len = buf.get_u64_le();
+        let Some(payload_len) = usize::try_from(payload_len)
+            .ok()
+            .filter(|&n| n <= buf.remaining())
+        else {
+            violations.push(structural(
+                "stream records",
+                format!("stream '{name}': payload length {payload_len} exceeds remaining bytes"),
+            ));
+            return (checked, violations);
+        };
+        let payload = buf.slice(0..payload_len);
+        buf.advance(payload_len);
+        if buf.remaining() < 4 {
+            violations.push(structural(
+                "stream records",
+                format!("stream '{name}': truncated before checksum"),
+            ));
+            return (checked, violations);
+        }
+        let stored_crc = buf.get_u32_le();
+        let mut record = Vec::with_capacity(name_bytes.len() + 1 + payload_len);
+        record.extend_from_slice(&name_bytes);
+        record.push(kind);
+        record.extend_from_slice(payload.as_slice());
+        checked += 1;
+        if crc32(&record) != stored_crc {
+            violations.push(DctError::IntegrityViolation {
+                stream: Some(name.clone()),
+                field: "record crc".into(),
+                artifact: "checkpoint".into(),
+                detail: format!("stream '{name}': checksum mismatch"),
+            });
+        }
+    }
+    if buf.remaining() != 4 {
+        violations.push(structural(
+            "file checksum",
+            format!(
+                "expected exactly 4 trailing bytes, found {}",
+                buf.remaining()
+            ),
+        ));
+        return (checked, violations);
+    }
+    let stored = buf.get_u32_le();
+    if crc32(&data[..data.len() - 4]) != stored {
+        violations.push(structural("file checksum", "mismatch".into()));
+    }
+    (checked, violations)
+}
+
 fn io_err(path: &Path, op: &str, e: std::io::Error) -> DctError {
     DctError::Checkpoint(format!("{op} {}: {e}", path.display()))
 }
@@ -466,6 +613,46 @@ mod tests {
         bytes[9] ^= 0x01;
         let e = StreamProcessor::restore_bytes(&bytes).unwrap_err();
         assert!(e.to_string().contains("checksum"), "{e}");
+    }
+
+    #[test]
+    fn verify_localizes_damage_to_one_stream() {
+        let mut p = small_processor();
+        let bytes = p.checkpoint_bytes().unwrap().to_vec();
+        let (checked, violations) = verify_checkpoint_bytes(&bytes);
+        assert_eq!(checked, 2);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Payload damage inside 'left': the per-record CRC localizes it
+        // (plus the file CRC, which covers everything).
+        let name_pos = bytes
+            .windows(4)
+            .position(|w| w == b"left")
+            .expect("name in manifest");
+        let mut bad = bytes.clone();
+        bad[name_pos + 40] ^= 0xFF;
+        let (checked, violations) = verify_checkpoint_bytes(&bad);
+        assert_eq!(checked, 2, "both streams still checked");
+        let named: Vec<_> = violations
+            .iter()
+            .filter_map(|v| match v {
+                DctError::IntegrityViolation { stream, .. } => stream.clone(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(named, ["left"], "{violations:?}");
+
+        // Metadata damage: unattributed, caught by the file checksum.
+        let mut bad = bytes.clone();
+        bad[9] ^= 0x01;
+        let (_, violations) = verify_checkpoint_bytes(&bad);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                DctError::IntegrityViolation { stream: None, field, .. } if field == "file checksum"
+            )),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   and WAL behind one `open`/`process`/`checkpoint` API, with bounded
 //!   retries on transient I/O and per-stream quarantine on replay
 //!   failure.
+//! - [`health`] — the stream-health supervisor: a per-stream state
+//!   machine (`Healthy → Suspect → Quarantined → Repairing`) with typed
+//!   transition causes, backing self-healing repair, integrity scrubs,
+//!   and degraded-mode query answers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +36,7 @@ pub mod batch;
 pub mod checkpoint;
 pub mod event;
 pub mod exact;
+pub mod health;
 pub mod parallel;
 pub mod processor;
 pub mod query;
@@ -39,13 +44,14 @@ pub mod recovery;
 pub mod wal;
 
 pub use batch::BatchBuffer;
-pub use checkpoint::{read_checkpoint, write_checkpoint};
+pub use checkpoint::{read_checkpoint, verify_checkpoint_bytes, write_checkpoint};
 pub use event::{interleave, StreamEvent, Tuple};
 pub use exact::{exact_chain_join, DenseFreq, SparseFreq2};
+pub use health::{Estimate, HealthCause, HealthRegistry, HealthState, StreamStaleness};
 pub use parallel::ParallelIngest;
 pub use processor::{shared, ContinuousJoinQuery, SharedProcessor, StreamProcessor, Summary};
 pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};
-pub use recovery::{DurableProcessor, RecoveryOptions, RecoveryReport};
+pub use recovery::{DurableProcessor, RecoveryOptions, RecoveryReport, RepairReport, ScrubReport};
 pub use wal::{
     DirStorage, FailingStorage, MemStorage, RetryPolicy, SyncPolicy, Wal, WalOptions, WalRecord,
     WalStorage,

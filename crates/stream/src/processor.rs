@@ -72,6 +72,21 @@ impl Summary {
             _ => None,
         }
     }
+
+    /// Audit the summary against its variant's structural invariants
+    /// (finiteness, scale bounds, layout sanity — see each variant's
+    /// `check_invariants`). Returns [`DctError::IntegrityViolation`]
+    /// naming the first failing field; the stream-health scrubber attaches
+    /// the owning stream name.
+    pub fn check_invariants(&self) -> Result<()> {
+        match self {
+            Summary::Cosine(s) => s.check_invariants(),
+            Summary::Multi(s) => s.check_invariants(),
+            Summary::Ams(s) => s.check_invariants(),
+            Summary::Skimmed(s) => s.check_invariants(),
+            Summary::FastAms(s) => s.check_invariants(),
+        }
+    }
 }
 
 impl StreamSummary for Summary {
@@ -234,6 +249,14 @@ impl StreamProcessor {
     /// Total events processed.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Overwrite the global event counter. Only the repair path uses
+    /// this: rebuilding a stream from checkpoint + WAL discards updates
+    /// that were applied in memory but never durably logged, and the
+    /// counter must shrink with them to stay checkpoint-deterministic.
+    pub(crate) fn set_events_processed(&mut self, events: u64) {
+        self.events = events;
     }
 
     /// Reassemble a processor from checkpointed state (the checkpoint

@@ -36,7 +36,8 @@ pub enum QueryLink {
 }
 
 impl QueryLink {
-    fn stream(&self) -> &str {
+    /// The registered stream this relation reads from.
+    pub fn stream(&self) -> &str {
         match self {
             QueryLink::End { stream } | QueryLink::Inner { stream, .. } => stream,
         }
@@ -135,14 +136,65 @@ impl ChainJoinQuery {
             })?;
             summaries.push(s);
         }
+        self.estimate_over(&summaries, budget)
+    }
 
+    /// Estimate the query with health awareness: participants whose
+    /// streams the `processor`'s health ledger marks degraded are
+    /// answered from their last checkpointed summary instead of failing
+    /// the whole query. See
+    /// [`crate::recovery::DurableProcessor::estimate_degraded`], which
+    /// this delegates to.
+    pub fn estimate_degraded<S: crate::wal::WalStorage>(
+        &self,
+        processor: &mut crate::recovery::DurableProcessor<S>,
+        budget: Option<usize>,
+    ) -> Result<crate::health::Estimate> {
+        processor.estimate_degraded(self, budget)
+    }
+
+    /// Downcast every resolved summary to the method `get` extracts,
+    /// with a typed error naming the offending relation and its actual
+    /// method. Guards the dispatch below against summaries being swapped
+    /// to a different method between query construction and estimation.
+    fn downcast_all<'a, T>(
+        &self,
+        summaries: &[&'a Summary],
+        method: &str,
+        get: impl Fn(&'a Summary) -> Option<&'a T>,
+    ) -> Result<Vec<&'a T>> {
+        self.links
+            .iter()
+            .zip(summaries)
+            .map(|(link, s)| {
+                get(s).ok_or_else(|| {
+                    DctError::InvalidParameter(format!(
+                        "relation '{}' is summarized as {}, not the query's {method}",
+                        link.stream(),
+                        s.kind_name()
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Dispatch over already-resolved summaries, one per link in chain
+    /// order. Shared by the live path ([`Self::estimate`]) and the
+    /// degraded path, which substitutes checkpointed summaries for
+    /// quarantined streams.
+    pub(crate) fn estimate_over(
+        &self,
+        summaries: &[&Summary],
+        budget: Option<usize>,
+    ) -> Result<f64> {
+        debug_assert_eq!(summaries.len(), self.links.len());
         // All-cosine chain.
         if summaries
             .iter()
             .all(|s| matches!(s, Summary::Cosine(_)) || matches!(s, Summary::Multi(_)))
         {
             let mut chain = Vec::with_capacity(self.links.len());
-            for (link, summary) in self.links.iter().zip(&summaries) {
+            for (link, summary) in self.links.iter().zip(summaries) {
                 match (link, summary) {
                     (QueryLink::End { .. }, Summary::Cosine(c)) => {
                         chain.push(ChainLink::End(c));
@@ -171,37 +223,32 @@ impl ChainJoinQuery {
 
         // All basic-sketch chain.
         if summaries.iter().all(|s| matches!(s, Summary::Ams(_))) {
-            let refs: Vec<_> = summaries
-                .iter()
-                // invariant: the enclosing `all(matches!(...))` guard holds.
-                .map(|s| s.as_ams().expect("checked"))
-                .collect();
+            let refs = self.downcast_all(summaries, "basic AGMS sketch", Summary::as_ams)?;
             return estimate_join(&refs, budget);
         }
 
         // All skimmed-sketch chain (must be prepared).
         if summaries.iter().all(|s| matches!(s, Summary::Skimmed(_))) {
-            let refs: Vec<_> = summaries
-                .iter()
-                // invariant: the enclosing `all(matches!(...))` guard holds.
-                .map(|s| s.as_skimmed().expect("checked"))
-                .collect();
+            let refs = self.downcast_all(summaries, "skimmed sketch", Summary::as_skimmed)?;
             return estimate_skimmed_join(&refs, budget);
         }
 
         // All fast-AGMS chain.
         if summaries.iter().all(|s| matches!(s, Summary::FastAms(_))) {
-            let refs: Vec<_> = summaries
-                .iter()
-                // invariant: the enclosing `all(matches!(...))` guard holds.
-                .map(|s| s.as_fast_ams().expect("checked"))
-                .collect();
+            let refs = self.downcast_all(summaries, "fast-AGMS sketch", Summary::as_fast_ams)?;
             return estimate_fast_join(&refs, budget);
         }
 
-        Err(DctError::InvalidParameter(
-            "all relations of a query must be summarized by the same method".into(),
-        ))
+        let kinds: Vec<String> = self
+            .links
+            .iter()
+            .zip(summaries)
+            .map(|(l, s)| format!("'{}' is summarized as {}", l.stream(), s.kind_name()))
+            .collect();
+        Err(DctError::InvalidParameter(format!(
+            "all relations of a query must be summarized by the same method ({})",
+            kinds.join(", ")
+        )))
     }
 }
 
@@ -399,6 +446,47 @@ mod tests {
             .build()
             .unwrap();
         assert!(q.estimate(&mut p, None).is_err());
+    }
+
+    #[test]
+    fn summary_swapped_after_construction_is_a_typed_error() {
+        // A query is built once and estimated repeatedly; between two
+        // estimates the operator may re-register a stream with a
+        // different summary method. That must surface as a typed error,
+        // never a panic.
+        let schema = SketchSchema::new(3, 3, 20, 1).unwrap();
+        let mut p = StreamProcessor::new();
+        p.register("a", Summary::Ams(AmsSketch::new(schema, vec![0]).unwrap()))
+            .unwrap();
+        p.register("b", Summary::Ams(AmsSketch::new(schema, vec![0]).unwrap()))
+            .unwrap();
+        let q = ChainJoinQuery::builder().end("a").end("b").build().unwrap();
+        assert!(q.estimate(&mut p, None).is_ok());
+
+        // Swap 'b' to a cosine synopsis after the query exists.
+        p.unregister("b");
+        p.register(
+            "b",
+            Summary::Cosine(CosineSynopsis::new(Domain::of_size(16), Grid::Midpoint, 8).unwrap()),
+        )
+        .unwrap();
+        let e = q.estimate(&mut p, None).unwrap_err();
+        assert!(
+            matches!(e, DctError::InvalidParameter(_) | DctError::InvalidChain(_)),
+            "{e}"
+        );
+
+        // The dispatch-level downcast itself is typed too: feed
+        // estimate_over a summary set that lies about its method.
+        let ams = p.summary("a").unwrap();
+        let cos = p.summary("b").unwrap();
+        let e = q.estimate_over(&[ams, cos], None).unwrap_err();
+        assert!(e.to_string().contains("'b'"), "{e}");
+        let mixed_guard_hit = e.to_string().contains("same method");
+        assert!(
+            !mixed_guard_hit || q.estimate_over(&[ams, ams], None).is_ok(),
+            "downcast errors must name the relation"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Crash-recovery orchestrator: checkpoint + write-ahead log behind one
-//! `open` / `process` / `checkpoint` API.
+//! `open` / `process` / `checkpoint` API, supervised by a per-stream
+//! health state machine.
 //!
 //! A [`DurableProcessor`] owns a [`StreamProcessor`] and a [`Wal`] over
 //! the same storage. Every mutation is applied to the in-memory registry
@@ -17,21 +18,48 @@
 //! 2. open the WAL, truncating a torn tail and replaying every record
 //!    past the watermark in sequence order;
 //! 3. apply the replayed records; a stream whose replay fails is
-//!    **quarantined** — dropped records are remembered with their cause,
-//!    further operations on that stream return
-//!    [`DctError::StreamQuarantined`], and every other stream stays
-//!    fully queryable (degraded mode).
+//!    **quarantined**, a [`crate::wal::WalOp::Drop`] record unregisters
+//!    its stream on the spot (see [`DurableProcessor::drop_quarantined`]), and every
+//!    other stream stays fully queryable (degraded mode).
+//!
+//! # Health supervision
+//!
+//! Each stream's trust level lives in a [`HealthRegistry`]
+//! (`Healthy → Suspect → Quarantined → Repairing`, every transition
+//! carrying a typed [`HealthCause`]). Three subsystems drive it:
+//!
+//! - **[`DurableProcessor::repair`]** rebuilds a quarantined stream from the newest
+//!   checkpoint plus a WAL replay of the stream's surviving records —
+//!   apply-then-log means the rebuild exactly *undoes* the unlogged
+//!   update that caused the quarantine, reconciling memory with disk.
+//!   Promotion back to `Healthy` happens only after verification
+//!   (gap-free replay to the log's watermark, invariant audit of the
+//!   rebuilt summary); any failure returns the stream to `Quarantined`
+//!   with the rebuilt state discarded — never half-repaired.
+//! - **[`DurableProcessor::scrub`]** audits live summaries against their structural
+//!   invariants and re-verifies checkpoint + WAL checksums without
+//!   replaying. Live damage quarantines the stream; durable-artifact
+//!   damage demotes it to `Suspect` (live answers are still good);
+//!   suspects that audit clean are promoted back.
+//! - **[`DurableProcessor::estimate_degraded`]** answers a chain-join query even
+//!   when a participant is quarantined, substituting the stream's last
+//!   checkpointed summary and reporting its staleness, instead of
+//!   failing the whole query.
 //!
 //! [`DurableProcessor::checkpoint`] closes the loop: it syncs the WAL,
 //! writes a manifest stamped with the WAL watermark (atomically), then
 //! rotates the log and retires segments the manifest now covers.
 
-use crate::checkpoint::CHECKPOINT_FILE;
+use crate::checkpoint::{verify_checkpoint_bytes, CHECKPOINT_FILE};
 use crate::event::StreamEvent;
+use crate::health::{Estimate, HealthCause, HealthRegistry, HealthState, StreamStaleness};
 use crate::processor::{StreamProcessor, Summary};
-use crate::wal::{DirStorage, ReplayOutcome, TornTail, Wal, WalOptions, WalRecord, WalStorage};
+use crate::query::ChainJoinQuery;
+use crate::wal::{
+    DirStorage, ReplayOutcome, TornTail, Wal, WalOp, WalOptions, WalRecord, WalStorage,
+};
 use dctstream_core::{DctError, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
@@ -60,16 +88,71 @@ pub struct RecoveryReport {
     pub torn_tail: Option<TornTail>,
     /// Streams quarantined during replay, with causes.
     pub quarantined: Vec<(String, String)>,
+    /// Streams unregistered by replayed drop records: they were dropped
+    /// in a previous run ([`DurableProcessor::drop_quarantined`]) and
+    /// stay dropped, instead of being resurrected-and-requarantined by
+    /// their surviving WAL records.
+    pub dropped: Vec<String>,
+}
+
+/// What one [`DurableProcessor::repair`] call rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The repaired stream.
+    pub stream: String,
+    /// Checkpoint watermark the rebuild started from (0 = no
+    /// checkpoint: the rebuild started from nothing).
+    pub from_watermark: u64,
+    /// This stream's WAL records applied on top of the baseline.
+    pub replayed: u64,
+    /// True when no durable trace of the stream existed (not in the
+    /// checkpoint, no surviving WAL records): the stream was
+    /// unregistered, because durably it never was.
+    pub removed: bool,
+}
+
+/// What one [`DurableProcessor::scrub`] pass checked and found.
+#[derive(Debug)]
+pub struct ScrubReport {
+    /// Live summaries audited against their structural invariants.
+    pub live_streams_checked: usize,
+    /// Checkpoint manifest stream records CRC-verified (0 without a
+    /// checkpoint).
+    pub checkpoint_streams_checked: usize,
+    /// WAL segments CRC-verified.
+    pub wal_segments_checked: usize,
+    /// Every violation found, in audit order (live, checkpoint, WAL).
+    /// Violations that could be attributed to a stream name it; damage
+    /// to shared metadata is reported unattributed.
+    pub violations: Vec<DctError>,
+    /// Streams demoted by this pass, with the state they entered
+    /// (`Quarantined` for live damage, `Suspect` for artifact damage).
+    pub demoted: Vec<(String, HealthState)>,
+    /// Previously suspect streams that audited clean and were promoted
+    /// back to healthy.
+    pub promoted: Vec<String>,
+}
+
+impl ScrubReport {
+    /// Whether the pass found nothing wrong.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
 }
 
 /// A [`StreamProcessor`] whose every event is write-ahead logged, with
-/// checkpoint-integrated recovery. See the module docs for the
-/// protocol.
+/// checkpoint-integrated recovery and per-stream health supervision.
+/// See the module docs for the protocol.
 #[derive(Debug)]
 pub struct DurableProcessor<S: WalStorage> {
     processor: StreamProcessor,
     wal: Wal<S>,
-    quarantined: BTreeMap<String, String>,
+    health: HealthRegistry,
+    /// Streams with appended-but-unsynced WAL records. If the log
+    /// wedges, these records are lost with the write buffer, so the
+    /// streams' durable suffix is unknown and they are quarantined
+    /// alongside the stream whose append failed.
+    unsynced_streams: BTreeSet<String>,
 }
 
 impl DurableProcessor<DirStorage> {
@@ -122,70 +205,125 @@ impl<S: WalStorage> DurableProcessor<S> {
             segments_scanned,
         } = outcome;
 
-        // 3. Apply. A failing stream is quarantined, not fatal.
-        let mut quarantined: BTreeMap<String, String> = BTreeMap::new();
+        // 3. Apply. A failing stream is quarantined, not fatal; a drop
+        // record unregisters its stream (clearing any quarantine — the
+        // stream is gone either way, and a later Register may recreate
+        // it fresh).
+        let mut health = HealthRegistry::new();
+        let mut dropped: Vec<String> = Vec::new();
         let replayed = records.len();
         for (seq, record) in records {
-            if quarantined.contains_key(&record.stream) {
+            if matches!(record.op, WalOp::Drop) {
+                processor.unregister(&record.stream);
+                health.forget(&record.stream);
+                if !dropped.contains(&record.stream) {
+                    dropped.push(record.stream.clone());
+                }
+                continue;
+            }
+            if health.is_degraded(&record.stream) {
                 continue;
             }
             let applied = match &record.op {
-                crate::wal::WalOp::Register(payload) => Summary::from_bytes(payload.clone())
+                WalOp::Register(payload) => Summary::from_bytes(payload.clone())
                     .and_then(|summary| processor.register(record.stream.clone(), summary)),
-                _ => {
-                    // invariant: non-Register ops always carry an update.
-                    let (tuple, w) = record.as_update().expect("event or weighted record");
-                    processor.process_weighted(&record.stream, tuple, w)
+                WalOp::Event(ev) => {
+                    let ev = ev.clone();
+                    processor.process(&record.stream, &ev)
                 }
+                WalOp::Weighted(t, w) => {
+                    let (t, w) = (t.clone(), *w);
+                    processor.process_weighted(&record.stream, t.values(), w)
+                }
+                WalOp::Drop => unreachable!("handled above"),
             };
             if let Err(e) = applied {
-                quarantined.insert(
-                    record.stream.clone(),
-                    format!("replaying WAL record {seq} failed: {e}"),
+                // invariant: Healthy -> Quarantined is always legal.
+                let _ = health.transition(
+                    &record.stream,
+                    HealthState::Quarantined,
+                    HealthCause::ReplayFailed {
+                        seq,
+                        detail: e.to_string(),
+                    },
                 );
             }
         }
 
+        let dp = DurableProcessor {
+            processor,
+            wal,
+            health,
+            unsynced_streams: BTreeSet::new(),
+        };
         let report = RecoveryReport {
             checkpoint_events,
             checkpoint_watermark: watermark,
             replayed,
             segments_scanned,
             torn_tail,
-            quarantined: quarantined
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
+            quarantined: dp.quarantined().into_iter().collect(),
+            dropped,
         };
-        Ok((
-            DurableProcessor {
-                processor,
-                wal,
-                quarantined,
-            },
-            report,
-        ))
+        Ok((dp, report))
     }
 
     fn check_stream(&self, name: &str) -> Result<()> {
-        match self.quarantined.get(name) {
-            Some(cause) => Err(DctError::StreamQuarantined {
+        if self.health.is_degraded(name) {
+            return Err(DctError::StreamQuarantined {
                 stream: name.to_string(),
-                cause: cause.clone(),
-            }),
-            None => Ok(()),
+                cause: self
+                    .health
+                    .cause(name)
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| self.health.state(name).to_string()),
+            });
         }
+        Ok(())
     }
 
     /// The mutation is in the registry but not in the log: a retry of
     /// the failed call would apply it twice and silently skew the
     /// synopsis. Quarantine the stream so retries are rejected with a
-    /// typed error instead.
+    /// typed error instead. If the log wedged, the write buffer was
+    /// lost with it — streams with appended-but-unsynced records can no
+    /// longer trust their durable suffix and are quarantined too.
     fn quarantine_unlogged(&mut self, stream: &str, e: &DctError) {
-        self.quarantined.insert(
-            stream.to_string(),
-            format!("update applied in memory but WAL append failed ({e}); a retry would double-apply"),
+        // invariant: every non-degraded state may enter Quarantined,
+        // and degraded streams never reach this path (check_stream).
+        let _ = self.health.transition(
+            stream,
+            HealthState::Quarantined,
+            HealthCause::WalAppendFailed {
+                detail: e.to_string(),
+            },
         );
+        if self.wal.is_wedged() {
+            for name in std::mem::take(&mut self.unsynced_streams) {
+                if name != stream && !self.health.is_degraded(&name) {
+                    let _ = self.health.transition(
+                        &name,
+                        HealthState::Quarantined,
+                        HealthCause::WalAppendFailed {
+                            detail: format!(
+                                "records were appended but never synced when the log wedged ({e}); \
+                                 the stream's durable suffix is unknown"
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Track the sync state after a successful append: once the log has
+    /// no unsynced records, no stream can lose an acknowledged append.
+    fn note_appended(&mut self, stream: &str) {
+        if self.wal.unsynced_records() == 0 {
+            self.unsynced_streams.clear();
+        } else {
+            self.unsynced_streams.insert(stream.to_string());
+        }
     }
 
     /// Register a stream and log the registration, so a recovery without
@@ -199,6 +337,7 @@ impl<S: WalStorage> DurableProcessor<S> {
             self.quarantine_unlogged(&name, &e);
             return Err(e);
         }
+        self.note_appended(&name);
         Ok(())
     }
 
@@ -214,7 +353,10 @@ impl<S: WalStorage> DurableProcessor<S> {
         self.check_stream(stream)?;
         self.processor.process_weighted(stream, tuple, w)?;
         match self.wal.append(&WalRecord::weighted(stream, tuple, w)) {
-            Ok(seq) => Ok(seq),
+            Ok(seq) => {
+                self.note_appended(stream);
+                Ok(seq)
+            }
             Err(e) => {
                 self.quarantine_unlogged(stream, &e);
                 Err(e)
@@ -224,7 +366,31 @@ impl<S: WalStorage> DurableProcessor<S> {
 
     /// Durably sync every logged record to storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.wal.sync()
+        match self.wal.sync() {
+            Ok(()) => {
+                self.unsynced_streams.clear();
+                Ok(())
+            }
+            Err(e) => {
+                if self.wal.is_wedged() {
+                    for name in std::mem::take(&mut self.unsynced_streams) {
+                        if !self.health.is_degraded(&name) {
+                            let _ = self.health.transition(
+                                &name,
+                                HealthState::Quarantined,
+                                HealthCause::WalAppendFailed {
+                                    detail: format!(
+                                        "records were appended but never synced when the log \
+                                         wedged ({e}); the stream's durable suffix is unknown"
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Take a checkpoint: sync the WAL, write the manifest stamped with
@@ -232,19 +398,26 @@ impl<S: WalStorage> DurableProcessor<S> {
     /// segments the manifest covers. Returns the number of retired
     /// segments.
     ///
-    /// Refused while streams are quarantined — checkpointing would
-    /// launder their suspect state into the snapshot; drop them first
-    /// ([`Self::drop_quarantined`]).
+    /// Refused while streams are quarantined or repairing —
+    /// checkpointing would launder their suspect state into the
+    /// snapshot; [`Self::repair`] or [`Self::drop_quarantined`] them
+    /// first.
     pub fn checkpoint(&mut self) -> Result<usize> {
-        if !self.quarantined.is_empty() {
-            let names: Vec<&str> = self.quarantined.keys().map(String::as_str).collect();
+        let degraded: Vec<String> = self
+            .health
+            .report()
+            .into_iter()
+            .filter(|(_, s, _)| s.is_degraded())
+            .map(|(n, _, _)| n)
+            .collect();
+        if !degraded.is_empty() {
             return Err(DctError::Checkpoint(format!(
                 "refusing to checkpoint with quarantined streams: {}; \
-                 drop_quarantined() them first",
-                names.join(", ")
+                 repair() or drop_quarantined() them first",
+                degraded.join(", ")
             )));
         }
-        self.wal.sync()?;
+        self.sync()?;
         let watermark = self.wal.watermark();
         let manifest = self.processor.checkpoint_bytes_with_watermark(watermark)?;
         let retry = self.wal.options().retry.clone();
@@ -259,7 +432,7 @@ impl<S: WalStorage> DurableProcessor<S> {
     }
 
     /// Estimate the equi-join of two cosine-summarized streams, unless
-    /// either is quarantined.
+    /// either is quarantined or repairing.
     pub fn estimate_cosine_join(
         &mut self,
         left: &str,
@@ -271,22 +444,505 @@ impl<S: WalStorage> DurableProcessor<S> {
         self.processor.estimate_cosine_join(left, right, budget)
     }
 
+    /// Estimate a chain-join query strictly: any degraded participant
+    /// (quarantined *or* mid-repair) fails the query with
+    /// [`DctError::StreamQuarantined`]. Use [`Self::estimate_degraded`]
+    /// for a stale-but-available answer instead.
+    pub fn estimate_chain(&mut self, query: &ChainJoinQuery, budget: Option<usize>) -> Result<f64> {
+        for link in query.links() {
+            self.check_stream(link.stream())?;
+        }
+        query.estimate(&mut self.processor, budget)
+    }
+
+    /// Answer a chain-join query in degraded mode: healthy participants
+    /// answer from live state, while participants whose streams are
+    /// `Quarantined` or `Repairing` answer from their summary in the
+    /// last checkpoint. The returned [`Estimate`] carries one
+    /// [`StreamStaleness`] per degraded participant (empty = fully
+    /// live), whose `lag` bounds how many WAL records the substitute
+    /// may be missing.
+    ///
+    /// Hard errors remain: a degraded participant with no checkpointed
+    /// summary has nothing to answer from.
+    pub fn estimate_degraded(
+        &mut self,
+        query: &ChainJoinQuery,
+        budget: Option<usize>,
+    ) -> Result<Estimate> {
+        let mut degraded_names: Vec<String> = Vec::new();
+        for link in query.links() {
+            let n = link.stream();
+            if self.health.is_degraded(n) && !degraded_names.iter().any(|x| x == n) {
+                degraded_names.push(n.to_string());
+            }
+        }
+        if degraded_names.is_empty() {
+            let value = query.estimate(&mut self.processor, budget)?;
+            return Ok(Estimate {
+                value,
+                degraded: Vec::new(),
+            });
+        }
+        let bytes = self
+            .read_manifest()?
+            .ok_or_else(|| DctError::StreamQuarantined {
+                stream: degraded_names[0].clone(),
+                cause: "degraded answer impossible: no checkpoint exists to substitute from".into(),
+            })?;
+        let (snapshot, ckpt_watermark) = StreamProcessor::restore_bytes_with_watermark(&bytes)?;
+        let lag = self.wal.watermark().saturating_sub(ckpt_watermark);
+
+        let mut owned: Vec<Summary> = Vec::with_capacity(query.links().len());
+        for link in query.links() {
+            let n = link.stream();
+            if self.health.is_degraded(n) {
+                let mut s =
+                    snapshot
+                        .summary(n)
+                        .cloned()
+                        .ok_or_else(|| DctError::StreamQuarantined {
+                            stream: n.to_string(),
+                            cause: "degraded answer impossible: the stream has no summary in the \
+                                last checkpoint"
+                                .into(),
+                        })?;
+                if let Summary::Skimmed(sk) = &mut s {
+                    sk.prepare_default();
+                }
+                owned.push(s);
+            } else {
+                self.processor.flush_stream(n)?;
+                let s =
+                    self.processor.summary(n).cloned().ok_or_else(|| {
+                        DctError::InvalidParameter(format!("unknown stream '{n}'"))
+                    })?;
+                owned.push(s);
+            }
+        }
+        let refs: Vec<&Summary> = owned.iter().collect();
+        let value = query.estimate_over(&refs, budget)?;
+        let degraded = degraded_names
+            .into_iter()
+            .map(|stream| StreamStaleness {
+                state: self.health.state(&stream),
+                stream,
+                checkpoint_watermark: ckpt_watermark,
+                lag,
+            })
+            .collect();
+        Ok(Estimate { value, degraded })
+    }
+
+    fn read_manifest(&self) -> Result<Option<Vec<u8>>> {
+        match self
+            .wal
+            .options()
+            .retry
+            .run(|| self.wal.storage().read(CHECKPOINT_FILE))
+        {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(DctError::Checkpoint(format!(
+                "reading {CHECKPOINT_FILE}: {e}"
+            ))),
+        }
+    }
+
+    /// Self-heal a quarantined stream: rebuild its summary from the
+    /// newest checkpoint plus a WAL replay of the stream's surviving
+    /// records past the checkpoint watermark, verify the rebuild, and
+    /// promote the stream back to healthy.
+    ///
+    /// Because every update is applied in memory *before* it is logged,
+    /// the quarantine divergence is always "memory is ahead of the log
+    /// by the unlogged update(s)" — rebuilding from durable state
+    /// exactly undoes them. The caller saw those updates fail with an
+    /// error at ingest time and may re-submit them after the repair.
+    ///
+    /// The repair also re-establishes the log itself: a wedged WAL is
+    /// reopened from its durable bytes (torn tail truncated, wedge
+    /// cleared), so the repaired stream can log new updates again.
+    /// Storage reads along the way retry transient I/O failures per the
+    /// configured [`crate::RetryPolicy`].
+    ///
+    /// Verification before promotion: the surviving log must replay
+    /// gap-free to its own watermark, and the rebuilt summary must pass
+    /// its invariant audit. Any failure returns the stream to
+    /// `Quarantined` (cause [`HealthCause::RepairFailed`]) with the
+    /// rebuilt state discarded — the registry is never left
+    /// half-repaired.
+    pub fn repair(&mut self, stream: &str) -> Result<RepairReport> {
+        let state = self.health.state(stream);
+        if state != HealthState::Quarantined {
+            return Err(DctError::InvalidParameter(format!(
+                "stream '{stream}' is {state} — only quarantined streams can be repaired"
+            )));
+        }
+        self.health.transition(
+            stream,
+            HealthState::Repairing,
+            HealthCause::RepairStarted { attempt: 1 },
+        )?;
+        match self.try_repair(stream) {
+            Ok(report) => {
+                self.health.transition(
+                    stream,
+                    HealthState::Healthy,
+                    HealthCause::RepairVerified {
+                        replayed: report.replayed,
+                    },
+                )?;
+                Ok(report)
+            }
+            Err(e) => {
+                // invariant: Repairing -> Quarantined is always legal.
+                let _ = self.health.transition(
+                    stream,
+                    HealthState::Quarantined,
+                    HealthCause::RepairFailed {
+                        detail: e.to_string(),
+                    },
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible body of [`Self::repair`]: every step up to the final
+    /// commit leaves the registry untouched, so an error anywhere rolls
+    /// back to plain `Quarantined`.
+    fn try_repair(&mut self, stream: &str) -> Result<RepairReport> {
+        // 1. Checkpoint baseline (absence is fine: empty baseline).
+        let (mut baseline, from_watermark, checkpoint_events) = match self.read_manifest()? {
+            Some(bytes) => {
+                let (mut snapshot, w) = StreamProcessor::restore_bytes_with_watermark(&bytes)?;
+                let events = snapshot.events_processed();
+                (snapshot.unregister(stream), w, events)
+            }
+            None => (None, 0, 0),
+        };
+
+        // 2. Re-establish a trustworthy log tail from durable bytes and
+        // collect every surviving record past the checkpoint.
+        let outcome = self.wal.reopen(from_watermark)?;
+
+        // Verification (a): the surviving log must be gap-free through
+        // its own watermark. scan_storage enforces continuity, so this
+        // is a cheap belt-and-braces check on the arithmetic.
+        let expected = self.wal.watermark().saturating_sub(from_watermark);
+        if outcome.records.len() as u64 != expected {
+            return Err(DctError::Wal {
+                segment: "<replay>".into(),
+                offset: 0,
+                stream: Some(stream.to_string()),
+                detail: format!(
+                    "repair verification failed: {} records survived but the log watermark \
+                     implies {expected}",
+                    outcome.records.len()
+                ),
+            });
+        }
+
+        // 3. Rebuild the stream's summary on a scratch registry, and
+        // count surviving updates across all streams — the global event
+        // counter is reconciled to durable truth below.
+        let mut scratch = StreamProcessor::new();
+        if let Some(s) = baseline.take() {
+            scratch.register(stream, s)?;
+        }
+        let mut replayed = 0u64;
+        let mut surviving_updates = 0u64;
+        for (seq, record) in &outcome.records {
+            if record.as_update().is_some() {
+                surviving_updates += 1;
+            }
+            if record.stream != stream {
+                continue;
+            }
+            let applied = match &record.op {
+                WalOp::Register(payload) => Summary::from_bytes(payload.clone()).and_then(|s| {
+                    scratch.unregister(stream);
+                    scratch.register(stream, s)
+                }),
+                WalOp::Drop => {
+                    scratch.unregister(stream);
+                    Ok(())
+                }
+                WalOp::Event(ev) => scratch.process(stream, ev),
+                WalOp::Weighted(t, w) => scratch.process_weighted(stream, t.values(), *w),
+            };
+            applied.map_err(|e| DctError::Wal {
+                segment: "<replay>".into(),
+                offset: 0,
+                stream: Some(stream.to_string()),
+                detail: format!("repair replay of record {seq} failed: {e}"),
+            })?;
+            replayed += 1;
+        }
+        let rebuilt = scratch.unregister(stream);
+
+        // Verification (b): the rebuilt summary must audit clean.
+        if let Some(s) = &rebuilt {
+            s.check_invariants().map_err(|e| match e {
+                DctError::IntegrityViolation {
+                    field,
+                    artifact,
+                    detail,
+                    ..
+                } => DctError::IntegrityViolation {
+                    stream: Some(stream.to_string()),
+                    field,
+                    artifact,
+                    detail: format!("repair verification failed: {detail}"),
+                },
+                other => other,
+            })?;
+        }
+
+        // 4. Commit: swap the rebuilt summary in (dropping the stale
+        // batch buffer with the old state) and reconcile the event
+        // counter with what durably survived.
+        self.processor.unregister(stream);
+        let removed = match rebuilt {
+            Some(s) => {
+                self.processor.register(stream, s)?;
+                false
+            }
+            None => true,
+        };
+        self.processor
+            .set_events_processed(checkpoint_events + surviving_updates);
+        Ok(RepairReport {
+            stream: stream.to_string(),
+            from_watermark,
+            replayed,
+            removed,
+        })
+    }
+
+    /// [`Self::repair`] every quarantined stream, in name order.
+    /// Returns one `(stream, outcome)` pair per attempt; a failed
+    /// repair leaves that stream quarantined and moves on.
+    pub fn repair_all(&mut self) -> Vec<(String, Result<RepairReport>)> {
+        self.health
+            .streams_in(HealthState::Quarantined)
+            .into_iter()
+            .map(|name| {
+                let outcome = self.repair(&name);
+                (name, outcome)
+            })
+            .collect()
+    }
+
+    fn demote_to_suspect(
+        &mut self,
+        stream: &str,
+        field: &str,
+        artifact: &str,
+        detail: &str,
+        demoted: &mut Vec<(String, HealthState)>,
+    ) {
+        let from = self.health.state(stream);
+        if matches!(from, HealthState::Healthy | HealthState::Suspect) {
+            let _ = self.health.transition(
+                stream,
+                HealthState::Suspect,
+                HealthCause::IntegrityViolation {
+                    field: field.to_string(),
+                    artifact: artifact.to_string(),
+                    detail: detail.to_string(),
+                },
+            );
+            if from == HealthState::Healthy {
+                demoted.push((stream.to_string(), HealthState::Suspect));
+            }
+        }
+    }
+
+    /// Integrity scrub: audit every live summary against its structural
+    /// invariants, then re-verify the on-disk checkpoint and WAL
+    /// checksums without replaying anything.
+    ///
+    /// Demotions are as local as attribution allows: live-state damage
+    /// quarantines the stream (its answers can no longer be trusted);
+    /// artifact damage attributable to one stream demotes only that
+    /// stream to `Suspect` (live answers are still good — the *durable
+    /// copy* is what's damaged); unattributable artifact damage is
+    /// reported without demoting anyone. Suspect streams that audit
+    /// clean across the whole pass are promoted back to healthy.
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        let mut violations: Vec<DctError> = Vec::new();
+        let mut demoted: Vec<(String, HealthState)> = Vec::new();
+        let mut flagged: BTreeSet<String> = BTreeSet::new();
+
+        // 1. Live summaries.
+        let mut names: Vec<String> = self.processor.stream_names().map(str::to_string).collect();
+        names.sort_unstable();
+        let mut live_streams_checked = 0;
+        for name in &names {
+            if self.health.is_degraded(name) {
+                continue; // already untrusted; repair is the exit path
+            }
+            live_streams_checked += 1;
+            let audit = self.processor.flush_stream(name).and_then(|()| {
+                self.processor
+                    .summary(name)
+                    .map_or(Ok(()), Summary::check_invariants)
+            });
+            if let Err(e) = audit {
+                let (field, artifact, detail) = match &e {
+                    DctError::IntegrityViolation {
+                        field,
+                        artifact,
+                        detail,
+                        ..
+                    } => (field.clone(), artifact.clone(), detail.clone()),
+                    other => (
+                        "live state".to_string(),
+                        "summary".to_string(),
+                        other.to_string(),
+                    ),
+                };
+                violations.push(DctError::IntegrityViolation {
+                    stream: Some(name.clone()),
+                    field: field.clone(),
+                    artifact: artifact.clone(),
+                    detail: detail.clone(),
+                });
+                flagged.insert(name.clone());
+                // invariant: Healthy/Suspect -> Quarantined is legal.
+                let _ = self.health.transition(
+                    name,
+                    HealthState::Quarantined,
+                    HealthCause::IntegrityViolation {
+                        field,
+                        artifact,
+                        detail,
+                    },
+                );
+                demoted.push((name.clone(), HealthState::Quarantined));
+            }
+        }
+
+        // 2. Checkpoint manifest (CRC-only, no deserialization).
+        let mut checkpoint_streams_checked = 0;
+        match self.read_manifest() {
+            Ok(Some(bytes)) => {
+                let (checked, ckpt_violations) = verify_checkpoint_bytes(&bytes);
+                checkpoint_streams_checked = checked;
+                for v in ckpt_violations {
+                    if let DctError::IntegrityViolation {
+                        stream: Some(n),
+                        field,
+                        artifact,
+                        detail,
+                    } = &v
+                    {
+                        let (n, field, artifact, detail) =
+                            (n.clone(), field.clone(), artifact.clone(), detail.clone());
+                        self.demote_to_suspect(&n, &field, &artifact, &detail, &mut demoted);
+                        flagged.insert(n);
+                    }
+                    violations.push(v);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => violations.push(DctError::IntegrityViolation {
+                stream: None,
+                field: "read".into(),
+                artifact: "checkpoint".into(),
+                detail: e.to_string(),
+            }),
+        }
+
+        // 3. WAL segments (CRC-only, no replay).
+        let (wal_segments_checked, wal_violations) = self.wal.verify()?;
+        for v in wal_violations {
+            if let DctError::Wal {
+                stream: Some(n),
+                segment,
+                detail,
+                ..
+            } = &v
+            {
+                let (n, segment, detail) = (n.clone(), segment.clone(), detail.clone());
+                self.demote_to_suspect(&n, "record body", &segment, &detail, &mut demoted);
+                flagged.insert(n);
+            }
+            violations.push(v);
+        }
+
+        // 4. Promote suspects the whole pass found clean.
+        let mut promoted = Vec::new();
+        for name in self.health.streams_in(HealthState::Suspect) {
+            if !flagged.contains(&name) {
+                self.health
+                    .transition(&name, HealthState::Healthy, HealthCause::ScrubPassed)?;
+                promoted.push(name);
+            }
+        }
+
+        Ok(ScrubReport {
+            live_streams_checked,
+            checkpoint_streams_checked,
+            wal_segments_checked,
+            violations,
+            demoted,
+            promoted,
+        })
+    }
+
+    /// The per-stream health ledger.
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
+    }
+
     /// Quarantined streams and their causes (empty when healthy).
-    pub fn quarantined(&self) -> &BTreeMap<String, String> {
-        &self.quarantined
+    pub fn quarantined(&self) -> BTreeMap<String, String> {
+        self.health
+            .report()
+            .into_iter()
+            .filter(|(_, state, _)| *state == HealthState::Quarantined)
+            .map(|(name, _, cause)| (name, cause))
+            .collect()
     }
 
     /// Drop every quarantined stream from the registry, returning their
-    /// names. After this, [`Self::checkpoint`] is allowed again; the
-    /// dropped streams' synopses are gone (one-pass state cannot be
-    /// rebuilt without the source stream).
-    pub fn drop_quarantined(&mut self) -> Vec<String> {
-        let names: Vec<String> = self.quarantined.keys().cloned().collect();
-        for name in &names {
-            self.processor.unregister(name);
+    /// names. Each drop is logged as a [`WalOp::Drop`] record, so a
+    /// later recovery unregisters the stream again instead of replaying
+    /// its surviving records back into quarantine; the records then
+    /// retire with their segments at the next checkpoint. After this,
+    /// [`Self::checkpoint`] is allowed again; the dropped streams'
+    /// synopses are gone (one-pass state cannot be rebuilt without the
+    /// source stream — use [`Self::repair`] to keep the stream
+    /// instead).
+    ///
+    /// A wedged WAL (the usual companion of a quarantine) is reopened
+    /// from its durable bytes first so the drops can be logged. On an
+    /// append error the drop stops: streams already processed stay
+    /// dropped, the rest remain quarantined (see [`Self::quarantined`]).
+    pub fn drop_quarantined(&mut self) -> Result<Vec<String>> {
+        let names = self.health.streams_in(HealthState::Quarantined);
+        if names.is_empty() {
+            return Ok(Vec::new());
         }
-        self.quarantined.clear();
-        names
+        if self.wal.is_wedged() {
+            let watermark = match self.read_manifest()? {
+                Some(bytes) => StreamProcessor::restore_bytes_with_watermark(&bytes)?.1,
+                None => 0,
+            };
+            self.wal.reopen(watermark)?;
+        }
+        let mut dropped = Vec::new();
+        for name in names {
+            self.wal.append(&WalRecord::drop_stream(name.as_str()))?;
+            self.processor.unregister(&name);
+            self.health.forget(&name);
+            self.unsynced_streams.remove(&name);
+            dropped.push(name);
+        }
+        Ok(dropped)
     }
 
     /// Sequence number of the last logged record.
@@ -312,6 +968,13 @@ impl<S: WalStorage> DurableProcessor<S> {
     pub fn processor_mut(&mut self) -> &mut StreamProcessor {
         &mut self.processor
     }
+
+    /// Test-only access to the WAL (fault-injection tests need to
+    /// append raw records).
+    #[cfg(test)]
+    fn wal_mut(&mut self) -> &mut Wal<S> {
+        &mut self.wal
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +991,17 @@ mod tests {
         RecoveryOptions {
             wal: WalOptions {
                 sync: SyncPolicy::Manual,
+                retry: RetryPolicy::none(),
+                ..WalOptions::default()
+            },
+            flush_threshold: None,
+        }
+    }
+
+    fn always_opts() -> RecoveryOptions {
+        RecoveryOptions {
+            wal: WalOptions {
+                sync: SyncPolicy::Always,
                 retry: RetryPolicy::none(),
                 ..WalOptions::default()
             },
@@ -391,7 +1065,7 @@ mod tests {
         // Corrupt 'bad' logically: craft a WAL record whose value is out
         // of the synopsis domain, as if the domain had changed between
         // runs. Easiest injection: log a raw out-of-domain update.
-        dp.wal
+        dp.wal_mut()
             .append(&WalRecord::weighted("bad", &[1_000_000], 1.0))
             .unwrap();
         dp.sync().unwrap();
@@ -399,6 +1073,7 @@ mod tests {
         let (mut dp2, report) = DurableProcessor::open_with(mem, manual_opts()).unwrap();
         assert_eq!(report.quarantined.len(), 1);
         assert_eq!(report.quarantined[0].0, "bad");
+        assert_eq!(dp2.health().state("bad"), HealthState::Quarantined);
 
         // Degraded mode: the good stream still works end to end.
         dp2.process_weighted("good", &[3], 1.0).unwrap();
@@ -410,24 +1085,44 @@ mod tests {
         // Checkpoint refused, then allowed once the stream is dropped.
         let e = dp2.checkpoint().unwrap_err();
         assert!(e.to_string().contains("quarantined"), "{e}");
-        assert_eq!(dp2.drop_quarantined(), vec!["bad".to_string()]);
+        assert_eq!(dp2.drop_quarantined().unwrap(), vec!["bad".to_string()]);
         dp2.checkpoint().unwrap();
         assert!(dp2.processor().summary("bad").is_none());
         assert!(dp2.processor().summary("good").is_some());
     }
 
     #[test]
+    fn dropped_streams_stay_dropped_across_reopen_without_checkpoint() {
+        let mem = MemStorage::new();
+        let (mut dp, _) = DurableProcessor::open_with(mem.clone(), manual_opts()).unwrap();
+        dp.register("good", cosine(16, 4)).unwrap();
+        dp.register("bad", cosine(16, 4)).unwrap();
+        dp.process_weighted("good", &[1], 1.0).unwrap();
+        dp.wal_mut()
+            .append(&WalRecord::weighted("bad", &[1_000_000], 1.0))
+            .unwrap();
+        dp.sync().unwrap();
+
+        let (mut dp2, report) = DurableProcessor::open_with(mem.clone(), manual_opts()).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(dp2.drop_quarantined().unwrap(), vec!["bad".to_string()]);
+        // Deliberately NO checkpoint: the drop only exists in the WAL.
+        dp2.sync().unwrap();
+
+        // Reopen: the drop record must keep 'bad' dropped instead of
+        // replaying it back into quarantine forever.
+        let (dp3, report) = DurableProcessor::open_with(mem, manual_opts()).unwrap();
+        assert_eq!(report.dropped, vec!["bad".to_string()]);
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+        assert!(dp3.processor().summary("bad").is_none());
+        assert!(dp3.processor().summary("good").is_some());
+        assert!(dp3.health().all_healthy());
+    }
+
+    #[test]
     fn failed_wal_append_quarantines_the_stream_against_retries() {
         let failing = FailingStorage::with_budget(MemStorage::new(), 4096);
-        let opts = RecoveryOptions {
-            wal: WalOptions {
-                sync: SyncPolicy::Always,
-                retry: RetryPolicy::none(),
-                ..WalOptions::default()
-            },
-            flush_threshold: None,
-        };
-        let (mut dp, _) = DurableProcessor::open_with(failing, opts).unwrap();
+        let (mut dp, _) = DurableProcessor::open_with(failing, always_opts()).unwrap();
         dp.register("s", cosine(16, 4)).unwrap();
         // Append until the injected crash fires mid-write.
         let mut first_err = None;
@@ -443,9 +1138,153 @@ mod tests {
         // be rejected rather than double-applied.
         let e = dp.process_weighted("s", &[1], 1.0).unwrap_err();
         assert!(matches!(e, DctError::StreamQuarantined { .. }), "{e}");
+        assert_eq!(dp.health().state("s"), HealthState::Quarantined);
         // And a checkpoint cannot launder the divergent state.
         let e = dp.checkpoint().unwrap_err();
         assert!(e.to_string().contains("quarantined"), "{e}");
+    }
+
+    #[test]
+    fn repair_reconciles_memory_with_durable_state() {
+        let failing = FailingStorage::with_budget(MemStorage::new(), 2048);
+        let (mut dp, _) = DurableProcessor::open_with(failing.clone(), always_opts()).unwrap();
+        dp.register("s", cosine(16, 4)).unwrap();
+        let mut applied = 0u64;
+        let mut lost: Option<i64> = None;
+        for v in 0..100_000i64 {
+            match dp.process_weighted("s", &[v % 16], 1.0) {
+                Ok(_) => applied += 1,
+                Err(_) => {
+                    lost = Some(v % 16);
+                    break;
+                }
+            }
+        }
+        let lost = lost.expect("budget must run out");
+        assert_eq!(dp.health().state("s"), HealthState::Quarantined);
+        // Memory is ahead of the log by exactly the failed update.
+        assert_eq!(dp.events_processed(), applied + 1);
+
+        // The outage ends; self-heal in place.
+        failing.revive();
+        let report = dp.repair("s").unwrap();
+        assert_eq!(report.stream, "s");
+        assert_eq!(report.replayed, applied + 1); // register + applied updates
+        assert!(!report.removed);
+        assert_eq!(dp.health().state("s"), HealthState::Healthy);
+        // The unlogged update was rolled back with the rebuild.
+        assert_eq!(dp.events_processed(), applied);
+
+        // The caller re-submits the update that failed; the repaired
+        // stream accepts it and ends bit-identical to an unfaulted run
+        // over the same workload.
+        dp.process_weighted("s", &[lost], 1.0).unwrap();
+        assert_eq!(dp.events_processed(), applied + 1);
+
+        let (mut unfaulted, _) =
+            DurableProcessor::open_with(MemStorage::new(), always_opts()).unwrap();
+        unfaulted.register("s", cosine(16, 4)).unwrap();
+        for v in 0..=applied as i64 {
+            unfaulted.process_weighted("s", &[v % 16], 1.0).unwrap();
+        }
+        assert_eq!(
+            dp.processor().summary("s").unwrap().to_bytes(),
+            unfaulted.processor().summary("s").unwrap().to_bytes()
+        );
+    }
+
+    #[test]
+    fn repair_requires_quarantine_and_survives_double_call() {
+        let (mut dp, _) = DurableProcessor::open_with(MemStorage::new(), manual_opts()).unwrap();
+        dp.register("s", cosine(16, 4)).unwrap();
+        let e = dp.repair("s").unwrap_err();
+        assert!(e.to_string().contains("only quarantined"), "{e}");
+        let e = dp.repair("missing").unwrap_err();
+        assert!(e.to_string().contains("only quarantined"), "{e}");
+    }
+
+    #[test]
+    fn scrub_quarantines_live_damage_and_suspects_artifact_damage() {
+        let mem = MemStorage::new();
+        let (mut dp, _) = DurableProcessor::open_with(mem.clone(), manual_opts()).unwrap();
+        dp.register("a", cosine(16, 4)).unwrap();
+        dp.register("b", cosine(16, 4)).unwrap();
+        for v in 0..20i64 {
+            dp.process_weighted("a", &[v % 16], 1.0).unwrap();
+            dp.process_weighted("b", &[(v * 3) % 16], 1.0).unwrap();
+        }
+        dp.checkpoint().unwrap();
+        let clean = dp.scrub().unwrap();
+        assert!(clean.is_clean(), "{:?}", clean.violations);
+        assert_eq!(clean.live_streams_checked, 2);
+        assert_eq!(clean.checkpoint_streams_checked, 2);
+
+        // Damage the checkpoint copy of 'a' (single byte): scrub demotes
+        // 'a' to Suspect, 'b' keeps answering, and a re-scrub after the
+        // damage is undone promotes 'a' back.
+        let files = mem.snapshot();
+        let mut damaged = files.clone();
+        let manifest = damaged.get_mut(CHECKPOINT_FILE).unwrap();
+        let pos = manifest
+            .windows(1)
+            .position(|w| w == b"a")
+            .expect("stream name in manifest");
+        manifest[pos + 20] ^= 0xFF;
+        mem.restore(damaged);
+        let report = dp.scrub().unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(dp.health().state("a"), HealthState::Suspect);
+        assert_eq!(dp.health().state("b"), HealthState::Healthy);
+        // Suspect streams still answer.
+        assert!(dp.estimate_cosine_join("a", "b", None).unwrap() > 0.0);
+        mem.restore(files);
+        let report = dp.scrub().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.promoted, vec!["a".to_string()]);
+        assert_eq!(dp.health().state("a"), HealthState::Healthy);
+    }
+
+    #[test]
+    fn estimate_degraded_substitutes_checkpoint_summaries() {
+        let mem = MemStorage::new();
+        let (mut dp, _) = DurableProcessor::open_with(mem, manual_opts()).unwrap();
+        dp.register("l", cosine(16, 8)).unwrap();
+        dp.register("r", cosine(16, 8)).unwrap();
+        for v in 0..40i64 {
+            dp.process_weighted("l", &[v % 16], 1.0).unwrap();
+            dp.process_weighted("r", &[(v * 3) % 16], 1.0).unwrap();
+        }
+        dp.checkpoint().unwrap();
+        let at_checkpoint = dp.estimate_cosine_join("l", "r", None).unwrap();
+        let q = ChainJoinQuery::builder().end("l").end("r").build().unwrap();
+
+        // Healthy: degraded path equals the strict path, no staleness.
+        let est = dp.estimate_degraded(&q, None).unwrap();
+        assert!(!est.is_degraded());
+        assert_eq!(est.value, at_checkpoint);
+
+        // Quarantine 'r' artificially (live damage via scrub would need
+        // field surgery; the health ledger is the contract here).
+        dp.health
+            .transition(
+                "r",
+                HealthState::Quarantined,
+                HealthCause::WalAppendFailed {
+                    detail: "injected".into(),
+                },
+            )
+            .unwrap();
+        dp.process_weighted("l", &[3], 1.0).unwrap();
+
+        let e = dp.estimate_chain(&q, None).unwrap_err();
+        assert!(matches!(e, DctError::StreamQuarantined { .. }), "{e}");
+        let est = dp.estimate_degraded(&q, None).unwrap();
+        assert!(est.is_degraded());
+        assert_eq!(est.degraded.len(), 1);
+        assert_eq!(est.degraded[0].stream, "r");
+        assert_eq!(est.degraded[0].state, HealthState::Quarantined);
+        assert!(est.degraded[0].lag >= 1, "lag {}", est.degraded[0].lag);
+        assert!(est.value.is_finite());
     }
 
     #[test]

@@ -475,3 +475,115 @@ proptest! {
         }
     }
 }
+
+// ---- stream-health supervision ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model check of the health state machine: any attempted transition
+    /// either succeeds (when the module diagram allows it) or is rejected
+    /// leaving the recorded state untouched — no interleaving of attempts
+    /// reaches a state outside the model, and `is_degraded` always means
+    /// exactly `Quarantined | Repairing`.
+    #[test]
+    fn health_registry_never_leaves_the_state_machine(
+        steps in vec((0usize..3, 0usize..4), 1..80),
+    ) {
+        use dctstream::stream::{HealthCause, HealthRegistry, HealthState};
+        let states = [
+            HealthState::Healthy,
+            HealthState::Suspect,
+            HealthState::Quarantined,
+            HealthState::Repairing,
+        ];
+        let mut reg = HealthRegistry::new();
+        let mut model = std::collections::HashMap::new();
+        for &(s, t) in &steps {
+            let name = ["a", "b", "c"][s];
+            let to = states[t];
+            let from = *model.get(name).unwrap_or(&HealthState::Healthy);
+            let res = reg.transition(name, to, HealthCause::ScrubPassed);
+            if from.can_transition(to) {
+                prop_assert_eq!(res.unwrap(), from);
+                model.insert(name, to);
+            } else {
+                prop_assert!(res.is_err(), "{} -> {} accepted", from, to);
+            }
+            let got = reg.state(name);
+            prop_assert_eq!(got, *model.get(name).unwrap_or(&HealthState::Healthy));
+            prop_assert_eq!(
+                got.is_degraded(),
+                matches!(got, HealthState::Quarantined | HealthState::Repairing)
+            );
+        }
+    }
+
+    /// Arbitrary interleavings of updates, injected I/O faults, scrubs,
+    /// repairs, syncs, and checkpoints: no public entry point ever
+    /// returns with a stream resting in `Repairing`, and the strict query
+    /// path answers exactly when no participant is degraded — mid-repair
+    /// state is never observable as healthy.
+    #[test]
+    fn fault_repair_scrub_interleavings_stay_sound(
+        steps in vec((0usize..8, 0i64..32, 0usize..2), 1..40),
+    ) {
+        use dctstream::stream::{
+            DurableProcessor, FailingStorage, HealthState, MemStorage, RecoveryOptions,
+            RetryPolicy, Summary, SyncPolicy, WalOptions,
+        };
+        use dctstream::{CosineSynopsis, Domain, Grid};
+        let opts = RecoveryOptions {
+            wal: WalOptions {
+                sync: SyncPolicy::Always,
+                segment_max_bytes: 256,
+                retry: RetryPolicy::none(),
+            },
+            flush_threshold: None,
+        };
+        let storage = FailingStorage::with_transient_failures(MemStorage::new(), 0);
+        let (mut dp, _) = DurableProcessor::open_with(storage.clone(), opts).unwrap();
+        for name in ["a", "b"] {
+            dp.register(
+                name,
+                Summary::Cosine(
+                    CosineSynopsis::new(Domain::of_size(32), Grid::Midpoint, 8).unwrap(),
+                ),
+            )
+            .unwrap();
+        }
+        for &(op, v, which) in &steps {
+            let name = ["a", "b"][which];
+            match op {
+                0 | 1 => { let _ = dp.process_weighted(name, &[v], 1.0); }
+                2 => { let _ = dp.process_weighted(name, &[v], -1.0); }
+                3 => {
+                    // Fault the next storage mutation; the append that
+                    // follows quarantines the stream (apply-then-log).
+                    storage.fail_next(1);
+                    let _ = dp.process_weighted(name, &[v], 1.0);
+                }
+                4 => { let _ = dp.scrub(); }
+                5 => { let _ = dp.repair_all(); }
+                6 => { let _ = dp.sync(); }
+                _ => { let _ = dp.checkpoint(); }
+            }
+            // Repairing is transient: every entry point settles repairs
+            // before returning.
+            for n in ["a", "b"] {
+                prop_assert!(
+                    dp.health().state(n) != HealthState::Repairing,
+                    "stream '{}' left mid-repair after op {}", n, op
+                );
+            }
+            // The strict path refuses iff a participant is degraded.
+            let any_degraded =
+                dp.health().is_degraded("a") || dp.health().is_degraded("b");
+            let strict = dp.estimate_cosine_join("a", "b", None);
+            prop_assert_eq!(
+                strict.is_err(), any_degraded,
+                "strict path {:?} with degraded={}", strict, any_degraded
+            );
+        }
+    }
+}
