@@ -1,0 +1,210 @@
+//! Observability overhead guard: the instrumented ingest path vs the same
+//! path with metrics globally disabled.
+//!
+//! The `obs` crate promises that the disabled path is a single relaxed
+//! atomic load and branch per call site, and that the enabled hot path is
+//! one `fetch_add` per event — cheap enough to leave on in production.
+//! This harness holds that promise to a number: it ingests the same
+//! 50k-tuple batch into an m = 4096 cosine synopsis with instrumentation
+//! enabled and disabled, and reports the relative overhead.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dctstream-bench --bin bench_obs [-- --json] [-- --check]
+//! ```
+//!
+//! Always prints a human-readable table; with `--json` it also writes
+//! `BENCH_obs.json` into the current directory. With `--check` it exits
+//! nonzero if the instrumented per-tuple ingest is more than
+//! [`OVERHEAD_BUDGET_PCT`] slower than the uninstrumented run — the CI
+//! overhead gate.
+
+use dctstream_core::{CosineSynopsis, Domain, Grid};
+use std::time::Instant;
+
+/// Tuples ingested per measured iteration.
+const TUPLES: usize = 50_000;
+/// Synopsis size — matches the `bench_ingest` acceptance point.
+const COEFFS: usize = 4_096;
+/// Value domain for the synthetic stream.
+const DOMAIN: usize = 100_000;
+/// Timed repetitions per configuration; the median is reported.
+const REPS: usize = 7;
+/// Maximum tolerated slowdown of the instrumented path, in percent.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+struct Row {
+    name: &'static str,
+    median_secs: f64,
+    items_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Median of `REPS` wall-clock timings of `f` (one warmup run first).
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn rows_to_json(section: &str, items: u64, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  \"{section}\": {{\n    \"items_per_iteration\": {items},\n    \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"median_secs\": {:.6}, \"items_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.name,
+            r.median_secs,
+            r.items_per_sec,
+            r.speedup_vs_serial,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  }");
+    out
+}
+
+fn print_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "  {:<14} {:>12} {:>16} {:>10}",
+        "path", "median", "items/sec", "vs disabled"
+    );
+    for r in rows {
+        println!(
+            "  {:<14} {:>9.1} ms {:>16.0} {:>9.2}x",
+            r.name,
+            r.median_secs * 1e3,
+            r.items_per_sec,
+            r.speedup_vs_serial
+        );
+    }
+}
+
+/// Ingest the 50k-tuple batch once: the per-tuple scalar path, then one
+/// blocked batch flush — both instrumented in `dctstream-core`.
+fn ingest_once(batch: &[(i64, f64)]) {
+    let mut syn = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap();
+    for &(v, w) in batch {
+        syn.update(v, w).unwrap();
+    }
+    std::hint::black_box(syn.count());
+}
+
+/// Estimates per measured iteration of the estimate path.
+const ESTIMATES: usize = 200;
+
+/// Run `ESTIMATES` equi-join estimates over a pair of prebuilt synopses —
+/// the `estimate.latency` span path in `dctstream-core`.
+fn estimate_once(s1: &CosineSynopsis, s2: &CosineSynopsis) {
+    for budget in 0..ESTIMATES {
+        std::hint::black_box(
+            dctstream_core::estimate_equi_join(s1, s2, Some(COEFFS - budget)).unwrap(),
+        );
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
+
+    let batch: Vec<(i64, f64)> = (0..TUPLES)
+        .map(|i| (((i * 7_919) % DOMAIN) as i64, 1.0))
+        .collect();
+
+    println!("dctstream observability overhead summary");
+    println!("  tuples per batch: {TUPLES}, coefficients: {COEFFS}, reps: {REPS} (median)");
+
+    // Disabled first: it is the baseline the speedup column divides by.
+    dctstream_obs::set_enabled(false);
+    let disabled = median_secs(|| ingest_once(&batch));
+    dctstream_obs::set_enabled(true);
+    let enabled = median_secs(|| ingest_once(&batch));
+
+    let rows = vec![
+        Row {
+            name: "disabled",
+            median_secs: disabled,
+            items_per_sec: TUPLES as f64 / disabled,
+            speedup_vs_serial: 1.0,
+        },
+        Row {
+            name: "instrumented",
+            median_secs: enabled,
+            items_per_sec: TUPLES as f64 / enabled,
+            speedup_vs_serial: disabled / enabled,
+        },
+    ];
+    print_table("per-tuple ingest (metrics disabled vs instrumented)", &rows);
+
+    let mut s1 = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap();
+    let mut s2 = CosineSynopsis::new(Domain::of_size(DOMAIN), Grid::Midpoint, COEFFS).unwrap();
+    for &(v, w) in &batch {
+        s1.update(v, w).unwrap();
+        s2.update((v * 31) % DOMAIN as i64, w).unwrap();
+    }
+    dctstream_obs::set_enabled(false);
+    let est_disabled = median_secs(|| estimate_once(&s1, &s2));
+    dctstream_obs::set_enabled(true);
+    let est_enabled = median_secs(|| estimate_once(&s1, &s2));
+    let est_rows = vec![
+        Row {
+            name: "disabled",
+            median_secs: est_disabled,
+            items_per_sec: ESTIMATES as f64 / est_disabled,
+            speedup_vs_serial: 1.0,
+        },
+        Row {
+            name: "instrumented",
+            median_secs: est_enabled,
+            items_per_sec: ESTIMATES as f64 / est_enabled,
+            speedup_vs_serial: est_disabled / est_enabled,
+        },
+    ];
+    print_table(
+        "equi-join estimate (metrics disabled vs instrumented)",
+        &est_rows,
+    );
+
+    let overhead_pct = (enabled / disabled - 1.0) * 100.0;
+    let within = overhead_pct <= OVERHEAD_BUDGET_PCT;
+    println!(
+        "\n  instrumentation overhead: {overhead_pct:+.2}% (budget {OVERHEAD_BUDGET_PCT:.1}%) — {}",
+        if within {
+            "within budget"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+
+    if json {
+        let body = format!(
+            "{{\n{},\n{},\n  \"overhead\": {{\"instrumented_vs_disabled_pct\": {:.3}, \"budget_pct\": {:.1}, \"within_budget\": {}}}\n}}\n",
+            rows_to_json("obs_ingest", TUPLES as u64, &rows),
+            rows_to_json("obs_estimate", ESTIMATES as u64, &est_rows),
+            overhead_pct,
+            OVERHEAD_BUDGET_PCT,
+            within
+        );
+        std::fs::write("BENCH_obs.json", &body).expect("write BENCH_obs.json");
+        println!("\nwrote BENCH_obs.json");
+    }
+
+    if check && !within {
+        eprintln!(
+            "overhead gate failed: instrumented ingest is {overhead_pct:.2}% slower than the \
+             disabled path (budget {OVERHEAD_BUDGET_PCT:.1}%)"
+        );
+        std::process::exit(1);
+    }
+}

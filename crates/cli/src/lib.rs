@@ -231,6 +231,37 @@ pub enum Command {
         /// state and retiring covered WAL segments.
         checkpoint: bool,
     },
+    /// Report the process-wide observability metrics, optionally merged
+    /// with the cumulative counters persisted in a registry directory's
+    /// checkpoint manifest.
+    Stats {
+        /// Registry directory whose manifest counters to merge in (as
+        /// `registry.*`), if any.
+        dir: Option<PathBuf>,
+        /// Output format.
+        format: StatsFormat,
+    },
+    /// Re-render the metrics table on an interval, tailing recent spans.
+    Watch {
+        /// Registry directory whose manifest counters to merge in, if
+        /// any.
+        dir: Option<PathBuf>,
+        /// Milliseconds between frames.
+        interval_ms: u64,
+        /// Frames to render before exiting (None = until interrupted).
+        iterations: Option<u64>,
+    },
+}
+
+/// How `stats` renders the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable table (the default).
+    Table,
+    /// Hand-rolled JSON document.
+    Json,
+    /// Prometheus text exposition format.
+    Prom,
 }
 
 /// The usage text.
@@ -253,6 +284,8 @@ pub fn usage() -> &'static str {
        health   <dir>\n\
        scrub    <dir>\n\
        repair   <dir> [STREAM]... [--checkpoint]\n\
+       stats    [DIR] [--json|--prom]\n\
+       watch    [DIR] [--interval MS] [--iterations N]\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
@@ -263,7 +296,12 @@ pub fn usage() -> &'static str {
      health reports each stream's supervisor state, scrub audits live\n\
      summaries and durable checksums (demoting damaged streams), repair\n\
      rebuilds quarantined streams from checkpoint + WAL and re-verifies\n\
-     them before promoting back to healthy"
+     them before promoting back to healthy\n\
+     stats prints this process's ingest/estimate/WAL/health metrics as a\n\
+     table (--json / --prom for machine formats); given a registry DIR it\n\
+     also merges the cumulative registry.* counters persisted in the\n\
+     checkpoint manifest; watch re-renders the table every --interval MS\n\
+     (default 1000) and tails recent spans"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -609,6 +647,57 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 dir: PathBuf::from(dir),
                 streams: streams.to_vec(),
                 checkpoint: f.bools.contains("checkpoint"),
+            })
+        }
+        "stats" => {
+            let f = split_flags(rest, &["json", "prom"])?;
+            let format = match (f.bools.contains("json"), f.bools.contains("prom")) {
+                (true, true) => {
+                    return Err(CliError::Usage("--json and --prom are exclusive".into()))
+                }
+                (true, false) => StatsFormat::Json,
+                (false, true) => StatsFormat::Prom,
+                (false, false) => StatsFormat::Table,
+            };
+            let dir = match f.positional.as_slice() {
+                [] => None,
+                [dir] => Some(PathBuf::from(dir)),
+                _ => {
+                    return Err(CliError::Usage(
+                        "stats takes at most one registry directory".into(),
+                    ))
+                }
+            };
+            Ok(Command::Stats { dir, format })
+        }
+        "watch" => {
+            let mut f = split_flags(rest, &[])?;
+            let interval_ms = match f.take_opt("interval") {
+                None => 1000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --interval '{v}'")))?,
+            };
+            let iterations = f
+                .take_opt("iterations")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --iterations '{v}'")))
+                })
+                .transpose()?;
+            let dir = match f.positional.as_slice() {
+                [] => None,
+                [dir] => Some(PathBuf::from(dir)),
+                _ => {
+                    return Err(CliError::Usage(
+                        "watch takes at most one registry directory".into(),
+                    ))
+                }
+            };
+            Ok(Command::Watch {
+                dir,
+                interval_ms,
+                iterations,
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -1196,6 +1285,91 @@ pub fn run(cmd: Command) -> CliResult<String> {
             }
             Ok(out)
         }
+        Command::Stats { dir, format } => {
+            let snap = stats_snapshot(dir.as_deref())?;
+            Ok(match format {
+                StatsFormat::Table => dctstream_obs::render_table(&snap),
+                StatsFormat::Json => dctstream_obs::render_json(&snap),
+                StatsFormat::Prom => dctstream_obs::render_prometheus(&snap),
+            })
+        }
+        Command::Watch {
+            dir,
+            interval_ms,
+            iterations,
+        } => {
+            // Tail spans for the duration of the watch; frames after the
+            // first can then show what ran in between.
+            dctstream_obs::set_tailing(true);
+            let frames = iterations.unwrap_or(u64::MAX);
+            let mut last = String::new();
+            for frame in 0..frames {
+                let snap = stats_snapshot(dir.as_deref())?;
+                last = render_watch_frame(&snap, frame);
+                // All but the final frame stream to stdout; the last one
+                // is the command's return value, so in-process callers
+                // (and tests) see a complete frame.
+                if frame + 1 < frames {
+                    println!("{last}");
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
+            }
+            dctstream_obs::set_tailing(false);
+            Ok(last)
+        }
+    }
+}
+
+/// Snapshot the process-global metrics registry; with a registry
+/// directory, merge in the cumulative counters persisted in its
+/// checkpoint manifest under the `registry.` prefix.
+fn stats_snapshot(dir: Option<&Path>) -> CliResult<dctstream_obs::MetricsSnapshot> {
+    let mut snap = dctstream_obs::global().snapshot();
+    if let Some(dir) = dir {
+        let path = dir.join(dctstream_stream::checkpoint::CHECKPOINT_FILE);
+        let (_, _, metrics) = dctstream_stream::checkpoint::read_checkpoint_with_meta(&path)?;
+        for (name, value) in metrics {
+            // Manifest keys already carry the `_total` convention; strip it
+            // so the Prometheus renderer (which re-appends `_total` to
+            // every counter) does not emit a doubled suffix.
+            let name = name.strip_suffix("_total").unwrap_or(&name);
+            snap.counters.push(dctstream_obs::CounterSnapshot {
+                name: format!("registry.{name}"),
+                labels: Vec::new(),
+                value,
+            });
+        }
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+    Ok(snap)
+}
+
+/// One `watch` frame: header, metrics table, recent span tail.
+fn render_watch_frame(snap: &dctstream_obs::MetricsSnapshot, frame: u64) -> String {
+    // invariant: writeln! to a String is infallible.
+    let mut out = String::new();
+    writeln!(out, "--- watch frame {frame} ---").unwrap();
+    out.push_str(&dctstream_obs::render_table(snap));
+    let spans = dctstream_obs::recent_spans(10);
+    if !spans.is_empty() {
+        writeln!(out, "recent spans (newest last):").unwrap();
+        for s in spans {
+            writeln!(out, "  {:<28} {}", s.name, human_nanos_cli(s.nanos)).unwrap();
+        }
+    }
+    out
+}
+
+/// Render a nanosecond duration for the watch span tail.
+fn human_nanos_cli(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
     }
 }
 
@@ -1964,5 +2138,153 @@ mod tests {
         assert!(out.contains("all healthy"), "{out}");
         let out = run(Command::Scrub { dir: wal }).unwrap();
         assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn parse_stats_and_watch_commands() {
+        assert_eq!(
+            parse(&args("stats")).unwrap(),
+            Command::Stats {
+                dir: None,
+                format: StatsFormat::Table
+            }
+        );
+        assert_eq!(
+            parse(&args("stats wal/ --prom")).unwrap(),
+            Command::Stats {
+                dir: Some("wal/".into()),
+                format: StatsFormat::Prom
+            }
+        );
+        assert_eq!(
+            parse(&args("stats --json")).unwrap(),
+            Command::Stats {
+                dir: None,
+                format: StatsFormat::Json
+            }
+        );
+        assert!(matches!(
+            parse(&args("stats --json --prom")),
+            Err(CliError::Usage(_))
+        ));
+        assert_eq!(
+            parse(&args("watch wal/ --interval 250 --iterations 3")).unwrap(),
+            Command::Watch {
+                dir: Some("wal/".into()),
+                interval_ms: 250,
+                iterations: Some(3)
+            }
+        );
+        assert_eq!(
+            parse(&args("watch")).unwrap(),
+            Command::Watch {
+                dir: None,
+                interval_ms: 1000,
+                iterations: None
+            }
+        );
+        assert!(matches!(
+            parse(&args("watch --interval x")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// Drive a full build + query + scrub session in-process, then check
+    /// that `stats --prom` emits valid Prometheus exposition covering
+    /// the ingest, estimate, WAL, and health subsystems, merged with the
+    /// registry's persisted counters.
+    #[test]
+    fn stats_prom_covers_ingest_estimate_wal_and_health() {
+        let csv = tmp("stats_session.csv");
+        fs::write(&csv, "1\n2\n3\n4\n5\n6\n7\n8\n").unwrap();
+        let wal = tmp("stats_session_dir");
+        let _ = fs::remove_dir_all(&wal);
+        let (a, b) = (tmp("stats_a.dcts"), tmp("stats_b.dcts"));
+        for out in [&a, &b] {
+            run(Command::Build {
+                input: csv.clone(),
+                column: 0,
+                domain: (0, 9),
+                m: 8,
+                out: out.clone(),
+                skip_header: false,
+                threads: 1,
+                wal_dir: if *out == a { Some(wal.clone()) } else { None },
+            })
+            .unwrap();
+        }
+        run(Command::Join {
+            left: a,
+            right: b,
+            budget: None,
+        })
+        .unwrap();
+        run(Command::Scrub { dir: wal.clone() }).unwrap();
+
+        let prom = run(Command::Stats {
+            dir: Some(wal),
+            format: StatsFormat::Prom,
+        })
+        .unwrap();
+
+        // Every subsystem the session exercised is present.
+        for needle in [
+            "dctstream_ingest_events_total",
+            "dctstream_synopsis_updates_total",
+            "dctstream_estimate_latency_bucket",
+            "dctstream_estimate_latency_count",
+            "dctstream_wal_appends_total",
+            "dctstream_wal_fsync_count",
+            "dctstream_health_scrubs_total",
+            "dctstream_registry_events_total",
+            "dctstream_registry_checkpoints_total",
+        ] {
+            assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+        }
+        // Valid exposition shape: every line is a comment or
+        // `name[{labels}] value`, names carry the namespace prefix.
+        for line in prom.lines().filter(|l| !l.is_empty()) {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            assert!(line.starts_with("dctstream_"), "unprefixed line: {line}");
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable sample value in: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn watch_renders_frames_with_metrics_table() {
+        // Record something so the table is non-empty even when this test
+        // runs first in the process.
+        dctstream_obs::counter_add!("ingest.events", 0);
+        let out = run(Command::Watch {
+            dir: None,
+            interval_ms: 1,
+            iterations: Some(2),
+        })
+        .unwrap();
+        assert!(out.contains("watch frame 1"), "{out}");
+        assert!(out.contains("COUNTER"), "{out}");
+        assert!(out.contains("ingest.events"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_is_well_formed_enough_to_name_sections() {
+        let out = run(Command::Stats {
+            dir: None,
+            format: StatsFormat::Json,
+        })
+        .unwrap();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
     }
 }

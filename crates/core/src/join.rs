@@ -45,6 +45,7 @@ pub fn estimate_equi_join(
     b: &CosineSynopsis,
     budget: Option<usize>,
 ) -> Result<f64> {
+    let _span = dctstream_obs::span!("estimate.latency", &[("kind", "cosine_join")]);
     if a.domain() != b.domain() {
         return Err(DctError::DomainMismatch {
             left: (a.domain().lo(), a.domain().hi()),
@@ -118,6 +119,7 @@ pub fn estimate_chain_join_threads(
     budget: Option<usize>,
     threads: usize,
 ) -> Result<f64> {
+    let _span = dctstream_obs::span!("estimate.latency", &[("kind", "chain_join")]);
     if links.len() < 2 {
         return Err(DctError::InvalidChain(
             "a chain join needs at least two relations".into(),

@@ -268,6 +268,7 @@ impl MultiDimSynopsis {
         }
         self.count += w;
         self.gross += w.abs();
+        dctstream_obs::counter_add!("synopsis.updates", &[("kind", "multi")], 1);
         Ok(())
     }
 

@@ -78,6 +78,7 @@ impl CosineSynopsis {
             ));
         }
         let m = m.min(domain.size());
+        dctstream_obs::gauge_set!("synopsis.coefficients", &[("kind", "cosine")], m as f64);
         Ok(Self {
             domain,
             grid,
@@ -263,6 +264,7 @@ impl CosineSynopsis {
         accumulate_phi(x, w, &mut self.sums);
         self.count += w;
         self.gross += w.abs();
+        dctstream_obs::counter_add!("synopsis.updates", &[("kind", "cosine")], 1);
         Ok(())
     }
 
@@ -279,9 +281,11 @@ impl CosineSynopsis {
             xs.push(self.normalize_checked(v)?);
         }
         let ws = vec![1.0; xs.len()];
+        let _span = dctstream_obs::span!("synopsis.update_batch", &[("kind", "cosine")]);
         accumulate_phi_block(&xs, &ws, &mut self.sums);
         self.count += xs.len() as f64;
         self.gross += xs.len() as f64;
+        dctstream_obs::counter_add!("synopsis.updates", &[("kind", "cosine")], xs.len() as u64);
         Ok(())
     }
 
@@ -315,9 +319,15 @@ impl CosineSynopsis {
             sum_w += w;
             sum_abs += w.abs();
         }
+        let _span = dctstream_obs::span!("synopsis.update_batch", &[("kind", "cosine")]);
         accumulate_phi_block(&xs, &ws, &mut self.sums);
         self.count += sum_w;
         self.gross += sum_abs;
+        dctstream_obs::counter_add!(
+            "synopsis.updates",
+            &[("kind", "cosine")],
+            batch.len() as u64
+        );
         Ok(())
     }
 

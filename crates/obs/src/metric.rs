@@ -1,0 +1,229 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are `Arc`-backed handles over relaxed atomics: cloning a
+//! handle is cheap, recording never takes a lock, and readers (snapshots)
+//! observe each atomic individually. Relaxed ordering is sufficient
+//! because the only cross-thread invariant we promise is per-histogram
+//! and enforced by *program order within one thread* (see
+//! [`Histogram::record`]); totals are exact because `fetch_add` is atomic
+//! regardless of ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed latency-histogram
+/// buckets: 1 µs · 2^k for k = 0..=19, i.e. 1 µs up to ~524 ms, plus an
+/// implicit overflow bucket. Fixed bounds keep [`Histogram::record`] a
+/// branchless-ish scan over a tiny array and make snapshots directly
+/// comparable across runs.
+pub const BUCKET_BOUNDS: [u64; 20] = [
+    1_000,
+    2_000,
+    4_000,
+    8_000,
+    16_000,
+    32_000,
+    64_000,
+    128_000,
+    256_000,
+    512_000,
+    1_024_000,
+    2_048_000,
+    4_096_000,
+    8_192_000,
+    16_384_000,
+    32_768_000,
+    65_536_000,
+    131_072_000,
+    262_144_000,
+    524_288_000,
+];
+
+/// A monotonically increasing event count. `add` is one relaxed
+/// `fetch_add`; the handle is a clone-cheap `Arc`.
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to `v` (used when restoring persisted cumulative counters).
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins instantaneous value. Stored as `f64` bits in an
+/// atomic so gauges can carry non-integer quantities (e.g. gross update
+/// weight) without a lock.
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<AtomicU64>);
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    /// Number of completed observations. Incremented *last* in `record`.
+    pub(crate) count: AtomicU64,
+    /// Total observed nanoseconds.
+    pub(crate) sum_nanos: AtomicU64,
+    /// One slot per `BUCKET_BOUNDS` entry plus a trailing overflow slot.
+    pub(crate) buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+}
+
+/// A fixed-bucket latency histogram over [`BUCKET_BOUNDS`].
+///
+/// Recording touches three atomics (bucket, sum, count) with relaxed
+/// ordering — no lock, no allocation.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramInner>);
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Record one observation of `nanos`.
+    ///
+    /// Ordering matters for tear-free snapshots: the bucket and sum are
+    /// incremented *before* the count. A snapshot reads the count *first*
+    /// and the buckets after, so for any interleaving the bucket total it
+    /// observes is ≥ the count it observed — a snapshot can undercount
+    /// in-flight observations but never report a count with no bucket to
+    /// account for it.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        let idx = match BUCKET_BOUNDS.iter().position(|&b| nanos <= b) {
+            Some(i) => i,
+            None => BUCKET_BOUNDS.len(),
+        };
+        let inner = &self.0;
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of completed observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Total observed nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.0.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the bucket counts (one extra trailing overflow slot).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The interned identity of a metric: its dotted name plus a sorted label
+/// set. Two call sites asking for the same `(name, labels)` share the
+/// same underlying atomics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub(crate) fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_exactly() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        c.store(10);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.75);
+        assert_eq!(g.get(), -2.75);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new();
+        h.record(500); // ≤ 1 µs → bucket 0
+        h.record(1_500); // ≤ 2 µs → bucket 1
+        h.record(u64::MAX); // overflow bucket
+        assert_eq!(h.count(), 3);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn metric_key_sorts_labels() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! Metric interning and snapshotting: [`MetricsRegistry`] and the
+//! process-global instance behind [`global`].
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metric::{Counter, Gauge, Histogram, MetricKey};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// A set of metrics interned by `(name, labels)`.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a mutex, but it is
+/// designed to run **once per call site** — the [`counter_add!`],
+/// [`gauge_set!`], and [`span!`] macros cache the returned handle in a
+/// per-call-site `OnceLock`, so the steady state never locks. Production
+/// code shares the [`global`] registry; tests that need isolation build
+/// their own with [`MetricsRegistry::new`].
+///
+/// [`counter_add!`]: crate::counter_add
+/// [`gauge_set!`]: crate::gauge_set
+/// [`span!`]: macro@crate::span
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty, private registry (for tests; production code uses
+    /// [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Metric state is a bag of atomics — always valid even if a
+        // panicking thread held the registration lock — so recover the
+        // guard rather than poisoning every later snapshot.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Intern (or fetch) the unlabelled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Intern (or fetch) the counter `name` with the given label set.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        self.lock()
+            .counters
+            .entry(key)
+            .or_insert_with(Counter::new)
+            .clone()
+    }
+
+    /// Intern (or fetch) the unlabelled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Intern (or fetch) the gauge `name` with the given label set.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        self.lock()
+            .gauges
+            .entry(key)
+            .or_insert_with(Gauge::new)
+            .clone()
+    }
+
+    /// Intern (or fetch) the unlabelled latency histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Intern (or fetch) the latency histogram `name` with the given
+    /// label set.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        self.lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// Take a point-in-time snapshot of every registered metric, in
+    /// deterministic `(name, labels)` order.
+    ///
+    /// Writers are never blocked: each atomic is read individually with
+    /// relaxed loads. Histograms are read count-first (see
+    /// [`Histogram::record`]) so the snapshot's bucket total is always ≥
+    /// its count.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, c)| CounterSnapshot {
+                name: k.name.clone(),
+                labels: k.labels.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, g)| GaugeSnapshot {
+                name: k.name.clone(),
+                labels: k.labels.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                // Count first, buckets after: the bucket total can only
+                // exceed the count, never undershoot it.
+                let count = h.count();
+                let sum_nanos = h.sum_nanos();
+                let buckets = h.bucket_counts();
+                HistogramSnapshot {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    count,
+                    sum_nanos,
+                    buckets,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-global registry used by the instrumentation macros.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_atom() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.counter_with("x", &[("k", "v")]).get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let r = MetricsRegistry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        r.counter_with("a", &[("kind", "z")]).inc();
+        let names: Vec<String> = r
+            .snapshot()
+            .counters
+            .iter()
+            .map(|c| {
+                if c.labels.is_empty() {
+                    c.name.clone()
+                } else {
+                    format!("{}+", c.name)
+                }
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "a+", "b"]);
+    }
+
+    #[test]
+    fn private_registries_are_isolated() {
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        r1.counter("x").add(7);
+        assert_eq!(r2.counter("x").get(), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Snapshot renderers: Prometheus text exposition, JSON, and a human
+//! table (used by the CLI `stats` and `watch` subcommands).
+
+use std::fmt::Write as _;
+
+use crate::metric::BUCKET_BOUNDS;
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Prefix for every exposed Prometheus metric family.
+pub const PROM_NAMESPACE: &str = "dctstream";
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(PROM_NAMESPACE.len() + 1 + name.len());
+    out.push_str(PROM_NAMESPACE);
+    out.push('_');
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// Render a snapshot in Prometheus text exposition format (version 0.0.4).
+///
+/// Counters gain the conventional `_total` suffix; histogram bucket
+/// bounds and sums are expressed in **seconds** per Prometheus custom.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for c in &snap.counters {
+        let family = format!("{}_total", prom_name(&c.name));
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            last_family = family.clone();
+        }
+        let _ = writeln!(out, "{family}{} {}", prom_labels(&c.labels, None), c.value);
+    }
+    last_family.clear();
+    for g in &snap.gauges {
+        let family = prom_name(&g.name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            last_family = family.clone();
+        }
+        let _ = writeln!(out, "{family}{} {}", prom_labels(&g.labels, None), g.value);
+    }
+    last_family.clear();
+    for h in &snap.histograms {
+        let family = prom_name(&h.name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            last_family = family.clone();
+        }
+        let mut cumulative = 0u64;
+        for (i, &bucket) in h.buckets.iter().enumerate() {
+            cumulative += bucket;
+            let le = match BUCKET_BOUNDS.get(i) {
+                Some(&bound) => format!("{}", secs(bound)),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{family}_bucket{} {cumulative}",
+                prom_labels(&h.labels, Some(("le", &le)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{family}_sum{} {}",
+            prom_labels(&h.labels, None),
+            secs(h.sum_nanos)
+        );
+        let _ = writeln!(
+            out,
+            "{family}_count{} {}",
+            prom_labels(&h.labels, None),
+            h.count
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Render a snapshot as a self-describing JSON document (hand-rolled, in
+/// keeping with the workspace's dependency-free JSON emitters).
+pub fn render_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [\n");
+    for (i, c) in snap.counters.iter().enumerate() {
+        let comma = if i + 1 < snap.counters.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}{comma}",
+            json_escape(&c.name),
+            json_labels(&c.labels),
+            c.value
+        );
+    }
+    out.push_str("  ],\n  \"gauges\": [\n");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        let comma = if i + 1 < snap.gauges.len() { "," } else { "" };
+        let value = if g.value.is_finite() {
+            format!("{}", g.value)
+        } else {
+            // JSON has no Inf/NaN literals; degrade to null.
+            "null".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {value}}}{comma}",
+            json_escape(&g.name),
+            json_labels(&g.labels)
+        );
+    }
+    out.push_str("  ],\n  \"histograms\": [\n");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        let comma = if i + 1 < snap.histograms.len() {
+            ","
+        } else {
+            ""
+        };
+        let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum_nanos\": {}, \"buckets\": [{}]}}{comma}",
+            json_escape(&h.name),
+            json_labels(&h.labels),
+            h.count,
+            h.sum_nanos,
+            buckets.join(", ")
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// An upper bound on the p-quantile from the bucket cumulative counts:
+/// the bound of the first bucket whose cumulative count reaches
+/// `ceil(p · count)` (`None` for an empty histogram; overflow reports the
+/// largest finite bound).
+fn quantile_upper_bound(h: &HistogramSnapshot, p: f64) -> Option<u64> {
+    if h.count == 0 {
+        return None;
+    }
+    let target = ((h.count as f64) * p).ceil() as u64;
+    let mut cumulative = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= target {
+            return Some(match BUCKET_BOUNDS.get(i) {
+                Some(&bound) => bound,
+                None => BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1],
+            });
+        }
+    }
+    Some(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1])
+}
+
+fn human_nanos(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.0}ns")
+    } else if nanos < 1e6 {
+        format!("{:.1}us", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2}ms", nanos / 1e6)
+    } else {
+        format!("{:.3}s", nanos / 1e9)
+    }
+}
+
+/// Render a snapshot as a fixed-width human table — the `stats` default
+/// and the body of each `watch` frame.
+pub fn render_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "{:<44} {:>16}", "COUNTER", "VALUE");
+        for c in &snap.counters {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>16}",
+                format!("{}{}", c.name, label_suffix(&c.labels)),
+                c.value
+            );
+        }
+    }
+    if !snap.gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{:<44} {:>16}", "GAUGE", "VALUE");
+        for g in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>16.3}",
+                format!("{}{}", g.name, label_suffix(&g.labels)),
+                g.value
+            );
+        }
+    }
+    if !snap.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>10} {:>10} {:>10}",
+            "HISTOGRAM", "COUNT", "MEAN", "P50<=", "P99<="
+        );
+        for h in &snap.histograms {
+            let mean = if h.count > 0 {
+                human_nanos(h.sum_nanos as f64 / h.count as f64)
+            } else {
+                "-".to_string()
+            };
+            let p50 =
+                quantile_upper_bound(h, 0.50).map_or("-".to_string(), |n| human_nanos(n as f64));
+            let p99 =
+                quantile_upper_bound(h, 0.99).map_or("-".to_string(), |n| human_nanos(n as f64));
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10} {:>10} {:>10} {:>10}",
+                format!("{}{}", h.name, label_suffix(&h.labels)),
+                h.count,
+                mean,
+                p50,
+                p99
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("ingest.events").add(100);
+        r.counter_with("sketch.updates", &[("kind", "ams")]).add(9);
+        r.gauge("staleness.records_behind").set(3.0);
+        let h = r.histogram("wal.fsync.latency");
+        h.record(1_500);
+        h.record(700);
+        h.record(2_000_000_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE dctstream_ingest_events_total counter"));
+        assert!(text.contains("dctstream_ingest_events_total 100"));
+        assert!(text.contains("dctstream_sketch_updates_total{kind=\"ams\"} 9"));
+        assert!(text.contains("# TYPE dctstream_staleness_records_behind gauge"));
+        assert!(text.contains("# TYPE dctstream_wal_fsync_latency histogram"));
+        assert!(text.contains("dctstream_wal_fsync_latency_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("dctstream_wal_fsync_latency_count 3"));
+        // Cumulative buckets are monotone: the 2 µs bucket holds both
+        // sub-2 µs observations.
+        assert!(text.contains("dctstream_wal_fsync_latency_bucket{le=\"0.000002\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count() {
+        let text = render_prometheus(&sample());
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf bucket present");
+        assert!(inf_line.ends_with(" 3"));
+    }
+
+    #[test]
+    fn json_parses_shape() {
+        let text = render_json(&sample());
+        assert!(text.contains("\"name\": \"ingest.events\""));
+        assert!(text.contains("\"value\": 100"));
+        assert!(text.contains("\"sum_nanos\""));
+        // Balanced braces as a cheap well-formedness check.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let text = render_table(&sample());
+        assert!(text.contains("ingest.events"));
+        assert!(text.contains("sketch.updates{kind=ams}"));
+        assert!(text.contains("staleness.records_behind"));
+        assert!(text.contains("wal.fsync.latency"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = render_table(&MetricsSnapshot::default());
+        assert!(text.contains("no metrics recorded"));
+    }
+}

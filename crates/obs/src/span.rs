@@ -1,0 +1,134 @@
+//! Scoped spans and the bounded in-memory ring used by `watch` tailing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metric::Histogram;
+
+/// Capacity of the span-tail ring. Old events are dropped once the ring
+/// is full, so tailing never grows memory without bound.
+pub const SPAN_RING_CAPACITY: usize = 1024;
+
+/// Whether completed spans are additionally appended to the in-memory
+/// ring. Off by default: the ring append takes a mutex, so it is only
+/// paid while a `watch` session has switched tailing on.
+static TAILING: AtomicBool = AtomicBool::new(false);
+
+/// Is span tailing currently on?
+pub fn tailing() -> bool {
+    TAILING.load(Ordering::Relaxed)
+}
+
+/// Switch span tailing on or off (used by the CLI `watch` subcommand).
+pub fn set_tailing(on: bool) {
+    TAILING.store(on, Ordering::Relaxed);
+}
+
+/// One completed span, as seen by the tail ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span (and histogram) name, e.g. `"wal.append"`.
+    pub name: &'static str,
+    /// Elapsed wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+fn ring() -> &'static Mutex<VecDeque<SpanEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(SPAN_RING_CAPACITY)))
+}
+
+fn push_event(ev: SpanEvent) {
+    // The ring is display-only state; recover from poisoning rather than
+    // letting one panicking holder disable tailing forever.
+    let mut q = match ring().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if q.len() == SPAN_RING_CAPACITY {
+        q.pop_front();
+    }
+    q.push_back(ev);
+}
+
+/// Drain up to `limit` of the most recent completed spans (newest last).
+/// Returns an empty vec when tailing is off or nothing has completed.
+pub fn recent_spans(limit: usize) -> Vec<SpanEvent> {
+    let q = match ring().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let skip = q.len().saturating_sub(limit);
+    q.iter().skip(skip).cloned().collect()
+}
+
+/// A scoped timer: created by [`span!`](macro@crate::span), records its elapsed
+/// wall time into its histogram when dropped, and — when tailing is on —
+/// appends a [`SpanEvent`] to the ring.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    histogram: Histogram,
+}
+
+impl SpanGuard {
+    /// Start a span now. Prefer the [`span!`](macro@crate::span) macro, which
+    /// caches the histogram handle per call site and obeys the global
+    /// enable switch.
+    pub fn start(name: &'static str, histogram: Histogram) -> Self {
+        Self {
+            name,
+            start: Instant::now(),
+            histogram,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(nanos);
+        if tailing() {
+            push_event(SpanEvent {
+                name: self.name,
+                nanos,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        let h = Histogram::new();
+        {
+            let _g = SpanGuard::start("t", h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        set_tailing(true);
+        let h = Histogram::new();
+        for _ in 0..SPAN_RING_CAPACITY + 10 {
+            let _g = SpanGuard::start("ring-test", h.clone());
+        }
+        let tail = recent_spans(5);
+        assert_eq!(tail.len(), 5);
+        assert!(tail.iter().all(|e| e.name == "ring-test"));
+        set_tailing(false);
+        let before = recent_spans(usize::MAX).len();
+        {
+            let _g = SpanGuard::start("ring-test", h.clone());
+        }
+        assert_eq!(recent_spans(usize::MAX).len(), before);
+    }
+}

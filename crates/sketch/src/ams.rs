@@ -238,6 +238,7 @@ impl AmsSketch {
         }
         self.count += w;
         self.gross += w.abs();
+        dctstream_obs::counter_add!("sketch.updates", &[("kind", "ams")], 1);
         Ok(())
     }
 
@@ -360,6 +361,7 @@ impl StreamSummary for AmsSketch {
 /// higher-level harness validates). `budget` restricts the estimate to the
 /// first `⌊budget/s₂⌋` atoms of each group.
 pub fn estimate_join(sketches: &[&AmsSketch], budget: Option<usize>) -> Result<f64> {
+    let _span = dctstream_obs::span!("estimate.latency", &[("kind", "ams")]);
     let first = sketches
         .first()
         .ok_or_else(|| DctError::InvalidParameter("no sketches supplied".into()))?;

@@ -258,6 +258,7 @@ impl FastAmsSketch {
         }
         self.count += w;
         self.gross += w.abs();
+        dctstream_obs::counter_add!("sketch.updates", &[("kind", "fastams")], 1);
         Ok(())
     }
 
@@ -393,6 +394,7 @@ impl StreamSummary for FastAmsSketch {
 /// bucket grids left to right, exactly like the cosine chain contraction
 /// but over bucket space.
 pub fn estimate_fast_join(sketches: &[&FastAmsSketch], _budget: Option<usize>) -> Result<f64> {
+    let _span = dctstream_obs::span!("estimate.latency", &[("kind", "fastams")]);
     if sketches.len() < 2 {
         return Err(DctError::InvalidChain(
             "a join needs at least two relations".into(),

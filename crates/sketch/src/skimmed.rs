@@ -176,6 +176,7 @@ impl SkimmedSketch {
         self.ams.update(tuple, w)?;
         self.heavy.update(key, w);
         self.prepared = None;
+        dctstream_obs::counter_add!("sketch.updates", &[("kind", "skimmed")], 1);
         Ok(())
     }
 
@@ -376,6 +377,7 @@ fn dense_chain_join(sketches: &[&SkimmedSketch]) -> Result<f64> {
 /// [`SkimmedSketch::prepare`]d; `budget` restricts the sketch term to the
 /// first `⌊budget/s₂⌋` atoms per group.
 pub fn estimate_skimmed_join(sketches: &[&SkimmedSketch], budget: Option<usize>) -> Result<f64> {
+    let _span = dctstream_obs::span!("estimate.latency", &[("kind", "skimmed")]);
     if sketches.len() < 2 {
         return Err(DctError::InvalidChain(
             "a join needs at least two relations".into(),

@@ -14,6 +14,9 @@
 //! events u64 | flush_threshold u64 (0 = unbuffered)
 //! wal_watermark u64 (version ≥ 2; sequence of the last WAL record the
 //!                    snapshot covers, 0 = no WAL)
+//! metric_count u64 (version ≥ 3)
+//! per metric, sorted by name (version ≥ 3):
+//!   name_len u64 | name utf-8 | value u64
 //! stream_count u64
 //! per stream, sorted by name:
 //!   name_len u64 | name utf-8 | kind u8 | payload_len u64 | payload
@@ -21,8 +24,14 @@
 //! crc32 u32 over every preceding byte of the file
 //! ```
 //!
-//! Version 1 manifests (no watermark field) are still read; their
-//! watermark is reported as 0, so a paired WAL replays from the start.
+//! Version 1 manifests (no watermark field) and version 2 manifests (no
+//! metrics block) are still read; missing fields are reported as 0 /
+//! empty, so a paired WAL replays from the start and cumulative counters
+//! restart from zero. The metrics block carries the
+//! [`crate::recovery::DurableProcessor`]'s cumulative observability
+//! counters (events, WAL appends, checkpoints, repairs, …) so `stats`
+//! survives restarts; it sits before the stream records and is covered by
+//! the whole-file CRC.
 //!
 //! Two checksum layers serve different failure modes: the per-stream CRC
 //! localizes corruption ("stream 'x': checksum mismatch"), while the
@@ -49,14 +58,14 @@ use dctstream_core::persist::{
 };
 use dctstream_core::{CosineSynopsis, DctError, MultiDimSynopsis, Result};
 use dctstream_sketch::{AmsSketch, FastAmsSketch, SkimmedSketch};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::Path;
 
 /// Magic tag opening a registry checkpoint manifest.
 pub const MANIFEST_MAGIC: &[u8; 4] = b"DCTR";
 /// Current manifest format version.
-pub const MANIFEST_VERSION: u8 = 2;
+pub const MANIFEST_VERSION: u8 = 3;
 /// Oldest manifest version [`StreamProcessor::restore_bytes`] still reads.
 pub const MANIFEST_MIN_VERSION: u8 = 1;
 
@@ -68,6 +77,8 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.dctr";
 const MAX_NAME_LEN: usize = 4096;
 /// Most streams a manifest may declare.
 const MAX_STREAMS: usize = 1 << 20;
+/// Most persisted metrics a manifest may declare.
+const MAX_METRICS: usize = 1 << 16;
 
 pub use dctstream_core::persist::crc32;
 
@@ -140,6 +151,25 @@ impl StreamProcessor {
     /// record this snapshot covers (0 when no WAL is in use). Recovery
     /// replays only records past the watermark.
     pub fn checkpoint_bytes_with_watermark(&mut self, wal_watermark: u64) -> Result<Bytes> {
+        self.checkpoint_bytes_with_meta(wal_watermark, &BTreeMap::new())
+    }
+
+    /// [`Self::checkpoint_bytes_with_watermark`], additionally persisting
+    /// a small map of named cumulative counters (the version-3 metrics
+    /// block). The map is written in key order and covered by the
+    /// whole-file CRC; version-2 readers reject the manifest, version-3
+    /// readers of a version-2 manifest see an empty map.
+    pub fn checkpoint_bytes_with_meta(
+        &mut self,
+        wal_watermark: u64,
+        metrics: &BTreeMap<String, u64>,
+    ) -> Result<Bytes> {
+        if metrics.len() > MAX_METRICS {
+            return Err(DctError::Checkpoint(format!(
+                "field 'metric_count': {} metrics exceeds the {MAX_METRICS} cap",
+                metrics.len()
+            )));
+        }
         self.flush_all()?;
         let mut names: Vec<&str> = self.stream_names().collect();
         names.sort_unstable();
@@ -150,6 +180,18 @@ impl StreamProcessor {
         buf.put_u64_le(self.events_processed());
         buf.put_u64_le(self.flush_threshold().unwrap_or(0) as u64);
         buf.put_u64_le(wal_watermark);
+        buf.put_u64_le(metrics.len() as u64);
+        for (name, value) in metrics {
+            if name.len() > MAX_NAME_LEN {
+                return Err(DctError::Checkpoint(format!(
+                    "metric name of {} bytes exceeds the {MAX_NAME_LEN} cap",
+                    name.len()
+                )));
+            }
+            buf.put_u64_le(name.len() as u64);
+            buf.put_slice(name.as_bytes());
+            buf.put_u64_le(*value);
+        }
         buf.put_u64_le(names.len() as u64);
         for name in names {
             // invariant: `name` was just produced by stream_names().
@@ -183,6 +225,13 @@ impl StreamProcessor {
     /// [`Self::restore_bytes`], also returning the manifest's WAL
     /// watermark (0 for version-1 manifests, which predate the field).
     pub fn restore_bytes_with_watermark(data: &[u8]) -> Result<(Self, u64)> {
+        Self::restore_bytes_with_meta(data).map(|(p, w, _)| (p, w))
+    }
+
+    /// [`Self::restore_bytes_with_watermark`], also returning the
+    /// persisted metrics block (empty for version-1/2 manifests, which
+    /// predate it).
+    pub fn restore_bytes_with_meta(data: &[u8]) -> Result<(Self, u64, BTreeMap<String, u64>)> {
         let err = |msg: String| DctError::Checkpoint(msg);
         if data.len() < 8 + 24 + 4 {
             return Err(err(format!(
@@ -222,6 +271,47 @@ impl StreamProcessor {
                     .map_err(|_| err(format!("field 'flush_threshold': implausible value {t}")))?,
             ),
         };
+        let mut metrics = BTreeMap::new();
+        if version >= 3 {
+            if buf.remaining() < 8 {
+                return Err(err("field 'metric_count': manifest truncated".into()));
+            }
+            let nmetrics = buf.get_u64_le();
+            let nmetrics = usize::try_from(nmetrics)
+                .ok()
+                .filter(|&n| n <= MAX_METRICS)
+                .ok_or_else(|| {
+                    err(format!(
+                        "field 'metric_count': implausible value {nmetrics}"
+                    ))
+                })?;
+            for i in 0..nmetrics {
+                let metric_err =
+                    |what: &str| err(format!("metric record {i} of {nmetrics}: {what}"));
+                if buf.remaining() < 8 {
+                    return Err(metric_err("truncated before name length"));
+                }
+                let name_len = buf.get_u64_le();
+                let name_len = usize::try_from(name_len)
+                    .ok()
+                    .filter(|&n| n <= MAX_NAME_LEN)
+                    .ok_or_else(|| metric_err(&format!("implausible name length {name_len}")))?;
+                if buf.remaining() < name_len + 8 {
+                    return Err(metric_err("truncated inside name or value"));
+                }
+                let mut name_bytes = vec![0u8; name_len];
+                buf.copy_to_slice(&mut name_bytes);
+                let name = String::from_utf8(name_bytes)
+                    .map_err(|_| metric_err("metric name is not valid UTF-8"))?;
+                let value = buf.get_u64_le();
+                if metrics.insert(name.clone(), value).is_some() {
+                    return Err(err(format!("metric '{name}': duplicate metric name")));
+                }
+            }
+        }
+        if buf.remaining() < 8 {
+            return Err(err("field 'stream_count': manifest truncated".into()));
+        }
         let nstreams = buf.get_u64_le();
         let nstreams = usize::try_from(nstreams)
             .ok()
@@ -300,6 +390,7 @@ impl StreamProcessor {
         Ok((
             StreamProcessor::from_restored(streams, flush_threshold, events),
             wal_watermark,
+            metrics,
         ))
     }
 }
@@ -361,6 +452,52 @@ pub fn verify_checkpoint_bytes(data: &[u8]) -> (usize, Vec<DctError>) {
         return (checked, violations);
     }
     buf.advance(fixed_fields - 8); // events, threshold, (watermark)
+    if version >= 3 {
+        // Skip the metrics block; its bytes are covered by the file CRC.
+        let nmetrics = buf.get_u64_le();
+        let Some(nmetrics) = usize::try_from(nmetrics).ok().filter(|&n| n <= MAX_METRICS) else {
+            violations.push(structural(
+                "metric_count",
+                format!("implausible value {nmetrics}"),
+            ));
+            return (checked, violations);
+        };
+        for i in 0..nmetrics {
+            if buf.remaining() < 8 {
+                violations.push(structural(
+                    "metric records",
+                    format!("record {i} of {nmetrics}: truncated before name length"),
+                ));
+                return (checked, violations);
+            }
+            let name_len = buf.get_u64_le();
+            let Some(name_len) = usize::try_from(name_len)
+                .ok()
+                .filter(|&n| n <= MAX_NAME_LEN)
+            else {
+                violations.push(structural(
+                    "metric records",
+                    format!("record {i} of {nmetrics}: implausible name length {name_len}"),
+                ));
+                return (checked, violations);
+            };
+            if buf.remaining() < name_len + 8 {
+                violations.push(structural(
+                    "metric records",
+                    format!("record {i} of {nmetrics}: truncated inside name or value"),
+                ));
+                return (checked, violations);
+            }
+            buf.advance(name_len + 8);
+        }
+        if buf.remaining() < 8 + 4 {
+            violations.push(structural(
+                "stream_count",
+                "manifest truncated after metrics block".into(),
+            ));
+            return (checked, violations);
+        }
+    }
     let nstreams = buf.get_u64_le();
     let Some(nstreams) = usize::try_from(nstreams).ok().filter(|&n| n <= MAX_STREAMS) else {
         violations.push(structural(
@@ -470,7 +607,19 @@ pub fn write_checkpoint_with_watermark(
     path: &Path,
     wal_watermark: u64,
 ) -> Result<()> {
-    let bytes = processor.checkpoint_bytes_with_watermark(wal_watermark)?;
+    write_checkpoint_with_meta(processor, path, wal_watermark, &BTreeMap::new())
+}
+
+/// [`write_checkpoint_with_watermark`], additionally persisting named
+/// cumulative counters in the manifest's version-3 metrics block (see
+/// [`StreamProcessor::checkpoint_bytes_with_meta`]).
+pub fn write_checkpoint_with_meta(
+    processor: &mut StreamProcessor,
+    path: &Path,
+    wal_watermark: u64,
+    metrics: &BTreeMap<String, u64>,
+) -> Result<()> {
+    let bytes = processor.checkpoint_bytes_with_meta(wal_watermark, metrics)?;
     let mut tmp_name = path
         .file_name()
         .ok_or_else(|| DctError::Checkpoint(format!("invalid checkpoint path {}", path.display())))?
@@ -494,6 +643,14 @@ pub fn read_checkpoint(path: &Path) -> Result<StreamProcessor> {
 /// raw I/O passthrough: pointing at a directory or an empty file names
 /// the path and the actual problem.
 pub fn read_checkpoint_with_watermark(path: &Path) -> Result<(StreamProcessor, u64)> {
+    read_checkpoint_with_meta(path).map(|(p, w, _)| (p, w))
+}
+
+/// [`read_checkpoint_with_watermark`], also returning the persisted
+/// metrics block (empty for version-1/2 manifests).
+pub fn read_checkpoint_with_meta(
+    path: &Path,
+) -> Result<(StreamProcessor, u64, BTreeMap<String, u64>)> {
     let meta = fs::metadata(path).map_err(|e| io_err(path, "reading", e))?;
     if meta.is_dir() {
         return Err(DctError::Checkpoint(format!(
@@ -508,7 +665,7 @@ pub fn read_checkpoint_with_watermark(path: &Path) -> Result<(StreamProcessor, u
             path.display()
         )));
     }
-    StreamProcessor::restore_bytes_with_watermark(&data)
+    StreamProcessor::restore_bytes_with_meta(&data)
 }
 
 #[cfg(test)]

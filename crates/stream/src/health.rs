@@ -231,6 +231,15 @@ impl HealthRegistry {
                 "stream '{stream}': invalid health transition {from} -> {to} (cause: {cause})"
             )));
         }
+        match to {
+            HealthState::Quarantined => {
+                dctstream_obs::counter_add!("health.quarantines", 1)
+            }
+            HealthState::Healthy if from == HealthState::Repairing => {
+                dctstream_obs::counter_add!("health.repairs", 1)
+            }
+            _ => {}
+        }
         if to == HealthState::Healthy {
             // Healthy streams carry no record; dropping it also restores
             // the implicit default for streams we have never seen.
@@ -275,7 +284,14 @@ impl HealthRegistry {
 /// How stale a degraded stream's substituted answer is: the stream's
 /// live summary was unusable, so the estimate used its last checkpointed
 /// summary instead.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Staleness is reported on two axes because they diverge on turnstile
+/// streams: `records_behind` counts the *update records* the substitute
+/// is missing, while `gross_weight_behind` sums their absolute weights
+/// `Σ|w|`. A `+5` followed by a `-3` is 2 records behind but 8 units of
+/// gross update mass behind (net weight, 2, would understate how much
+/// the distribution may have moved — deletions move mass too).
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamStaleness {
     /// The degraded stream.
     pub stream: String,
@@ -284,17 +300,27 @@ pub struct StreamStaleness {
     /// WAL watermark the substituted checkpoint covers (0 = empty
     /// baseline: the stream had never been checkpointed).
     pub checkpoint_watermark: u64,
-    /// Upper bound on the WAL records the substitute is missing: every
-    /// record logged past the checkpoint watermark, across all streams.
-    pub lag: u64,
+    /// Upper bound on this stream's update records the substitute is
+    /// missing (applied since the checkpoint, including any applied
+    /// update whose WAL append failed).
+    pub records_behind: u64,
+    /// Upper bound on the gross update mass `Σ|w|` of those records —
+    /// the turnstile-correct measure of how much the stream has moved
+    /// since the checkpoint.
+    pub gross_weight_behind: f64,
 }
 
 impl fmt::Display for StreamStaleness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "stream '{}' ({}): answered from checkpoint at watermark {} (≤{} records behind)",
-            self.stream, self.state, self.checkpoint_watermark, self.lag
+            "stream '{}' ({}): answered from checkpoint at watermark {} \
+             (≤{} records, ≤{} gross update mass behind)",
+            self.stream,
+            self.state,
+            self.checkpoint_watermark,
+            self.records_behind,
+            self.gross_weight_behind
         )
     }
 }
@@ -463,10 +489,12 @@ mod tests {
             stream: "orders".into(),
             state: Quarantined,
             checkpoint_watermark: 12,
-            lag: 7,
+            records_behind: 7,
+            gross_weight_behind: 9.5,
         };
         let text = s.to_string();
         assert!(text.contains("orders") && text.contains("12") && text.contains("7"));
+        assert!(text.contains("9.5"), "{text}");
         let e = Estimate {
             value: 41.5,
             degraded: vec![s],

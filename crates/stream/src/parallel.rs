@@ -128,6 +128,8 @@ impl ParallelIngest {
                 .map(|w| join_worker(w, "ingest"))
                 .collect::<Result<Vec<_>>>()
         })?;
+        dctstream_obs::counter_add!("ingest.parallel_batches", 1);
+        let _span = dctstream_obs::span!("ingest.shard_merge");
         let combined = tree_reduce_cosine(partials)?;
         syn.merge_from(&combined)
     }
@@ -158,6 +160,8 @@ impl ParallelIngest {
                 .map(|w| join_worker(w, "ingest"))
                 .collect::<Result<Vec<_>>>()
         })?;
+        dctstream_obs::counter_add!("ingest.parallel_batches", 1);
+        let _span = dctstream_obs::span!("ingest.shard_merge");
         let combined = tree_reduce_multi(partials)?;
         syn.merge_from(&combined)
     }

@@ -298,12 +298,15 @@ impl StreamProcessor {
             Some(buf) => {
                 buf.push_weighted(tuple, w);
                 if buf.should_flush() {
+                    let _span = dctstream_obs::span!("ingest.flush");
+                    dctstream_obs::counter_add!("ingest.batch_flushes", 1);
                     buf.flush_into(s)?;
                 }
             }
             None => s.update_weighted(tuple, w)?,
         }
         self.events += 1;
+        dctstream_obs::counter_add!("ingest.events", 1);
         Ok(())
     }
 

@@ -188,6 +188,8 @@ impl ChainJoinQuery {
         budget: Option<usize>,
     ) -> Result<f64> {
         debug_assert_eq!(summaries.len(), self.links.len());
+        let _span = dctstream_obs::span!("query.latency");
+        dctstream_obs::counter_add!("query.estimates", 1);
         // All-cosine chain.
         if summaries
             .iter()

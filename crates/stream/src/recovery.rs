@@ -153,6 +153,17 @@ pub struct DurableProcessor<S: WalStorage> {
     /// streams' durable suffix is unknown and they are quarantined
     /// alongside the stream whose append failed.
     unsynced_streams: BTreeSet<String>,
+    /// Per-stream `(update_records, gross_update_mass)` applied since
+    /// the last checkpoint. Turnstile weights accumulate as `|w|`, so a
+    /// +5 followed by a −3 counts 2 records and 8 gross mass even
+    /// though the net weight moved by only 2. Seeded from the replay at
+    /// open, cleared by [`Self::checkpoint`], recomputed by repair, and
+    /// read by [`Self::estimate_degraded`] to bound how far behind a
+    /// checkpoint-substituted answer can be.
+    since_checkpoint: BTreeMap<String, (u64, f64)>,
+    /// Cumulative counters persisted in the checkpoint manifest's
+    /// version-3 metrics block, so `stats` totals survive restarts.
+    persistent: BTreeMap<String, u64>,
 }
 
 impl DurableProcessor<DirStorage> {
@@ -185,14 +196,15 @@ impl<S: WalStorage> DurableProcessor<S> {
                 )))
             }
         };
-        let (mut processor, watermark) = match &manifest {
-            Some(bytes) => StreamProcessor::restore_bytes_with_watermark(bytes)?,
+        let (mut processor, watermark, persistent) = match &manifest {
+            Some(bytes) => StreamProcessor::restore_bytes_with_meta(bytes)?,
             None => (
                 match opts.flush_threshold {
                     Some(t) => StreamProcessor::with_flush_threshold(t),
                     None => StreamProcessor::new(),
                 },
                 0,
+                BTreeMap::new(),
             ),
         };
         let checkpoint_events = processor.events_processed();
@@ -211,15 +223,26 @@ impl<S: WalStorage> DurableProcessor<S> {
         // it fresh).
         let mut health = HealthRegistry::new();
         let mut dropped: Vec<String> = Vec::new();
+        let mut since_checkpoint: BTreeMap<String, (u64, f64)> = BTreeMap::new();
         let replayed = records.len();
         for (seq, record) in records {
             if matches!(record.op, WalOp::Drop) {
                 processor.unregister(&record.stream);
                 health.forget(&record.stream);
+                since_checkpoint.remove(&record.stream);
                 if !dropped.contains(&record.stream) {
                     dropped.push(record.stream.clone());
                 }
                 continue;
+            }
+            // Every surviving update record is past the checkpoint
+            // watermark, so it counts toward the stream's staleness
+            // whether or not the apply below succeeds — a quarantined
+            // stream's checkpoint substitute is behind by it either way.
+            if let Some((_, w)) = record.as_update() {
+                let e = since_checkpoint.entry(record.stream.clone()).or_default();
+                e.0 += 1;
+                e.1 += w.abs();
             }
             if health.is_degraded(&record.stream) {
                 continue;
@@ -250,12 +273,17 @@ impl<S: WalStorage> DurableProcessor<S> {
             }
         }
 
-        let dp = DurableProcessor {
+        dctstream_obs::counter_add!("recovery.replays", 1);
+        dctstream_obs::counter_add!("recovery.replayed_records", replayed as u64);
+        let mut dp = DurableProcessor {
             processor,
             wal,
             health,
             unsynced_streams: BTreeSet::new(),
+            since_checkpoint,
+            persistent,
         };
+        dp.bump("replays_total", 1);
         let report = RecoveryReport {
             checkpoint_events,
             checkpoint_watermark: watermark,
@@ -266,6 +294,21 @@ impl<S: WalStorage> DurableProcessor<S> {
             dropped,
         };
         Ok((dp, report))
+    }
+
+    /// Increment a persisted cumulative counter (see
+    /// [`Self::persistent_counters`]).
+    fn bump(&mut self, key: &str, n: u64) {
+        let slot = self.persistent.entry(key.to_string()).or_insert(0);
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Record a successfully applied update against the stream's
+    /// since-checkpoint staleness tracker.
+    fn note_applied(&mut self, stream: &str, w: f64) {
+        let e = self.since_checkpoint.entry(stream.to_string()).or_default();
+        e.0 += 1;
+        e.1 += w.abs();
     }
 
     fn check_stream(&self, name: &str) -> Result<()> {
@@ -338,6 +381,7 @@ impl<S: WalStorage> DurableProcessor<S> {
             return Err(e);
         }
         self.note_appended(&name);
+        self.bump("wal_appends_total", 1);
         Ok(())
     }
 
@@ -352,9 +396,15 @@ impl<S: WalStorage> DurableProcessor<S> {
     pub fn process_weighted(&mut self, stream: &str, tuple: &[i64], w: f64) -> Result<u64> {
         self.check_stream(stream)?;
         self.processor.process_weighted(stream, tuple, w)?;
+        // The update is in memory; whatever the log now does, a
+        // checkpoint-substituted answer for this stream is one more
+        // record (and |w| more gross mass) behind.
+        self.note_applied(stream, w);
         match self.wal.append(&WalRecord::weighted(stream, tuple, w)) {
             Ok(seq) => {
                 self.note_appended(stream);
+                self.bump("events_total", 1);
+                self.bump("wal_appends_total", 1);
                 Ok(seq)
             }
             Err(e) => {
@@ -419,7 +469,15 @@ impl<S: WalStorage> DurableProcessor<S> {
         }
         self.sync()?;
         let watermark = self.wal.watermark();
-        let manifest = self.processor.checkpoint_bytes_with_watermark(watermark)?;
+        // The persisted totals include this checkpoint, so a restart
+        // right after the write restores an accurate count; the bump is
+        // committed only once the manifest lands.
+        let mut totals = self.persistent.clone();
+        let slot = totals.entry("checkpoints_total".to_string()).or_insert(0);
+        *slot = slot.saturating_add(1);
+        let manifest = self
+            .processor
+            .checkpoint_bytes_with_meta(watermark, &totals)?;
         let retry = self.wal.options().retry.clone();
         retry
             .run(|| {
@@ -428,6 +486,11 @@ impl<S: WalStorage> DurableProcessor<S> {
                     .write_atomic(CHECKPOINT_FILE, manifest.as_slice())
             })
             .map_err(|e| DctError::Checkpoint(format!("writing {CHECKPOINT_FILE}: {e}")))?;
+        self.persistent = totals;
+        // The manifest now covers every applied update: nothing is
+        // behind it any more.
+        self.since_checkpoint.clear();
+        dctstream_obs::counter_add!("checkpoint.writes", 1);
         self.wal.note_checkpoint(watermark)
     }
 
@@ -460,8 +523,11 @@ impl<S: WalStorage> DurableProcessor<S> {
     /// `Quarantined` or `Repairing` answer from their summary in the
     /// last checkpoint. The returned [`Estimate`] carries one
     /// [`StreamStaleness`] per degraded participant (empty = fully
-    /// live), whose `lag` bounds how many WAL records the substitute
-    /// may be missing.
+    /// live), whose `records_behind` / `gross_weight_behind` bound how
+    /// many of *that stream's* update records — and how much gross
+    /// turnstile update mass — the substitute may be missing. Gross
+    /// mass accumulates `|w|`, so cancelling +5/−3 updates still report
+    /// 8 units behind: net weight can cancel, divergence cannot.
     ///
     /// Hard errors remain: a degraded participant with no checkpointed
     /// summary has nothing to answer from.
@@ -491,7 +557,6 @@ impl<S: WalStorage> DurableProcessor<S> {
                 cause: "degraded answer impossible: no checkpoint exists to substitute from".into(),
             })?;
         let (snapshot, ckpt_watermark) = StreamProcessor::restore_bytes_with_watermark(&bytes)?;
-        let lag = self.wal.watermark().saturating_sub(ckpt_watermark);
 
         let mut owned: Vec<Summary> = Vec::with_capacity(query.links().len());
         for link in query.links() {
@@ -522,15 +587,31 @@ impl<S: WalStorage> DurableProcessor<S> {
         }
         let refs: Vec<&Summary> = owned.iter().collect();
         let value = query.estimate_over(&refs, budget)?;
-        let degraded = degraded_names
+        let degraded: Vec<StreamStaleness> = degraded_names
             .into_iter()
-            .map(|stream| StreamStaleness {
-                state: self.health.state(&stream),
-                stream,
-                checkpoint_watermark: ckpt_watermark,
-                lag,
+            .map(|stream| {
+                let (records_behind, gross_weight_behind) = self
+                    .since_checkpoint
+                    .get(&stream)
+                    .copied()
+                    .unwrap_or((0, 0.0));
+                StreamStaleness {
+                    state: self.health.state(&stream),
+                    stream,
+                    checkpoint_watermark: ckpt_watermark,
+                    records_behind,
+                    gross_weight_behind,
+                }
             })
             .collect();
+        dctstream_obs::counter_add!("query.degraded_answers", 1);
+        let worst_records = degraded.iter().map(|s| s.records_behind).max().unwrap_or(0);
+        let worst_gross = degraded
+            .iter()
+            .map(|s| s.gross_weight_behind)
+            .fold(0.0, f64::max);
+        dctstream_obs::gauge_set!("staleness.records_behind", worst_records as f64);
+        dctstream_obs::gauge_set!("staleness.gross_weight_behind", worst_gross);
         Ok(Estimate { value, degraded })
     }
 
@@ -593,6 +674,7 @@ impl<S: WalStorage> DurableProcessor<S> {
                         replayed: report.replayed,
                     },
                 )?;
+                self.bump("repairs_total", 1);
                 Ok(report)
             }
             Err(e) => {
@@ -653,6 +735,10 @@ impl<S: WalStorage> DurableProcessor<S> {
         }
         let mut replayed = 0u64;
         let mut surviving_updates = 0u64;
+        // Durable truth for the repaired stream's staleness tracker:
+        // update records surviving past the checkpoint watermark.
+        let mut stream_records = 0u64;
+        let mut stream_gross = 0.0f64;
         for (seq, record) in &outcome.records {
             if record.as_update().is_some() {
                 surviving_updates += 1;
@@ -660,13 +746,19 @@ impl<S: WalStorage> DurableProcessor<S> {
             if record.stream != stream {
                 continue;
             }
+            if let Some((_, w)) = record.as_update() {
+                stream_records += 1;
+                stream_gross += w.abs();
+            }
             let applied = match &record.op {
                 WalOp::Register(payload) => Summary::from_bytes(payload.clone()).and_then(|s| {
                     scratch.unregister(stream);
+                    (stream_records, stream_gross) = (0, 0.0);
                     scratch.register(stream, s)
                 }),
                 WalOp::Drop => {
                     scratch.unregister(stream);
+                    (stream_records, stream_gross) = (0, 0.0);
                     Ok(())
                 }
                 WalOp::Event(ev) => scratch.process(stream, ev),
@@ -711,6 +803,15 @@ impl<S: WalStorage> DurableProcessor<S> {
             }
             None => true,
         };
+        // The rebuilt summary reflects exactly the durable records, so
+        // its staleness tracker is recomputed from them too (the
+        // unlogged divergence the quarantine flagged is gone).
+        if removed {
+            self.since_checkpoint.remove(stream);
+        } else {
+            self.since_checkpoint
+                .insert(stream.to_string(), (stream_records, stream_gross));
+        }
         self.processor
             .set_events_processed(checkpoint_events + surviving_updates);
         Ok(RepairReport {
@@ -883,6 +984,9 @@ impl<S: WalStorage> DurableProcessor<S> {
             }
         }
 
+        self.bump("scrubs_total", 1);
+        dctstream_obs::counter_add!("health.scrubs", 1);
+        dctstream_obs::counter_add!("health.scrub_findings", violations.len() as u64);
         Ok(ScrubReport {
             live_streams_checked,
             checkpoint_streams_checked,
@@ -940,6 +1044,7 @@ impl<S: WalStorage> DurableProcessor<S> {
             self.processor.unregister(&name);
             self.health.forget(&name);
             self.unsynced_streams.remove(&name);
+            self.since_checkpoint.remove(&name);
             dropped.push(name);
         }
         Ok(dropped)
@@ -953,6 +1058,25 @@ impl<S: WalStorage> DurableProcessor<S> {
     /// Events absorbed by the registry (checkpointed + replayed + live).
     pub fn events_processed(&self) -> u64 {
         self.processor.events_processed()
+    }
+
+    /// Cumulative counters that survive restarts via the checkpoint
+    /// manifest's version-3 metrics block: `events_total`,
+    /// `wal_appends_total`, `checkpoints_total`, `repairs_total`,
+    /// `replays_total`, `scrubs_total`. Counts accumulated since the
+    /// last [`Self::checkpoint`] are included but not yet durable.
+    pub fn persistent_counters(&self) -> &BTreeMap<String, u64> {
+        &self.persistent
+    }
+
+    /// Per-stream `(update_records, gross_update_mass)` applied since
+    /// the last checkpoint — the staleness a degraded answer for that
+    /// stream would report (see [`Self::estimate_degraded`]).
+    pub fn staleness_since_checkpoint(&self, stream: &str) -> (u64, f64) {
+        self.since_checkpoint
+            .get(stream)
+            .copied()
+            .unwrap_or((0, 0.0))
     }
 
     /// Read access to the underlying registry.
@@ -1225,11 +1349,15 @@ mod tests {
         let files = mem.snapshot();
         let mut damaged = files.clone();
         let manifest = damaged.get_mut(CHECKPOINT_FILE).unwrap();
+        // Stream 'a''s record starts with its length-prefixed name
+        // (`1u64 LE | 'a'`); a bare `b"a"` search would hit the metric
+        // names in the version-3 metrics block first.
+        let needle = [1u8, 0, 0, 0, 0, 0, 0, 0, b'a'];
         let pos = manifest
-            .windows(1)
-            .position(|w| w == b"a")
-            .expect("stream name in manifest");
-        manifest[pos + 20] ^= 0xFF;
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("stream record in manifest");
+        manifest[pos + 8 + 20] ^= 0xFF;
         mem.restore(damaged);
         let report = dp.scrub().unwrap();
         assert!(!report.is_clean());
@@ -1263,6 +1391,12 @@ mod tests {
         assert!(!est.is_degraded());
         assert_eq!(est.value, at_checkpoint);
 
+        // Post-checkpoint turnstile updates on 'r': +5 then −3 is 2
+        // records and 8 gross update mass behind, even though the net
+        // weight only moved by 2.
+        dp.process_weighted("r", &[2], 5.0).unwrap();
+        dp.process_weighted("r", &[2], -3.0).unwrap();
+
         // Quarantine 'r' artificially (live damage via scrub would need
         // field surgery; the health ledger is the contract here).
         dp.health
@@ -1283,7 +1417,9 @@ mod tests {
         assert_eq!(est.degraded.len(), 1);
         assert_eq!(est.degraded[0].stream, "r");
         assert_eq!(est.degraded[0].state, HealthState::Quarantined);
-        assert!(est.degraded[0].lag >= 1, "lag {}", est.degraded[0].lag);
+        // Staleness is per-stream: 'l' updates do not inflate 'r'.
+        assert_eq!(est.degraded[0].records_behind, 2);
+        assert_eq!(est.degraded[0].gross_weight_behind, 8.0);
         assert!(est.value.is_finite());
     }
 

@@ -979,6 +979,7 @@ impl<S: WalStorage> Wal<S> {
                         format!("truncating torn tail: {e}"),
                     )
                 })?;
+            dctstream_obs::counter_add!("wal.torn_tail_truncations", 1);
         }
         let (segment, segment_len, next_seq) = match scan.tail {
             // A torn header truncated the newest segment to nothing: the
@@ -1043,6 +1044,7 @@ impl<S: WalStorage> Wal<S> {
                         format!("truncating torn tail: {e}"),
                     )
                 })?;
+            dctstream_obs::counter_add!("wal.torn_tail_truncations", 1);
         }
         let (segment, segment_len, next_seq) = match scan.tail {
             Some((_, 0, next)) => (None, 0, next),
@@ -1147,6 +1149,7 @@ impl<S: WalStorage> Wal<S> {
     /// guaranteed strictly for records covered by a completed
     /// [`Self::sync`].
     pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let _span = dctstream_obs::span!("wal.append");
         self.check_wedged()?;
         let body = record.encode();
         if body.len() > MAX_RECORD_LEN {
@@ -1198,6 +1201,8 @@ impl<S: WalStorage> Wal<S> {
             }
             SyncPolicy::Manual => {}
         }
+        dctstream_obs::counter_add!("wal.appends", 1);
+        dctstream_obs::counter_add!("wal.append_bytes", frame_len as u64);
         Ok(seq)
     }
 
@@ -1228,6 +1233,7 @@ impl<S: WalStorage> Wal<S> {
             return Ok(()); // nothing ever appended
         };
         self.flush_to_storage(&name)?;
+        let _span = dctstream_obs::span!("wal.fsync");
         let res = self.opts.retry.run(|| self.storage.sync(&name));
         if let Err(e) = res {
             let detail = format!("syncing segment: {e}");
@@ -1235,6 +1241,7 @@ impl<S: WalStorage> Wal<S> {
             return Err(wal_err(&name, self.segment_len, None, detail));
         }
         self.unsynced = 0;
+        dctstream_obs::counter_add!("wal.fsyncs", 1);
         Ok(())
     }
 
@@ -1277,6 +1284,7 @@ impl<S: WalStorage> Wal<S> {
                 }
             }
         }
+        dctstream_obs::counter_add!("wal.segments_retired", retired as u64);
         Ok(retired)
     }
 }

@@ -263,8 +263,8 @@ fn bit_flip_at_every_offset_errs_never_panics() {
             Ok(_) => panic!("flip of bit {bit:#04x} at offset {offset} decoded"),
         };
         assert!(
-            err.contains("stream") || err.contains("field '"),
-            "offset {offset}: error names neither stream nor field: {err}"
+            err.contains("stream") || err.contains("field '") || err.contains("metric"),
+            "offset {offset}: error names neither stream, field, nor metric: {err}"
         );
     }
 }
@@ -316,4 +316,150 @@ fn read_checkpoint_of_a_missing_file_is_an_io_error() {
     let path = std::env::temp_dir().join("dctstream_ckpt_missing_test.dctr");
     let _ = std::fs::remove_file(&path);
     assert!(read_checkpoint(&path).is_err());
+}
+
+/// A checkpoint carrying a version-3 metrics block, cheap enough for
+/// exhaustive corruption sweeps.
+fn checkpoint_with_metrics() -> Vec<u8> {
+    let mut p = StreamProcessor::new();
+    let d = Domain::of_size(16);
+    p.register(
+        "alpha",
+        Summary::Cosine(CosineSynopsis::new(d, Grid::Midpoint, 8).unwrap()),
+    )
+    .unwrap();
+    for i in 0..20i64 {
+        p.process_weighted("alpha", &[i % 16], 1.0).unwrap();
+    }
+    let metrics = std::collections::BTreeMap::from([
+        ("checkpoints_total".to_string(), 3u64),
+        ("events_total".to_string(), 20u64),
+        ("wal_appends_total".to_string(), 21u64),
+    ]);
+    p.checkpoint_bytes_with_meta(7, &metrics).unwrap().to_vec()
+}
+
+#[test]
+fn metrics_block_roundtrips() {
+    let bytes = checkpoint_with_metrics();
+    let (p, watermark, metrics) = StreamProcessor::restore_bytes_with_meta(&bytes).unwrap();
+    assert_eq!(watermark, 7);
+    assert_eq!(p.events_processed(), 20);
+    assert_eq!(metrics.len(), 3);
+    assert_eq!(metrics["checkpoints_total"], 3);
+    assert_eq!(metrics["events_total"], 20);
+    assert_eq!(metrics["wal_appends_total"], 21);
+}
+
+/// A version-2 manifest (no metrics block) must still load, reporting
+/// an empty metrics map. Built by downgrading a v3 manifest: set the
+/// version byte to 2, excise the metric_count field, re-seal the CRC.
+#[test]
+fn version2_manifest_loads_with_empty_metrics() {
+    let mut p = StreamProcessor::new();
+    let d = Domain::of_size(16);
+    p.register(
+        "alpha",
+        Summary::Cosine(CosineSynopsis::new(d, Grid::Midpoint, 8).unwrap()),
+    )
+    .unwrap();
+    for i in 0..20i64 {
+        p.process_weighted("alpha", &[i % 16], 1.0).unwrap();
+    }
+    let v3 = p.checkpoint_bytes_with_watermark(7).unwrap().to_vec();
+
+    let mut v2 = v3.clone();
+    v2[4] = 2; // version byte
+               // Remove the empty metrics block: the metric_count u64 at bytes
+               // 32..40 (after magic+version+reserved+events+threshold+watermark).
+    assert_eq!(&v2[32..40], &[0u8; 8], "expected empty metric_count");
+    v2.drain(32..40);
+    // Re-seal the whole-file CRC.
+    let crc_at = v2.len() - 4;
+    let crc = dctstream_stream::checkpoint::crc32(&v2[..crc_at]);
+    v2[crc_at..].copy_from_slice(&crc.to_le_bytes());
+
+    let (r2, w2, metrics) = StreamProcessor::restore_bytes_with_meta(&v2).unwrap();
+    assert_eq!(w2, 7);
+    assert!(
+        metrics.is_empty(),
+        "v2 manifests predate metrics: {metrics:?}"
+    );
+    let (mut r3, ..) = StreamProcessor::restore_bytes_with_meta(&v3).unwrap();
+    let mut r2 = r2;
+    assert_eq!(r2.events_processed(), r3.events_processed());
+    // Same streams, same estimates: the downgrade only dropped metrics.
+    let a2 = r2.summary("alpha").unwrap().as_cosine().unwrap().clone();
+    let a3 = r3.summary("alpha").unwrap().as_cosine().unwrap().clone();
+    let _ = (&mut r2, &mut r3);
+    assert_eq!(a2.count().to_bits(), a3.count().to_bits());
+}
+
+#[test]
+fn bit_flip_in_metrics_block_errs_never_panics() {
+    let full = checkpoint_with_metrics();
+    for (offset, bit) in (0..full.len()).flat_map(|o| [(o, 0x01u8), (o, 0x80u8)]) {
+        let mut bad = full.clone();
+        bad[offset] ^= bit;
+        match StreamProcessor::restore_bytes_with_meta(&bad) {
+            Err(_) => {}
+            Ok(_) => panic!("flip of bit {bit:#04x} at offset {offset} decoded"),
+        }
+    }
+}
+
+#[test]
+fn truncation_of_metrics_manifest_errs_never_panics() {
+    let full = checkpoint_with_metrics();
+    for cut in 0..full.len() {
+        assert!(
+            StreamProcessor::restore_bytes_with_meta(&full[..cut]).is_err(),
+            "truncation to {cut} bytes decoded"
+        );
+    }
+}
+
+/// Cumulative counters survive a restart through the manifest's metrics
+/// block: a reopened `DurableProcessor` resumes the totals rather than
+/// starting from zero.
+#[test]
+fn persistent_counters_survive_restart() {
+    use dctstream_stream::{DurableProcessor, MemStorage, RecoveryOptions};
+
+    let mem = MemStorage::new();
+    let (mut dp, _) = DurableProcessor::open_with(mem.clone(), RecoveryOptions::default()).unwrap();
+    let d = Domain::of_size(16);
+    dp.register(
+        "s",
+        Summary::Cosine(CosineSynopsis::new(d, Grid::Midpoint, 8).unwrap()),
+    )
+    .unwrap();
+    for i in 0..10i64 {
+        dp.process_weighted("s", &[i % 16], 1.0).unwrap();
+    }
+    dp.checkpoint().unwrap();
+    let before = dp.persistent_counters().clone();
+    assert_eq!(before["events_total"], 10);
+    assert_eq!(before["wal_appends_total"], 11); // register + 10 updates
+    assert_eq!(before["checkpoints_total"], 1);
+    assert_eq!(before["replays_total"], 1);
+    drop(dp);
+
+    let (mut dp, _) = DurableProcessor::open_with(mem.clone(), RecoveryOptions::default()).unwrap();
+    assert_eq!(dp.persistent_counters()["events_total"], 10);
+    assert_eq!(dp.persistent_counters()["replays_total"], 2);
+    for i in 0..5i64 {
+        dp.process_weighted("s", &[i % 16], 1.0).unwrap();
+    }
+    dp.checkpoint().unwrap();
+    assert_eq!(dp.persistent_counters()["events_total"], 15);
+    assert_eq!(dp.persistent_counters()["checkpoints_total"], 2);
+    drop(dp);
+
+    // Post-checkpoint (undurable) increments restart from the manifest.
+    let (dp, _) = DurableProcessor::open_with(mem, RecoveryOptions::default()).unwrap();
+    assert_eq!(dp.persistent_counters()["events_total"], 15);
+    assert_eq!(dp.persistent_counters()["wal_appends_total"], 16);
+    assert_eq!(dp.persistent_counters()["checkpoints_total"], 2);
+    assert_eq!(dp.persistent_counters()["replays_total"], 3);
 }

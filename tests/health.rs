@@ -230,13 +230,14 @@ fn degraded_answer_carries_staleness_and_matches_exact_after_repair() {
         staleness.checkpoint_watermark > 0,
         "checkpoint covers the pre-fault records"
     );
-    // Upper bound on missed records: the 10 post-checkpoint updates on
-    // 'b' plus possibly the failed append's consumed sequence number.
-    assert!(
-        (10..=11).contains(&staleness.lag),
-        "lag {} should bound the records logged past the checkpoint",
-        staleness.lag
+    // Staleness is per-stream: the checkpoint substitute for 'a' misses
+    // only the one applied-but-unlogged update that caused the
+    // quarantine — the 10 post-checkpoint updates on 'b' do not count.
+    assert_eq!(
+        staleness.records_behind, 1,
+        "only 'a''s own post-checkpoint update counts"
     );
+    assert_eq!(staleness.gross_weight_behind, 1.0);
     assert!(est.value.is_finite());
 
     // Repair heals 'a' back to its durable truth.
@@ -254,4 +255,71 @@ fn degraded_answer_carries_staleness_and_matches_exact_after_repair() {
     let live = dp.estimate_degraded(&q, None).unwrap();
     assert!(!live.is_degraded());
     assert_eq!(live.value.to_bits(), exact.to_bits());
+}
+
+/// Regression for the staleness-accounting bug: `records_behind` must
+/// count WAL update records and `gross_weight_behind` their absolute
+/// turnstile mass, not the *net* weight. A +5 insert cancelled down by
+/// a −3 delete leaves the substitute 2 records and 8 gross units
+/// behind, even though the net count only moved by 2 — and a crash plus
+/// replay must reconstruct the same answer from the WAL.
+#[test]
+fn staleness_counts_records_and_gross_mass_not_net_weight() {
+    let mem = MemStorage::new();
+    let (mut dp, _) = DurableProcessor::open_with(mem.clone(), opts()).unwrap();
+    dp.register("a", cosine()).unwrap();
+    dp.register("b", cosine()).unwrap();
+    for v in 0..16i64 {
+        dp.process_weighted("a", &[v % 32], 1.0).unwrap();
+        dp.process_weighted("b", &[(v * 3) % 32], 1.0).unwrap();
+    }
+    dp.checkpoint().unwrap();
+
+    // Mixed-sign turnstile traffic on 'a': net weight moves by
+    // +5 −3 +0.5 −0.5 = 2, gross mass by 9.
+    dp.process_weighted("a", &[7], 5.0).unwrap();
+    dp.process_weighted("a", &[7], -3.0).unwrap();
+    dp.process_weighted("a", &[9], 0.5).unwrap();
+    dp.process_weighted("a", &[9], -0.5).unwrap();
+    dp.sync().unwrap();
+    assert_eq!(dp.staleness_since_checkpoint("a"), (4, 9.0));
+    assert_eq!(dp.staleness_since_checkpoint("b"), (0, 0.0));
+
+    // Crash and recover: the replay past the watermark must seed the
+    // same per-stream tracker from the surviving WAL records.
+    drop(dp);
+    let (dp, report) = DurableProcessor::open_with(mem.clone(), opts()).unwrap();
+    assert_eq!(report.replayed, 4);
+    assert_eq!(dp.staleness_since_checkpoint("a"), (4, 9.0));
+    assert_eq!(dp.staleness_since_checkpoint("b"), (0, 0.0));
+    drop(dp);
+
+    // Quarantine 'a' with an injected append failure: memory applies a
+    // fifth update (+1 at [3]) the log never sees, so the degraded
+    // answer is 5 records and 10 gross units behind its substitute.
+    let failing = FailingStorage::with_transient_failures(mem, 0);
+    let (mut dp, _) = DurableProcessor::open_with(failing.clone(), opts()).unwrap();
+    failing.fail_next(1);
+    dp.process_weighted("a", &[3], 1.0).unwrap_err();
+    assert_eq!(dp.health().state("a"), HealthState::Quarantined);
+    assert_eq!(dp.staleness_since_checkpoint("a"), (5, 10.0));
+
+    let q = ChainJoinQuery::builder().end("a").end("b").build().unwrap();
+    let est = dp.estimate_degraded(&q, None).unwrap();
+    assert_eq!(est.degraded.len(), 1);
+    let s = &est.degraded[0];
+    assert_eq!(s.stream, "a");
+    assert_eq!(s.records_behind, 5);
+    assert_eq!(s.gross_weight_behind, 10.0);
+    // The rendered staleness names both units for operators.
+    let text = s.to_string();
+    assert!(text.contains("5 records"), "{text}");
+    assert!(text.contains("10 gross"), "{text}");
+
+    // Repair then checkpoint: the tracker reconciles to durable truth
+    // (the unlogged fifth update is undone), then clears entirely.
+    dp.repair("a").unwrap();
+    assert_eq!(dp.staleness_since_checkpoint("a"), (4, 9.0));
+    dp.checkpoint().unwrap();
+    assert_eq!(dp.staleness_since_checkpoint("a"), (0, 0.0));
 }

@@ -587,3 +587,172 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: lock-free metrics under concurrent writers.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // Each case spawns real threads, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counter totals are exact under concurrency: N threads each add a
+    /// known sequence to one shared counter and one labelled per-thread
+    /// counter; after joining, the shared total is the grand sum and every
+    /// per-thread counter holds exactly its own sum.
+    #[test]
+    fn concurrent_counter_totals_are_exact(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000, 1..40), 2..5)
+    ) {
+        let registry = dctstream_obs::MetricsRegistry::new();
+        let shared = registry.counter("proptest.shared");
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(t, adds)| {
+                let shared = shared.clone();
+                let tid = t.to_string();
+                let own = registry
+                    .counter_with("proptest.per_thread", &[("thread", &tid)]);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    for n in adds {
+                        shared.add(n);
+                        own.add(n);
+                        sum += n;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        prop_assert_eq!(shared.get(), sums.iter().sum::<u64>());
+        let snap = registry.snapshot();
+        for (t, &sum) in sums.iter().enumerate() {
+            let tid = t.to_string();
+            let c = snap
+                .counters
+                .iter()
+                .find(|c| {
+                    c.name == "proptest.per_thread"
+                        && c.labels == vec![("thread".to_string(), tid.clone())]
+                })
+                .expect("per-thread counter in snapshot");
+            prop_assert_eq!(c.value, sum);
+        }
+    }
+
+    /// Histogram accounting is exact once writers quiesce: the count equals
+    /// the number of observations, the sum equals the summed values, and
+    /// every observation landed in exactly one bucket.
+    #[test]
+    fn concurrent_histogram_accounts_every_observation(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..30_000_000_000, 1..40), 2..5)
+    ) {
+        let registry = dctstream_obs::MetricsRegistry::new();
+        let hist = registry.histogram("proptest.latency");
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|obs| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    let (mut n, mut sum) = (0u64, 0u64);
+                    for v in obs {
+                        hist.record(v);
+                        n += 1;
+                        sum += v;
+                    }
+                    (n, sum)
+                })
+            })
+            .collect();
+        let (mut total_n, mut total_sum) = (0u64, 0u64);
+        for h in handles {
+            let (n, s) = h.join().unwrap();
+            total_n += n;
+            total_sum += s;
+        }
+        prop_assert_eq!(hist.count(), total_n);
+        prop_assert_eq!(hist.sum_nanos(), total_sum);
+        prop_assert_eq!(hist.bucket_counts().iter().sum::<u64>(), total_n);
+        let snap = registry.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "proptest.latency")
+            .expect("histogram in snapshot");
+        prop_assert_eq!(h.count, total_n);
+        prop_assert_eq!(h.sum_nanos, total_sum);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), total_n);
+    }
+
+    /// Snapshots taken *while* writers are hammering the registry never
+    /// tear: the histogram bucket total always accounts for at least the
+    /// observed count (the count is bumped last in `record`, read first in
+    /// `snapshot`), counter values are monotone across successive
+    /// snapshots, and nothing panics.
+    #[test]
+    fn snapshot_during_writes_never_tears(
+        writers in 2usize..5,
+        iters in 50u64..400,
+        nanos in 0u64..5_000_000_000,
+    ) {
+        let registry = std::sync::Arc::new(dctstream_obs::MetricsRegistry::new());
+        let counter = registry.counter("proptest.live");
+        let hist = registry.histogram("proptest.live_latency");
+        let handles: Vec<_> = (0..writers)
+            .map(|_| {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        counter.inc();
+                        hist.record(nanos);
+                    }
+                })
+            })
+            .collect();
+        let mut last_count = 0u64;
+        let mut last_value = 0u64;
+        loop {
+            let snap = registry.snapshot();
+            let c = snap
+                .counters
+                .iter()
+                .find(|c| c.name == "proptest.live")
+                .expect("live counter");
+            prop_assert!(
+                c.value >= last_value,
+                "counter went backwards: {} -> {}", last_value, c.value
+            );
+            last_value = c.value;
+            let h = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == "proptest.live_latency")
+                .expect("live histogram");
+            let bucket_total: u64 = h.buckets.iter().sum();
+            prop_assert!(
+                bucket_total >= h.count,
+                "torn histogram snapshot: buckets {} < count {}", bucket_total, h.count
+            );
+            prop_assert!(
+                h.count >= last_count,
+                "histogram count went backwards: {} -> {}", last_count, h.count
+            );
+            last_count = h.count;
+            if h.count == writers as u64 * iters {
+                break;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(counter.get(), writers as u64 * iters);
+        prop_assert_eq!(hist.sum_nanos(), writers as u64 * iters * nanos);
+    }
+}
