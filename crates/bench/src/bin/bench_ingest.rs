@@ -9,16 +9,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dctstream-bench --bin bench_ingest [-- --json]
+//! cargo run --release -p dctstream-bench --bin bench_ingest [-- --json] [-- --check]
 //! ```
 //!
 //! Always prints a human-readable table; with `--json` it also writes
 //! `BENCH_ingest.json` (items/sec and speedup vs the serial baseline for
-//! every measured configuration) into the current directory.
+//! every measured configuration) into the current directory. With
+//! `--check` it exits non-zero if any parallel chain-join row falls below
+//! 0.90x the serial contraction — the CI guard for the parallel
+//! chain-join regression fix (the regression sat at 0.70-0.86x).
 
 use dctstream_core::{
-    estimate_chain_join, estimate_chain_join_threads, ChainLink, CosineSynopsis, Domain, Grid,
-    MultiDimSynopsis,
+    basis, estimate_chain_join_threads, ChainLink, CosineSynopsis, Domain, Grid, MultiDimSynopsis,
 };
 use dctstream_stream::ParallelIngest;
 use std::time::Instant;
@@ -31,6 +33,15 @@ const COEFFS: usize = 4_096;
 const DOMAIN: usize = 100_000;
 /// Timed repetitions per configuration; the median is reported.
 const REPS: usize = 5;
+/// Contractions per timed rep in the chain-join section — one
+/// contraction is sub-millisecond, so a single call is all scheduler
+/// noise; batching stretches each rep to ~10ms.
+const CHAIN_ITERS: usize = 25;
+/// Timed round-robin rounds for the chain-join section. More than
+/// `REPS` because the serial and parallel paths are identical on boxes
+/// where the shard planner falls back to serial, and the `--check`
+/// gate compares their medians — extra rounds tighten that ratio.
+const CHAIN_ROUNDS: usize = 15;
 
 /// One measured configuration: wall-clock median and derived rates.
 struct Row {
@@ -128,6 +139,35 @@ fn bench_ingest() -> Vec<Row> {
         items_per_sec: 0.0,
         speedup_vs_serial: 1.0,
     });
+    // Raw kernel rows (ISSUE 6): the same accumulation with normalization
+    // and synopsis bookkeeping stripped away — `portable` pins the
+    // autovectorized fallback, `simd` the runtime-dispatched kernel
+    // (AVX2/FMA where the CPU has it; `kernel_name()` says which).
+    let xs: Vec<f64> = batch
+        .iter()
+        .map(|&(v, _)| (v as f64 + 0.5) / DOMAIN as f64)
+        .collect();
+    let ws: Vec<f64> = batch.iter().map(|&(_, w)| w).collect();
+    rows.push(Row {
+        name: "portable",
+        median_secs: median_secs(|| {
+            let mut acc = vec![0.0_f64; COEFFS];
+            basis::accumulate_phi_block_portable(&xs, &ws, &mut acc);
+            std::hint::black_box(acc[0]);
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
+    rows.push(Row {
+        name: "simd",
+        median_secs: median_secs(|| {
+            let mut acc = vec![0.0_f64; COEFFS];
+            basis::accumulate_phi_block(&xs, &ws, &mut acc);
+            std::hint::black_box(acc[0]);
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
     for (name, threads) in [("parallel/2", 2), ("parallel/4", 4), ("parallel/8", 8)] {
         let ingest = ParallelIngest::with_threads(threads);
         rows.push(Row {
@@ -175,33 +215,59 @@ fn bench_chain() -> (Vec<Row>, usize) {
         ChainLink::End(&s3),
     ];
 
-    let mut rows = Vec::new();
-    rows.push(Row {
-        name: "serial",
-        median_secs: median_secs(|| {
-            std::hint::black_box(estimate_chain_join(&links, None).unwrap());
-        }),
-        items_per_sec: 0.0,
-        speedup_vs_serial: 1.0,
-    });
-    for (name, threads) in [("parallel/2", 2), ("parallel/4", 4), ("parallel/8", 8)] {
-        rows.push(Row {
-            name,
-            median_secs: median_secs(|| {
-                std::hint::black_box(estimate_chain_join_threads(&links, None, threads).unwrap());
-            }),
-            items_per_sec: 0.0,
-            speedup_vs_serial: 1.0,
-        });
+    // The configurations are timed round-robin (every config once per
+    // rep, medians per config) rather than config-by-config: CPU clock
+    // drift over the run then shifts all rows together instead of
+    // skewing whichever row happened to be measured during a slow
+    // stretch. `threads == 1` is `estimate_chain_join` itself.
+    let configs: [(&'static str, usize); 4] = [
+        ("serial", 1),
+        ("parallel/2", 2),
+        ("parallel/4", 4),
+        ("parallel/8", 8),
+    ];
+    let time_one = |threads: usize| {
+        let t = Instant::now();
+        for _ in 0..CHAIN_ITERS {
+            std::hint::black_box(estimate_chain_join_threads(&links, None, threads).unwrap());
+        }
+        t.elapsed().as_secs_f64()
+    };
+    for &(_, threads) in &configs {
+        time_one(threads);
     }
-    (finish_rows(rows, coeffs), coeffs)
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for _ in 0..CHAIN_ROUNDS {
+        for (i, &(_, threads)) in configs.iter().enumerate() {
+            times[i].push(time_one(threads));
+        }
+    }
+    let rows = configs
+        .iter()
+        .zip(&mut times)
+        .map(|(&(name, _), samples)| {
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Row {
+                name,
+                median_secs: samples[samples.len() / 2],
+                items_per_sec: 0.0,
+                speedup_vs_serial: 1.0,
+            }
+        })
+        .collect();
+    (
+        finish_rows(rows, coeffs * CHAIN_ITERS),
+        coeffs * CHAIN_ITERS,
+    )
 }
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
 
     println!("dctstream ingestion/contraction speed summary");
     println!("  tuples per batch: {TUPLES}, coefficients: {COEFFS}, reps: {REPS} (median)");
+    println!("  phi kernel: {}", basis::kernel_name());
 
     let ingest = bench_ingest();
     print_table(
@@ -220,5 +286,29 @@ fn main() {
         );
         std::fs::write("BENCH_ingest.json", &body).expect("write BENCH_ingest.json");
         println!("\nwrote BENCH_ingest.json");
+    }
+
+    if check {
+        // CI regression gate: threaded chain-join contraction must never
+        // lose to serial. The work-size threshold makes small inputs and
+        // low-core boxes fall back to the serial path, so the honest
+        // expectation is parity; the pre-fix regression sat at 0.70-0.86x,
+        // and wall-clock medians of identical code still wobble ~±5% on
+        // shared runners, so 0.90 is the tightest floor that separates
+        // the two without flaking.
+        let mut failed = false;
+        for r in chain.iter().filter(|r| r.name.starts_with("parallel")) {
+            if r.speedup_vs_serial < 0.90 {
+                eprintln!(
+                    "CHECK FAILED: chain_join {} is {:.3}x vs serial (floor 0.90x)",
+                    r.name, r.speedup_vs_serial
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\ncheck passed: all chain_join parallel rows >= 0.90x serial");
     }
 }

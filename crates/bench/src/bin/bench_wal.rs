@@ -1,26 +1,30 @@
 //! Timing harness for the write-ahead-logged registry.
 //!
 //! Answers the durability question "what does the WAL cost per event?"
-//! by ingesting the same synthetic stream through five paths: the bare
-//! synopsis (the `bench_ingest` serial baseline), the registry without a
-//! WAL, and the durable registry under the three sync policies. A
-//! second, smaller section measures `SyncPolicy::Always` against real
-//! files, where every append pays an fsync.
+//! by ingesting the same synthetic stream through several paths: the
+//! bare synopsis (the `bench_ingest` serial baseline), the registry
+//! without a WAL, and the durable registry under the sync policies. A
+//! second, smaller section measures fsync-bound paths against real
+//! files: `SyncPolicy::Always` (every append pays an fsync) against
+//! group commit (`GroupDurable`, concurrent writers sharing leader-led
+//! fsyncs).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dctstream-bench --bin bench_wal [-- --json]
+//! cargo run --release -p dctstream-bench --bin bench_wal [-- --json] [-- --check]
 //! ```
 //!
 //! Always prints a human-readable table; with `--json` it also writes
 //! `BENCH_wal.json` (items/sec and slowdown vs the WAL-off registry for
-//! every measured configuration) into the current directory.
+//! every measured configuration) into the current directory. With
+//! `--check` it exits non-zero unless the `wal-group` row is at least
+//! 2x the `wal-dir-always` row — the CI guard for group commit.
 
 use dctstream_core::{CosineSynopsis, Domain, Grid};
 use dctstream_stream::{
-    DirStorage, DurableProcessor, MemStorage, RecoveryOptions, StreamProcessor, Summary,
-    SyncPolicy, WalOptions,
+    DirStorage, DurableProcessor, GroupDurable, MemStorage, RecoveryOptions, StreamProcessor,
+    Summary, SyncPolicy, WalOptions,
 };
 use std::time::Instant;
 
@@ -35,6 +39,11 @@ const REPS: usize = 5;
 /// Tuples for the fsync-per-append section — every event is an fsync,
 /// so the full workload would take minutes.
 const ALWAYS_TUPLES: usize = 500;
+/// Concurrent writers for the group-commit row; the leader/follower
+/// protocol amortizes each fsync across everything buffered while it
+/// ran, so each synchronous writer adds one more record the leader can
+/// cover per fsync.
+const GROUP_WRITERS: usize = 32;
 
 struct Row {
     name: &'static str,
@@ -214,12 +223,44 @@ fn bench_always() -> Vec<Row> {
         items_per_sec: 0.0,
         speedup_vs_serial: 1.0,
     });
+    rows.push(Row {
+        name: "wal-group",
+        median_secs: median_secs(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            group_run(&dir, &b);
+        }),
+        items_per_sec: 0.0,
+        speedup_vs_serial: 1.0,
+    });
     let _ = std::fs::remove_dir_all(&dir);
     finish_rows(rows, ALWAYS_TUPLES)
 }
 
+/// Ingest the batch through `GROUP_WRITERS` threads sharing one
+/// group-commit durable registry over real files. Every ack still waits
+/// for an fsync covering its record, but one fsync covers everything the
+/// other writers buffered while it ran.
+fn group_run(dir: &std::path::Path, b: &[(i64, f64)]) {
+    let (gd, _) = GroupDurable::open_dir(dir, opts(SyncPolicy::Group)).unwrap();
+    gd.register("s", fresh_summary()).unwrap();
+    let chunk = b.len().div_ceil(GROUP_WRITERS);
+    std::thread::scope(|scope| {
+        for part in b.chunks(chunk) {
+            let gd = gd.clone();
+            scope.spawn(move || {
+                for &(v, w) in part {
+                    gd.process_weighted("s", &[v], w).unwrap();
+                }
+            });
+        }
+    });
+    gd.sync().unwrap();
+    std::hint::black_box(gd.events_processed());
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
 
     println!("dctstream write-ahead log overhead summary");
     println!("  tuples per batch: {TUPLES}, coefficients: {COEFFS}, reps: {REPS} (median)");
@@ -229,7 +270,7 @@ fn main() {
 
     let always = bench_always();
     print_table(
-        "fsync-per-append (SyncPolicy::Always, small batch)",
+        "fsync-per-append (Always vs group commit, small batch)",
         &always,
     );
 
@@ -241,5 +282,28 @@ fn main() {
         );
         std::fs::write("BENCH_wal.json", &body).expect("write BENCH_wal.json");
         println!("\nwrote BENCH_wal.json");
+    }
+
+    if check {
+        // CI regression gate: group commit must amortize fsyncs enough to
+        // beat fsync-per-append by at least 2x (observed ~5-8x; 2x leaves
+        // room for slow or heavily shared CI disks).
+        let always_row = always
+            .iter()
+            .find(|r| r.name == "wal-dir-always")
+            .expect("wal-dir-always row");
+        let group_row = always
+            .iter()
+            .find(|r| r.name == "wal-group")
+            .expect("wal-group row");
+        let ratio = group_row.items_per_sec / always_row.items_per_sec;
+        if ratio < 2.0 {
+            eprintln!(
+                "CHECK FAILED: wal-group is {ratio:.2}x wal-dir-always (floor 2.0x): {:.0} vs {:.0} items/s",
+                group_row.items_per_sec, always_row.items_per_sec
+            );
+            std::process::exit(1);
+        }
+        println!("\ncheck passed: wal-group is {ratio:.2}x wal-dir-always (floor 2.0x)");
     }
 }

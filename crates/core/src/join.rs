@@ -99,21 +99,38 @@ pub fn estimate_chain_join(links: &[ChainLink<'_>], budget: Option<usize>) -> Re
     estimate_chain_join_threads(links, budget, 1)
 }
 
-/// Entry-count threshold below which [`estimate_chain_join_threads`] stays
-/// serial: contracting a link is ~4 flops per stored coefficient, so small
-/// coefficient sets cannot amortize a thread spawn.
-const MIN_PARALLEL_ENTRIES: usize = 4096;
+/// Minimum stored coefficients **per worker** before
+/// [`estimate_chain_join_threads`] will spawn one: contracting a link is
+/// ~4 flops per stored coefficient, so a shard below this floor
+/// (~0.25 Mflop ≈ a few hundred µs) cannot amortize a thread
+/// spawn/join (~100 µs). Below `2×` this the contraction stays serial.
+const MIN_PARALLEL_ENTRIES: usize = 1 << 16;
+
+/// Granule of the block-cyclic rank partition: shard `s` of `S` contracts
+/// rank blocks `s, s+S, s+2S, …` of this many consecutive ranks. Blocks
+/// are big enough to stream whole cache lines, and cycling them balances
+/// the graded-lex survivor gradient (entries that survive marginalization
+/// concentrate at low ranks, so contiguous chunks would overload shard 0).
+const PARALLEL_BLOCK: usize = 4096;
 
 /// [`estimate_chain_join`] with the per-link tensor contraction spread
 /// over `threads` worker threads.
 ///
-/// Each worker contracts a contiguous chunk of the graded-lex coefficient
-/// range into a thread-local output vector; the locals are then summed in
-/// fixed chunk order, so the result is deterministic run-to-run for a
-/// given thread count. `threads == 1` (or a link below
-/// `MIN_PARALLEL_ENTRIES` coefficients) takes the exact serial code path;
-/// different thread counts agree to floating-point reassociation only
-/// (≤ 1e-9 relative, property-tested).
+/// `threads` is a *request*: the effective worker count is additionally
+/// capped by `std::thread::available_parallelism()` (oversubscribing
+/// cores only adds scheduling overhead) and by the per-worker work floor
+/// `MIN_PARALLEL_ENTRIES` (2^16 stored coefficients), so a link too
+/// small to amortize thread spawns takes the exact serial code path — a
+/// parallel call is never slower than serial by more than measurement
+/// noise.
+///
+/// Each worker contracts its block-cyclic share of the graded-lex rank
+/// range (blocks of `PARALLEL_BLOCK` = 4096 consecutive ranks) into a
+/// thread-local output vector; the
+/// locals are then summed in fixed shard order, so the result is
+/// deterministic run-to-run for a given thread count. `threads == 1` is
+/// bit-identical to the serial path; different thread counts agree to
+/// floating-point reassociation only (≤ 1e-9 relative, property-tested).
 pub fn estimate_chain_join_threads(
     links: &[ChainLink<'_>],
     budget: Option<usize>,
@@ -219,12 +236,12 @@ pub fn estimate_chain_join_threads(
 /// Dimensions other than (`left`, `right`) are marginalized by keeping
 /// only entries whose wavenumber there is zero.
 ///
-/// With `threads > 1` and at least [`MIN_PARALLEL_ENTRIES`] stored
-/// coefficients, the graded-lex rank range is split into contiguous
-/// chunks contracted on worker threads; the thread-local partial vectors
-/// are summed in fixed chunk order, so the result is deterministic for a
-/// given thread count. The single-shard path iterates ranks in the same
-/// order as the historical serial loop and is bit-identical to it.
+/// With an effective shard count above one (see [`plan_shards`]), each
+/// worker contracts its block-cyclic share of the rank range; the
+/// thread-local partial vectors are summed in fixed shard order, so the
+/// result is deterministic for a given thread count. The single-shard
+/// path iterates ranks in the same order as the historical serial loop
+/// and is bit-identical to it.
 fn contract_link(
     syn: &MultiDimSynopsis,
     left: usize,
@@ -234,25 +251,55 @@ fn contract_link(
     used: usize,
     threads: usize,
 ) -> Vec<f64> {
-    let shards = if threads <= 1 || used < MIN_PARALLEL_ENTRIES {
-        1
-    } else {
-        threads
-            .min(64)
-            .min(used.div_ceil(MIN_PARALLEL_ENTRIES / 4))
-            .max(1)
-    };
-    if shards <= 1 {
-        return contract_range(syn, left, right, vec, m_out, 0, used);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    contract_sharded(
+        syn,
+        left,
+        right,
+        vec,
+        m_out,
+        used,
+        plan_shards(threads, used, cores),
+    )
+}
+
+/// Effective worker count for contracting `used` stored coefficients when
+/// the caller requested `threads` workers on a `cores`-way machine. Serial
+/// unless every worker gets at least [`MIN_PARALLEL_ENTRIES`] entries and
+/// a core of its own.
+fn plan_shards(threads: usize, used: usize, cores: usize) -> usize {
+    if threads <= 1 || cores <= 1 {
+        return 1;
     }
-    let chunk = used.div_ceil(shards);
+    threads
+        .min(64)
+        .min(cores)
+        .min(used / MIN_PARALLEL_ENTRIES)
+        .max(1)
+}
+
+/// Contract one link over exactly `shards` workers (no fallback logic —
+/// [`contract_link`] decides the shard count). `shards == 1` runs inline
+/// on the calling thread in serial rank order.
+fn contract_sharded(
+    syn: &MultiDimSynopsis,
+    left: usize,
+    right: usize,
+    vec: &[f64],
+    m_out: usize,
+    used: usize,
+    shards: usize,
+) -> Vec<f64> {
+    if shards <= 1 {
+        return contract_blocks(syn, left, right, vec, m_out, used, 0, 1);
+    }
     let mut partials: Vec<Vec<f64>> = Vec::with_capacity(shards);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|s| {
-                let lo = s * chunk;
-                let hi = (lo + chunk).min(used);
-                scope.spawn(move || contract_range(syn, left, right, vec, m_out, lo, hi))
+                scope.spawn(move || contract_blocks(syn, left, right, vec, m_out, used, s, shards))
             })
             .collect();
         for handle in handles {
@@ -268,20 +315,45 @@ fn contract_link(
     next
 }
 
-/// Serial contraction of the graded-lex ranks `lo..hi` of one inner link
-/// into a fresh output vector of length `m_out`.
-fn contract_range(
+/// Contract shard `shard` of `shards`'s block-cyclic share of ranks
+/// `0..used` into a fresh output vector: blocks of [`PARALLEL_BLOCK`]
+/// consecutive ranks, every `shards`-th block. With `shard == 0,
+/// shards == 1` this visits `0..used` in ascending order — exactly the
+/// serial loop.
+#[allow(clippy::too_many_arguments)]
+fn contract_blocks(
     syn: &MultiDimSynopsis,
     left: usize,
     right: usize,
     vec: &[f64],
     m_out: usize,
+    used: usize,
+    shard: usize,
+    shards: usize,
+) -> Vec<f64> {
+    let mut next = vec![0.0f64; m_out];
+    let mut lo = shard * PARALLEL_BLOCK;
+    while lo < used {
+        let hi = (lo + PARALLEL_BLOCK).min(used);
+        contract_range_into(syn, left, right, vec, &mut next, lo, hi);
+        lo += shards * PARALLEL_BLOCK;
+    }
+    next
+}
+
+/// Serial contraction of the graded-lex ranks `lo..hi` of one inner link,
+/// accumulated into `next`.
+fn contract_range_into(
+    syn: &MultiDimSynopsis,
+    left: usize,
+    right: usize,
+    vec: &[f64],
+    next: &mut [f64],
     lo: usize,
     hi: usize,
-) -> Vec<f64> {
+) {
     let entries = syn.indices();
     let sums = syn.sums();
-    let mut next = vec![0.0f64; m_out];
     for (rank, &sum) in sums.iter().enumerate().take(hi).skip(lo) {
         let idx = entries.tuple(rank);
         // Marginalize every dimension other than (left, right).
@@ -298,7 +370,6 @@ fn contract_range(
             next[kr] += vec[kl] * sum;
         }
     }
-    next
 }
 
 /// Convenience: validate that two raw attribute domains were merged per
@@ -594,8 +665,11 @@ mod tests {
 
     // ---- parallel contraction ----------------------------------------
 
-    /// A chain whose inner link stores enough coefficients (> 4096) to
-    /// actually take the multi-threaded contraction path.
+    /// A chain whose inner link stores a few thousand coefficients —
+    /// enough to span many [`PARALLEL_BLOCK`]-sized blocks when sharding
+    /// is forced, though below the per-worker floor that
+    /// [`estimate_chain_join_threads`] needs to auto-parallelize (that
+    /// fallback being itself under test).
     fn big_chain() -> (CosineSynopsis, MultiDimSynopsis, CosineSynopsis) {
         let n = 128;
         let f1: Vec<u64> = (0..n as u64).map(|i| i % 11 + 1).collect();
@@ -615,11 +689,59 @@ mod tests {
         )
         .unwrap();
         assert!(
-            s2.indices().len() >= MIN_PARALLEL_ENTRIES,
-            "test setup must exceed the parallel threshold, got {}",
+            s2.indices().len() > PARALLEL_BLOCK,
+            "test setup must span multiple partition blocks, got {}",
             s2.indices().len()
         );
         (s1, s2, s3)
+    }
+
+    #[test]
+    fn plan_shards_respects_work_floor_and_cores() {
+        // Serial whenever a worker couldn't earn its spawn.
+        assert_eq!(plan_shards(1, usize::MAX, 64), 1);
+        assert_eq!(plan_shards(8, usize::MAX, 1), 1);
+        assert_eq!(plan_shards(8, MIN_PARALLEL_ENTRIES * 2 - 1, 64), 1);
+        // Above the floor: capped by work, requested threads, and cores.
+        assert_eq!(plan_shards(8, MIN_PARALLEL_ENTRIES * 2, 64), 2);
+        assert_eq!(plan_shards(8, MIN_PARALLEL_ENTRIES * 100, 4), 4);
+        assert_eq!(plan_shards(3, MIN_PARALLEL_ENTRIES * 100, 64), 3);
+        assert_eq!(plan_shards(1000, MIN_PARALLEL_ENTRIES * 1000, 1000), 64);
+    }
+
+    /// Force the sharded contraction (bypassing the core/work-floor
+    /// fallback) and check every shard count against the serial loop —
+    /// this is what actually exercises the block-cyclic partition on a
+    /// single-core CI box.
+    #[test]
+    fn forced_sharding_matches_serial_contraction() {
+        let (_, s2, _) = big_chain();
+        let m_out = s2.degree();
+        let used = s2.indices().len();
+        let vec: Vec<f64> = (0..m_out).map(|k| 1.0 + (k as f64 * 0.37).sin()).collect();
+        let serial = contract_sharded(&s2, 0, 1, &vec, m_out, used, 1);
+        for shards in [2, 3, 5, 8] {
+            let sharded = contract_sharded(&s2, 0, 1, &vec, m_out, used, shards);
+            for (k, (a, b)) in sharded.iter().zip(&serial).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "shards={shards} k={k}: sharded {a} vs serial {b}"
+                );
+            }
+        }
+        // Partial trailing blocks and shard counts beyond the block count
+        // must also cover every rank exactly once.
+        let small_used = PARALLEL_BLOCK + 17;
+        let serial = contract_sharded(&s2, 0, 1, &vec, m_out, small_used, 1);
+        for shards in [2, 4, 64] {
+            let sharded = contract_sharded(&s2, 0, 1, &vec, m_out, small_used, shards);
+            for (k, (a, b)) in sharded.iter().zip(&serial).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "small shards={shards} k={k}: sharded {a} vs serial {b}"
+                );
+            }
+        }
     }
 
     #[test]

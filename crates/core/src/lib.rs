@@ -54,7 +54,10 @@
 //!   baseline crates.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// explicit AVX2/FMA kernel module in [`basis`], where every block carries a
+// safety argument (runtime feature detection + slice-derived bounds).
+#![deny(unsafe_code)]
 
 pub mod bandjoin;
 pub mod basis;

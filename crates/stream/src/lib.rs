@@ -51,8 +51,10 @@ pub use health::{Estimate, HealthCause, HealthRegistry, HealthState, StreamStale
 pub use parallel::ParallelIngest;
 pub use processor::{shared, ContinuousJoinQuery, SharedProcessor, StreamProcessor, Summary};
 pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};
-pub use recovery::{DurableProcessor, RecoveryOptions, RecoveryReport, RepairReport, ScrubReport};
+pub use recovery::{
+    DurableProcessor, GroupDurable, RecoveryOptions, RecoveryReport, RepairReport, ScrubReport,
+};
 pub use wal::{
-    DirStorage, FailingStorage, MemStorage, RetryPolicy, SyncPolicy, Wal, WalOptions, WalRecord,
-    WalStorage,
+    DirStorage, FailingStorage, GroupWal, MemStorage, RetryPolicy, SharedStorage, SyncPolicy, Wal,
+    WalOptions, WalRecord, WalStorage,
 };

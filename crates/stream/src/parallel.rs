@@ -49,6 +49,11 @@ pub struct ParallelIngest {
     /// Below this batch size a parallel flush falls back to the serial
     /// path: thread spawn/join costs more than the work it would split.
     min_parallel_batch: usize,
+    /// Allow more workers than `available_parallelism()` reports (see
+    /// [`Self::with_core_oversubscription`]). Off by default: on an
+    /// `N`-core machine extra workers only add scheduling overhead, and a
+    /// parallel path that loses to serial must not be the default.
+    oversubscribe: bool,
 }
 
 impl Default for ParallelIngest {
@@ -74,6 +79,7 @@ impl ParallelIngest {
         ParallelIngest {
             threads: n.clamp(1, MAX_THREADS),
             min_parallel_batch: 1024,
+            oversubscribe: false,
         }
     }
 
@@ -90,14 +96,31 @@ impl ParallelIngest {
         self
     }
 
+    /// Let flushes use the full configured thread count even when the
+    /// machine has fewer cores. By default the worker count is capped by
+    /// `std::thread::available_parallelism()`, which on a small machine
+    /// silently reduces `with_threads(8)` to the serial path; this
+    /// override exists so tests and benchmarks can exercise the sharded
+    /// code path regardless of the host's core count.
+    pub fn with_core_oversubscription(mut self) -> Self {
+        self.oversubscribe = true;
+        self
+    }
+
     /// Effective worker count for a batch of `len` items.
     fn shards_for(&self, len: usize) -> usize {
         if len < self.min_parallel_batch {
-            1
-        } else {
-            // No shard smaller than one reasonable work unit.
-            self.threads.min(len.div_ceil(256)).max(1)
+            return 1;
         }
+        let cores = if self.oversubscribe {
+            usize::MAX
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        // No shard smaller than one reasonable work unit.
+        self.threads.min(cores).min(len.div_ceil(256)).max(1)
     }
 
     /// Flush `(value, weight)` pairs into a 1-d synopsis, sharding across
@@ -305,6 +328,7 @@ mod tests {
         for threads in [2, 3, 4, 8] {
             let mut par = CosineSynopsis::new(d, Grid::Midpoint, 256).unwrap();
             ParallelIngest::with_threads(threads)
+                .with_core_oversubscription()
                 .flush_cosine(&mut par, &batch)
                 .unwrap();
             assert!((serial.count() - par.count()).abs() < 1e-9);
@@ -321,7 +345,7 @@ mod tests {
     fn parallel_flush_is_deterministic_across_runs() {
         let d = Domain::of_size(300);
         let batch = big_batch(300, 20_000);
-        let ingest = ParallelIngest::with_threads(4);
+        let ingest = ParallelIngest::with_threads(4).with_core_oversubscription();
         let mut first = CosineSynopsis::new(d, Grid::Midpoint, 64).unwrap();
         ingest.flush_cosine(&mut first, &batch).unwrap();
         for _ in 0..3 {
@@ -341,7 +365,9 @@ mod tests {
         let before = syn.sums().to_vec();
         let mut batch = big_batch(100, 5_000);
         batch[4_321] = (100_000, 1.0); // out of domain
-        let err = ParallelIngest::with_threads(4).flush_cosine(&mut syn, &batch);
+        let err = ParallelIngest::with_threads(4)
+            .with_core_oversubscription()
+            .flush_cosine(&mut syn, &batch);
         assert!(err.is_err());
         assert_eq!(syn.sums(), &before[..]);
         assert_eq!(syn.count(), 1.0);
@@ -358,6 +384,7 @@ mod tests {
         serial.update_batch(&batch).unwrap();
         let mut par = MultiDimSynopsis::new(domains, Grid::Midpoint, 6).unwrap();
         ParallelIngest::with_threads(4)
+            .with_core_oversubscription()
             .flush_multi(&mut par, &batch)
             .unwrap();
         assert!((serial.count() - par.count()).abs() < 1e-9);

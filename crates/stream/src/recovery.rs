@@ -56,12 +56,14 @@ use crate::health::{Estimate, HealthCause, HealthRegistry, HealthState, StreamSt
 use crate::processor::{StreamProcessor, Summary};
 use crate::query::ChainJoinQuery;
 use crate::wal::{
-    DirStorage, ReplayOutcome, TornTail, Wal, WalOp, WalOptions, WalRecord, WalStorage,
+    lock_unpoisoned, DirStorage, ReplayOutcome, SharedStorage, SyncPolicy, TornTail, Wal, WalOp,
+    WalOptions, WalRecord, WalStorage,
 };
 use dctstream_core::{DctError, Result};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Tuning knobs for a [`DurableProcessor`].
 #[derive(Debug, Clone, Default)]
@@ -1098,6 +1100,248 @@ impl<S: WalStorage> DurableProcessor<S> {
     #[cfg(test)]
     fn wal_mut(&mut self) -> &mut Wal<S> {
         &mut self.wal
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit durable processor
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct GdCore<S: WalStorage> {
+    dp: DurableProcessor<SharedStorage<S>>,
+    /// Highest WAL sequence covered by a completed fsync.
+    durable: u64,
+    /// A leader's fsync is in flight.
+    syncing: bool,
+}
+
+#[derive(Debug)]
+struct GdShared<S: WalStorage> {
+    core: Mutex<GdCore<S>>,
+    cv: Condvar,
+    /// The leader's private handle for fsyncing outside `core`.
+    storage: SharedStorage<S>,
+}
+
+/// A [`DurableProcessor`] shared by many writer threads under WAL group
+/// commit ([`SyncPolicy::Group`]).
+///
+/// [`Self::process_weighted`] applies the update and buffers its WAL
+/// record under one lock (so sequence order equals apply order), then
+/// releases the lock and blocks until a group fsync covers the record —
+/// the ack-after-fsync durability of `SyncPolicy::Always`, with one
+/// fsync amortized over every record queued behind the leader. The
+/// leader election and failure semantics are those of
+/// [`crate::wal::GroupWal`]: a flush or fsync failure wedges the log,
+/// fails every waiter, and quarantines streams with unsynced records
+/// exactly as [`DurableProcessor::sync`] would.
+#[derive(Debug)]
+pub struct GroupDurable<S: WalStorage> {
+    shared: Arc<GdShared<S>>,
+}
+
+impl<S: WalStorage> Clone for GroupDurable<S> {
+    fn clone(&self) -> Self {
+        GroupDurable {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl GroupDurable<DirStorage> {
+    /// Open (or create) a group-commit durable registry under `dir`.
+    pub fn open_dir(dir: &Path, opts: RecoveryOptions) -> Result<(Self, RecoveryReport)> {
+        let storage = DirStorage::open(dir).map_err(|e| {
+            DctError::Checkpoint(format!("opening recovery directory {}: {e}", dir.display()))
+        })?;
+        Self::open_with(storage, opts)
+    }
+}
+
+impl<S: WalStorage> GroupDurable<S> {
+    /// Open a group-commit durable registry over any [`WalStorage`].
+    /// The WAL sync policy is forced to [`SyncPolicy::Group`].
+    pub fn open_with(storage: S, mut opts: RecoveryOptions) -> Result<(Self, RecoveryReport)> {
+        opts.wal.sync = SyncPolicy::Group;
+        let (dp, report) = DurableProcessor::open_with(SharedStorage::new(storage), opts)?;
+        let storage = dp.wal.storage().clone();
+        // Everything replayed at open came off storage, so the log's
+        // watermark is durable by construction.
+        let durable = dp.wal.watermark();
+        let gd = GroupDurable {
+            shared: Arc::new(GdShared {
+                core: Mutex::new(GdCore {
+                    dp,
+                    durable,
+                    syncing: false,
+                }),
+                cv: Condvar::new(),
+                storage,
+            }),
+        };
+        Ok((gd, report))
+    }
+
+    /// Register a stream, blocking until the registration record is
+    /// durable.
+    pub fn register(&self, name: impl Into<String>, summary: Summary) -> Result<()> {
+        let seq = {
+            let mut core = lock_unpoisoned(&self.shared.core);
+            core.dp.register(name, summary)?;
+            core.dp.wal.watermark()
+        };
+        self.wait_durable(seq)
+    }
+
+    /// Route one event to the named stream, blocking until its WAL
+    /// record is durable. Returns the record's sequence number.
+    pub fn process(&self, stream: &str, ev: &StreamEvent) -> Result<u64> {
+        self.process_weighted(stream, ev.tuple().values(), ev.weight())
+    }
+
+    /// Route a weighted update to the named stream, blocking until its
+    /// WAL record is durable. Returns the record's sequence number.
+    pub fn process_weighted(&self, stream: &str, tuple: &[i64], w: f64) -> Result<u64> {
+        let seq = {
+            let mut core = lock_unpoisoned(&self.shared.core);
+            core.dp.process_weighted(stream, tuple, w)?
+        };
+        self.wait_durable(seq)?;
+        Ok(seq)
+    }
+
+    /// Make every record appended so far durable.
+    pub fn sync(&self) -> Result<()> {
+        let wm = lock_unpoisoned(&self.shared.core).dp.wal.watermark();
+        self.wait_durable(wm)
+    }
+
+    /// Take a checkpoint (see [`DurableProcessor::checkpoint`]). Holds
+    /// the registry lock throughout, first waiting out any in-flight
+    /// group fsync so it cannot target a segment this call retires.
+    pub fn checkpoint(&self) -> Result<usize> {
+        let shared = &*self.shared;
+        let mut core = lock_unpoisoned(&shared.core);
+        while core.syncing {
+            core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+        }
+        let retired = core.dp.checkpoint()?;
+        // checkpoint() synced the log before writing the manifest.
+        core.durable = core.dp.wal.watermark();
+        shared.cv.notify_all();
+        Ok(retired)
+    }
+
+    /// Run `f` with exclusive access to the underlying
+    /// [`DurableProcessor`] (estimates, health queries, scrubbing).
+    ///
+    /// Mutations made here bypass group-commit coordination: records a
+    /// direct `dp` call appends are only durable after the next group
+    /// fsync or [`Self::sync`], and their callers are not blocked on it.
+    pub fn with<R>(&self, f: impl FnOnce(&mut DurableProcessor<SharedStorage<S>>) -> R) -> R {
+        f(&mut lock_unpoisoned(&self.shared.core).dp)
+    }
+
+    /// Sequence number of the last logged record.
+    pub fn wal_watermark(&self) -> u64 {
+        lock_unpoisoned(&self.shared.core).dp.wal.watermark()
+    }
+
+    /// Highest sequence number covered by a completed fsync.
+    pub fn durable_watermark(&self) -> u64 {
+        lock_unpoisoned(&self.shared.core).durable
+    }
+
+    /// Events absorbed by the registry.
+    pub fn events_processed(&self) -> u64 {
+        lock_unpoisoned(&self.shared.core).dp.events_processed()
+    }
+
+    /// Block until every record with sequence ≤ `seq` is fsynced,
+    /// becoming the fsync leader when no fsync is in flight. See
+    /// [`crate::wal::GroupWal::wait_durable`] for the protocol.
+    fn wait_durable(&self, seq: u64) -> Result<()> {
+        let shared = &*self.shared;
+        let mut core = lock_unpoisoned(&shared.core);
+        loop {
+            if core.durable >= seq {
+                return Ok(());
+            }
+            if core.dp.wal.is_wedged() {
+                // Route through the processor's own sync path so streams
+                // with unsynced records are quarantined exactly as a
+                // direct sync failure would.
+                return core.dp.sync();
+            }
+            if core.syncing {
+                core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // Leader: claim the flag, grow the batch through a bounded
+            // commit window, then flush under the lock and fsync outside
+            // it. See `GroupWal::wait_durable` for the window rationale.
+            core.syncing = true;
+            let mut last_wm = core.dp.wal.watermark();
+            for _ in 0..crate::wal::GROUP_COMMIT_WINDOW {
+                drop(core);
+                std::thread::yield_now();
+                core = lock_unpoisoned(&shared.core);
+                let wm = core.dp.wal.watermark();
+                if wm == last_wm {
+                    break;
+                }
+                last_wm = wm;
+            }
+            let name = match core.dp.wal.flush_active() {
+                Ok(Some(name)) => name,
+                Ok(None) => {
+                    // No active segment: everything appended so far was
+                    // flushed and fsynced by a checkpoint rotation.
+                    core.syncing = false;
+                    core.durable = core.dp.wal.watermark();
+                    shared.cv.notify_all();
+                    continue;
+                }
+                Err(e) => {
+                    // flush_to_storage wedged the log; fail every waiter
+                    // and propagate the quarantine.
+                    core.syncing = false;
+                    shared.cv.notify_all();
+                    let _ = core.dp.sync();
+                    return Err(e);
+                }
+            };
+            let covered = core.dp.wal.watermark();
+            let retry = core.dp.wal.options().retry.clone();
+            drop(core);
+            let res = {
+                let _span = dctstream_obs::span!("wal.fsync");
+                let mut storage = shared.storage.clone();
+                retry.run(|| storage.sync(&name))
+            };
+            core = lock_unpoisoned(&shared.core);
+            core.syncing = false;
+            match res {
+                Ok(()) => {
+                    if covered > core.durable {
+                        core.durable = covered;
+                    }
+                    let durable = core.durable;
+                    core.dp.wal.note_synced_through(durable);
+                    if core.dp.wal.unsynced_records() == 0 {
+                        core.dp.unsynced_streams.clear();
+                    }
+                    dctstream_obs::counter_add!("wal.fsyncs", 1);
+                    shared.cv.notify_all();
+                }
+                Err(e) => {
+                    core.dp.wal.wedge(format!("group fsync: {e}"));
+                    shared.cv.notify_all();
+                    return core.dp.sync();
+                }
+            }
+        }
     }
 }
 

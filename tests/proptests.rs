@@ -756,3 +756,61 @@ proptest! {
         prop_assert_eq!(hist.sum_nanos(), writers as u64 * iters * nanos);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ISSUE 6 equivalence: every `accumulate_phi` kernel — the scalar
+    /// recurrence, the portable 8-lane block, the runtime-dispatched
+    /// entry point, and (where the CPU supports it) the explicit
+    /// AVX2/FMA kernel — agrees to ≤ 1e-12 of the gross update weight,
+    /// across random coefficient counts, block counts, ragged tails,
+    /// and turnstile (negative) weights.
+    ///
+    /// `m` stays ≤ 64 here: the Chebyshev recurrence's worst-case error
+    /// grows as k²ε near θ ≈ 0/π, so 1e-12-relative agreement is only
+    /// *guaranteed* for small m. Larger m (the bench's 4096) is covered
+    /// at 1e-9 by deterministic tests in the basis module.
+    #[test]
+    fn phi_kernels_agree_to_1e12(
+        m in 0usize..65,
+        pairs in vec((0.0f64..1.0, -3.0f64..3.0), 0..70),
+    ) {
+        use dctstream_core::basis;
+
+        let xs: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+        let ws: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+        let gross: f64 = ws.iter().map(|w| w.abs()).sum();
+        let tol = 1e-12 * gross.max(1.0);
+
+        let mut scalar = vec![0.0; m];
+        for (&x, &w) in xs.iter().zip(&ws) {
+            basis::accumulate_phi(x, w, &mut scalar);
+        }
+
+        let mut portable = vec![0.0; m];
+        basis::accumulate_phi_block_portable(&xs, &ws, &mut portable);
+        for (k, (a, b)) in portable.iter().zip(&scalar).enumerate() {
+            prop_assert!((a - b).abs() <= tol,
+                "portable k={} {} vs scalar {} (tol {})", k, a, b, tol);
+        }
+
+        let mut dispatched = vec![0.0; m];
+        basis::accumulate_phi_block(&xs, &ws, &mut dispatched);
+        for (k, (a, b)) in dispatched.iter().zip(&scalar).enumerate() {
+            prop_assert!((a - b).abs() <= tol,
+                "dispatched ({}) k={} {} vs scalar {} (tol {})",
+                basis::kernel_name(), k, a, b, tol);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        if basis::simd_available() {
+            let mut simd = vec![0.0; m];
+            basis::accumulate_phi_block_avx2(&xs, &ws, &mut simd);
+            for (k, (a, b)) in simd.iter().zip(&scalar).enumerate() {
+                prop_assert!((a - b).abs() <= tol,
+                    "avx2 k={} {} vs scalar {} (tol {})", k, a, b, tol);
+            }
+        }
+    }
+}

@@ -21,8 +21,8 @@
 
 use dctstream_core::{CosineSynopsis, DctError, Domain, Grid};
 use dctstream_stream::{
-    DurableProcessor, FailingStorage, MemStorage, RecoveryOptions, RetryPolicy, StreamProcessor,
-    Summary, SyncPolicy, WalOptions,
+    DurableProcessor, FailingStorage, GroupDurable, MemStorage, RecoveryOptions, RetryPolicy,
+    StreamProcessor, Summary, SyncPolicy, WalOptions,
 };
 
 /// One scripted operation of the workload.
@@ -200,6 +200,79 @@ fn kill_at_every_byte_boundary_sync_every_n() {
 #[test]
 fn kill_at_every_byte_boundary_across_a_checkpoint() {
     kill_sweep(SyncPolicy::Always, true);
+}
+
+/// `SyncPolicy::Group` through a single-handle `DurableProcessor`
+/// buffers like `Manual` (fsyncs belong to the group front end), but
+/// the byte-boundary guarantees are policy-independent: recovery is
+/// bit-identical to the surviving prefix at every kill point.
+#[test]
+fn kill_at_every_byte_boundary_sync_group() {
+    kill_sweep(SyncPolicy::Group, false);
+}
+
+/// The same sweep through the real group-commit front end
+/// (`GroupDurable`), where every completed call was acknowledged by a
+/// covering fsync — so on top of bit-identity, no acknowledged record
+/// may ever be lost.
+fn run_group_until_crash<S: dctstream_stream::WalStorage>(storage: S, ops: &[Op]) -> usize {
+    let (gd, _) = match GroupDurable::open_with(storage, opts(SyncPolicy::Group)) {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let res = match op {
+            Op::Register(name) => gd.register(*name, summary()),
+            Op::Update(name, v, w) => gd.process_weighted(name, &[*v], *w).map(|_| ()),
+            Op::Checkpoint => gd.checkpoint().map(|_| ()),
+        };
+        if res.is_err() {
+            return i;
+        }
+    }
+    ops.len()
+}
+
+#[test]
+fn kill_at_every_byte_boundary_group_commit_front_end() {
+    let ops = workload(true);
+    const BIG: usize = 1 << 30;
+    let failing = FailingStorage::with_budget(MemStorage::new(), BIG);
+    let completed = run_group_until_crash(failing.clone(), &ops);
+    assert_eq!(completed, ops.len(), "clean run must complete");
+    let total = BIG - failing.budget_remaining().expect("budget was set");
+    assert!(total > 0);
+
+    for budget in 0..=total {
+        let mem = MemStorage::new();
+        let failing = FailingStorage::with_budget(mem.clone(), budget);
+        let acked_ops = run_group_until_crash(failing, &ops);
+        // Checkpoints write no record; every other completed op does,
+        // and each was acknowledged only after a covering fsync.
+        let acked_records = ops[..acked_ops]
+            .iter()
+            .filter(|op| !matches!(op, Op::Checkpoint))
+            .count();
+
+        let (mut dp, report) = DurableProcessor::open_with(mem, opts(SyncPolicy::Group))
+            .unwrap_or_else(|e| panic!("budget {budget}: recovery must not fail, got {e}"));
+        assert!(
+            report.quarantined.is_empty(),
+            "budget {budget}: no stream may be quarantined by a torn write"
+        );
+        let k = recovered_record_count(&dp);
+        assert!(
+            k >= acked_records,
+            "budget {budget}: {acked_records} records were acknowledged \
+             but only {k} survived"
+        );
+        let recovered = dp.processor_mut().checkpoint_bytes().unwrap().to_vec();
+        assert_eq!(
+            recovered,
+            reference_manifest(&ops, k),
+            "budget {budget}: recovered state (k = {k}) diverges from the uninterrupted prefix"
+        );
+    }
 }
 
 /// With `Always` sync, nothing past the last acknowledged append may be
