@@ -1,0 +1,308 @@
+//! Timing harness for the `dctstream serve` daemon.
+//!
+//! Answers the lock-convoy question end to end, over a real socket: can
+//! estimate queries make progress while ingest keeps running? One
+//! writer client streams ingest batches throughout; reader clients (1,
+//! 2, then 4 of them) hammer `/v1/estimate` on keep-alive connections.
+//! An ingest-only phase first establishes the writer's baseline
+//! throughput.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dctstream-bench --bin bench_serve [-- --json] [-- --check]
+//! ```
+//!
+//! Always prints a human-readable table; with `--json` it also writes
+//! `BENCH_serve.json` (query QPS, p50/p99 latency, and concurrent
+//! ingest throughput per reader count) into the current directory. With
+//! `--check` it exits non-zero unless (a) no request failed, (b) ingest
+//! under 4 concurrent readers keeps at least 15% of its uncontended
+//! throughput — the snapshot read path must not convoy the writer —
+//! and (c) 4 readers retain at least half the single-reader QPS (reads
+//! must not serialize behind each other or ingest; on multi-core hosts
+//! they scale, on the 1-core CI box they time-share).
+
+use dctstream_serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock length of each measured phase.
+const PHASE: Duration = Duration::from_millis(1500);
+/// Rows per ingest batch (one request = one durable group commit).
+const BATCH_ROWS: usize = 100;
+/// Reader counts for the mixed phases.
+const READER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Value domain for the synthetic streams.
+const DOMAIN: i64 = 4_096;
+/// Coefficients per synopsis.
+const COEFFS: usize = 256;
+
+/// A keep-alive HTTP/1.1 client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect to daemon");
+        conn.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(conn.try_clone().unwrap()),
+            writer: conn,
+        }
+    }
+
+    /// One request/response exchange on the persistent connection.
+    fn request(&mut self, method: &str, path_query: &str, body: &str) -> (u16, String) {
+        write!(
+            self.writer,
+            "{method} {path_query} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read status line");
+        let status: u16 = line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            self.reader.read_line(&mut h).expect("read header");
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        (status, String::from_utf8_lossy(&body).into_owned())
+    }
+}
+
+/// What one mixed phase measured.
+struct Phase {
+    readers: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    ingest_rows_per_sec: f64,
+    errors: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn ingest_batch(client: &mut Client, stream: &str, offset: usize) -> bool {
+    let rows: String = (0..BATCH_ROWS)
+        .map(|i| format!("{}\n", ((offset + i * 31) as i64) % DOMAIN))
+        .collect();
+    let (status, _) = client.request(
+        "POST",
+        &format!("/v1/ingest?tenant=bench&stream={stream}"),
+        &rows,
+    );
+    status == 200
+}
+
+/// Run the writer for one phase; returns (rows ingested, errors).
+fn run_writer(addr: SocketAddr, stop: &AtomicBool) -> (u64, u64) {
+    let mut client = Client::connect(addr);
+    let (mut rows, mut errors, mut offset) = (0u64, 0u64, 0usize);
+    while !stop.load(Ordering::SeqCst) {
+        if ingest_batch(&mut client, "l", offset) {
+            rows += BATCH_ROWS as u64;
+        } else {
+            errors += 1;
+        }
+        offset = offset.wrapping_add(BATCH_ROWS);
+    }
+    (rows, errors)
+}
+
+/// A mixed phase: one continuous writer, `readers` estimate clients.
+fn mixed_phase(addr: SocketAddr, readers: usize) -> Phase {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_writer(addr, &stop))
+    };
+    let errors = Arc::new(AtomicU64::new(0));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let (stop, errors) = (Arc::clone(&stop), Arc::clone(&errors));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(4096);
+                while !stop.load(Ordering::SeqCst) {
+                    let t = Instant::now();
+                    let (status, _) =
+                        client.request("GET", "/v1/estimate?tenant=bench&left=l&right=r", "");
+                    latencies.push(t.elapsed().as_secs_f64());
+                    if status != 200 {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    std::thread::sleep(PHASE);
+    stop.store(true, Ordering::SeqCst);
+    let elapsed = t.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in reader_handles {
+        latencies.extend(h.join().expect("reader panicked"));
+    }
+    let (rows, write_errors) = writer.join().expect("writer panicked");
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Phase {
+        readers,
+        qps: latencies.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p99_ms: percentile(&latencies, 0.99) * 1e3,
+        ingest_rows_per_sec: rows as f64 / elapsed,
+        errors: errors.load(Ordering::SeqCst) + write_errors,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+
+    let dir = std::env::temp_dir().join(format!("dctstream_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, _) = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 6,
+            publish_every: 512,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("start daemon");
+    let addr = server.local_addr();
+
+    let mut setup = Client::connect(addr);
+    for stream in ["l", "r"] {
+        let (status, body) = setup.request(
+            "POST",
+            &format!("/v1/register?tenant=bench&stream={stream}&lo=0&hi={DOMAIN}&m={COEFFS}"),
+            "",
+        );
+        assert_eq!(status, 200, "register {stream}: {body}");
+    }
+    // Seed both sides so estimates touch real coefficients.
+    for stream in ["l", "r"] {
+        for offset in 0..4 {
+            assert!(ingest_batch(&mut setup, stream, offset * BATCH_ROWS));
+        }
+    }
+
+    // Phase 0: uncontended ingest baseline.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_writer(addr, &stop))
+    };
+    let t = Instant::now();
+    std::thread::sleep(PHASE);
+    stop.store(true, Ordering::SeqCst);
+    let (baseline_rows, baseline_errors) = writer.join().unwrap();
+    let baseline = baseline_rows as f64 / t.elapsed().as_secs_f64();
+
+    let phases: Vec<Phase> = READER_COUNTS
+        .iter()
+        .map(|&n| mixed_phase(addr, n))
+        .collect();
+
+    println!("\nserve: ingest-only baseline {baseline:.0} rows/sec");
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10} {:>16} {:>7}",
+        "readers", "QPS", "p50 ms", "p99 ms", "ingest rows/sec", "errors"
+    );
+    for p in &phases {
+        println!(
+            "  {:<8} {:>10.0} {:>10.2} {:>10.2} {:>16.0} {:>7}",
+            p.readers, p.qps, p.p50_ms, p.p99_ms, p.ingest_rows_per_sec, p.errors
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"ingest_only\": {{\"rows_per_sec\": {baseline:.1}, \"errors\": {baseline_errors}}},\n"
+        ));
+        out.push_str("  \"mixed\": [\n");
+        for (i, p) in phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"readers\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"ingest_rows_per_sec\": {:.1}, \"errors\": {}}}{}\n",
+                p.readers, p.qps, p.p50_ms, p.p99_ms, p.ingest_rows_per_sec, p.errors,
+                if i + 1 < phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+        println!("\nwrote BENCH_serve.json");
+    }
+
+    let report = server.shutdown(true);
+    assert!(
+        matches!(report.checkpoint, Some(Ok(_))),
+        "shutdown checkpoint failed: {report:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if check {
+        let mut failures = Vec::new();
+        let total_errors: u64 = baseline_errors + phases.iter().map(|p| p.errors).sum::<u64>();
+        if total_errors > 0 {
+            failures.push(format!("{total_errors} request(s) failed"));
+        }
+        let four = phases.iter().find(|p| p.readers == 4).unwrap();
+        let one = phases.iter().find(|p| p.readers == 1).unwrap();
+        if four.ingest_rows_per_sec < 0.15 * baseline {
+            failures.push(format!(
+                "ingest under 4 readers collapsed: {:.0} rows/sec vs {:.0} uncontended",
+                four.ingest_rows_per_sec, baseline
+            ));
+        }
+        if four.qps < 0.5 * one.qps {
+            failures.push(format!(
+                "read path convoys: 4-reader QPS {:.0} < half of 1-reader QPS {:.0}",
+                four.qps, one.qps
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("bench_serve --check FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench_serve --check passed: readers and ingest progress together");
+    }
+}

@@ -84,6 +84,20 @@ impl From<DctError> for CliError {
 /// Result alias for CLI operations.
 pub type CliResult<T> = std::result::Result<T, CliError>;
 
+/// Write one line to stdout, reporting failure instead of panicking.
+///
+/// Every stdout write in the binary funnels through here so that a
+/// downstream reader closing early (`dctstream stats | head -1`) is an
+/// ordinary [`std::io::ErrorKind::BrokenPipe`] the caller maps to a
+/// clean exit — not a `println!` panic.
+pub fn emit_line(line: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
 /// A parsed command, ready to run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -241,6 +255,20 @@ pub enum Command {
         /// Output format.
         format: StatsFormat,
     },
+    /// Run the multi-tenant estimation daemon over a durable registry
+    /// directory until a termination signal or `POST /v1/shutdown`.
+    Serve {
+        /// Registry directory (created/recovered via the WAL layer).
+        dir: PathBuf,
+        /// Listen address, e.g. `127.0.0.1:7171` (`:0` for ephemeral).
+        listen: String,
+        /// Worker threads serving connections.
+        workers: usize,
+        /// Pending-connection queue depth (admission control).
+        queue_depth: usize,
+        /// Applied updates between snapshot publishes.
+        publish_every: u64,
+    },
     /// Re-render the metrics table on an interval, tailing recent spans.
     Watch {
         /// Registry directory whose manifest counters to merge in, if
@@ -286,6 +314,7 @@ pub fn usage() -> &'static str {
        repair   <dir> [STREAM]... [--checkpoint]\n\
        stats    [DIR] [--json|--prom]\n\
        watch    [DIR] [--interval MS] [--iterations N]\n\
+       serve    DIR [--listen ADDR] [--workers N] [--queue N] [--publish-every N]\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
@@ -301,7 +330,12 @@ pub fn usage() -> &'static str {
      table (--json / --prom for machine formats); given a registry DIR it\n\
      also merges the cumulative registry.* counters persisted in the\n\
      checkpoint manifest; watch re-renders the table every --interval MS\n\
-     (default 1000) and tails recent spans"
+     (default 1000) and tails recent spans\n\
+     serve recovers DIR and answers HTTP queries on --listen (default\n\
+     127.0.0.1:7171) while ingest keeps running: writers append through\n\
+     the group-commit WAL, readers estimate against epoch-stamped\n\
+     snapshots (staleness reported per answer); SIGTERM/SIGINT drain,\n\
+     checkpoint, and exit"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -698,6 +732,48 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 dir,
                 interval_ms,
                 iterations,
+            })
+        }
+        "serve" => {
+            let mut f = split_flags(rest, &[])?;
+            let listen = f
+                .take_opt("listen")
+                .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+            let workers = match f.take_opt("workers") {
+                None => 4,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --workers '{v}'"))),
+                },
+            };
+            let queue_depth = match f.take_opt("queue") {
+                None => 64,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --queue '{v}'"))),
+                },
+            };
+            let publish_every = match f.take_opt("publish-every") {
+                None => 1024,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --publish-every '{v}'"))),
+                },
+            };
+            let dir = match f.positional.as_slice() {
+                [dir] => PathBuf::from(dir),
+                _ => {
+                    return Err(CliError::Usage(
+                        "serve takes exactly one registry directory".into(),
+                    ))
+                }
+            };
+            Ok(Command::Serve {
+                dir,
+                listen,
+                workers,
+                queue_depth,
+                publish_every,
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -1293,6 +1369,56 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 StatsFormat::Prom => dctstream_obs::render_prometheus(&snap),
             })
         }
+        Command::Serve {
+            dir,
+            listen,
+            workers,
+            queue_depth,
+            publish_every,
+        } => {
+            dctstream_serve::install_signal_handlers();
+            let opts = dctstream_serve::ServeOptions {
+                workers,
+                queue_depth,
+                publish_every,
+                ..Default::default()
+            };
+            let (server, report) = dctstream_serve::Server::start(&dir, &listen, opts)?;
+            // The banner must stream immediately (clients need the bound
+            // address before the daemon exits), so it bypasses the
+            // return-value path.
+            let banner = format!(
+                "serving {} on http://{} (epoch {}, {} event(s) replayed)",
+                dir.display(),
+                server.local_addr(),
+                server.published_epoch(),
+                report.replayed
+            );
+            if let Err(e) = emit_line(&banner) {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    return Err(CliError::Io(e));
+                }
+            }
+            while !dctstream_serve::termination_requested() && !server.is_stopping() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            let report = server.shutdown(true);
+            let mut out = String::new();
+            writeln!(
+                out,
+                "shutting down: {} event(s) absorbed, epoch {}",
+                report.events, report.epoch
+            )
+            .unwrap();
+            match report.checkpoint {
+                Some(Ok(retired)) => {
+                    write!(out, "checkpointed ({retired} WAL segment(s) retired)").unwrap()
+                }
+                Some(Err(e)) => write!(out, "checkpoint failed: {e}").unwrap(),
+                None => write!(out, "checkpoint skipped").unwrap(),
+            }
+            Ok(out)
+        }
         Command::Watch {
             dir,
             interval_ms,
@@ -1310,7 +1436,16 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 // is the command's return value, so in-process callers
                 // (and tests) see a complete frame.
                 if frame + 1 < frames {
-                    println!("{last}");
+                    match emit_line(&last) {
+                        Ok(()) => {}
+                        // Downstream reader is gone: stop streaming
+                        // frames, but it is not an error.
+                        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => break,
+                        Err(e) => {
+                            dctstream_obs::set_tailing(false);
+                            return Err(CliError::Io(e));
+                        }
+                    }
                     std::thread::sleep(std::time::Duration::from_millis(interval_ms));
                 }
             }
@@ -2185,6 +2320,39 @@ mod tests {
         );
         assert!(matches!(
             parse(&args("watch --interval x")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        assert_eq!(
+            parse(&args("serve wal/")).unwrap(),
+            Command::Serve {
+                dir: "wal/".into(),
+                listen: "127.0.0.1:7171".into(),
+                workers: 4,
+                queue_depth: 64,
+                publish_every: 1024,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "serve reg --listen 0.0.0.0:9000 --workers 8 --queue 16 --publish-every 1"
+            ))
+            .unwrap(),
+            Command::Serve {
+                dir: "reg".into(),
+                listen: "0.0.0.0:9000".into(),
+                workers: 8,
+                queue_depth: 16,
+                publish_every: 1,
+            }
+        );
+        assert!(matches!(parse(&args("serve")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&args("serve a b")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args("serve wal/ --workers 0")),
             Err(CliError::Usage(_))
         ));
     }

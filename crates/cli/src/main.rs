@@ -1,23 +1,35 @@
 //! `dctstream` — see [`dctstream_cli`] for the command reference.
 
-use dctstream_cli::{parse, run, usage, CliError};
+use dctstream_cli::{emit_line, parse, run, usage, CliError};
+use std::io::ErrorKind;
 use std::process::ExitCode;
+
+/// Print the final command output. A downstream reader that closed
+/// early (`dctstream stats | head`) is a success, not a panic: the
+/// consumer got everything it asked for.
+fn finish(out: &str) -> ExitCode {
+    match emit_line(out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error writing output: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
-        println!("{}", usage());
-        return ExitCode::SUCCESS;
+        return finish(usage());
     }
     match parse(&args).and_then(run) {
-        Ok(out) => {
-            println!("{out}");
-            ExitCode::SUCCESS
-        }
+        Ok(out) => finish(&out),
         Err(CliError::Usage(msg)) => {
             eprintln!("usage error: {msg}\n{}", usage());
             ExitCode::FAILURE
         }
+        Err(CliError::Io(e)) if e.kind() == ErrorKind::BrokenPipe => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

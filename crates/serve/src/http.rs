@@ -1,0 +1,272 @@
+//! A minimal, dependency-free HTTP/1.1 layer: just enough of the
+//! protocol for the serve daemon's endpoints (request line, headers we
+//! care about, `Content-Length` bodies, keep-alive) — in the spirit of
+//! the workspace's in-tree shims, not a general web server.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted header block, in bytes.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes (ingest batches are bounded
+/// by it; clients split bigger loads across requests).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/v1/estimate`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence winning.
+    pub query: HashMap<String, String>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// A query parameter, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Read one request off the connection. `Ok(None)` means the client
+/// closed cleanly between requests (normal keep-alive termination).
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
+        _ => return Err(bad(format!("malformed request line {line:?}"))),
+    };
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad("connection closed mid-headers".to_string()));
+        }
+        header_bytes += h.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad("header block too large".to_string()));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            continue; // tolerate junk headers
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| bad(format!("bad Content-Length {value:?}")))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, HashMap::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parse `a=1&b=two` with minimal percent-decoding (`%XX` and `+`).
+fn parse_query(q: &str) -> HashMap<String, String> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (decode(k), decode(v)),
+            None => (decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    Err(_) => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// HTTP status lines the daemon emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 400 — malformed request or parameters.
+    BadRequest,
+    /// 404 — unknown route.
+    NotFound,
+    /// 405 — known route, wrong method.
+    MethodNotAllowed,
+    /// 422 — well-formed request the registry rejected.
+    Unprocessable,
+    /// 500 — internal failure.
+    Internal,
+    /// 503 — admission control rejected the connection.
+    Unavailable,
+}
+
+impl Status {
+    fn line(self) -> &'static str {
+        match self {
+            Status::Ok => "200 OK",
+            Status::BadRequest => "400 Bad Request",
+            Status::NotFound => "404 Not Found",
+            Status::MethodNotAllowed => "405 Method Not Allowed",
+            Status::Unprocessable => "422 Unprocessable Entity",
+            Status::Internal => "500 Internal Server Error",
+            Status::Unavailable => "503 Service Unavailable",
+        }
+    }
+}
+
+/// Write one response. `keep_alive` mirrors what the connection loop
+/// intends to do next, so clients can pipeline against the advertised
+/// header.
+pub fn respond<W: Write>(
+    w: &mut W,
+    status: Status,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        w,
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status.line(),
+        content_type,
+        body.len(),
+        conn
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Escape a string for embedding in a JSON value.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let raw = b"POST /v1/ingest?tenant=acme&stream=r%201 HTTP/1.1\r\n\
+                    Content-Length: 4\r\nConnection: close\r\n\r\nbody";
+        let mut r = BufReader::new(&raw[..]);
+        let req = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/ingest");
+        assert_eq!(req.param("tenant"), Some("acme"));
+        assert_eq!(req.param("stream"), Some("r 1"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn eof_between_requests_is_none() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut r = BufReader::new(raw.as_bytes());
+        assert!(read_request(&mut r).is_err());
+    }
+
+    #[test]
+    fn respond_frames_a_body() {
+        let mut out = Vec::new();
+        respond(&mut out, Status::Ok, "text/plain", "hi", true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: keep-alive"));
+        assert!(s.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,842 @@
+//! # dctstream-serve
+//!
+//! The multi-tenant estimation daemon: `dctstream serve DIR --listen
+//! ADDR` keeps a write-ahead-logged registry ([`GroupDurable`]) open and
+//! answers estimate queries over plain HTTP/1.1 (std `TcpListener`, no
+//! dependencies) **while ingest keeps running**.
+//!
+//! The concurrency design is the point of the crate:
+//!
+//! - **Writers** append through the group-commit durable registry — the
+//!   one place that takes the registry lock. An ingest request is acked
+//!   only after its WAL records are fsynced (one group fsync per batch).
+//! - After every `publish_every` applied updates (and on register /
+//!   checkpoint / startup), the write side flushes the batch buffers
+//!   and **publishes** an immutable epoch-stamped
+//!   [`RegistrySnapshot`] into a [`SnapshotCell`].
+//! - **Readers** estimate against the published snapshot: no registry
+//!   lock, no mutation, no waiting on ingest. Every answer carries the
+//!   snapshot's epoch and its staleness (`records_behind`,
+//!   `gross_weight_behind`) so clients know exactly what they read.
+//!
+//! Tenancy is by namespace: stream names are `TENANT/STREAM`, and every
+//! endpoint takes a `tenant` parameter (default `default`) that scopes
+//! the streams it may touch. Admission control is a bounded connection
+//! queue in front of a fixed worker pool: when the queue is full the
+//! daemon answers `503 Service Unavailable` immediately instead of
+//! accepting unboundedly.
+//!
+//! See `DESIGN.md` §12 for the wire protocol and the epoch/publish
+//! rules.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod http;
+
+use dctstream_core::{CosineSynopsis, DctError, Domain, Grid, MultiDimSynopsis};
+use dctstream_stream::{
+    ChainJoinQuery, GroupDurable, Progress, RecoveryOptions, RecoveryReport, RegistrySnapshot,
+    SnapshotCell, Summary,
+};
+use http::{json_escape, respond, Request, Status};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dctstream_stream::DirStorage;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Pending-connection queue depth; beyond it, new connections are
+    /// answered `503` and closed (backpressure, not unbounded accept).
+    pub queue_depth: usize,
+    /// Applied updates between snapshot publishes. Lower = fresher
+    /// reads, higher = less copying. Registers and checkpoints always
+    /// publish immediately.
+    pub publish_every: u64,
+    /// Buffered-mode flush threshold for the underlying registry.
+    pub flush_threshold: Option<usize>,
+    /// Write a checkpoint during graceful shutdown (skipped by
+    /// [`Server::kill`] either way).
+    pub checkpoint_on_shutdown: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_depth: 64,
+            publish_every: 1024,
+            flush_threshold: None,
+            checkpoint_on_shutdown: true,
+        }
+    }
+}
+
+/// What a graceful [`Server::shutdown`] did.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Events the registry had absorbed at shutdown.
+    pub events: u64,
+    /// The last published snapshot epoch.
+    pub epoch: u64,
+    /// Final-checkpoint outcome: `None` = disabled by options,
+    /// `Some(Ok(retired))` = wrote a manifest retiring that many WAL
+    /// segments, `Some(Err(msg))` = refused/failed (e.g. quarantined
+    /// streams) — the daemon still shuts down.
+    pub checkpoint: Option<std::result::Result<usize, String>>,
+}
+
+type Result<T> = std::result::Result<T, DctError>;
+
+/// Bounded handoff between the accept loop and the worker pool.
+#[derive(Debug)]
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue, or hand the connection back when the queue is full.
+    fn push(&self, conn: TcpStream) -> std::result::Result<(), TcpStream> {
+        let mut q = self.lock();
+        if q.len() >= self.depth {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue; `None` once `shutdown` is set and the queue is empty.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.lock();
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+}
+
+/// Shared daemon state: the durable registry (write side), the snapshot
+/// cell (read side), and the live-progress counters tying them together.
+#[derive(Debug)]
+struct ServerState {
+    gd: GroupDurable<DirStorage>,
+    cell: SnapshotCell,
+    progress: Progress,
+    since_publish: AtomicU64,
+    publish_every: u64,
+    shutdown: AtomicBool,
+    queue: ConnQueue,
+}
+
+impl ServerState {
+    /// Flush and publish a fresh snapshot under a new epoch.
+    fn publish_now(&self) -> Result<Arc<RegistrySnapshot>> {
+        let epoch = self.cell.next_epoch();
+        let snap = Arc::new(self.gd.with(|dp| dp.capture_snapshot(epoch))?);
+        self.cell.store(Arc::clone(&snap));
+        self.since_publish.store(0, Ordering::SeqCst);
+        Ok(snap)
+    }
+}
+
+/// A running daemon. Start with [`Server::start`]; stop with
+/// [`Server::shutdown`] (graceful: drain, final publish, checkpoint) or
+/// [`Server::kill`] (abandon, simulating a crash — the WAL crash
+/// harness's entry point).
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Open (or recover) the registry under `dir` and start serving on
+    /// `listen` (e.g. `127.0.0.1:0` for an ephemeral port). Returns once
+    /// the socket is bound and the recovery replay is complete.
+    pub fn start(dir: &Path, listen: &str, opts: ServeOptions) -> Result<(Server, RecoveryReport)> {
+        let (gd, report) = GroupDurable::open_dir(
+            dir,
+            RecoveryOptions {
+                flush_threshold: opts.flush_threshold,
+                ..RecoveryOptions::default()
+            },
+        )?;
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| DctError::InvalidParameter(format!("binding {listen}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| DctError::InvalidParameter(format!("resolving local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DctError::InvalidParameter(format!("nonblocking listener: {e}")))?;
+
+        let state = Arc::new(ServerState {
+            gd,
+            cell: SnapshotCell::new(),
+            progress: Progress::new(),
+            since_publish: AtomicU64::new(0),
+            publish_every: opts.publish_every.max(1),
+            shutdown: AtomicBool::new(false),
+            queue: ConnQueue::new(opts.queue_depth),
+        });
+        // Seed the progress mirror with the recovered registry's totals
+        // so staleness stays a live-vs-snapshot delta after restarts.
+        let recovered = state.gd.with(|dp| dp.processor().total_update_stats());
+        state
+            .progress
+            .add(recovered.records, recovered.gross_weight);
+        // Publish epoch 1 so queries work before the first ingest.
+        state.publish_now()?;
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&state, listener))
+        };
+        let workers = (0..opts.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        Ok((
+            Server {
+                state,
+                addr,
+                accept: Some(accept),
+                workers,
+            },
+            report,
+        ))
+    }
+
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the daemon to stop (also reachable as `POST /v1/shutdown`).
+    /// Non-blocking; pair with [`Server::shutdown`].
+    pub fn trigger_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.cv.notify_all();
+    }
+
+    /// Whether a shutdown has been requested (signal, endpoint, or
+    /// [`Self::trigger_shutdown`]).
+    pub fn is_stopping(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The last published snapshot epoch.
+    pub fn published_epoch(&self) -> u64 {
+        self.state.cell.published_epoch()
+    }
+
+    fn stop_threads(&mut self) {
+        self.trigger_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections,
+    /// join the workers, then checkpoint (per
+    /// [`ServeOptions::checkpoint_on_shutdown`]) so a restart replays
+    /// nothing.
+    pub fn shutdown(mut self, checkpoint: bool) -> ShutdownReport {
+        self.stop_threads();
+        let checkpoint = if checkpoint {
+            Some(self.state.gd.checkpoint().map_err(|e| e.to_string()))
+        } else {
+            // Still make acked records durable on disk.
+            let _ = self.state.gd.sync();
+            None
+        };
+        ShutdownReport {
+            events: self.state.gd.events_processed(),
+            epoch: self.state.cell.published_epoch(),
+            checkpoint,
+        }
+    }
+
+    /// Abandon the daemon without syncing or checkpointing — the
+    /// crash-simulation path for the WAL fault harness. Acked ingest
+    /// responses were fsynced before the ack, so exactly they survive.
+    pub fn kill(mut self) {
+        self.stop_threads();
+        // Dropping the registry without sync() discards any unsynced
+        // (therefore unacked) WAL buffer, like a real crash would.
+    }
+
+    /// Run `f` against the underlying durable registry (tests and the
+    /// CLI use this for assertions and maintenance).
+    pub fn with_registry<R>(
+        &self,
+        f: impl FnOnce(
+            &mut dctstream_stream::DurableProcessor<dctstream_stream::SharedStorage<DirStorage>>,
+        ) -> R,
+    ) -> R {
+        self.state.gd.with(f)
+    }
+}
+
+fn accept_loop(state: &ServerState, listener: TcpListener) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let _ = conn.set_nodelay(true);
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+                dctstream_obs::counter_add!("serve.accepted", 1);
+                if let Err(mut rejected) = state.queue.push(conn) {
+                    // Admission control: the pool is saturated and the
+                    // queue is full. Fail fast with a retryable status
+                    // instead of queueing unboundedly.
+                    dctstream_obs::counter_add!("serve.rejected", 1);
+                    let _ = respond(
+                        &mut rejected,
+                        Status::Unavailable,
+                        "application/json",
+                        "{\"error\":\"server saturated; retry\"}",
+                        false,
+                    );
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(conn) = state.queue.pop(&state.shutdown) {
+        let _ = serve_connection(state, conn);
+    }
+}
+
+fn serve_connection(state: &ServerState, conn: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = conn;
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+                let _ = respond(
+                    &mut writer,
+                    Status::BadRequest,
+                    "application/json",
+                    &body,
+                    false,
+                );
+                break;
+            }
+            Err(_) => break, // timeout / reset: just close
+        };
+        let _span = dctstream_obs::span!("serve.request");
+        dctstream_obs::counter_add!("serve.requests", 1);
+        let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let (status, content_type, body) = route(state, &req);
+        if status != Status::Ok {
+            dctstream_obs::counter_add!("serve.request_errors", 1);
+        }
+        respond(&mut writer, status, content_type, &body, keep)?;
+        if !keep {
+            break;
+        }
+    }
+    writer.flush()
+}
+
+/// Dispatch one request. Never panics; every failure is a status + JSON
+/// error body.
+fn route(state: &ServerState, req: &Request) -> (Status, &'static str, String) {
+    let outcome = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_health(state),
+        ("GET", "/metrics") => return metrics_response(state),
+        ("POST", "/v1/register") => handle_register(state, req),
+        ("POST", "/v1/ingest") => handle_ingest(state, req),
+        ("GET", "/v1/estimate") => handle_estimate(state, req),
+        ("POST", "/v1/chain") => handle_chain(state, req),
+        ("GET", "/v1/streams") => handle_streams(state, req),
+        ("POST", "/v1/checkpoint") => handle_checkpoint(state),
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.cv.notify_all();
+            Ok("{\"status\":\"stopping\"}".to_string())
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/register" | "/v1/ingest" | "/v1/estimate" | "/v1/chain"
+            | "/v1/streams" | "/v1/checkpoint" | "/v1/shutdown",
+        ) => Err((
+            Status::MethodNotAllowed,
+            format!("method {} not allowed here", req.method),
+        )),
+        _ => Err((Status::NotFound, format!("no route {}", req.path))),
+    };
+    match outcome {
+        Ok(body) => (Status::Ok, "application/json", body),
+        Err((status, msg)) => (
+            status,
+            "application/json",
+            format!("{{\"error\":\"{}\"}}", json_escape(&msg)),
+        ),
+    }
+}
+
+type Handled = std::result::Result<String, (Status, String)>;
+
+fn usage(msg: impl Into<String>) -> (Status, String) {
+    (Status::BadRequest, msg.into())
+}
+
+fn rejected(e: &DctError) -> (Status, String) {
+    (Status::Unprocessable, e.to_string())
+}
+
+/// Validate a tenant or stream name: 1–64 chars of `[A-Za-z0-9_.-]`.
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+/// The tenant namespace: registry keys are `TENANT/STREAM`.
+fn qualify(req: &Request, stream: &str) -> std::result::Result<String, (Status, String)> {
+    let tenant = req.param("tenant").unwrap_or("default");
+    if !valid_name(tenant) {
+        return Err(usage(format!(
+            "bad tenant {tenant:?}: use 1-64 chars of [A-Za-z0-9_.-]"
+        )));
+    }
+    if !valid_name(stream) {
+        return Err(usage(format!(
+            "bad stream {stream:?}: use 1-64 chars of [A-Za-z0-9_.-]"
+        )));
+    }
+    Ok(format!("{tenant}/{stream}"))
+}
+
+fn required<'a>(req: &'a Request, name: &str) -> std::result::Result<&'a str, (Status, String)> {
+    req.param(name)
+        .ok_or_else(|| usage(format!("missing required parameter '{name}'")))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    name: &str,
+    raw: &str,
+) -> std::result::Result<T, (Status, String)> {
+    raw.parse::<T>()
+        .map_err(|_| usage(format!("bad {name} {raw:?}")))
+}
+
+fn handle_health(state: &ServerState) -> Handled {
+    let snap = state.cell.load();
+    Ok(format!(
+        "{{\"status\":\"ok\",\"epoch\":{},\"events\":{}}}",
+        snap.epoch(),
+        snap.events()
+    ))
+}
+
+fn metrics_response(state: &ServerState) -> (Status, &'static str, String) {
+    let mut snap = dctstream_obs::global().snapshot();
+    let counters = state.gd.with(|dp| dp.persistent_counters().clone());
+    for (name, value) in counters {
+        // Manifest keys carry `_total`; strip it so the Prometheus
+        // renderer does not emit a doubled suffix.
+        let name = name.strip_suffix("_total").unwrap_or(&name);
+        snap.counters.push(dctstream_obs::CounterSnapshot {
+            name: format!("registry.{name}"),
+            labels: Vec::new(),
+            value,
+        });
+    }
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.push(dctstream_obs::GaugeSnapshot {
+        name: "serve.published_epoch".into(),
+        labels: Vec::new(),
+        value: state.cell.published_epoch() as f64,
+    });
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    (
+        Status::Ok,
+        "text/plain; version=0.0.4",
+        dctstream_obs::render_prometheus(&snap),
+    )
+}
+
+fn handle_register(state: &ServerState, req: &Request) -> Handled {
+    let stream = required(req, "stream")?;
+    let key = qualify(req, stream)?;
+    let summary = match req.param("kind").unwrap_or("cosine") {
+        "cosine" => {
+            let lo: i64 = parse_num("lo", required(req, "lo")?)?;
+            let hi: i64 = parse_num("hi", required(req, "hi")?)?;
+            let m: usize = parse_num("m", required(req, "m")?)?;
+            Summary::Cosine(
+                CosineSynopsis::new(Domain::new(lo, hi), Grid::Midpoint, m)
+                    .map_err(|e| rejected(&e))?,
+            )
+        }
+        "multi" => {
+            let degree: usize = parse_num("degree", required(req, "degree")?)?;
+            let mut domains = Vec::new();
+            for part in required(req, "domains")?.split(',') {
+                let (lo, hi) = part
+                    .split_once(':')
+                    .ok_or_else(|| usage(format!("bad domain {part:?}: use LO:HI")))?;
+                domains.push(Domain::new(
+                    parse_num("lo", lo)?,
+                    parse_num::<i64>("hi", hi)?,
+                ));
+            }
+            Summary::Multi(
+                MultiDimSynopsis::new(domains, Grid::Midpoint, degree).map_err(|e| rejected(&e))?,
+            )
+        }
+        other => return Err(usage(format!("bad kind {other:?}: cosine or multi"))),
+    };
+    state
+        .gd
+        .register(key.clone(), summary)
+        .map_err(|e| rejected(&e))?;
+    // Publish immediately so the stream is queryable at once.
+    let snap = state.publish_now().map_err(|e| rejected(&e))?;
+    Ok(format!(
+        "{{\"registered\":\"{}\",\"epoch\":{}}}",
+        json_escape(&key),
+        snap.epoch()
+    ))
+}
+
+/// Parse one ingest row: `v1[,v2,...][:w]` (weight defaults to 1).
+fn parse_row(line: &str) -> std::result::Result<(Vec<i64>, f64), String> {
+    let (vals, w) = match line.rsplit_once(':') {
+        Some((vals, w)) => (
+            vals,
+            w.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad weight {w:?}"))?,
+        ),
+        None => (line, 1.0),
+    };
+    if !w.is_finite() {
+        return Err(format!("non-finite weight {w}"));
+    }
+    let tuple = vals
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<i64>()
+                .map_err(|_| format!("bad value {v:?}"))
+        })
+        .collect::<std::result::Result<Vec<i64>, String>>()?;
+    Ok((tuple, w))
+}
+
+fn handle_ingest(state: &ServerState, req: &Request) -> Handled {
+    let stream = required(req, "stream")?;
+    let key = qualify(req, stream)?;
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| usage("ingest body must be UTF-8 text rows".to_string()))?;
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        rows.push(parse_row(line).map_err(|e| usage(format!("row {}: {e}", i + 1)))?);
+    }
+    if rows.is_empty() {
+        return Err(usage("empty ingest body".to_string()));
+    }
+
+    // Apply under the registry lock; bump the lock-free progress mirror
+    // per applied row so staleness accounting survives mid-batch errors.
+    let applied_then_snapshot = state.gd.with(|dp| {
+        let mut applied = 0u64;
+        for (tuple, w) in &rows {
+            dp.process_weighted(&key, tuple, *w)?;
+            state.progress.add(1, w.abs());
+            applied += 1;
+        }
+        let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
+        if since >= state.publish_every {
+            state.since_publish.store(0, Ordering::SeqCst);
+            let epoch = state.cell.next_epoch();
+            return dp.capture_snapshot(epoch).map(Some);
+        }
+        Ok(None)
+    });
+    let snap = match applied_then_snapshot {
+        Ok(s) => s,
+        Err(e) => return Err(rejected(&e)),
+    };
+    // Durable ack: one group fsync covers the whole batch.
+    state.gd.sync().map_err(|e| rejected(&e))?;
+    if let Some(snap) = snap {
+        state.cell.store(Arc::new(snap));
+    }
+    Ok(format!(
+        "{{\"accepted\":{},\"durable_seq\":{},\"epoch\":{}}}",
+        rows.len(),
+        state.gd.durable_watermark(),
+        state.cell.published_epoch()
+    ))
+}
+
+/// The staleness fields every estimate answer carries.
+fn staleness_json(state: &ServerState, snap: &RegistrySnapshot) -> String {
+    let st = snap.staleness_given(state.progress.totals());
+    format!(
+        "\"epoch\":{},\"snapshot_events\":{},\"records_behind\":{},\"gross_weight_behind\":{}",
+        snap.epoch(),
+        snap.events(),
+        st.records_behind,
+        st.gross_weight_behind
+    )
+}
+
+fn handle_estimate(state: &ServerState, req: &Request) -> Handled {
+    let left = qualify(req, required(req, "left")?)?;
+    let right = qualify(req, required(req, "right")?)?;
+    let budget = match req.param("budget") {
+        Some(b) => Some(parse_num::<usize>("budget", b)?),
+        None => None,
+    };
+    let snap = state.cell.load();
+    let est = snap
+        .estimate_cosine_join(&left, &right, budget)
+        .map_err(|e| rejected(&e))?;
+    Ok(format!(
+        "{{\"estimate\":{est},{}}}",
+        staleness_json(state, &snap)
+    ))
+}
+
+fn handle_chain(state: &ServerState, req: &Request) -> Handled {
+    let budget = match req.param("budget") {
+        Some(b) => Some(parse_num::<usize>("budget", b)?),
+        None => None,
+    };
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| usage("chain body must be UTF-8 text".to_string()))?;
+    let mut builder = ChainJoinQuery::builder();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("end"), Some(name), None, _) => {
+                builder = builder.end(qualify(req, name)?);
+            }
+            (Some("inner"), Some(name), Some(l), Some(r)) => {
+                builder = builder.inner(
+                    qualify(req, name)?,
+                    parse_num("left dim", l)?,
+                    parse_num("right dim", r)?,
+                );
+            }
+            _ => {
+                return Err(usage(format!(
+                    "chain line {}: use `end NAME` or `inner NAME LEFTDIM RIGHTDIM`",
+                    i + 1
+                )))
+            }
+        }
+    }
+    let query = builder.build().map_err(|e| rejected(&e))?;
+    let snap = state.cell.load();
+    let est = query.estimate_at(&snap, budget).map_err(|e| rejected(&e))?;
+    Ok(format!(
+        "{{\"estimate\":{est},{}}}",
+        staleness_json(state, &snap)
+    ))
+}
+
+fn handle_streams(state: &ServerState, req: &Request) -> Handled {
+    let tenant = req.param("tenant").unwrap_or("default");
+    if !valid_name(tenant) {
+        return Err(usage(format!("bad tenant {tenant:?}")));
+    }
+    let prefix = format!("{tenant}/");
+    let snap = state.cell.load();
+    let mut names: Vec<&str> = snap
+        .stream_names()
+        .filter(|n| n.starts_with(&prefix))
+        .collect();
+    names.sort_unstable();
+    let entries: Vec<String> = names
+        .iter()
+        .map(|full| {
+            // invariant: stream_names() only yields captured streams.
+            let s = snap.summary(full).expect("listed streams are captured");
+            let stats = snap.stream_stats(full);
+            format!(
+                "{{\"stream\":\"{}\",\"tuples\":{},\"records\":{},\"gross_weight\":{}}}",
+                json_escape(&full[prefix.len()..]),
+                dctstream_core::StreamSummary::tuple_count(s),
+                stats.records,
+                stats.gross_weight
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\"tenant\":\"{}\",\"epoch\":{},\"streams\":[{}]}}",
+        json_escape(tenant),
+        snap.epoch(),
+        entries.join(",")
+    ))
+}
+
+fn handle_checkpoint(state: &ServerState) -> Handled {
+    let retired = state.gd.checkpoint().map_err(|e| rejected(&e))?;
+    let snap = state.publish_now().map_err(|e| rejected(&e))?;
+    Ok(format!(
+        "{{\"retired_segments\":{retired},\"epoch\":{}}}",
+        snap.epoch()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling (the crate's one unsafe island: registering a SIGTERM
+// /SIGINT handler through libc's `signal(2)`, which std does not expose).
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // invariant: the handler only touches a static atomic, so
+        // installing it cannot violate memory safety.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that flip the flag behind
+/// [`termination_requested`] (no-op off Unix). The CLI's serve loop
+/// polls it to run the graceful checkpoint-on-shutdown path.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_signal_handlers`].
+pub fn termination_requested() -> bool {
+    #[cfg(unix)]
+    {
+        sig::TERMINATE.load(Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_validated() {
+        assert!(valid_name("orders"));
+        assert!(valid_name("acme-1.prod_x"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn rows_parse_values_and_weights() {
+        assert_eq!(parse_row("7").unwrap(), (vec![7], 1.0));
+        assert_eq!(parse_row("1,2,3:0.5").unwrap(), (vec![1, 2, 3], 0.5));
+        assert_eq!(parse_row("4 : -2").unwrap(), (vec![4], -2.0));
+        assert!(parse_row("x").is_err());
+        assert!(parse_row("1:notaweight").is_err());
+        assert!(parse_row("1:inf").is_err());
+    }
+
+    #[test]
+    fn conn_queue_applies_backpressure() {
+        let q = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c1).is_ok());
+        assert!(q.push(c2).is_err(), "beyond depth must be handed back");
+        let shutdown = AtomicBool::new(false);
+        assert!(q.pop(&shutdown).is_some());
+        shutdown.store(true, Ordering::SeqCst);
+        assert!(q.pop(&shutdown).is_none());
+    }
+}

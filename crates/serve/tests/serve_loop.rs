@@ -1,0 +1,293 @@
+//! End-to-end daemon tests over a real socket: concurrent clients
+//! during active ingest, tenant isolation, and the crash leg — kill the
+//! daemon mid-ingest and verify the recovered registry answers
+//! bit-identically for everything it acked.
+
+use dctstream_serve::{ServeOptions, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dctserve_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One blocking HTTP/1.1 exchange on a fresh connection.
+fn request(addr: SocketAddr, method: &str, path_query: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        conn,
+        "{method} {path_query} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull a numeric field out of the daemon's flat JSON bodies.
+fn json_num(body: &str, field: &str) -> f64 {
+    let key = format!("\"{field}\":");
+    let rest = &body[body
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {field} in {body}"))
+        + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {field} in {body}: {e}"))
+}
+
+fn register_cosine(addr: SocketAddr, tenant: &str, stream: &str) {
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/v1/register?tenant={tenant}&stream={stream}&lo=0&hi=31&m=16"),
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+}
+
+fn ingest(addr: SocketAddr, tenant: &str, stream: &str, rows: &str) -> (u16, String) {
+    request(
+        addr,
+        "POST",
+        &format!("/v1/ingest?tenant={tenant}&stream={stream}"),
+        rows,
+    )
+}
+
+/// The acceptance gate for the lock-convoy fix: four reader clients all
+/// complete their estimate queries over the socket *while* a writer
+/// client ingests continuously. Under the old flush-on-read design the
+/// readers would serialize behind the ingest write lock.
+#[test]
+fn concurrent_readers_progress_during_active_ingest() {
+    let dir = tmp_dir("concurrent");
+    let (server, _report) = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 6,
+            publish_every: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    register_cosine(addr, "acme", "l");
+    register_cosine(addr, "acme", "r");
+    // Seed both streams so estimates are non-trivial from the start.
+    let seed: String = (0..64).map(|v| format!("{}\n", v % 32)).collect();
+    assert_eq!(ingest(addr, "acme", "l", &seed).0, 200);
+    assert_eq!(ingest(addr, "acme", "r", &seed).0, 200);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let batches = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let (stop, batches) = (Arc::clone(&stop), Arc::clone(&batches));
+        std::thread::spawn(move || {
+            let rows: String = (0..50).map(|v| format!("{}:2\n", (v * 7) % 32)).collect();
+            while !stop.load(Ordering::SeqCst) {
+                let (status, body) = ingest(addr, "acme", "l", &rows);
+                assert_eq!(status, 200, "{body}");
+                batches.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+
+    const READERS: usize = 4;
+    const ESTIMATES_EACH: usize = 25;
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..ESTIMATES_EACH {
+                    let (status, body) =
+                        request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+                    assert_eq!(status, 200, "{body}");
+                    let est = json_num(&body, "estimate");
+                    assert!(est.is_finite());
+                    // Every answer states how stale it is.
+                    assert!(json_num(&body, "epoch") >= 1.0);
+                    let _ = json_num(&body, "records_behind");
+                    let _ = json_num(&body, "gross_weight_behind");
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    // The readers finished while the writer was still going.
+    assert!(
+        !stop.load(Ordering::SeqCst),
+        "readers outlived the writer harness"
+    );
+    stop.store(true, Ordering::SeqCst);
+    writer.join().expect("writer panicked");
+    assert!(
+        batches.load(Ordering::SeqCst) > 0,
+        "writer made no progress while readers ran"
+    );
+
+    let report = server.shutdown(true);
+    assert!(matches!(report.checkpoint, Some(Ok(_))), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tenants are namespaces: the same stream names under two tenants hold
+/// different data, and one tenant cannot read another's streams.
+#[test]
+fn tenants_are_isolated_namespaces() {
+    let dir = tmp_dir("tenants");
+    let (server, _) = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            publish_every: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    for tenant in ["acme", "globex"] {
+        register_cosine(addr, tenant, "l");
+        register_cosine(addr, tenant, "r");
+    }
+    // Same shape, different mass: acme gets 3x the weight.
+    let rows: String = (0..40).map(|v| format!("{}\n", v % 32)).collect();
+    let heavy: String = (0..40).map(|v| format!("{}:3\n", v % 32)).collect();
+    for s in ["l", "r"] {
+        assert_eq!(ingest(addr, "acme", s, &heavy).0, 200);
+        assert_eq!(ingest(addr, "globex", s, &rows).0, 200);
+    }
+    let (s1, acme) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    let (s2, globex) = request(addr, "GET", "/v1/estimate?tenant=globex&left=l&right=r", "");
+    assert_eq!((s1, s2), (200, 200), "{acme} / {globex}");
+    let (ea, eg) = (json_num(&acme, "estimate"), json_num(&globex, "estimate"));
+    assert!(
+        (ea - 9.0 * eg).abs() < 1e-6 * ea.abs().max(1.0),
+        "3x weight per side must scale the join estimate 9x: {ea} vs {eg}"
+    );
+    // Unknown tenant (or unregistered stream) is a typed rejection, not
+    // a fallback to someone else's data.
+    let (status, body) = request(
+        addr,
+        "GET",
+        "/v1/estimate?tenant=initech&left=l&right=r",
+        "",
+    );
+    assert_eq!(status, 422, "{body}");
+    // Listing is scoped too.
+    let (status, body) = request(addr, "GET", "/v1/streams?tenant=acme", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"stream\":\"l\"") && !body.contains("globex"),
+        "{body}"
+    );
+
+    server.shutdown(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Protocol edges: unknown routes, wrong methods, malformed rows.
+#[test]
+fn protocol_errors_are_status_codes_not_hangs() {
+    let dir = tmp_dir("errors");
+    let (server, _) = Server::start(&dir, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    assert_eq!(request(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(addr, "GET", "/v1/ingest?stream=x", "").0, 405);
+    assert_eq!(request(addr, "POST", "/v1/register?stream=x", "").0, 400);
+    register_cosine(addr, "default", "s");
+    assert_eq!(ingest(addr, "default", "s", "not-a-number\n").0, 400);
+    assert_eq!(ingest(addr, "default", "s", "").0, 400);
+    assert_eq!(request(addr, "GET", "/healthz", "").0, 200);
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("serve_requests_total"), "{metrics}");
+    server.shutdown(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash leg: kill the daemon mid-ingest (no shutdown checkpoint, no
+/// final sync) and restart over the same directory. Everything the
+/// daemon acked was fsynced before the ack, so the recovered registry
+/// must answer exactly — bit-identically — as it did before the crash.
+#[test]
+fn kill_mid_ingest_recovers_acked_data_bit_identically() {
+    let dir = tmp_dir("kill");
+    let opts = ServeOptions {
+        publish_every: 1, // publish on every batch: estimates are live
+        ..ServeOptions::default()
+    };
+    let (server, _) = Server::start(&dir, "127.0.0.1:0", opts.clone()).unwrap();
+    let addr = server.local_addr();
+    register_cosine(addr, "acme", "l");
+    register_cosine(addr, "acme", "r");
+    for batch in 0..10 {
+        let rows: String = (0..40)
+            .map(|v| format!("{}:{}\n", (v + batch * 3) % 32, 1 + batch % 3))
+            .collect();
+        assert_eq!(ingest(addr, "acme", "l", &rows).0, 200);
+        assert_eq!(ingest(addr, "acme", "r", &rows).0, 200);
+    }
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    let before = json_num(&body, "estimate");
+    assert_eq!(
+        json_num(&body, "records_behind"),
+        0.0,
+        "publish_every=1 keeps reads fresh: {body}"
+    );
+    let events_before = server.with_registry(|dp| dp.events_processed());
+
+    // Crash: no final sync, no checkpoint. Acked records were already
+    // fsynced (the ack *is* the durability receipt), so nothing acked
+    // may be lost.
+    server.kill();
+
+    let (revived, report) = Server::start(&dir, "127.0.0.1:0", opts).unwrap();
+    assert!(
+        report.replayed > 0,
+        "recovery must replay the WAL: {report:?}"
+    );
+    let addr = revived.local_addr();
+    let events_after = revived.with_registry(|dp| dp.events_processed());
+    assert_eq!(
+        events_after, events_before,
+        "acked events lost in the crash"
+    );
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    let after = json_num(&body, "estimate");
+    assert!(
+        before.to_bits() == after.to_bits(),
+        "recovered estimate must be bit-identical: {before} vs {after}"
+    );
+
+    // And the revived daemon keeps serving: more ingest, fresh answers.
+    assert_eq!(ingest(addr, "acme", "l", "1\n2\n3\n").0, 200);
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_num(&body, "epoch") >= 1.0);
+    let report = revived.shutdown(true);
+    assert!(matches!(report.checkpoint, Some(Ok(_))), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -28,6 +28,10 @@
 //!   machine (`Healthy → Suspect → Quarantined → Repairing`) with typed
 //!   transition causes, backing self-healing repair, integrity scrubs,
 //!   and degraded-mode query answers.
+//! - [`snapshot`] — tear-free epoch snapshots of the registry: the
+//!   lock-free estimate read path (writers publish after each batch
+//!   flush, readers estimate against immutable copies with reported
+//!   staleness), which the serve daemon builds on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +45,7 @@ pub mod parallel;
 pub mod processor;
 pub mod query;
 pub mod recovery;
+pub mod snapshot;
 pub mod wal;
 
 pub use batch::BatchBuffer;
@@ -54,6 +59,7 @@ pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};
 pub use recovery::{
     DurableProcessor, GroupDurable, RecoveryOptions, RecoveryReport, RepairReport, ScrubReport,
 };
+pub use snapshot::{Progress, RegistrySnapshot, SnapshotCell, SnapshotStaleness, StreamStats};
 pub use wal::{
     DirStorage, FailingStorage, GroupWal, MemStorage, RetryPolicy, SharedStorage, SyncPolicy, Wal,
     WalOptions, WalRecord, WalStorage,

@@ -10,6 +10,7 @@
 
 use crate::batch::BatchBuffer;
 use crate::event::StreamEvent;
+use crate::snapshot::{RegistrySnapshot, SnapshotCell, SnapshotStaleness, StreamStats};
 use dctstream_core::{
     estimate_equi_join, CosineSynopsis, DctError, MultiDimSynopsis, Result, StreamSummary,
 };
@@ -158,6 +159,11 @@ pub struct StreamProcessor {
     buffers: HashMap<String, BatchBuffer>,
     flush_threshold: Option<usize>,
     events: u64,
+    /// Per-stream cumulative `(records, Σ|w|)` update totals, counted at
+    /// intake (buffered or not). Snapshots capture these at publish;
+    /// comparing against the live totals quantifies snapshot staleness.
+    stats: HashMap<String, StreamStats>,
+    total_stats: StreamStats,
 }
 
 impl StreamProcessor {
@@ -227,7 +233,20 @@ impl StreamProcessor {
     /// quarantined streams whose WAL replay failed.
     pub fn unregister(&mut self, name: &str) -> Option<Summary> {
         self.buffers.remove(name);
+        self.stats.remove(name);
         self.streams.remove(name)
+    }
+
+    /// Cumulative `(records, Σ|w|)` update totals routed to one stream
+    /// over this processor's lifetime (zero for unknown streams).
+    pub fn update_stats(&self, name: &str) -> StreamStats {
+        self.stats.get(name).copied().unwrap_or_default()
+    }
+
+    /// Cumulative `(records, Σ|w|)` update totals across all streams —
+    /// the live side of [`RegistrySnapshot::staleness_given`].
+    pub fn total_update_stats(&self) -> StreamStats {
+        self.total_stats
     }
 
     /// Names of registered streams (unordered).
@@ -279,6 +298,11 @@ impl StreamProcessor {
             buffers,
             flush_threshold,
             events,
+            // Update totals restart at zero: staleness is a live
+            // comparison between a snapshot and the registry that
+            // published it, not a durable quantity.
+            stats: HashMap::new(),
+            total_stats: StreamStats::default(),
         }
     }
 
@@ -306,6 +330,11 @@ impl StreamProcessor {
             None => s.update_weighted(tuple, w)?,
         }
         self.events += 1;
+        let entry = self.stats.entry(stream.to_string()).or_default();
+        entry.records += 1;
+        entry.gross_weight += w.abs();
+        self.total_stats.records += 1;
+        self.total_stats.gross_weight += w.abs();
         dctstream_obs::counter_add!("ingest.events", 1);
         Ok(())
     }
@@ -353,10 +382,22 @@ impl StreamProcessor {
 /// recorded and observable via [`Self::was_poisoned`], and callers that
 /// must not trust post-panic state can use [`Self::checked_read`] /
 /// [`Self::checked_write`], which return a typed error instead.
+///
+/// # Concurrent estimation
+///
+/// Estimating through [`Self::write`] serializes readers behind ingest
+/// (the estimate entry points flush buffers, so they need the write
+/// lock — the PR 2 convoy). The scalable read path is snapshot-based:
+/// a writer (or a maintenance tick) calls [`Self::publish`] after a
+/// batch of ingest; readers call [`Self::snapshot`] — which never
+/// touches the registry lock — and estimate against the returned
+/// [`RegistrySnapshot`], checking [`RegistrySnapshot::staleness_given`]
+/// / [`Self::staleness_of`] when freshness matters.
 #[derive(Debug, Clone)]
 pub struct SharedProcessor {
     inner: Arc<RwLock<StreamProcessor>>,
     poisoned: Arc<std::sync::atomic::AtomicBool>,
+    cell: Arc<SnapshotCell>,
 }
 
 impl SharedProcessor {
@@ -365,7 +406,38 @@ impl SharedProcessor {
         SharedProcessor {
             inner: Arc::new(RwLock::new(processor)),
             poisoned: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            cell: Arc::new(SnapshotCell::new()),
         }
+    }
+
+    /// Publish a fresh snapshot of the registry: flush every stream's
+    /// pending buffered events under the write lock, deep-copy the
+    /// flushed summaries, and swap them into the snapshot cell under a
+    /// new epoch. Readers holding older snapshots are unaffected; new
+    /// [`Self::snapshot`] calls see this one.
+    pub fn publish(&self) -> Result<Arc<RegistrySnapshot>> {
+        let epoch = self.cell.next_epoch();
+        let snap = {
+            let mut guard = self.write();
+            Arc::new(RegistrySnapshot::capture(&mut guard, epoch)?)
+        };
+        self.cell.store(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// The most recently published snapshot (the empty epoch-0 snapshot
+    /// before the first [`Self::publish`]). Never takes the registry
+    /// lock: readers stay off the ingest path entirely.
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        self.cell.load()
+    }
+
+    /// How far `snap` trails the live registry right now. Takes the
+    /// registry *read* lock briefly to read the live update totals —
+    /// still never the write lock.
+    pub fn staleness_of(&self, snap: &RegistrySnapshot) -> SnapshotStaleness {
+        let live = self.read().total_update_stats();
+        snap.staleness_given(live)
     }
 
     fn note_poison(&self) {
@@ -589,6 +661,82 @@ mod tests {
         let mut guard = shared.write();
         assert_eq!(guard.events_processed(), 1000);
         assert!(guard.estimate_cosine_join("l", "r", None).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn readers_progress_while_a_writer_holds_the_ingest_lock() {
+        // Regression for the reader/ingest lock convoy: PR 2 routed
+        // every estimate through buffer flushes, which need the write
+        // lock, so concurrent readers serialized behind ingest. The
+        // snapshot path never touches the registry lock — proved here
+        // by a writer that *holds the write guard for the entire test*
+        // while four reader threads each complete a batch of estimates
+        // against the published snapshot. Under the flush-on-read
+        // design the readers would block until the writer released
+        // (i.e. this test would hang).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let mut p = StreamProcessor::new();
+        p.register("l", cosine(64, 16)).unwrap();
+        p.register("r", cosine(64, 16)).unwrap();
+        for v in 0..200i64 {
+            p.process_weighted("l", &[v % 64], 1.0).unwrap();
+            p.process_weighted("r", &[v % 8], 1.0).unwrap();
+        }
+        let shared = shared(p);
+        let expected = shared
+            .publish()
+            .unwrap()
+            .estimate_cosine_join("l", "r", None)
+            .unwrap();
+
+        let done = Arc::new(AtomicUsize::new(0));
+        const READERS: usize = 4;
+        const ESTIMATES_EACH: usize = 50;
+
+        // Writer: grab the write guard and ingest under it until every
+        // reader reports done.
+        let writer = {
+            let h = shared.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut guard = h.write();
+                let mut v = 0i64;
+                let mut ingested = 0u64;
+                while done.load(Ordering::SeqCst) < READERS {
+                    guard.process_weighted("l", &[v % 64], 1.0).unwrap();
+                    v += 1;
+                    ingested += 1;
+                }
+                ingested
+            })
+        };
+
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let h = shared.clone();
+            let done = Arc::clone(&done);
+            readers.push(std::thread::spawn(move || {
+                let mut completed = 0usize;
+                for _ in 0..ESTIMATES_EACH {
+                    let snap = h.snapshot();
+                    let est = snap.estimate_cosine_join("l", "r", None).unwrap();
+                    // The published snapshot is immutable: every reader
+                    // sees the bit-identical answer no matter how much
+                    // the writer has ingested meanwhile.
+                    assert_eq!(est, expected);
+                    completed += 1;
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                completed
+            }));
+        }
+        for r in readers {
+            assert_eq!(r.join().unwrap(), ESTIMATES_EACH);
+        }
+        let ingested = writer.join().unwrap();
+        assert!(ingested > 0, "the writer must have been ingesting");
+        assert!(!shared.was_poisoned());
     }
 
     #[test]

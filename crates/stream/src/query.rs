@@ -10,6 +10,7 @@
 //! by the *same method* and dispatches to that method's chain estimator.
 
 use crate::processor::{StreamProcessor, Summary};
+use crate::snapshot::RegistrySnapshot;
 use dctstream_core::{estimate_chain_join, ChainLink, DctError, Result};
 use dctstream_sketch::{estimate_fast_join, estimate_join, estimate_skimmed_join};
 use std::fmt;
@@ -133,6 +134,23 @@ impl ChainJoinQuery {
         for link in &self.links {
             let s = processor.summary(link.stream()).ok_or_else(|| {
                 DctError::InvalidParameter(format!("unknown stream '{}'", link.stream()))
+            })?;
+            summaries.push(s);
+        }
+        self.estimate_over(&summaries, budget)
+    }
+
+    /// Estimate the query against a published [`RegistrySnapshot`]
+    /// instead of the live registry. Never locks and never mutates:
+    /// the snapshot already carries flushed, `prepare()`d summaries
+    /// (see [`RegistrySnapshot::capture`]), so concurrent readers can
+    /// estimate while writers keep ingesting — the serve daemon's read
+    /// path.
+    pub fn estimate_at(&self, snapshot: &RegistrySnapshot, budget: Option<usize>) -> Result<f64> {
+        let mut summaries = Vec::with_capacity(self.links.len());
+        for link in &self.links {
+            let s = snapshot.summary(link.stream()).ok_or_else(|| {
+                DctError::InvalidParameter(format!("snapshot has no stream '{}'", link.stream()))
             })?;
             summaries.push(s);
         }

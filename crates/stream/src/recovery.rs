@@ -1081,6 +1081,15 @@ impl<S: WalStorage> DurableProcessor<S> {
             .unwrap_or((0, 0.0))
     }
 
+    /// Capture a tear-free [`crate::RegistrySnapshot`] of the registry
+    /// at `epoch`: flush every stream's pending buffered events, then
+    /// deep-copy the flushed summaries. Quarantined streams are captured
+    /// as-is — snapshot consumers that care consult [`Self::health`]
+    /// before trusting them. This is the serve daemon's publish step.
+    pub fn capture_snapshot(&mut self, epoch: u64) -> Result<crate::RegistrySnapshot> {
+        crate::RegistrySnapshot::capture(&mut self.processor, epoch)
+    }
+
     /// Read access to the underlying registry.
     pub fn processor(&self) -> &StreamProcessor {
         &self.processor

@@ -1,0 +1,455 @@
+//! Tear-free registry snapshots: the lock-free estimate read path.
+//!
+//! PR 2 made every estimate entry point flush the involved streams'
+//! batch buffers before reading, which forced the *query* path onto the
+//! registry's **write** lock — concurrent readers serialized behind
+//! ingest (a classic lock convoy). This module inverts the design, the
+//! same way [`dctstream_obs::MetricsSnapshot`] decouples metric readers
+//! from the hot ingest path:
+//!
+//! - the **write side** keeps mutating the live [`StreamProcessor`]
+//!   under its lock, exactly as before;
+//! - after each batch flush it **publishes** an immutable
+//!   [`RegistrySnapshot`] — a deep copy of every stream's already-flushed
+//!   summary, stamped with a monotone **epoch** — into a
+//!   [`SnapshotCell`];
+//! - **readers** grab the current `Arc<RegistrySnapshot>` (a pointer
+//!   swap under a momentary read lock, never the registry lock) and
+//!   estimate against it with zero synchronization and zero mutation.
+//!
+//! A snapshot is *stale by design*: it reflects the registry as of its
+//! publish, not as of the read. The staleness is **reported, not
+//! hidden** — each snapshot records the per-stream cumulative update
+//! counters at publish time, and [`RegistrySnapshot::staleness_given`]
+//! turns the live counters into a [`SnapshotStaleness`]
+//! (`records_behind` / `gross_weight_behind`, the same turnstile-sound
+//! gross-mass accounting `estimate_degraded` uses: a +5 followed by a −5
+//! is 2 records and 10 gross mass behind even though the net weight
+//! moved by zero).
+
+use crate::processor::{StreamProcessor, Summary};
+use dctstream_core::{estimate_equi_join, DctError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Per-stream cumulative update totals, captured at publish time and
+/// compared against the live registry to quantify snapshot staleness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Update records routed to the stream (turnstile inserts and
+    /// deletes both count one).
+    pub records: u64,
+    /// Gross update mass `Σ|w|` routed to the stream. Monotone under
+    /// turnstile churn, unlike the net weight.
+    pub gross_weight: f64,
+}
+
+/// How far a snapshot trails the live registry, in the staleness
+/// vocabulary of [`crate::health::StreamStaleness`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotStaleness {
+    /// The epoch of the snapshot being measured.
+    pub epoch: u64,
+    /// Update records the live registry has absorbed past the snapshot.
+    pub records_behind: u64,
+    /// Gross update mass (`Σ|w|`) absorbed past the snapshot. Reported
+    /// so cancelling +w/−w churn cannot masquerade as freshness.
+    pub gross_weight_behind: f64,
+}
+
+impl SnapshotStaleness {
+    /// Whether the snapshot was exactly up to date when measured.
+    pub fn is_fresh(&self) -> bool {
+        self.records_behind == 0
+    }
+}
+
+/// An immutable, tear-free copy of every registered stream's
+/// already-flushed summary, published at one instant under one epoch.
+///
+/// Estimates against a snapshot never take the registry lock and never
+/// mutate anything: the flush-before-read contract moved to the publish
+/// step ([`RegistrySnapshot::capture`] drains every batch buffer before
+/// copying), and skimmed sketches are `prepare()`d at capture so the
+/// read side needs no `&mut` access.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    epoch: u64,
+    events: u64,
+    summaries: HashMap<String, Summary>,
+    stats: HashMap<String, StreamStats>,
+    total: StreamStats,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot at epoch 0 — what a [`SnapshotCell`] holds
+    /// before the first publish.
+    pub fn empty() -> Self {
+        RegistrySnapshot {
+            epoch: 0,
+            events: 0,
+            summaries: HashMap::new(),
+            stats: HashMap::new(),
+            total: StreamStats::default(),
+        }
+    }
+
+    /// Capture the registry at `epoch`: flush every stream's pending
+    /// buffered events into its summary, then deep-copy the flushed
+    /// summaries and the cumulative update counters. Skimmed sketches
+    /// are prepared in the copy so snapshot estimates need no mutation.
+    pub fn capture(processor: &mut StreamProcessor, epoch: u64) -> Result<Self> {
+        processor.flush_all()?;
+        let mut summaries = HashMap::new();
+        let mut stats = HashMap::new();
+        let names: Vec<String> = processor.stream_names().map(str::to_string).collect();
+        for name in names {
+            // invariant: stream_names() only yields registered streams.
+            let mut s = processor
+                .summary(&name)
+                .expect("stream_names yields registered streams")
+                .clone();
+            if let Summary::Skimmed(sk) = &mut s {
+                sk.prepare_default();
+            }
+            summaries.insert(name.clone(), s);
+            stats.insert(name.clone(), processor.update_stats(&name));
+        }
+        Ok(RegistrySnapshot {
+            epoch,
+            events: processor.events_processed(),
+            summaries,
+            stats,
+            total: processor.total_update_stats(),
+        })
+    }
+
+    /// The publish epoch (monotone per cell; 0 = never published).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Events the registry had absorbed when this snapshot was taken.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Names of captured streams (unordered).
+    pub fn stream_names(&self) -> impl Iterator<Item = &str> {
+        self.summaries.keys().map(String::as_str)
+    }
+
+    /// Borrow a captured stream's summary.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// The captured cumulative update totals for one stream.
+    pub fn stream_stats(&self, name: &str) -> StreamStats {
+        self.stats.get(name).copied().unwrap_or_default()
+    }
+
+    /// The captured cumulative update totals across all streams.
+    pub fn total_stats(&self) -> StreamStats {
+        self.total
+    }
+
+    /// Estimate the equi-join of two cosine-summarized streams from the
+    /// snapshot. Never locks, never mutates: this is the concurrent
+    /// read path ([`crate::SharedProcessor::publish`] /
+    /// [`crate::SharedProcessor::snapshot`]).
+    pub fn estimate_cosine_join(
+        &self,
+        left: &str,
+        right: &str,
+        budget: Option<usize>,
+    ) -> Result<f64> {
+        let l = self.cosine(left)?;
+        let r = self.cosine(right)?;
+        let _span = dctstream_obs::span!("query.latency");
+        dctstream_obs::counter_add!("query.estimates", 1);
+        estimate_equi_join(l, r, budget)
+    }
+
+    fn cosine(&self, name: &str) -> Result<&dctstream_core::CosineSynopsis> {
+        self.summaries
+            .get(name)
+            .ok_or_else(|| DctError::InvalidParameter(format!("snapshot has no stream '{name}'")))?
+            .as_cosine()
+            .ok_or_else(|| {
+                DctError::InvalidParameter(format!(
+                    "stream '{name}' is not summarized by a cosine synopsis"
+                ))
+            })
+    }
+
+    /// How far this snapshot trails a registry whose cumulative update
+    /// totals are `live` (see [`StreamProcessor::total_update_stats`]).
+    /// Saturating: a snapshot from a different registry lineage reports
+    /// zero rather than wrapping.
+    pub fn staleness_given(&self, live: StreamStats) -> SnapshotStaleness {
+        SnapshotStaleness {
+            epoch: self.epoch,
+            records_behind: live.records.saturating_sub(self.total.records),
+            gross_weight_behind: (live.gross_weight - self.total.gross_weight).max(0.0),
+        }
+    }
+}
+
+/// A published-snapshot mailbox: writers swap in a fresh
+/// `Arc<RegistrySnapshot>` at each publish; readers clone the `Arc` out.
+///
+/// The cell's lock is held only for the pointer copy — nanoseconds —
+/// so readers never wait on ingest and ingest never waits on readers;
+/// the epoch counter is advanced atomically *before* the capture so
+/// concurrent publishers can never reuse an epoch.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<RegistrySnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotCell {
+    /// A cell holding the empty epoch-0 snapshot.
+    pub fn new() -> Self {
+        SnapshotCell {
+            current: RwLock::new(Arc::new(RegistrySnapshot::empty())),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim the next publish epoch (strictly increasing, starting at 1).
+    pub fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The epoch of the most recently *published* snapshot (0 = none).
+    pub fn published_epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+
+    /// Swap in a freshly captured snapshot.
+    pub fn store(&self, snap: Arc<RegistrySnapshot>) {
+        let mut slot = match self.current.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Publishes may race (two writers flushing concurrently); the
+        // newer epoch wins so readers never travel back in time.
+        if snap.epoch() >= slot.epoch() {
+            *slot = snap;
+        }
+        dctstream_obs::counter_add!("snapshot.publishes", 1);
+    }
+
+    /// The current published snapshot. Wait-free in practice: the lock
+    /// guards only an `Arc` clone.
+    pub fn load(&self) -> Arc<RegistrySnapshot> {
+        match self.current.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+/// Live-progress counters for staleness accounting outside the registry
+/// lock: the ingest path bumps them after each applied update, readers
+/// fold them into [`RegistrySnapshot::staleness_given`] without touching
+/// the registry. Gross weight is an `f64` maintained by CAS on its bit
+/// pattern — lock-free, and exact for the additions performed.
+#[derive(Debug, Default)]
+pub struct Progress {
+    records: AtomicU64,
+    gross_bits: AtomicU64,
+}
+
+impl Progress {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` applied updates carrying `gross` total mass (`Σ|w|`).
+    pub fn add(&self, n: u64, gross: f64) {
+        self.records.fetch_add(n, Ordering::Relaxed);
+        let mut cur = self.gross_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + gross.abs()).to_bits();
+            match self.gross_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The totals so far.
+    pub fn totals(&self) -> StreamStats {
+        StreamStats {
+            records: self.records.load(Ordering::Relaxed),
+            gross_weight: f64::from_bits(self.gross_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctstream_core::{CosineSynopsis, Domain, Grid};
+
+    fn cosine(n: usize, m: usize) -> Summary {
+        Summary::Cosine(CosineSynopsis::new(Domain::of_size(n), Grid::Midpoint, m).unwrap())
+    }
+
+    #[test]
+    fn capture_flushes_and_matches_mutable_estimate() {
+        // Buffered registry with a threshold nothing auto-flushes.
+        let mut p = StreamProcessor::with_flush_threshold(10_000);
+        p.register("l", cosine(32, 16)).unwrap();
+        p.register("r", cosine(32, 16)).unwrap();
+        for v in 0..200i64 {
+            p.process_weighted("l", &[v % 32], 1.0).unwrap();
+            p.process_weighted("r", &[(v * 5) % 32], 1.0).unwrap();
+        }
+        let snap = RegistrySnapshot::capture(&mut p, 1).unwrap();
+        let via_snapshot = snap.estimate_cosine_join("l", "r", None).unwrap();
+        let via_mutable = p.estimate_cosine_join("l", "r", None).unwrap();
+        assert_eq!(via_snapshot, via_mutable);
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.events(), 400);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_ingest() {
+        let mut p = StreamProcessor::new();
+        p.register("l", cosine(16, 8)).unwrap();
+        p.register("r", cosine(16, 8)).unwrap();
+        for v in 0..50i64 {
+            p.process_weighted("l", &[v % 16], 1.0).unwrap();
+            p.process_weighted("r", &[v % 4], 1.0).unwrap();
+        }
+        let snap = RegistrySnapshot::capture(&mut p, 7).unwrap();
+        let before = snap.estimate_cosine_join("l", "r", None).unwrap();
+        for v in 0..500i64 {
+            p.process_weighted("l", &[v % 16], 3.0).unwrap();
+        }
+        // The snapshot answer is bit-identical to what it was: later
+        // ingest cannot tear or shift it.
+        assert_eq!(snap.estimate_cosine_join("l", "r", None).unwrap(), before);
+        // And the staleness is reported, not hidden.
+        let st = snap.staleness_given(p.total_update_stats());
+        assert_eq!(st.records_behind, 500);
+        assert!((st.gross_weight_behind - 1500.0).abs() < 1e-9);
+        assert!(!st.is_fresh());
+    }
+
+    #[test]
+    fn cell_epochs_are_monotone_and_racing_publishes_keep_the_newest() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.published_epoch(), 0);
+        let e1 = cell.next_epoch();
+        let e2 = cell.next_epoch();
+        assert!(e2 > e1);
+        let mut p = StreamProcessor::new();
+        p.register("s", cosine(8, 4)).unwrap();
+        // Publish the *newer* epoch first; the older one must not win.
+        let newer = Arc::new(RegistrySnapshot::capture(&mut p, e2).unwrap());
+        let older = Arc::new(RegistrySnapshot::capture(&mut p, e1).unwrap());
+        cell.store(newer);
+        cell.store(older);
+        assert_eq!(cell.published_epoch(), e2);
+    }
+
+    #[test]
+    fn progress_is_exact_under_concurrent_adders() {
+        let progress = Arc::new(Progress::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&progress);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    p.add(1, 0.5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = progress.totals();
+        assert_eq!(t.records, 4000);
+        assert!((t.gross_weight - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turnstile_churn_staleness_is_reported_not_hidden() {
+        // Regression for the buffered-read staleness contract: after a
+        // snapshot is published, +w/−w turnstile churn leaves the net
+        // weight (and therefore the summary and its tuple count) exactly
+        // where it was — accounting that tracked only net movement would
+        // report the snapshot as fresh. The gross-mass counters must
+        // report every record and every |w| instead.
+        let mut p = StreamProcessor::new();
+        p.register("s", cosine(16, 8)).unwrap();
+        p.register("t", cosine(16, 8)).unwrap();
+        for v in 0..20i64 {
+            p.process_weighted("s", &[v % 16], 1.0).unwrap();
+            p.process_weighted("t", &[v % 16], 1.0).unwrap();
+        }
+        let shared = crate::processor::shared(p);
+        let snap = shared.publish().unwrap();
+        let est_at_publish = snap.estimate_cosine_join("s", "t", None).unwrap();
+
+        // 50 insert/delete pairs of the same tuple at the same weight.
+        for _ in 0..50 {
+            let mut g = shared.write();
+            g.process_weighted("s", &[3], 5.0).unwrap();
+            g.process_weighted("s", &[3], -5.0).unwrap();
+        }
+        // Net effect on the summary: none. The snapshot still answers
+        // identically, and so does the live registry.
+        assert_eq!(
+            snap.estimate_cosine_join("s", "t", None).unwrap(),
+            est_at_publish
+        );
+        // But the staleness contract reports the churn in full: 100
+        // records and 500 units of gross update mass behind.
+        let st = shared.staleness_of(&snap);
+        assert_eq!(st.epoch, snap.epoch());
+        assert_eq!(st.records_behind, 100);
+        assert!((st.gross_weight_behind - 500.0).abs() < 1e-9, "{st:?}");
+        assert!(!st.is_fresh());
+
+        // Republishing clears it.
+        let snap2 = shared.publish().unwrap();
+        let st2 = shared.staleness_of(&snap2);
+        assert!(st2.is_fresh());
+        assert_eq!(st2.gross_weight_behind, 0.0);
+        assert!(snap2.epoch() > snap.epoch());
+    }
+
+    #[test]
+    fn unknown_and_wrong_kind_streams_are_typed_errors() {
+        let mut p = StreamProcessor::new();
+        p.register("c", cosine(8, 4)).unwrap();
+        let schema = dctstream_sketch::SketchSchema::new(1, 2, 2, 1).unwrap();
+        p.register(
+            "a",
+            Summary::Ams(dctstream_sketch::AmsSketch::new(schema, vec![0]).unwrap()),
+        )
+        .unwrap();
+        let snap = RegistrySnapshot::capture(&mut p, 1).unwrap();
+        assert!(snap.estimate_cosine_join("c", "missing", None).is_err());
+        assert!(snap.estimate_cosine_join("c", "a", None).is_err());
+    }
+}
