@@ -35,8 +35,8 @@ use dctstream_core::{
     DctError, Domain, Grid, MultiDimSynopsis,
 };
 use dctstream_stream::{
-    read_checkpoint, write_checkpoint, DurableProcessor, ParallelIngest, StreamEvent,
-    StreamProcessor, Summary, Tuple,
+    read_checkpoint, write_checkpoint, DurableProcessor, FleetOptions, ParallelIngest,
+    ShardedRegistry, StreamEvent, StreamProcessor, Summary, Tuple,
 };
 use std::fmt::Write as _;
 use std::fs;
@@ -268,6 +268,36 @@ pub enum Command {
         queue_depth: usize,
         /// Applied updates between snapshot publishes.
         publish_every: u64,
+        /// Shard count for fleet mode (`0` = single registry).
+        shards: usize,
+    },
+    /// Create a sharded registry fleet (per-shard WAL lineage + warm
+    /// follower) under a directory.
+    FleetInit {
+        /// Fleet root directory.
+        dir: PathBuf,
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Report per-shard fleet status: epoch, liveness, published
+    /// watermark, and follower staleness.
+    FleetStatus {
+        /// Fleet root directory.
+        dir: PathBuf,
+    },
+    /// Run bounded WAL-segment shipping rounds until every follower is
+    /// at parity with its primary.
+    FleetShip {
+        /// Fleet root directory.
+        dir: PathBuf,
+    },
+    /// Promote a shard's follower to primary (only when the primary
+    /// cannot be recovered), stamping a new epoch into the manifest.
+    FleetPromote {
+        /// Fleet root directory.
+        dir: PathBuf,
+        /// Shard to promote.
+        shard: usize,
     },
     /// Re-render the metrics table on an interval, tailing recent spans.
     Watch {
@@ -314,7 +344,11 @@ pub fn usage() -> &'static str {
        repair   <dir> [STREAM]... [--checkpoint]\n\
        stats    [DIR] [--json|--prom]\n\
        watch    [DIR] [--interval MS] [--iterations N]\n\
-       serve    DIR [--listen ADDR] [--workers N] [--queue N] [--publish-every N]\n\
+       serve    DIR [--listen ADDR] [--workers N] [--queue N] [--publish-every N] [--shards N]\n\
+       fleet-init    DIR --shards N\n\
+       fleet-status  DIR\n\
+       fleet-ship    DIR\n\
+       fleet-promote DIR --shard I\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
@@ -335,7 +369,13 @@ pub fn usage() -> &'static str {
      127.0.0.1:7171) while ingest keeps running: writers append through\n\
      the group-commit WAL, readers estimate against epoch-stamped\n\
      snapshots (staleness reported per answer); SIGTERM/SIGINT drain,\n\
-     checkpoint, and exit"
+     checkpoint, and exit; --shards N serves a sharded fleet instead\n\
+     (hash-routed ingest, merged answers with degraded attribution)\n\
+     fleet-init creates an N-shard fleet (per-shard WAL lineage plus a\n\
+     warm follower fed by segment shipping); fleet-status reports each\n\
+     shard's epoch, liveness, and follower staleness; fleet-ship drains\n\
+     shipping to parity; fleet-promote replays a dead shard's shipped\n\
+     tail, verifies it, and installs the follower as the new primary"
 }
 
 fn parse_domain(s: &str) -> CliResult<(i64, i64)> {
@@ -425,6 +465,17 @@ fn parse_threads(f: &mut Flags) -> CliResult<usize> {
             }
             Ok(n)
         }
+    }
+}
+
+/// The single required positional directory shared by the fleet
+/// commands.
+fn one_dir(f: &Flags, cmd: &str) -> CliResult<PathBuf> {
+    match f.positional.as_slice() {
+        [dir] => Ok(PathBuf::from(dir)),
+        _ => Err(CliError::Usage(format!(
+            "{cmd} takes exactly one fleet directory"
+        ))),
     }
 }
 
@@ -760,6 +811,13 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                     _ => return Err(CliError::Usage(format!("bad --publish-every '{v}'"))),
                 },
             };
+            let shards = match f.take_opt("shards") {
+                None => 0,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --shards '{v}'"))),
+                },
+            };
             let dir = match f.positional.as_slice() {
                 [dir] => PathBuf::from(dir),
                 _ => {
@@ -774,7 +832,35 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 workers,
                 queue_depth,
                 publish_every,
+                shards,
             })
+        }
+        "fleet-init" => {
+            let mut f = split_flags(rest, &[])?;
+            let shards: usize = f.parse("shards")?;
+            if shards == 0 {
+                return Err(CliError::Usage("--shards must be at least 1".into()));
+            }
+            let dir = one_dir(&f, "fleet-init")?;
+            Ok(Command::FleetInit { dir, shards })
+        }
+        "fleet-status" => {
+            let f = split_flags(rest, &[])?;
+            Ok(Command::FleetStatus {
+                dir: one_dir(&f, "fleet-status")?,
+            })
+        }
+        "fleet-ship" => {
+            let f = split_flags(rest, &[])?;
+            Ok(Command::FleetShip {
+                dir: one_dir(&f, "fleet-ship")?,
+            })
+        }
+        "fleet-promote" => {
+            let mut f = split_flags(rest, &[])?;
+            let shard: usize = f.parse("shard")?;
+            let dir = one_dir(&f, "fleet-promote")?;
+            Ok(Command::FleetPromote { dir, shard })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -1375,12 +1461,14 @@ pub fn run(cmd: Command) -> CliResult<String> {
             workers,
             queue_depth,
             publish_every,
+            shards,
         } => {
             dctstream_serve::install_signal_handlers();
             let opts = dctstream_serve::ServeOptions {
                 workers,
                 queue_depth,
                 publish_every,
+                shards,
                 ..Default::default()
             };
             let (server, report) = dctstream_serve::Server::start(&dir, &listen, opts)?;
@@ -1418,6 +1506,70 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 None => write!(out, "checkpoint skipped").unwrap(),
             }
             Ok(out)
+        }
+        Command::FleetInit { dir, shards } => {
+            let fleet = ShardedRegistry::create(&dir, shards, FleetOptions::default())?;
+            Ok(format!(
+                "initialized {}-shard fleet under {} (per-shard WAL lineage, warm followers)",
+                fleet.shards(),
+                dir.display()
+            ))
+        }
+        Command::FleetStatus { dir } => {
+            let fleet = ShardedRegistry::open(&dir, FleetOptions::default())?;
+            let mut out = String::new();
+            for s in fleet.status() {
+                writeln!(
+                    out,
+                    "shard {:02}  epoch {}  {}  published_seq {}  follower_seq {}  \
+                     behind {} record(s) ({:.1} gross weight){}",
+                    s.id,
+                    s.epoch,
+                    if s.alive { "alive" } else { "DOWN " },
+                    s.published_seq,
+                    s.follower_applied_seq,
+                    s.records_behind,
+                    s.gross_weight_behind,
+                    match &s.down_cause {
+                        Some(c) => format!("  [{c}]"),
+                        None => String::new(),
+                    }
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::FleetShip { dir } => {
+            let fleet = ShardedRegistry::open(&dir, FleetOptions::default())?;
+            let (mut rounds, mut bytes) = (0u64, 0u64);
+            loop {
+                let reports = fleet.ship_and_replay()?;
+                rounds += 1;
+                let round_bytes: u64 = reports.iter().map(|r| r.bytes_shipped).sum();
+                bytes += round_bytes;
+                if round_bytes == 0 && reports.iter().all(|r| !r.budget_exhausted) {
+                    break;
+                }
+            }
+            Ok(format!(
+                "shipped {bytes} byte(s) in {rounds} round(s); all followers at parity"
+            ))
+        }
+        Command::FleetPromote { dir, shard } => {
+            let fleet = ShardedRegistry::open(&dir, FleetOptions::default())?;
+            let alive = fleet.status().iter().any(|s| s.id == shard && s.alive);
+            if alive {
+                return Err(CliError::Usage(format!(
+                    "shard {shard} has a recoverable primary; promotion is for shards \
+                     whose primary cannot be opened"
+                )));
+            }
+            let report = fleet.promote(shard)?;
+            Ok(format!(
+                "promoted shard {} to epoch {}: follower replayed to watermark {} \
+                 (acked records through {} all survived)",
+                report.shard, report.epoch, report.watermark, report.acked_seq
+            ))
         }
         Command::Watch {
             dir,
@@ -2334,11 +2486,12 @@ mod tests {
                 workers: 4,
                 queue_depth: 64,
                 publish_every: 1024,
+                shards: 0,
             }
         );
         assert_eq!(
             parse(&args(
-                "serve reg --listen 0.0.0.0:9000 --workers 8 --queue 16 --publish-every 1"
+                "serve reg --listen 0.0.0.0:9000 --workers 8 --queue 16 --publish-every 1 --shards 4"
             ))
             .unwrap(),
             Command::Serve {
@@ -2347,6 +2500,7 @@ mod tests {
                 workers: 8,
                 queue_depth: 16,
                 publish_every: 1,
+                shards: 4,
             }
         );
         assert!(matches!(parse(&args("serve")), Err(CliError::Usage(_))));
@@ -2355,6 +2509,79 @@ mod tests {
             parse(&args("serve wal/ --workers 0")),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            parse(&args("serve wal/ --shards 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_fleet_commands() {
+        assert_eq!(
+            parse(&args("fleet-init fleet/ --shards 4")).unwrap(),
+            Command::FleetInit {
+                dir: "fleet/".into(),
+                shards: 4
+            }
+        );
+        assert_eq!(
+            parse(&args("fleet-status fleet/")).unwrap(),
+            Command::FleetStatus {
+                dir: "fleet/".into()
+            }
+        );
+        assert_eq!(
+            parse(&args("fleet-ship fleet/")).unwrap(),
+            Command::FleetShip {
+                dir: "fleet/".into()
+            }
+        );
+        assert_eq!(
+            parse(&args("fleet-promote fleet/ --shard 2")).unwrap(),
+            Command::FleetPromote {
+                dir: "fleet/".into(),
+                shard: 2
+            }
+        );
+        assert!(matches!(
+            parse(&args("fleet-init fleet/ --shards 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("fleet-status a b")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("fleet-promote fleet/")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_init_status_ship_roundtrip() {
+        let dir = tmp("fleet_cli_dir");
+        let _ = fs::remove_dir_all(&dir);
+        let out = run(Command::FleetInit {
+            dir: dir.clone(),
+            shards: 2,
+        })
+        .unwrap();
+        assert!(out.contains("2-shard fleet"), "{out}");
+        let out = run(Command::FleetStatus { dir: dir.clone() }).unwrap();
+        assert!(out.contains("shard 00"), "{out}");
+        assert!(out.contains("shard 01"), "{out}");
+        assert!(out.contains("alive"), "{out}");
+        let out = run(Command::FleetShip { dir: dir.clone() }).unwrap();
+        assert!(out.contains("parity"), "{out}");
+        // Promoting a shard with a recoverable primary must refuse.
+        assert!(matches!(
+            run(Command::FleetPromote {
+                dir: dir.clone(),
+                shard: 0
+            }),
+            Err(CliError::Usage(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Drive a full build + query + scrub session in-process, then check

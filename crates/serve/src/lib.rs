@@ -36,8 +36,8 @@ pub mod http;
 
 use dctstream_core::{CosineSynopsis, DctError, Domain, Grid, MultiDimSynopsis};
 use dctstream_stream::{
-    ChainJoinQuery, GroupDurable, Progress, RecoveryOptions, RecoveryReport, RegistrySnapshot,
-    SnapshotCell, Summary,
+    ChainJoinQuery, FleetOptions, GroupDurable, Progress, RecoveryOptions, RecoveryReport,
+    RegistrySnapshot, ShardStaleness, ShardedRegistry, SnapshotCell, Summary,
 };
 use http::{json_escape, respond, Request, Status};
 use std::collections::VecDeque;
@@ -68,6 +68,12 @@ pub struct ServeOptions {
     /// Write a checkpoint during graceful shutdown (skipped by
     /// [`Server::kill`] either way).
     pub checkpoint_on_shutdown: bool,
+    /// `0` (default) serves one group-commit durable registry. `N ≥ 1`
+    /// serves a [`ShardedRegistry`] fleet of `N` shards under the data
+    /// directory instead: ingest hash-routes across shards, estimates
+    /// merge coefficient vectors, and answers carry a `degraded` list
+    /// attributing follower-substituted shards.
+    pub shards: usize,
 }
 
 impl Default for ServeOptions {
@@ -78,6 +84,7 @@ impl Default for ServeOptions {
             publish_every: 1024,
             flush_threshold: None,
             checkpoint_on_shutdown: true,
+            shards: 0,
         }
     }
 }
@@ -150,11 +157,19 @@ impl ConnQueue {
     }
 }
 
+/// The daemon's write side: one group-commit durable registry, or a
+/// sharded fleet of them.
+#[derive(Debug)]
+enum Backend {
+    Single(GroupDurable<DirStorage>),
+    Fleet(ShardedRegistry),
+}
+
 /// Shared daemon state: the durable registry (write side), the snapshot
 /// cell (read side), and the live-progress counters tying them together.
 #[derive(Debug)]
 struct ServerState {
-    gd: GroupDurable<DirStorage>,
+    backend: Backend,
     cell: SnapshotCell,
     progress: Progress,
     since_publish: AtomicU64,
@@ -164,10 +179,30 @@ struct ServerState {
 }
 
 impl ServerState {
+    /// The single-registry write side; panics in fleet mode (callers
+    /// route fleet traffic through [`Self::fleet`] instead).
+    fn gd(&self) -> &GroupDurable<DirStorage> {
+        match &self.backend {
+            Backend::Single(gd) => gd,
+            Backend::Fleet(_) => unreachable!("single-registry call routed to a fleet daemon"),
+        }
+    }
+
+    /// The fleet write side, if this daemon serves one.
+    fn fleet(&self) -> Option<&ShardedRegistry> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Fleet(f) => Some(f),
+        }
+    }
+
     /// Flush and publish a fresh snapshot under a new epoch.
     fn publish_now(&self) -> Result<Arc<RegistrySnapshot>> {
         let epoch = self.cell.next_epoch();
-        let snap = Arc::new(self.gd.with(|dp| dp.capture_snapshot(epoch))?);
+        let snap = match &self.backend {
+            Backend::Single(gd) => Arc::new(gd.with(|dp| dp.capture_snapshot(epoch))?),
+            Backend::Fleet(fleet) => Arc::new(fleet.capture_merged_at(epoch)?.0),
+        };
         self.cell.store(Arc::clone(&snap));
         self.since_publish.store(0, Ordering::SeqCst);
         Ok(snap)
@@ -191,13 +226,41 @@ impl Server {
     /// `listen` (e.g. `127.0.0.1:0` for an ephemeral port). Returns once
     /// the socket is bound and the recovery replay is complete.
     pub fn start(dir: &Path, listen: &str, opts: ServeOptions) -> Result<(Server, RecoveryReport)> {
-        let (gd, report) = GroupDurable::open_dir(
-            dir,
-            RecoveryOptions {
-                flush_threshold: opts.flush_threshold,
-                ..RecoveryOptions::default()
-            },
-        )?;
+        let recovery = RecoveryOptions {
+            flush_threshold: opts.flush_threshold,
+            ..RecoveryOptions::default()
+        };
+        let (backend, report) = if opts.shards == 0 {
+            let (gd, report) = GroupDurable::open_dir(dir, recovery)?;
+            (Backend::Single(gd), report)
+        } else {
+            // Fleet mode: re-open an existing fleet under `dir`, or
+            // create one. The fleet's own open path drains shipping to
+            // parity and re-anchors staleness, so the report here only
+            // reflects that nothing needed replaying at this layer.
+            let fleet_opts = FleetOptions {
+                recovery,
+                ..FleetOptions::default()
+            };
+            let fleet = if dir
+                .join(dctstream_stream::shard::FLEET_MANIFEST_FILE)
+                .is_file()
+            {
+                ShardedRegistry::open(dir, fleet_opts)?
+            } else {
+                ShardedRegistry::create(dir, opts.shards, fleet_opts)?
+            };
+            let report = RecoveryReport {
+                checkpoint_events: 0,
+                checkpoint_watermark: 0,
+                replayed: 0,
+                segments_scanned: 0,
+                torn_tail: None,
+                quarantined: Vec::new(),
+                dropped: Vec::new(),
+            };
+            (Backend::Fleet(fleet), report)
+        };
         let listener = TcpListener::bind(listen)
             .map_err(|e| DctError::InvalidParameter(format!("binding {listen}: {e}")))?;
         let addr = listener
@@ -208,7 +271,7 @@ impl Server {
             .map_err(|e| DctError::InvalidParameter(format!("nonblocking listener: {e}")))?;
 
         let state = Arc::new(ServerState {
-            gd,
+            backend,
             cell: SnapshotCell::new(),
             progress: Progress::new(),
             since_publish: AtomicU64::new(0),
@@ -218,10 +281,14 @@ impl Server {
         });
         // Seed the progress mirror with the recovered registry's totals
         // so staleness stays a live-vs-snapshot delta after restarts.
-        let recovered = state.gd.with(|dp| dp.processor().total_update_stats());
-        state
-            .progress
-            .add(recovered.records, recovered.gross_weight);
+        // (A freshly opened fleet anchors its lineage at zero, so its
+        // mirror correctly starts at zero.)
+        if let Backend::Single(gd) = &state.backend {
+            let recovered = gd.with(|dp| dp.processor().total_update_stats());
+            state
+                .progress
+                .add(recovered.records, recovered.gross_weight);
+        }
         // Publish epoch 1 so queries work before the first ingest.
         state.publish_now()?;
 
@@ -285,15 +352,27 @@ impl Server {
     /// nothing.
     pub fn shutdown(mut self, checkpoint: bool) -> ShutdownReport {
         self.stop_threads();
-        let checkpoint = if checkpoint {
-            Some(self.state.gd.checkpoint().map_err(|e| e.to_string()))
-        } else {
-            // Still make acked records durable on disk.
-            let _ = self.state.gd.sync();
-            None
+        let checkpoint = match (&self.state.backend, checkpoint) {
+            (Backend::Single(gd), true) => Some(gd.checkpoint().map_err(|e| e.to_string())),
+            (Backend::Single(gd), false) => {
+                // Still make acked records durable on disk.
+                let _ = gd.sync();
+                None
+            }
+            (Backend::Fleet(fleet), true) => {
+                Some(fleet.checkpoint_all().map_err(|e| e.to_string()))
+            }
+            (Backend::Fleet(fleet), false) => {
+                let _ = fleet.publish_all();
+                None
+            }
+        };
+        let events = match &self.state.backend {
+            Backend::Single(gd) => gd.events_processed(),
+            Backend::Fleet(_) => self.state.cell.load().events(),
         };
         ShutdownReport {
-            events: self.state.gd.events_processed(),
+            events,
             epoch: self.state.cell.published_epoch(),
             checkpoint,
         }
@@ -310,13 +389,23 @@ impl Server {
 
     /// Run `f` against the underlying durable registry (tests and the
     /// CLI use this for assertions and maintenance).
+    ///
+    /// # Panics
+    ///
+    /// In fleet mode (`shards ≥ 1`) — use [`Self::with_fleet`] there.
     pub fn with_registry<R>(
         &self,
         f: impl FnOnce(
             &mut dctstream_stream::DurableProcessor<dctstream_stream::SharedStorage<DirStorage>>,
         ) -> R,
     ) -> R {
-        self.state.gd.with(f)
+        self.state.gd().with(f)
+    }
+
+    /// Run `f` against the fleet backend, or `None` in single-registry
+    /// mode.
+    pub fn with_fleet<R>(&self, f: impl FnOnce(&ShardedRegistry) -> R) -> Option<R> {
+        self.state.fleet().map(f)
     }
 }
 
@@ -402,6 +491,8 @@ fn route(state: &ServerState, req: &Request) -> (Status, &'static str, String) {
         ("GET", "/v1/estimate") => handle_estimate(state, req),
         ("POST", "/v1/chain") => handle_chain(state, req),
         ("GET", "/v1/streams") => handle_streams(state, req),
+        ("GET", "/v1/fleet") => handle_fleet_status(state),
+        ("POST", "/v1/fleet/ship") => handle_fleet_ship(state),
         ("POST", "/v1/checkpoint") => handle_checkpoint(state),
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -411,7 +502,7 @@ fn route(state: &ServerState, req: &Request) -> (Status, &'static str, String) {
         (
             _,
             "/healthz" | "/metrics" | "/v1/register" | "/v1/ingest" | "/v1/estimate" | "/v1/chain"
-            | "/v1/streams" | "/v1/checkpoint" | "/v1/shutdown",
+            | "/v1/streams" | "/v1/fleet" | "/v1/fleet/ship" | "/v1/checkpoint" | "/v1/shutdown",
         ) => Err((
             Status::MethodNotAllowed,
             format!("method {} not allowed here", req.method),
@@ -486,7 +577,12 @@ fn handle_health(state: &ServerState) -> Handled {
 
 fn metrics_response(state: &ServerState) -> (Status, &'static str, String) {
     let mut snap = dctstream_obs::global().snapshot();
-    let counters = state.gd.with(|dp| dp.persistent_counters().clone());
+    // Fleet mode keeps per-shard manifests; persistent counters are a
+    // single-registry surface.
+    let counters = match &state.backend {
+        Backend::Single(gd) => gd.with(|dp| dp.persistent_counters().clone()),
+        Backend::Fleet(_) => Default::default(),
+    };
     for (name, value) in counters {
         // Manifest keys carry `_total`; strip it so the Prometheus
         // renderer does not emit a doubled suffix.
@@ -542,10 +638,11 @@ fn handle_register(state: &ServerState, req: &Request) -> Handled {
         }
         other => return Err(usage(format!("bad kind {other:?}: cosine or multi"))),
     };
-    state
-        .gd
-        .register(key.clone(), summary)
-        .map_err(|e| rejected(&e))?;
+    match &state.backend {
+        Backend::Single(gd) => gd.register(key.clone(), summary),
+        Backend::Fleet(fleet) => fleet.register(key.clone(), summary),
+    }
+    .map_err(|e| rejected(&e))?;
     // Publish immediately so the stream is queryable at once.
     let snap = state.publish_now().map_err(|e| rejected(&e))?;
     Ok(format!(
@@ -597,38 +694,60 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Handled {
         return Err(usage("empty ingest body".to_string()));
     }
 
-    // Apply under the registry lock; bump the lock-free progress mirror
-    // per applied row so staleness accounting survives mid-batch errors.
-    let applied_then_snapshot = state.gd.with(|dp| {
-        let mut applied = 0u64;
-        for (tuple, w) in &rows {
-            dp.process_weighted(&key, tuple, *w)?;
-            state.progress.add(1, w.abs());
-            applied += 1;
+    match &state.backend {
+        Backend::Single(gd) => {
+            // Apply under the registry lock; bump the lock-free progress
+            // mirror per applied row so staleness accounting survives
+            // mid-batch errors.
+            let applied_then_snapshot = gd.with(|dp| {
+                let mut applied = 0u64;
+                for (tuple, w) in &rows {
+                    dp.process_weighted(&key, tuple, *w)?;
+                    state.progress.add(1, w.abs());
+                    applied += 1;
+                }
+                let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
+                if since >= state.publish_every {
+                    state.since_publish.store(0, Ordering::SeqCst);
+                    let epoch = state.cell.next_epoch();
+                    return dp.capture_snapshot(epoch).map(Some);
+                }
+                Ok(None)
+            });
+            let snap = match applied_then_snapshot {
+                Ok(s) => s,
+                Err(e) => return Err(rejected(&e)),
+            };
+            // Durable ack: one group fsync covers the whole batch.
+            gd.sync().map_err(|e| rejected(&e))?;
+            if let Some(snap) = snap {
+                state.cell.store(Arc::new(snap));
+            }
+            Ok(format!(
+                "{{\"accepted\":{},\"durable_seq\":{},\"epoch\":{}}}",
+                rows.len(),
+                gd.durable_watermark(),
+                state.cell.published_epoch()
+            ))
         }
-        let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
-        if since >= state.publish_every {
-            state.since_publish.store(0, Ordering::SeqCst);
-            let epoch = state.cell.next_epoch();
-            return dp.capture_snapshot(epoch).map(Some);
+        Backend::Fleet(fleet) => {
+            // The fleet partitions, applies, syncs, and publishes each
+            // touched shard's watermark internally; the ack below is
+            // durable across every routed shard.
+            let applied = fleet.ingest(&key, &rows).map_err(|e| rejected(&e))?;
+            for (_, w) in &rows {
+                state.progress.add(1, w.abs());
+            }
+            let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
+            if since >= state.publish_every {
+                state.publish_now().map_err(|e| rejected(&e))?;
+            }
+            Ok(format!(
+                "{{\"accepted\":{applied},\"epoch\":{}}}",
+                state.cell.published_epoch()
+            ))
         }
-        Ok(None)
-    });
-    let snap = match applied_then_snapshot {
-        Ok(s) => s,
-        Err(e) => return Err(rejected(&e)),
-    };
-    // Durable ack: one group fsync covers the whole batch.
-    state.gd.sync().map_err(|e| rejected(&e))?;
-    if let Some(snap) = snap {
-        state.cell.store(Arc::new(snap));
     }
-    Ok(format!(
-        "{{\"accepted\":{},\"durable_seq\":{},\"epoch\":{}}}",
-        rows.len(),
-        state.gd.durable_watermark(),
-        state.cell.published_epoch()
-    ))
 }
 
 /// The staleness fields every estimate answer carries.
@@ -643,6 +762,38 @@ fn staleness_json(state: &ServerState, snap: &RegistrySnapshot) -> String {
     )
 }
 
+/// Render fleet staleness attribution as a JSON array.
+fn degraded_json(degraded: &[ShardStaleness]) -> String {
+    let entries: Vec<String> = degraded
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"shard\":{},\"records_behind\":{},\"gross_weight_behind\":{}}}",
+                d.shard, d.records_behind, d.gross_weight_behind
+            )
+        })
+        .collect();
+    format!("\"degraded\":[{}]", entries.join(","))
+}
+
+/// A queryable snapshot plus, in fleet mode, the per-shard staleness of
+/// any follower-substituted answers.
+type QuerySnapshot = (Arc<RegistrySnapshot>, Option<Vec<ShardStaleness>>);
+
+/// The snapshot an estimate answers from: fleet daemons capture a fresh
+/// merged snapshot per query (so degraded attribution is live), single
+/// daemons read the published cell.
+fn query_snapshot(state: &ServerState) -> std::result::Result<QuerySnapshot, (Status, String)> {
+    match &state.backend {
+        Backend::Single(_) => Ok((state.cell.load(), None)),
+        Backend::Fleet(fleet) => {
+            let epoch = state.cell.next_epoch();
+            let (snap, degraded) = fleet.capture_merged_at(epoch).map_err(|e| rejected(&e))?;
+            Ok((Arc::new(snap), Some(degraded)))
+        }
+    }
+}
+
 fn handle_estimate(state: &ServerState, req: &Request) -> Handled {
     let left = qualify(req, required(req, "left")?)?;
     let right = qualify(req, required(req, "right")?)?;
@@ -650,14 +801,21 @@ fn handle_estimate(state: &ServerState, req: &Request) -> Handled {
         Some(b) => Some(parse_num::<usize>("budget", b)?),
         None => None,
     };
-    let snap = state.cell.load();
+    let (snap, degraded) = query_snapshot(state)?;
     let est = snap
         .estimate_cosine_join(&left, &right, budget)
         .map_err(|e| rejected(&e))?;
-    Ok(format!(
-        "{{\"estimate\":{est},{}}}",
-        staleness_json(state, &snap)
-    ))
+    match degraded {
+        Some(d) => Ok(format!(
+            "{{\"estimate\":{est},{},{}}}",
+            staleness_json(state, &snap),
+            degraded_json(&d)
+        )),
+        None => Ok(format!(
+            "{{\"estimate\":{est},{}}}",
+            staleness_json(state, &snap)
+        )),
+    }
 }
 
 fn handle_chain(state: &ServerState, req: &Request) -> Handled {
@@ -694,12 +852,19 @@ fn handle_chain(state: &ServerState, req: &Request) -> Handled {
         }
     }
     let query = builder.build().map_err(|e| rejected(&e))?;
-    let snap = state.cell.load();
+    let (snap, degraded) = query_snapshot(state)?;
     let est = query.estimate_at(&snap, budget).map_err(|e| rejected(&e))?;
-    Ok(format!(
-        "{{\"estimate\":{est},{}}}",
-        staleness_json(state, &snap)
-    ))
+    match degraded {
+        Some(d) => Ok(format!(
+            "{{\"estimate\":{est},{},{}}}",
+            staleness_json(state, &snap),
+            degraded_json(&d)
+        )),
+        None => Ok(format!(
+            "{{\"estimate\":{est},{}}}",
+            staleness_json(state, &snap)
+        )),
+    }
 }
 
 fn handle_streams(state: &ServerState, req: &Request) -> Handled {
@@ -738,11 +903,68 @@ fn handle_streams(state: &ServerState, req: &Request) -> Handled {
 }
 
 fn handle_checkpoint(state: &ServerState) -> Handled {
-    let retired = state.gd.checkpoint().map_err(|e| rejected(&e))?;
+    let retired = match &state.backend {
+        Backend::Single(gd) => gd.checkpoint(),
+        Backend::Fleet(fleet) => fleet.checkpoint_all(),
+    }
+    .map_err(|e| rejected(&e))?;
     let snap = state.publish_now().map_err(|e| rejected(&e))?;
     Ok(format!(
         "{{\"retired_segments\":{retired},\"epoch\":{}}}",
         snap.epoch()
+    ))
+}
+
+fn fleet_only(state: &ServerState) -> std::result::Result<&ShardedRegistry, (Status, String)> {
+    state.fleet().ok_or((
+        Status::Unprocessable,
+        "this daemon serves a single registry; start with --shards N for a fleet".to_string(),
+    ))
+}
+
+fn handle_fleet_status(state: &ServerState) -> Handled {
+    let fleet = fleet_only(state)?;
+    let entries: Vec<String> = fleet
+        .status()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\":{},\"epoch\":{},\"alive\":{},\"published_seq\":{},\
+                 \"follower_applied_seq\":{},\"records_behind\":{},\"gross_weight_behind\":{}{}}}",
+                s.id,
+                s.epoch,
+                s.alive,
+                s.published_seq,
+                s.follower_applied_seq,
+                s.records_behind,
+                s.gross_weight_behind,
+                match &s.down_cause {
+                    Some(c) => format!(",\"down_cause\":\"{}\"", json_escape(c)),
+                    None => String::new(),
+                }
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\"shards\":{},\"fleet\":[{}]}}",
+        fleet.shards(),
+        entries.join(",")
+    ))
+}
+
+fn handle_fleet_ship(state: &ServerState) -> Handled {
+    let fleet = fleet_only(state)?;
+    let reports = fleet.ship_and_replay().map_err(|e| rejected(&e))?;
+    let (mut bytes, mut segments, mut exhausted) = (0u64, 0usize, false);
+    for r in &reports {
+        bytes += r.bytes_shipped;
+        segments += r.segments_touched;
+        exhausted |= r.budget_exhausted;
+    }
+    Ok(format!(
+        "{{\"shards\":{},\"bytes_shipped\":{bytes},\"segments_touched\":{segments},\
+         \"budget_exhausted\":{exhausted}}}",
+        reports.len()
     ))
 }
 

@@ -226,6 +226,77 @@ fn protocol_errors_are_status_codes_not_hangs() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Fleet mode over the socket: hash-routed ingest, merged answers, a
+/// shard kill answered from the follower with attribution, and a fleet
+/// restart that reopens from the manifest.
+#[test]
+fn fleet_daemon_degrades_and_recovers_over_http() {
+    let dir = tmp_dir("fleet");
+    let opts = ServeOptions {
+        shards: 4,
+        publish_every: 1,
+        ..ServeOptions::default()
+    };
+    let (server, _) = Server::start(&dir, "127.0.0.1:0", opts.clone()).unwrap();
+    let addr = server.local_addr();
+    register_cosine(addr, "acme", "l");
+    register_cosine(addr, "acme", "r");
+    let rows: String = (0..120).map(|v| format!("{}\n", v % 32)).collect();
+    assert_eq!(ingest(addr, "acme", "l", &rows).0, 200);
+    assert_eq!(ingest(addr, "acme", "r", &rows).0, 200);
+
+    // Healthy fleet: merged answer, empty degraded list.
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    let healthy = json_num(&body, "estimate");
+    assert!(body.contains("\"degraded\":[]"), "{body}");
+
+    // Ship followers to parity, then kill one shard.
+    let (status, body) = request(addr, "POST", "/v1/fleet/ship", "");
+    assert_eq!(status, 200, "{body}");
+    server
+        .with_fleet(|f| {
+            while f
+                .ship_and_replay()
+                .unwrap()
+                .iter()
+                .any(|r| r.budget_exhausted || r.bytes_shipped > 0)
+            {}
+            f.kill(1).unwrap();
+        })
+        .expect("fleet backend");
+
+    // Status shows the dead shard; estimates still answer, attributed.
+    let (status, body) = request(addr, "GET", "/v1/fleet", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"alive\":false"), "{body}");
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    let degraded = json_num(&body, "estimate");
+    assert!(body.contains("\"degraded\":[{\"shard\":1"), "{body}");
+    assert_eq!(
+        healthy.to_bits(),
+        degraded.to_bits(),
+        "follower at parity must answer bit-identically: {healthy} vs {degraded}"
+    );
+
+    // Restart over the same directory: the manifest reopens the fleet
+    // (the killed shard's durable directory recovers on open).
+    server.kill();
+    let (revived, _) = Server::start(&dir, "127.0.0.1:0", opts).unwrap();
+    let addr = revived.local_addr();
+    let (status, body) = request(addr, "GET", "/v1/estimate?tenant=acme&left=l&right=r", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json_num(&body, "estimate").to_bits(),
+        healthy.to_bits(),
+        "reopened fleet must answer bit-identically: {body}"
+    );
+    assert!(body.contains("\"degraded\":[]"), "{body}");
+    revived.shutdown(true);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The crash leg: kill the daemon mid-ingest (no shutdown checkpoint, no
 /// final sync) and restart over the same directory. Everything the
 /// daemon acked was fsynced before the ack, so the recovered registry

@@ -32,6 +32,16 @@
 //!   lock-free estimate read path (writers publish after each batch
 //!   flush, readers estimate against immutable copies with reported
 //!   staleness), which the serve daemon builds on.
+//! - [`retry`] — the shared bounded-retry-with-jittered-backoff policy
+//!   used by recovery, the WAL, and segment shipping.
+//! - [`ship`] — WAL segment shipping to warm followers: bounded
+//!   byte-delta rounds in strict segment order, continuous replay
+//!   through the recovery scanner, and staleness tracked against the
+//!   primary's published watermark.
+//! - [`shard`] — the sharded registry fleet: hash-partitioned ingest
+//!   across N durable shards, coefficient-merge coordination for
+//!   queries, and follower substitution with attributed staleness when
+//!   a shard dies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,6 +55,9 @@ pub mod parallel;
 pub mod processor;
 pub mod query;
 pub mod recovery;
+pub mod retry;
+pub mod shard;
+pub mod ship;
 pub mod snapshot;
 pub mod wal;
 
@@ -59,8 +72,12 @@ pub use query::{ChainJoinQuery, ChainJoinQueryBuilder, QueryLink};
 pub use recovery::{
     DurableProcessor, GroupDurable, RecoveryOptions, RecoveryReport, RepairReport, ScrubReport,
 };
+pub use shard::{
+    FleetEstimate, FleetOptions, PromotionReport, ShardStaleness, ShardStatus, ShardedRegistry,
+};
+pub use ship::{Follower, SegmentShipper, ShipOptions, ShipReport, ShipWatermark};
 pub use snapshot::{Progress, RegistrySnapshot, SnapshotCell, SnapshotStaleness, StreamStats};
 pub use wal::{
-    DirStorage, FailingStorage, GroupWal, MemStorage, RetryPolicy, SharedStorage, SyncPolicy, Wal,
-    WalOptions, WalRecord, WalStorage,
+    scan_records, DirStorage, FailingStorage, GroupWal, MemStorage, RetryPolicy, SharedStorage,
+    SyncPolicy, Wal, WalOptions, WalRecord, WalStorage,
 };

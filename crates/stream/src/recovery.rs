@@ -189,7 +189,11 @@ impl<S: WalStorage> DurableProcessor<S> {
     /// [`crate::MemStorage`] / [`crate::FailingStorage`]).
     pub fn open_with(storage: S, opts: RecoveryOptions) -> Result<(Self, RecoveryReport)> {
         // 1. Newest checkpoint, if one exists.
-        let manifest = match opts.wal.retry.run(|| storage.read(CHECKPOINT_FILE)) {
+        let manifest = match opts
+            .wal
+            .retry
+            .run_labeled("checkpoint.read", || storage.read(CHECKPOINT_FILE))
+        {
             Ok(bytes) => Some(bytes),
             Err(e) if e.kind() == io::ErrorKind::NotFound => None,
             Err(e) => {
@@ -482,7 +486,7 @@ impl<S: WalStorage> DurableProcessor<S> {
             .checkpoint_bytes_with_meta(watermark, &totals)?;
         let retry = self.wal.options().retry.clone();
         retry
-            .run(|| {
+            .run_labeled("checkpoint.write", || {
                 self.wal
                     .storage_mut()
                     .write_atomic(CHECKPOINT_FILE, manifest.as_slice())
@@ -1055,6 +1059,20 @@ impl<S: WalStorage> DurableProcessor<S> {
     /// Sequence number of the last logged record.
     pub fn wal_watermark(&self) -> u64 {
         self.wal.watermark()
+    }
+
+    /// Pin WAL retention for a consumer (see [`Wal::pin_retention`]):
+    /// checkpoints keep every segment holding records past `acked_seq`,
+    /// so an attached shipper or follower never loses its replay
+    /// window to [`Self::checkpoint`]'s segment retirement.
+    pub fn pin_wal_retention(&mut self, consumer: impl Into<String>, acked_seq: u64) {
+        self.wal.pin_retention(consumer, acked_seq);
+    }
+
+    /// Release a consumer's WAL retention pin (see
+    /// [`Wal::release_retention`]).
+    pub fn release_wal_retention(&mut self, consumer: &str) -> bool {
+        self.wal.release_retention(consumer)
     }
 
     /// Events absorbed by the registry (checkpointed + replayed + live).

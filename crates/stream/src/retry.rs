@@ -1,0 +1,202 @@
+//! Bounded retry with jittered exponential backoff for transient I/O.
+//!
+//! One policy, shared by every layer that talks to fallible storage:
+//! checkpoint reads and WAL appends in [`crate::recovery`], segment
+//! scans in [`crate::wal`], and segment shipping in [`crate::ship`].
+//! Two copies of retry logic is how timeout bugs breed — this module is
+//! the single copy.
+//!
+//! Backoff doubles per retry and is *jittered*: each sleep is scaled
+//! into the upper half of its nominal window by a deterministic
+//! xorshift of a process-wide counter, so a fleet of shippers that all
+//! hit the same transient stall does not retry in lockstep. Determinism
+//! matters here — tests that count retries stay exact, only the sleep
+//! duration varies within its bound.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Process-wide jitter seed: every sleep draws a fresh value, so
+/// concurrent retry loops decorrelate even with identical policies.
+static JITTER_STATE: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+/// Scale `nominal` into `[nominal/2, nominal]` by a deterministic
+/// xorshift draw. Zero stays zero.
+fn jittered(nominal: Duration) -> Duration {
+    if nominal.is_zero() {
+        return nominal;
+    }
+    let mut x = JITTER_STATE.fetch_add(0x2545_f491_4f6c_dd1d, Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Keep at least half the nominal backoff so retries still back off.
+    let half = nominal / 2;
+    half + half.mul_f64((x >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Bounded retry with exponential backoff for *transient* I/O failures
+/// (`Interrupted`, `WouldBlock`, `TimedOut`). Everything else — and
+/// exhaustion of the retry budget — propagates immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles each further retry, with
+    /// each sleep jittered into the upper half of its nominal window.
+    pub initial_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure propagates immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+        }
+    }
+
+    fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Run `op`, retrying transient failures up to the budget.
+    pub fn run<T>(&self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.run_inner(op, None)
+    }
+
+    /// Run `op` under an operation label: every *retry* (attempts past
+    /// the first) bumps `retry.attempts_total{op=<label>}`, so a
+    /// dashboard can tell shipping stalls from checkpoint stalls. The
+    /// label is dynamic, so this goes through
+    /// [`dctstream_obs::MetricsRegistry::counter_with`] directly — the
+    /// `counter_add!` macro caches its handle per call site and would
+    /// pin the first label forever.
+    pub fn run_labeled<T>(
+        &self,
+        op_label: &str,
+        op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        self.run_inner(op, Some(op_label))
+    }
+
+    fn run_inner<T>(
+        &self,
+        mut op: impl FnMut() -> io::Result<T>,
+        label: Option<&str>,
+    ) -> io::Result<T> {
+        let mut backoff = self.initial_backoff;
+        let mut remaining = self.max_retries;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if Self::is_transient(e.kind()) && remaining > 0 => {
+                    remaining -= 1;
+                    if let Some(l) = label {
+                        if dctstream_obs::enabled() {
+                            dctstream_obs::global()
+                                .counter_with("retry.attempts_total", &[("op", l)])
+                                .inc();
+                        }
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(jittered(backoff));
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error, ErrorKind};
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::ZERO,
+        };
+        let mut failures = 2;
+        let out = policy.run(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err(Error::new(ErrorKind::Interrupted, "transient"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn budget_exhaustion_and_hard_errors_propagate() {
+        let policy = RetryPolicy {
+            max_retries: 1,
+            initial_backoff: Duration::ZERO,
+        };
+        let out: io::Result<()> = policy.run(|| Err(Error::new(ErrorKind::TimedOut, "always")));
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::TimedOut);
+        let mut calls = 0;
+        let out: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(Error::new(ErrorKind::NotFound, "hard"))
+        });
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::NotFound);
+        assert_eq!(calls, 1, "non-transient errors must not be retried");
+    }
+
+    #[test]
+    fn labeled_retries_count_attempts_per_op() {
+        dctstream_obs::set_enabled(true);
+        let before = dctstream_obs::global()
+            .counter_with("retry.attempts_total", &[("op", "test-op")])
+            .get();
+        let policy = RetryPolicy {
+            max_retries: 2,
+            initial_backoff: Duration::ZERO,
+        };
+        let mut failures = 2;
+        policy
+            .run_labeled("test-op", || {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(Error::new(ErrorKind::WouldBlock, "transient"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        let after = dctstream_obs::global()
+            .counter_with("retry.attempts_total", &[("op", "test-op")])
+            .get();
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_nominal_window() {
+        for _ in 0..64 {
+            let d = jittered(Duration::from_millis(8));
+            assert!(d >= Duration::from_millis(4), "{d:?}");
+            assert!(d <= Duration::from_millis(8), "{d:?}");
+        }
+        assert_eq!(jittered(Duration::ZERO), Duration::ZERO);
+    }
+}

@@ -184,6 +184,55 @@ impl RegistrySnapshot {
             })
     }
 
+    /// Merge per-shard snapshots into one fleet-wide snapshot at
+    /// `epoch`, summing coefficient vectors via the synopses' exact
+    /// linear merge — the coordinator's answer path for a sharded
+    /// registry, exploiting the same `merge_from` linearity the
+    /// parallel-ingest tree reduction is built on.
+    ///
+    /// With a single part the result is a field-for-field copy (modulo
+    /// the stamped epoch), so a one-shard fleet answers bit-identically
+    /// to the registry it wraps. Streams missing from some parts merge
+    /// from the parts that have them. Sketch-summarized streams are a
+    /// typed error: only cosine and multi-dimensional synopses carry an
+    /// exact linear merge.
+    pub fn merged(epoch: u64, parts: &[&RegistrySnapshot]) -> Result<RegistrySnapshot> {
+        let Some((first, rest)) = parts.split_first() else {
+            return Ok(RegistrySnapshot::empty());
+        };
+        let mut out = (*first).clone();
+        out.epoch = epoch;
+        for part in rest {
+            out.events += part.events;
+            out.total.records += part.total.records;
+            out.total.gross_weight += part.total.gross_weight;
+            for (name, summary) in &part.summaries {
+                match out.summaries.get_mut(name) {
+                    None => {
+                        out.summaries.insert(name.clone(), summary.clone());
+                    }
+                    Some(dst) => match (dst, summary) {
+                        (Summary::Cosine(d), Summary::Cosine(s)) => d.merge_from(s)?,
+                        (Summary::Multi(d), Summary::Multi(s)) => d.merge_from(s)?,
+                        _ => {
+                            return Err(DctError::InvalidParameter(format!(
+                                "fleet merge of stream '{name}': only cosine and \
+                                 multi-dimensional synopses merge exactly; sketch kinds \
+                                 must be queried on a single shard"
+                            )))
+                        }
+                    },
+                }
+                let entry = out.stats.entry(name.clone()).or_default();
+                if let Some(s) = part.stats.get(name) {
+                    entry.records += s.records;
+                    entry.gross_weight += s.gross_weight;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// How far this snapshot trails a registry whose cumulative update
     /// totals are `live` (see [`StreamProcessor::total_update_stats`]).
     /// Saturating: a snapshot from a different registry lineage reports

@@ -75,6 +75,7 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+#[cfg(test)]
 use std::time::Duration;
 
 /// Magic tag opening every WAL segment.
@@ -707,61 +708,10 @@ impl WalStorage for FailingStorage {
 // Retry policy
 // ---------------------------------------------------------------------------
 
-/// Bounded retry with exponential backoff for *transient* I/O failures
-/// (`Interrupted`, `WouldBlock`, `TimedOut`). Everything else — and
-/// exhaustion of the retry budget — propagates immediately.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RetryPolicy {
-    /// Retries after the first attempt (0 = fail fast).
-    pub max_retries: u32,
-    /// Sleep before the first retry; doubles each further retry.
-    pub initial_backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: 3,
-            initial_backoff: Duration::from_millis(1),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// No retries: every failure propagates immediately.
-    pub fn none() -> Self {
-        RetryPolicy {
-            max_retries: 0,
-            initial_backoff: Duration::ZERO,
-        }
-    }
-
-    fn is_transient(kind: io::ErrorKind) -> bool {
-        matches!(
-            kind,
-            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-        )
-    }
-
-    /// Run `op`, retrying transient failures up to the budget.
-    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
-        let mut backoff = self.initial_backoff;
-        let mut remaining = self.max_retries;
-        loop {
-            match op() {
-                Ok(v) => return Ok(v),
-                Err(e) if Self::is_transient(e.kind()) && remaining > 0 => {
-                    remaining -= 1;
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                        backoff = backoff.saturating_mul(2);
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
+// The bounded-retry-with-backoff loop grew up here and in `recovery`;
+// it now lives in [`crate::retry`] so segment shipping shares the same
+// (single) implementation. Re-exported for API compatibility.
+pub use crate::retry::RetryPolicy;
 
 // ---------------------------------------------------------------------------
 // The log
@@ -851,6 +801,11 @@ pub struct Wal<S: WalStorage> {
     /// Set when a storage failure left the log state unknown; every
     /// further append fails with this detail until re-opened.
     wedged: Option<String>,
+    /// Retention pins: consumer id → highest sequence that consumer has
+    /// acknowledged. [`Self::note_checkpoint`] never retires a segment
+    /// holding records past any pin, so a slow follower (or shipper)
+    /// keeps its replay window even across checkpoints.
+    pins: BTreeMap<String, u64>,
 }
 
 /// `wal-<first_seq>.dwal`, zero-padded so lexicographic = numeric order.
@@ -858,7 +813,7 @@ pub fn segment_name(first_seq: u64) -> String {
     format!("wal-{first_seq:020}.dwal")
 }
 
-fn parse_segment_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
     name.strip_prefix("wal-")?
         .strip_suffix(".dwal")?
         .parse()
@@ -977,6 +932,29 @@ fn scan_storage<S: WalStorage>(storage: &S, opts: &WalOptions, after: u64) -> Re
     })
 }
 
+/// Read-only replay of whatever `storage` durably holds, without
+/// opening (or mutating) a log over it: validate every segment, collect
+/// records past `after`, and *note* — but do not truncate — a torn tail
+/// on the newest segment (its partial frame's records are excluded).
+///
+/// This is the warm follower's incremental replay primitive: a
+/// [`crate::ship::Follower`] re-scans its shipped store after each
+/// shipping round and applies only the records past what it has already
+/// applied, leaving truncation decisions to the shipper (which knows
+/// whether a short tail is mid-flight or torn).
+pub fn scan_records<S: WalStorage>(
+    storage: &S,
+    opts: &WalOptions,
+    after: u64,
+) -> Result<ReplayOutcome> {
+    let scan = scan_storage(storage, opts, after)?;
+    Ok(ReplayOutcome {
+        records: scan.records,
+        torn_tail: scan.torn_tail,
+        segments_scanned: scan.segments_scanned,
+    })
+}
+
 impl<S: WalStorage> Wal<S> {
     /// Open a log, replaying whatever the storage holds.
     ///
@@ -1020,6 +998,7 @@ impl<S: WalStorage> Wal<S> {
             buffer: Vec::new(),
             unsynced: 0,
             wedged: None,
+            pins: BTreeMap::new(),
         };
         let outcome = ReplayOutcome {
             records: scan.records,
@@ -1310,13 +1289,36 @@ impl<S: WalStorage> Wal<S> {
         self.unsynced = self.next_seq.saturating_sub(1).saturating_sub(covered);
     }
 
+    /// Pin WAL retention for a consumer: segments holding records with
+    /// sequence > `acked_seq` are kept across checkpoints until the pin
+    /// is raised past them or [`Self::release_retention`] removes it.
+    /// `acked_seq = 0` pins everything. Re-pinning the same `consumer`
+    /// replaces its previous position (pins only ever need to advance,
+    /// but regression is accepted — the floor just stays conservative).
+    pub fn pin_retention(&mut self, consumer: impl Into<String>, acked_seq: u64) {
+        self.pins.insert(consumer.into(), acked_seq);
+    }
+
+    /// Drop a consumer's retention pin (a detached follower no longer
+    /// holds segments hostage).
+    pub fn release_retention(&mut self, consumer: &str) -> bool {
+        self.pins.remove(consumer).is_some()
+    }
+
+    /// The lowest acknowledged sequence across every retention pin
+    /// (`None` when nothing is pinned): records past this must be kept.
+    pub fn retention_floor(&self) -> Option<u64> {
+        self.pins.values().copied().min()
+    }
+
     /// Record that a checkpoint now covers every record with sequence ≤
     /// `watermark`: rotate so the next append starts a fresh segment,
-    /// and retire segments wholly covered by the watermark. Retirement
-    /// failures are non-fatal (a stale segment wastes space; replay
-    /// skips its records via the watermark) — the first error is
-    /// returned as `Ok(Err)`-style via the reported count instead of
-    /// failing the checkpoint.
+    /// and retire segments wholly covered by the watermark **and** by
+    /// every retention pin — a segment holding records a pinned
+    /// consumer has not acknowledged survives the checkpoint, so a slow
+    /// follower never loses its replay window. Retirement failures are
+    /// non-fatal (a stale segment wastes space; replay skips its
+    /// records via the watermark).
     ///
     /// Returns the number of segments retired.
     pub fn note_checkpoint(&mut self, watermark: u64) -> Result<usize> {
@@ -1327,8 +1329,14 @@ impl<S: WalStorage> Wal<S> {
         self.segment = None;
         self.segment_len = 0;
         // List once; retire every segment whose records all have
-        // sequence ≤ watermark, i.e. whose successor starts at or below
-        // watermark + 1. The successor of the last segment is next_seq.
+        // sequence ≤ the retention horizon, i.e. whose successor starts
+        // at or below horizon + 1. The successor of the last segment is
+        // next_seq; the horizon is the checkpoint watermark clamped by
+        // the lowest retention pin.
+        let horizon = match self.retention_floor() {
+            Some(floor) => watermark.min(floor),
+            None => watermark,
+        };
         let names = self
             .opts
             .retry
@@ -1342,7 +1350,7 @@ impl<S: WalStorage> Wal<S> {
         let mut retired = 0;
         for i in 0..segments.len() {
             let successor_first = segments.get(i + 1).map_or(self.next_seq, |(seq, _)| *seq);
-            if successor_first <= watermark + 1 {
+            if successor_first <= horizon + 1 {
                 let name = segments[i].1.clone();
                 if self.opts.retry.run(|| self.storage.remove(&name)).is_ok() {
                     retired += 1;
