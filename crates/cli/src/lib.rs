@@ -34,8 +34,12 @@ use dctstream_core::{
     estimate_band_join, estimate_chain_join, estimate_equi_join, ChainLink, CosineSynopsis,
     DctError, Domain, Grid, MultiDimSynopsis,
 };
+use dctstream_intake::{
+    probe as intake_probe, run as intake_run, CountSink, DurableSink, IntakeError, IntakeOptions,
+    ProbeOptions, RejectCause, RejectLedger, RowSink, Schema, SinkError,
+};
 use dctstream_stream::{
-    read_checkpoint, write_checkpoint, DurableProcessor, FleetOptions, ParallelIngest,
+    read_checkpoint, write_checkpoint, DurableProcessor, FleetOptions, HealthCause, ParallelIngest,
     ShardedRegistry, StreamEvent, StreamProcessor, Summary, Tuple,
 };
 use std::fmt::Write as _;
@@ -54,6 +58,10 @@ pub enum CliError {
     Dct(DctError),
     /// Command output did not match the expected shape.
     Parse(String),
+    /// The intake reject-rate threshold tripped: the stream was
+    /// quarantined and no synopsis was written. The string is the full
+    /// rejects report.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -63,6 +71,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Dct(e) => write!(f, "{e}"),
             CliError::Parse(m) => write!(f, "output parse error: {m}"),
+            CliError::Quarantined(m) => write!(f, "intake quarantined the stream:\n{m}"),
         }
     }
 }
@@ -98,6 +107,21 @@ pub fn emit_line(line: &str) -> std::io::Result<()> {
     out.flush()
 }
 
+/// Optional typed-intake settings shared by `build` and `build2`.
+/// All default to off, which keeps the legacy clean-CSV fast path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntakeFlags {
+    /// `.schema` file routing ingestion through the typed intake layer
+    /// (malformed rows become ledger rejects instead of hard errors).
+    pub schema: Option<PathBuf>,
+    /// Append every reject as one attributed line to this sidecar file.
+    pub rejects: Option<PathBuf>,
+    /// Delimiter override (single char, or tab/comma/semicolon/pipe).
+    pub delimiter: Option<String>,
+    /// Quarantine the stream when `rejected/seen` exceeds this.
+    pub reject_threshold: Option<f64>,
+}
+
 /// A parsed command, ready to run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -120,6 +144,8 @@ pub enum Command {
         /// Route every tuple through a write-ahead-logged registry in
         /// this directory (crash-durable ingestion; serial only).
         wal_dir: Option<PathBuf>,
+        /// Typed-intake settings (`--schema` et al.).
+        intake: IntakeFlags,
     },
     /// Build a 2-d synopsis from two CSV columns.
     Build2 {
@@ -135,6 +161,36 @@ pub enum Command {
         out: PathBuf,
         /// Skip the first line.
         skip_header: bool,
+        /// Typed-intake settings (`--schema` et al.).
+        intake: IntakeFlags,
+    },
+    /// Infer a `.schema` file from sampled rows of a CSV input.
+    Probe {
+        /// CSV input path (`-` reads stdin).
+        input: PathBuf,
+        /// Delimiter spec (default `,`).
+        delimiter: Option<String>,
+        /// Rows to sample (0 scans the whole input).
+        sample_rows: usize,
+        /// Force header presence (`--header` / `--no-header`); `None`
+        /// auto-detects.
+        header: Option<bool>,
+        /// Write the schema here instead of printing it.
+        out: Option<PathBuf>,
+    },
+    /// Check a CSV input against a schema, reporting every reject with
+    /// row/column/cause attribution without ingesting anything.
+    Verify {
+        /// CSV input path (`-` reads stdin).
+        input: PathBuf,
+        /// `.schema` file to verify against.
+        schema: PathBuf,
+        /// Append attributed reject lines to this sidecar file.
+        rejects: Option<PathBuf>,
+        /// Delimiter override.
+        delimiter: Option<String>,
+        /// Stop early when `rejected/seen` exceeds this.
+        reject_threshold: Option<f64>,
     },
     /// Describe a synopsis file.
     Info {
@@ -327,7 +383,11 @@ pub fn usage() -> &'static str {
     "usage: dctstream <command> [options]\n\
      commands:\n\
        build    --input F --column I --domain LO:HI -m M --out F [--skip-header] [--threads N]\n\
+                [--schema F [--rejects F] [--delimiter D] [--reject-threshold R]]\n\
        build2   --input F --columns I,J --domains LO:HI,LO:HI --degree D --out F [--skip-header]\n\
+                [--schema F [--rejects F] [--delimiter D] [--reject-threshold R]]\n\
+       probe    INPUT [--delimiter D] [--sample-rows N|--full-scan] [--header|--no-header] [--out F]\n\
+       verify   INPUT --schema F [--rejects F] [--delimiter D] [--reject-threshold R]\n\
        info     <synopsis>\n\
        join     <left> <right> [--budget N]\n\
        chain    <end> <mid>... <end> [--budget N]\n\
@@ -351,6 +411,15 @@ pub fn usage() -> &'static str {
        fleet-promote DIR --shard I\n\
      --threads N runs ingestion/merging on N shard-and-merge worker\n\
      threads (exact up to floating-point rounding; N=1 is the serial path)\n\
+     probe infers a typed .schema (int/float/bool/text columns, observed\n\
+     domains, header detection) from the first N rows; verify checks a\n\
+     file against a schema and reports every reject with row/column/cause\n\
+     attribution; build*/probe/verify read stdin when INPUT is '-'\n\
+     --schema routes build* through the typed intake layer: malformed\n\
+     rows (wrong arity, bad values, out-of-domain, bad quoting/encoding,\n\
+     blank lines) land in the rejects ledger (--rejects writes one line\n\
+     per reject) instead of failing the build; --reject-threshold R\n\
+     quarantines the stream and aborts when rejected/seen exceeds R\n\
      checkpoint bundles summary files into one checksummed manifest;\n\
      restore validates it and reports (or --extract's) every stream\n\
      --wal-dir DIR (build, checkpoint) write-ahead logs every event into\n\
@@ -468,6 +537,49 @@ fn parse_threads(f: &mut Flags) -> CliResult<usize> {
     }
 }
 
+/// The optional typed-intake flags shared by `build` and `build2`.
+/// `--rejects`, `--delimiter`, and `--reject-threshold` only make sense
+/// when `--schema` routes ingestion through the intake layer.
+fn parse_intake_flags(f: &mut Flags) -> CliResult<IntakeFlags> {
+    let flags = IntakeFlags {
+        schema: f.take_opt("schema").map(PathBuf::from),
+        rejects: f.take_opt("rejects").map(PathBuf::from),
+        delimiter: f.take_opt("delimiter"),
+        reject_threshold: parse_reject_threshold(f)?,
+    };
+    if flags.schema.is_none() {
+        for (flag, set) in [
+            ("rejects", flags.rejects.is_some()),
+            ("delimiter", flags.delimiter.is_some()),
+            ("reject-threshold", flags.reject_threshold.is_some()),
+        ] {
+            if set {
+                return Err(CliError::Usage(format!(
+                    "--{flag} needs --schema (the typed intake path)"
+                )));
+            }
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_reject_threshold(f: &mut Flags) -> CliResult<Option<f64>> {
+    match f.take_opt("reject-threshold") {
+        None => Ok(None),
+        Some(v) => {
+            let t: f64 = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --reject-threshold '{v}'")))?;
+            if !(0.0..=1.0).contains(&t) {
+                return Err(CliError::Usage(
+                    "--reject-threshold must be in [0, 1]".into(),
+                ));
+            }
+            Ok(Some(t))
+        }
+    }
+}
+
 /// The single required positional directory shared by the fleet
 /// commands.
 fn one_dir(f: &Flags, cmd: &str) -> CliResult<PathBuf> {
@@ -496,6 +608,7 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                         .into(),
                 ));
             }
+            let intake = parse_intake_flags(&mut f)?;
             Ok(Command::Build {
                 input: PathBuf::from(f.take("input")?),
                 column: f.parse("column")?,
@@ -505,10 +618,12 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 skip_header: f.bools.contains("skip-header"),
                 threads,
                 wal_dir,
+                intake,
             })
         }
         "build2" => {
             let mut f = split_flags(rest, &["skip-header"])?;
+            let intake = parse_intake_flags(&mut f)?;
             let cols = f.take("columns")?;
             let (c0, c1) = cols
                 .split_once(',')
@@ -531,6 +646,63 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 degree: f.parse("degree")?,
                 out: PathBuf::from(f.take("out")?),
                 skip_header: f.bools.contains("skip-header"),
+                intake,
+            })
+        }
+        "probe" => {
+            let mut f = split_flags(rest, &["header", "no-header", "full-scan"])?;
+            if f.bools.contains("header") && f.bools.contains("no-header") {
+                return Err(CliError::Usage(
+                    "--header and --no-header are mutually exclusive".into(),
+                ));
+            }
+            let header = if f.bools.contains("header") {
+                Some(true)
+            } else if f.bools.contains("no-header") {
+                Some(false)
+            } else {
+                None
+            };
+            let sample_rows = match f.take_opt("sample-rows") {
+                None if f.bools.contains("full-scan") => 0,
+                None => 2000,
+                Some(_) if f.bools.contains("full-scan") => {
+                    return Err(CliError::Usage(
+                        "--sample-rows and --full-scan are mutually exclusive".into(),
+                    ));
+                }
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --sample-rows '{v}'")))?,
+            };
+            let [input] = f.positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "probe takes one input path ('-' for stdin)".into(),
+                ));
+            };
+            Ok(Command::Probe {
+                input: PathBuf::from(input),
+                delimiter: f.take_opt("delimiter"),
+                sample_rows,
+                header,
+                out: f.take_opt("out").map(PathBuf::from),
+            })
+        }
+        "verify" => {
+            let mut f = split_flags(rest, &[])?;
+            let schema = PathBuf::from(f.take("schema")?);
+            let reject_threshold = parse_reject_threshold(&mut f)?;
+            let [input] = f.positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "verify takes one input path ('-' for stdin)".into(),
+                ));
+            };
+            Ok(Command::Verify {
+                input: PathBuf::from(input),
+                schema,
+                rejects: f.take_opt("rejects").map(PathBuf::from),
+                delimiter: f.take_opt("delimiter"),
+                reject_threshold,
             })
         }
         "info" => {
@@ -907,6 +1079,135 @@ fn wal_stream_name(out: &Path) -> CliResult<String> {
         })
 }
 
+/// Open a CSV input for streaming reads; `-` reads stdin.
+fn open_input(path: &Path) -> CliResult<Box<dyn std::io::BufRead>> {
+    if path == Path::new("-") {
+        Ok(Box::new(std::io::stdin().lock()))
+    } else {
+        Ok(Box::new(std::io::BufReader::new(fs::File::open(path)?)))
+    }
+}
+
+/// Read a whole CSV input into memory (the legacy build paths); `-`
+/// reads stdin.
+fn read_input_text(path: &Path) -> CliResult<String> {
+    if path == Path::new("-") {
+        let mut s = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut s)?;
+        Ok(s)
+    } else {
+        Ok(fs::read_to_string(path)?)
+    }
+}
+
+/// Load a `.schema` file, applying the `--delimiter` override and
+/// forcing the header flag on when `--skip-header` was passed.
+fn load_schema_file(path: &Path, delimiter: Option<&str>, skip_header: bool) -> CliResult<Schema> {
+    let text = fs::read_to_string(path)?;
+    let mut schema =
+        Schema::parse(&text).map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
+    if let Some(spec) = delimiter {
+        schema.delimiter = dctstream_intake::parse_delimiter(spec).map_err(CliError::Usage)?;
+    }
+    if skip_header {
+        schema.has_header = true;
+    }
+    Ok(schema)
+}
+
+/// A rejects ledger keeping the first 10 attributed rejects for the
+/// report, with an optional `--rejects` sidecar.
+fn make_ledger(rejects: Option<&Path>) -> CliResult<RejectLedger> {
+    let ledger = RejectLedger::new(10);
+    match rejects {
+        Some(p) => Ok(ledger.with_sidecar(p)?),
+        None => Ok(ledger),
+    }
+}
+
+fn intake_failure(e: IntakeError) -> CliError {
+    match e {
+        IntakeError::Io(e) => CliError::Io(e),
+        IntakeError::Sink(e) => CliError::Dct(e),
+    }
+}
+
+/// Intake sink replicating the legacy `build` ingestion exactly —
+/// per-row updates at `--threads 1`, one whole-batch parallel flush
+/// otherwise — so `--schema` over a clean file produces a synopsis
+/// bit-identical to the legacy path's.
+struct LegacyCosineSink<'a> {
+    syn: &'a mut CosineSynopsis,
+    threads: usize,
+    target: usize,
+    batch: Vec<(i64, f64)>,
+}
+
+impl RowSink for LegacyCosineSink<'_> {
+    fn accept(&mut self, values: &[i64], weight: f64) -> Result<(), SinkError> {
+        let v = values[0];
+        let d = self.syn.domain();
+        if !d.contains(v) {
+            // Pre-check so one stray row is a ledger reject, not a
+            // whole-batch failure at flush time.
+            return Err(SinkError::Reject(RejectCause::OutOfDomain {
+                column: self.target,
+                value: v,
+                lo: d.lo(),
+                hi: d.hi(),
+            }));
+        }
+        self.batch.push((v, weight));
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), DctError> {
+        if self.threads > 1 {
+            ParallelIngest::with_threads(self.threads).flush_cosine(self.syn, &self.batch)?;
+        } else {
+            for &(v, w) in &self.batch {
+                self.syn.update(v, w)?;
+            }
+        }
+        self.batch.clear();
+        Ok(())
+    }
+}
+
+/// Intake sink replicating the legacy `build2` per-row ingestion.
+struct LegacyMultiSink<'a> {
+    syn: &'a mut MultiDimSynopsis,
+    targets: (usize, usize),
+    batch: Vec<([i64; 2], f64)>,
+}
+
+impl RowSink for LegacyMultiSink<'_> {
+    fn accept(&mut self, values: &[i64], weight: f64) -> Result<(), SinkError> {
+        let pair = [values[0], values[1]];
+        let cols = [self.targets.0, self.targets.1];
+        for ((&v, d), col) in pair.iter().zip(self.syn.domains()).zip(cols) {
+            if !d.contains(v) {
+                return Err(SinkError::Reject(RejectCause::OutOfDomain {
+                    column: col,
+                    value: v,
+                    lo: d.lo(),
+                    hi: d.hi(),
+                }));
+            }
+        }
+        self.batch.push((pair, weight));
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), DctError> {
+        for (pair, w) in &self.batch {
+            self.syn.update(pair, *w)?;
+        }
+        self.batch.clear();
+        Ok(())
+    }
+}
+
 fn parse_csv_value(line: &str, column: usize, lineno: usize) -> CliResult<i64> {
     line.split(',')
         .nth(column)
@@ -928,9 +1229,108 @@ pub fn run(cmd: Command) -> CliResult<String> {
             skip_header,
             threads,
             wal_dir,
+            intake,
         } => {
-            let text = fs::read_to_string(&input)?;
             let mut syn = CosineSynopsis::new(Domain::new(domain.0, domain.1), Grid::Midpoint, m)?;
+            if let Some(schema_path) = &intake.schema {
+                // Typed intake path: malformed rows become attributed
+                // ledger rejects instead of failing the build.
+                let schema =
+                    load_schema_file(schema_path, intake.delimiter.as_deref(), skip_header)?;
+                if column >= schema.arity() {
+                    return Err(CliError::Usage(format!(
+                        "--column {column} out of range for the {}-column schema",
+                        schema.arity()
+                    )));
+                }
+                let opts = IntakeOptions {
+                    targets: vec![column],
+                    reject_threshold: intake.reject_threshold,
+                    ..IntakeOptions::default()
+                };
+                let mut ledger = make_ledger(intake.rejects.as_deref())?;
+                if let Some(dir) = wal_dir {
+                    let name = wal_stream_name(&out)?;
+                    let (mut dp, _) = DurableProcessor::open(&dir)?;
+                    if dp.processor().summary(&name).is_some() {
+                        return Err(CliError::Usage(format!(
+                            "stream '{name}' already has logged state in {}; \
+                             re-running build would double-count every row already \
+                             ingested. Run `wal-replay {}` to recover it, or point \
+                             --wal-dir at a fresh directory",
+                            dir.display(),
+                            dir.display()
+                        )));
+                    }
+                    dp.register(name.clone(), Summary::Cosine(syn))?;
+                    let report = {
+                        let mut sink = DurableSink::new(&mut dp, name.clone(), &opts.targets);
+                        intake_run(open_input(&input)?, &schema, &opts, &mut ledger, &mut sink)
+                            .map_err(intake_failure)?
+                    };
+                    if report.quarantined.is_some() {
+                        dp.quarantine_stream(
+                            &name,
+                            HealthCause::RejectRateExceeded {
+                                rejected: report.rejected,
+                                seen: report.rows_seen,
+                                threshold: intake.reject_threshold.unwrap_or(1.0),
+                            },
+                        )?;
+                        return Err(CliError::Quarantined(format!(
+                            "stream '{name}' (WAL at {}):\n{}",
+                            dir.display(),
+                            report.render()
+                        )));
+                    }
+                    dp.checkpoint()?;
+                    let s = dp
+                        .processor()
+                        .summary(&name)
+                        .and_then(Summary::as_cosine)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "stream '{name}' in {} is not a 1-d cosine synopsis",
+                                dir.display()
+                            ))
+                        })?;
+                    fs::write(&out, s.to_bytes())?;
+                    return Ok(format!(
+                        "built 1-d synopsis: {} tuples ({} rejected), {} coefficients -> {} \
+                         (WAL at {}, watermark {})\n{}",
+                        report.accepted,
+                        report.rejected,
+                        s.coefficient_count(),
+                        out.display(),
+                        dir.display(),
+                        dp.wal_watermark(),
+                        report.render().trim_end()
+                    ));
+                }
+                let report = {
+                    let mut sink = LegacyCosineSink {
+                        syn: &mut syn,
+                        threads,
+                        target: column,
+                        batch: Vec::new(),
+                    };
+                    intake_run(open_input(&input)?, &schema, &opts, &mut ledger, &mut sink)
+                        .map_err(intake_failure)?
+                };
+                if report.quarantined.is_some() {
+                    return Err(CliError::Quarantined(report.render()));
+                }
+                fs::write(&out, syn.to_bytes())?;
+                return Ok(format!(
+                    "built 1-d synopsis: {} tuples ({} rejected), {} coefficients -> {}\n{}",
+                    report.accepted,
+                    report.rejected,
+                    syn.coefficient_count(),
+                    out.display(),
+                    report.render().trim_end()
+                ));
+            }
+            let text = read_input_text(&input)?;
             let mut rows = 0u64;
             if let Some(dir) = wal_dir {
                 // Crash-durable ingestion: every tuple is write-ahead
@@ -1017,8 +1417,8 @@ pub fn run(cmd: Command) -> CliResult<String> {
             degree,
             out,
             skip_header,
+            intake,
         } => {
-            let text = fs::read_to_string(&input)?;
             let mut syn = MultiDimSynopsis::new(
                 vec![
                     Domain::new(domains.0 .0, domains.0 .1),
@@ -1027,6 +1427,47 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 Grid::Midpoint,
                 degree,
             )?;
+            if let Some(schema_path) = &intake.schema {
+                let schema =
+                    load_schema_file(schema_path, intake.delimiter.as_deref(), skip_header)?;
+                if columns.0 >= schema.arity() || columns.1 >= schema.arity() {
+                    return Err(CliError::Usage(format!(
+                        "--columns {},{} out of range for the {}-column schema",
+                        columns.0,
+                        columns.1,
+                        schema.arity()
+                    )));
+                }
+                let opts = IntakeOptions {
+                    targets: vec![columns.0, columns.1],
+                    reject_threshold: intake.reject_threshold,
+                    ..IntakeOptions::default()
+                };
+                let mut ledger = make_ledger(intake.rejects.as_deref())?;
+                let report = {
+                    let mut sink = LegacyMultiSink {
+                        syn: &mut syn,
+                        targets: columns,
+                        batch: Vec::new(),
+                    };
+                    intake_run(open_input(&input)?, &schema, &opts, &mut ledger, &mut sink)
+                        .map_err(intake_failure)?
+                };
+                if report.quarantined.is_some() {
+                    return Err(CliError::Quarantined(report.render()));
+                }
+                fs::write(&out, syn.to_bytes())?;
+                return Ok(format!(
+                    "built 2-d synopsis: {} tuples ({} rejected), degree {}, {} coefficients -> {}\n{}",
+                    report.accepted,
+                    report.rejected,
+                    syn.degree(),
+                    syn.coefficient_count(),
+                    out.display(),
+                    report.render().trim_end()
+                ));
+            }
+            let text = read_input_text(&input)?;
             let mut rows = 0u64;
             for (i, line) in text.lines().enumerate().skip(usize::from(skip_header)) {
                 if line.trim().is_empty() {
@@ -1044,6 +1485,71 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 syn.coefficient_count(),
                 out.display()
             ))
+        }
+        Command::Probe {
+            input,
+            delimiter,
+            sample_rows,
+            header,
+            out,
+        } => {
+            let delimiter = match delimiter.as_deref() {
+                Some(spec) => dctstream_intake::parse_delimiter(spec).map_err(CliError::Usage)?,
+                None => b',',
+            };
+            let opts = ProbeOptions {
+                delimiter,
+                sample_rows,
+                header,
+                ..ProbeOptions::default()
+            };
+            let (schema, report) = intake_probe(open_input(&input)?, &opts)?;
+            match out {
+                Some(path) => {
+                    fs::write(&path, schema.render())?;
+                    Ok(format!(
+                        "probed {} rows ({} skipped): {} columns -> {}",
+                        report.rows_sampled,
+                        report.rows_skipped,
+                        schema.arity(),
+                        path.display()
+                    ))
+                }
+                // To stdout: the report rides along as a comment, so the
+                // output is itself a loadable .schema file.
+                None => Ok(format!(
+                    "# probed {} rows ({} skipped)\n{}",
+                    report.rows_sampled,
+                    report.rows_skipped,
+                    schema.render().trim_end()
+                )),
+            }
+        }
+        Command::Verify {
+            input,
+            schema,
+            rejects,
+            delimiter,
+            reject_threshold,
+        } => {
+            let schema = load_schema_file(&schema, delimiter.as_deref(), false)?;
+            let targets: Vec<usize> = schema
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.ty != dctstream_intake::ColumnType::Text)
+                .map(|(i, _)| i)
+                .collect();
+            let opts = IntakeOptions {
+                targets,
+                reject_threshold,
+                ..IntakeOptions::default()
+            };
+            let mut ledger = make_ledger(rejects.as_deref())?;
+            let mut sink = CountSink;
+            let report = intake_run(open_input(&input)?, &schema, &opts, &mut ledger, &mut sink)
+                .map_err(intake_failure)?;
+            Ok(report.render().trim_end().to_string())
         }
         Command::Info { path } => {
             // invariant: fmt::Write to a String cannot fail, so the
@@ -1706,6 +2212,7 @@ mod tests {
                 skip_header: true,
                 threads: 1,
                 wal_dir: None,
+                intake: IntakeFlags::default(),
             }
         );
         let cmd = parse(&args(
@@ -1768,6 +2275,7 @@ mod tests {
             skip_header: true,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         run(Command::Build {
@@ -1779,6 +2287,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let info = run(Command::Info {
@@ -1824,6 +2333,7 @@ mod tests {
             degree: 5,
             out: mid.clone(),
             skip_header: false,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let info = run(Command::Info { path: mid.clone() }).unwrap();
@@ -1841,6 +2351,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let out = run(Command::Chain {
@@ -1876,6 +2387,7 @@ mod tests {
                 skip_header: false,
                 threads: 1,
                 wal_dir: None,
+                intake: IntakeFlags::default(),
             })
             .unwrap();
         }
@@ -1905,6 +2417,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         // Band width 1 self-join of {1,2,2,3}: per tuple a, count of b
@@ -1927,6 +2440,7 @@ mod tests {
             degree: 4,
             out: syn2.clone(),
             skip_header: false,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let out = run(Command::Box {
@@ -1986,6 +2500,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -2076,6 +2591,7 @@ mod tests {
                 skip_header: false,
                 threads: 1,
                 wal_dir: None,
+                intake: IntakeFlags::default(),
             })
             .unwrap();
         }
@@ -2160,6 +2676,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let par_out = tmp("threaded_par.dcts");
@@ -2172,6 +2689,7 @@ mod tests {
             skip_header: false,
             threads: 3,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         let serial = load_cosine(&serial_out).unwrap();
@@ -2213,6 +2731,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: Some(wal.clone()),
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         assert!(out.contains("5 tuples"), "{out}");
@@ -2227,6 +2746,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: None,
+            intake: IntakeFlags::default(),
         })
         .unwrap();
         assert_eq!(fs::read(&syn_path).unwrap(), fs::read(&plain_path).unwrap());
@@ -2275,6 +2795,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: Some(wal),
+            intake: IntakeFlags::default(),
         };
         run(build.clone()).unwrap();
         // Re-running the same build would replay the logged rows AND
@@ -2335,6 +2856,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: Some(wal.clone()),
+            intake: IntakeFlags::default(),
         })
         .unwrap();
 
@@ -2381,6 +2903,7 @@ mod tests {
             skip_header: false,
             threads: 1,
             wal_dir: Some(wal.clone()),
+            intake: IntakeFlags::default(),
         })
         .unwrap();
 
@@ -2605,6 +3128,7 @@ mod tests {
                 skip_header: false,
                 threads: 1,
                 wal_dir: if *out == a { Some(wal.clone()) } else { None },
+                intake: IntakeFlags::default(),
             })
             .unwrap();
         }
@@ -2681,5 +3205,312 @@ mod tests {
         for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn parse_probe_and_verify_commands() {
+        let cmd = parse(&args(
+            "probe in.csv --delimiter tab --sample-rows 50 --header --out s.schema",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Probe {
+                input: "in.csv".into(),
+                delimiter: Some("tab".into()),
+                sample_rows: 50,
+                header: Some(true),
+                out: Some("s.schema".into()),
+            }
+        );
+        let cmd = parse(&args("probe in.csv --full-scan --no-header")).unwrap();
+        assert!(
+            matches!(
+                &cmd,
+                Command::Probe {
+                    sample_rows: 0,
+                    header: Some(false),
+                    ..
+                }
+            ),
+            "{cmd:?}"
+        );
+        assert!(matches!(
+            parse(&args("probe in.csv --full-scan --sample-rows 5")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("probe in.csv --header --no-header")),
+            Err(CliError::Usage(_))
+        ));
+
+        let cmd = parse(&args(
+            "verify in.csv --schema s.schema --rejects r.log --reject-threshold 0.25",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Verify {
+                input: "in.csv".into(),
+                schema: "s.schema".into(),
+                rejects: Some("r.log".into()),
+                delimiter: None,
+                reject_threshold: Some(0.25),
+            }
+        );
+        // --schema is mandatory for verify, and the threshold must be a
+        // probability.
+        assert!(matches!(
+            parse(&args("verify in.csv")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("verify in.csv --schema s --reject-threshold 1.5")),
+            Err(CliError::Usage(_))
+        ));
+        // Intake flags on build require --schema.
+        assert!(matches!(
+            parse(&args(
+                "build --input a --column 0 --domain 0:9 -m 4 --out b --rejects r"
+            )),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn probe_then_build_via_schema_roundtrip() {
+        let csv = tmp("probe_rt.csv");
+        fs::write(&csv, "id,val\n1,3\n2,4\n3,4\n4,9\n").unwrap();
+        let schema_path = tmp("probe_rt.schema");
+        let out = run(Command::Probe {
+            input: csv.clone(),
+            delimiter: None,
+            sample_rows: 2000,
+            header: None,
+            out: Some(schema_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("probed 4 rows"), "{out}");
+        let text = fs::read_to_string(&schema_path).unwrap();
+        assert!(text.starts_with("dctstream-schema v1"), "{text}");
+
+        // The probed schema drives verify (clean file -> clean report)...
+        let report = run(Command::Verify {
+            input: csv.clone(),
+            schema: schema_path.clone(),
+            rejects: None,
+            delimiter: None,
+            reject_threshold: None,
+        })
+        .unwrap();
+        assert!(report.contains("rows seen      4"), "{report}");
+        assert!(report.contains("rows rejected  0"), "{report}");
+
+        // ...and a build, giving the same bytes as the legacy path.
+        let via_schema = tmp("probe_rt_schema.dcts");
+        run(Command::Build {
+            input: csv.clone(),
+            column: 1,
+            domain: (0, 9),
+            m: 8,
+            out: via_schema.clone(),
+            skip_header: false,
+            threads: 1,
+            wal_dir: None,
+            intake: IntakeFlags {
+                schema: Some(schema_path),
+                ..IntakeFlags::default()
+            },
+        })
+        .unwrap();
+        let legacy = tmp("probe_rt_legacy.dcts");
+        run(Command::Build {
+            input: csv,
+            column: 1,
+            domain: (0, 9),
+            m: 8,
+            out: legacy.clone(),
+            skip_header: true,
+            threads: 1,
+            wal_dir: None,
+            intake: IntakeFlags::default(),
+        })
+        .unwrap();
+        assert_eq!(
+            fs::read(&via_schema).unwrap(),
+            fs::read(&legacy).unwrap(),
+            "schema intake must be bit-identical to the legacy build"
+        );
+    }
+
+    #[test]
+    fn dirty_build_attributes_rejects_and_writes_sidecar() {
+        let csv = tmp("dirty.csv");
+        // Rows: ok, blank, wrong arity, non-numeric, out-of-domain, ok.
+        fs::write(&csv, "1,10\n\n2,20,extra\n3,soup\n4,99\n5,30\n").unwrap();
+        let schema_path = tmp("dirty.schema");
+        fs::write(
+            &schema_path,
+            "dctstream-schema v1\ndelimiter comma\nheader false\n\
+             column 0 id int 0:9\ncolumn 1 val int 0:40\n",
+        )
+        .unwrap();
+        let rejects = tmp("dirty.rejects");
+        let out_syn = tmp("dirty.dcts");
+        let out = run(Command::Build {
+            input: csv.clone(),
+            column: 1,
+            domain: (0, 40),
+            m: 8,
+            out: out_syn.clone(),
+            skip_header: false,
+            threads: 1,
+            wal_dir: None,
+            intake: IntakeFlags {
+                schema: Some(schema_path),
+                rejects: Some(rejects.clone()),
+                ..IntakeFlags::default()
+            },
+        })
+        .unwrap();
+        assert!(out.contains("2 tuples"), "{out}");
+        assert!(out.contains("4 rejected"), "{out}");
+        for cause in ["blank-line", "wrong-arity", "bad-value", "out-of-domain"] {
+            assert!(out.contains(cause), "missing {cause} in:\n{out}");
+        }
+        let sidecar = fs::read_to_string(&rejects).unwrap();
+        assert_eq!(sidecar.lines().count(), 4, "{sidecar}");
+        assert!(sidecar.contains("row=2 "), "{sidecar}");
+        assert!(sidecar.contains("cause=out-of-domain"), "{sidecar}");
+
+        // The accepted rows alone define the synopsis: bit-identical to
+        // building from the clean subset.
+        let clean_csv = tmp("dirty_clean.csv");
+        fs::write(&clean_csv, "1,10\n5,30\n").unwrap();
+        let clean_syn = tmp("dirty_clean.dcts");
+        run(Command::Build {
+            input: clean_csv,
+            column: 1,
+            domain: (0, 40),
+            m: 8,
+            out: clean_syn.clone(),
+            skip_header: false,
+            threads: 1,
+            wal_dir: None,
+            intake: IntakeFlags::default(),
+        })
+        .unwrap();
+        assert_eq!(fs::read(&out_syn).unwrap(), fs::read(&clean_syn).unwrap());
+    }
+
+    #[test]
+    fn reject_threshold_quarantines_the_build() {
+        let csv = tmp("quarantine.csv");
+        let mut text = String::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                text.push_str("oops\n");
+            } else {
+                text.push_str(&format!("{}\n", i % 10));
+            }
+        }
+        fs::write(&csv, &text).unwrap();
+        let schema_path = tmp("quarantine.schema");
+        fs::write(
+            &schema_path,
+            "dctstream-schema v1\ndelimiter comma\nheader false\ncolumn 0 v int 0:9\n",
+        )
+        .unwrap();
+        let err = run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 4,
+            out: tmp("quarantine.dcts"),
+            skip_header: false,
+            threads: 1,
+            wal_dir: None,
+            intake: IntakeFlags {
+                schema: Some(schema_path),
+                reject_threshold: Some(0.1),
+                ..IntakeFlags::default()
+            },
+        })
+        .unwrap_err();
+        match err {
+            CliError::Quarantined(msg) => {
+                assert!(msg.contains("QUARANTINED"), "{msg}");
+                assert!(msg.contains("threshold"), "{msg}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_build_via_schema_quarantines_stream_on_threshold() {
+        let csv = tmp("wal_quarantine.csv");
+        let mut text = String::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                text.push_str("bogus\n");
+            } else {
+                text.push_str(&format!("{}\n", i % 10));
+            }
+        }
+        fs::write(&csv, &text).unwrap();
+        let schema_path = tmp("wal_quarantine.schema");
+        fs::write(
+            &schema_path,
+            "dctstream-schema v1\ndelimiter comma\nheader false\ncolumn 0 v int 0:9\n",
+        )
+        .unwrap();
+        let wal = tmp("wal_quarantine_dir");
+        let _ = fs::remove_dir_all(&wal);
+        let err = run(Command::Build {
+            input: csv,
+            column: 0,
+            domain: (0, 9),
+            m: 4,
+            out: wal.join("q.dcts"),
+            skip_header: false,
+            threads: 1,
+            wal_dir: Some(wal.clone()),
+            intake: IntakeFlags {
+                schema: Some(schema_path),
+                reject_threshold: Some(0.1),
+                ..IntakeFlags::default()
+            },
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Quarantined(_)), "{err:?}");
+        // The quarantine left no checkpoint behind: the stream's WAL
+        // records exist but no synopsis file was written.
+        assert!(!wal.join("q.dcts").exists());
+    }
+
+    #[test]
+    fn build_via_schema_reads_stdin_dash_schema_errors_are_usage() {
+        // A missing schema file is a usage error, not an I/O panic.
+        let err = run(Command::Verify {
+            input: tmp("nonexistent.csv"),
+            schema: tmp("nonexistent.schema"),
+            rejects: None,
+            delimiter: None,
+            reject_threshold: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err:?}");
+        // A malformed schema file is reported as usage with the line.
+        let bad = tmp("bad.schema");
+        fs::write(&bad, "dctstream-schema v1\ncolumn 0 v frobnicated\n").unwrap();
+        let err = run(Command::Verify {
+            input: bad.clone(),
+            schema: bad,
+            rejects: None,
+            delimiter: None,
+            reject_threshold: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 }

@@ -1,0 +1,105 @@
+//! Emit a real-life-like dataset as CSV, optionally with injected
+//! corruption for intake fault drills:
+//!
+//! ```text
+//! reallike census --month 0 --seed 1 --out clean.csv
+//! reallike tcp --hour 2 --dirty 0.01 --seed 7 --out dirty.csv --manifest dirty.rows
+//! ```
+//!
+//! `--dirty FRACTION` corrupts roughly that fraction of rows, cycling
+//! through every corruption class; `--manifest FILE` records the ground
+//! truth (`row=N class=LABEL` per corrupted row) so a harness can check
+//! the intake rejects ledger against it. Without `--out`, CSV goes to
+//! stdout.
+
+use dctstream_datagen::dirty::{inject, render_two_attr_csv, CorruptionClass};
+use dctstream_datagen::reallike::{census, net_trace, sipp_joint, Protocol};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: reallike DATASET [--month N|--hour N|--year N] [--seed N]\n\
+       [--dirty FRACTION] [--out FILE] [--manifest FILE]\n\
+  DATASET: census | sipp | tcp | udp";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dataset) = args.first() else {
+        return fail("missing dataset");
+    };
+    let mut period = 0usize;
+    let mut seed = 1u64;
+    let mut dirty = 0.0f64;
+    let mut out: Option<String> = None;
+    let mut manifest: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return fail(&format!("{flag} needs a value"));
+        };
+        let ok = match flag.as_str() {
+            "--month" | "--hour" | "--year" => value.parse().map(|v| period = v).is_ok(),
+            "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            "--dirty" => value
+                .parse()
+                .map(|v: f64| dirty = v)
+                .is_ok_and(|()| (0.0..=1.0).contains(&dirty)),
+            "--out" => {
+                out = Some(value.clone());
+                true
+            }
+            "--manifest" => {
+                manifest = Some(value.clone());
+                true
+            }
+            _ => return fail(&format!("unknown flag {flag}")),
+        };
+        if !ok {
+            return fail(&format!("bad value {value:?} for {flag}"));
+        }
+    }
+
+    let data = match dataset.as_str() {
+        "census" => census(period, seed),
+        "sipp" => sipp_joint(period, seed),
+        "tcp" => net_trace(Protocol::Tcp, period, seed),
+        "udp" => net_trace(Protocol::Udp, period, seed),
+        other => return fail(&format!("unknown dataset {other:?}")),
+    };
+    let clean = render_two_attr_csv(&data);
+    let (bytes, corrupted) = if dirty > 0.0 {
+        let d = inject(&clean, dirty, seed, &CorruptionClass::ALL);
+        (d.bytes, d.corrupted)
+    } else {
+        (clean.into_bytes(), Vec::new())
+    };
+
+    if let Some(path) = &manifest {
+        let mut lines = String::new();
+        for (row, class) in &corrupted {
+            lines.push_str(&format!("row={row} class={}\n", class.label()));
+        }
+        if let Err(e) = std::fs::write(path, lines) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+    }
+    let written = match &out {
+        Some(path) => std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}")),
+        None => std::io::stdout()
+            .write_all(&bytes)
+            .map_err(|e| format!("writing stdout: {e}")),
+    };
+    if let Err(e) = written {
+        return fail(&e);
+    }
+    eprintln!(
+        "{} rows ({} corrupted) from {dataset} period {period} seed {seed}",
+        data.total(),
+        corrupted.len()
+    );
+    ExitCode::SUCCESS
+}

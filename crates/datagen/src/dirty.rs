@@ -1,0 +1,277 @@
+//! Malformed-input injection for the intake fault harness.
+//!
+//! Renders generated populations as the CSV the intake front end reads,
+//! then corrupts a deterministic fraction of rows across the corruption
+//! classes the rejects ledger attributes: blank lines, wrong arity,
+//! non-numeric tokens, out-of-domain values, truncated rows, invalid
+//! UTF-8 — plus *quoted fields*, which are deliberately benign (valid
+//! RFC-4180-ish quoting that intake must still accept). The injector
+//! reports exactly which rows it corrupted and how, so a harness can
+//! assert that every corrupted row lands in the ledger with the right
+//! cause and every untouched row is accepted.
+
+use crate::reallike::TwoAttrData;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One way a row can be damaged (or, for quoting, dressed up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionClass {
+    /// Wrap one field in double quotes — **valid** CSV carrying the same
+    /// value; intake must accept the row unchanged.
+    QuotedField,
+    /// Replace the row with an empty line.
+    BlankLine,
+    /// Append a surplus field so the arity disagrees with the schema.
+    WrongArity,
+    /// Replace one field with a non-numeric token.
+    NonNumeric,
+    /// Replace one field with a value far outside any sane domain.
+    OutOfDomain,
+    /// Cut the row off before its first delimiter (a torn write).
+    Truncated,
+    /// Flip one byte to `0xFF`, breaking UTF-8.
+    BadUtf8,
+}
+
+impl CorruptionClass {
+    /// Every class, in the order [`inject`] cycles through them.
+    pub const ALL: [CorruptionClass; 7] = [
+        CorruptionClass::QuotedField,
+        CorruptionClass::BlankLine,
+        CorruptionClass::WrongArity,
+        CorruptionClass::NonNumeric,
+        CorruptionClass::OutOfDomain,
+        CorruptionClass::Truncated,
+        CorruptionClass::BadUtf8,
+    ];
+
+    /// Whether a row so corrupted must still be *accepted* by intake.
+    pub fn still_valid(self) -> bool {
+        matches!(self, CorruptionClass::QuotedField)
+    }
+
+    /// Stable label, matching the harness's reporting.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionClass::QuotedField => "quoted-field",
+            CorruptionClass::BlankLine => "blank-line",
+            CorruptionClass::WrongArity => "wrong-arity",
+            CorruptionClass::NonNumeric => "non-numeric",
+            CorruptionClass::OutOfDomain => "out-of-domain",
+            CorruptionClass::Truncated => "truncated",
+            CorruptionClass::BadUtf8 => "bad-utf8",
+        }
+    }
+}
+
+/// A corrupted CSV file plus the ground truth of what was damaged.
+#[derive(Debug, Clone)]
+pub struct DirtyCsv {
+    /// The file body — bytes, not a `String`, because [`CorruptionClass::BadUtf8`]
+    /// rows are not valid UTF-8.
+    pub bytes: Vec<u8>,
+    /// `(zero-based row index, class)` for every corrupted row, in row
+    /// order. Rows not listed here were left untouched.
+    pub corrupted: Vec<(u64, CorruptionClass)>,
+}
+
+/// Expand a generated two-attribute population into `a,b` CSV rows, one
+/// tuple per line, in cell order.
+pub fn render_two_attr_csv(data: &TwoAttrData) -> String {
+    let mut out = String::new();
+    for &((a, b), f) in &data.cells {
+        for _ in 0..f {
+            out.push_str(&format!("{a},{b}\n"));
+        }
+    }
+    out
+}
+
+/// Corrupt roughly `fraction` of `clean`'s rows, cycling through
+/// `classes` (commonly [`CorruptionClass::ALL`] or a single class for a
+/// targeted sweep). Deterministic in `seed`. Rows are chosen by an
+/// independent coin flip per row, so the realized fraction wobbles
+/// around the target; the returned ground truth is exact either way.
+///
+/// `OutOfDomain` substitutes `999_999_999`, so it only rejects against
+/// schemas whose domains end below that; `Truncated` guarantees a
+/// wrong-arity reject only for rows of two or more fields.
+pub fn inject(clean: &str, fraction: f64, seed: u64, classes: &[CorruptionClass]) -> DirtyCsv {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0,1]"
+    );
+    assert!(!classes.is_empty(), "no corruption classes given");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes = Vec::with_capacity(clean.len());
+    let mut corrupted = Vec::new();
+    let mut next_class = 0usize;
+    for (row, line) in clean.lines().enumerate() {
+        if rng.random::<f64>() < fraction {
+            let class = classes[next_class % classes.len()];
+            next_class += 1;
+            corrupt_line(line, class, &mut rng, &mut bytes);
+            corrupted.push((row as u64, class));
+        } else {
+            bytes.extend_from_slice(line.as_bytes());
+        }
+        bytes.push(b'\n');
+    }
+    DirtyCsv { bytes, corrupted }
+}
+
+fn corrupt_line(line: &str, class: CorruptionClass, rng: &mut StdRng, out: &mut Vec<u8>) {
+    let fields: Vec<&str> = line.split(',').collect();
+    let pick = rng.random_range(0..fields.len());
+    match class {
+        CorruptionClass::QuotedField => {
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                if i == pick {
+                    out.push(b'"');
+                    out.extend_from_slice(f.as_bytes());
+                    out.push(b'"');
+                } else {
+                    out.extend_from_slice(f.as_bytes());
+                }
+            }
+        }
+        CorruptionClass::BlankLine => {}
+        CorruptionClass::WrongArity => {
+            out.extend_from_slice(line.as_bytes());
+            out.extend_from_slice(b",7");
+        }
+        CorruptionClass::NonNumeric => {
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.extend_from_slice(if i == pick { b"n/a" } else { f.as_bytes() });
+            }
+        }
+        CorruptionClass::OutOfDomain => {
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                if i == pick {
+                    out.extend_from_slice(b"999999999");
+                } else {
+                    out.extend_from_slice(f.as_bytes());
+                }
+            }
+        }
+        CorruptionClass::Truncated => {
+            let cut = line.find(',').unwrap_or(line.len());
+            out.extend_from_slice(&line.as_bytes()[..cut]);
+        }
+        CorruptionClass::BadUtf8 => {
+            let mut raw = line.as_bytes().to_vec();
+            let at = rng.random_range(0..raw.len().max(1));
+            if let Some(b) = raw.get_mut(at) {
+                *b = 0xFF;
+            }
+            out.extend_from_slice(&raw);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reallike::census;
+
+    fn small_csv() -> String {
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!("{},{}\n", i % 10, i % 7));
+        }
+        s
+    }
+
+    #[test]
+    fn render_expands_every_tuple() {
+        let d = census(0, 1);
+        let csv = render_two_attr_csv(&d);
+        assert_eq!(csv.lines().count() as u64, d.total());
+        let first = csv.lines().next().unwrap();
+        assert_eq!(first.split(',').count(), 2);
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_accounted() {
+        let clean = small_csv();
+        let a = inject(&clean, 0.3, 42, &CorruptionClass::ALL);
+        let b = inject(&clean, 0.3, 42, &CorruptionClass::ALL);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.corrupted, b.corrupted);
+        assert!(!a.corrupted.is_empty());
+        // Row count is preserved: corruption damages rows, never
+        // removes or adds lines.
+        let lines = a.bytes.iter().filter(|&&c| c == b'\n').count();
+        assert_eq!(lines, clean.lines().count());
+        // Untouched rows are byte-identical to the clean file.
+        let dirty_lines: Vec<&[u8]> = a.bytes.split(|&c| c == b'\n').collect();
+        let corrupted: std::collections::HashSet<u64> =
+            a.corrupted.iter().map(|&(r, _)| r).collect();
+        for (i, line) in clean.lines().enumerate() {
+            if !corrupted.contains(&(i as u64)) {
+                assert_eq!(dirty_lines[i], line.as_bytes(), "row {i} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let clean = small_csv();
+        let d = inject(&clean, 0.0, 7, &CorruptionClass::ALL);
+        assert_eq!(d.bytes, clean.as_bytes());
+        assert!(d.corrupted.is_empty());
+    }
+
+    #[test]
+    fn each_class_produces_its_shape() {
+        let clean = "12,34\n".repeat(50);
+        for class in CorruptionClass::ALL {
+            let d = inject(&clean, 1.0, 9, &[class]);
+            assert_eq!(d.corrupted.len(), 50, "{class:?}");
+            let first = d.bytes.split(|&c| c == b'\n').next().unwrap();
+            match class {
+                CorruptionClass::QuotedField => {
+                    assert!(first.contains(&b'"'), "{class:?}: {first:?}");
+                    // Still two fields carrying the same values.
+                    let s = std::str::from_utf8(first).unwrap();
+                    assert_eq!(s.replace('"', ""), "12,34");
+                }
+                CorruptionClass::BlankLine => assert!(first.is_empty()),
+                CorruptionClass::WrongArity => {
+                    assert_eq!(first.iter().filter(|&&c| c == b',').count(), 2)
+                }
+                CorruptionClass::NonNumeric => {
+                    assert!(std::str::from_utf8(first).unwrap().contains("n/a"))
+                }
+                CorruptionClass::OutOfDomain => {
+                    assert!(std::str::from_utf8(first).unwrap().contains("999999999"))
+                }
+                CorruptionClass::Truncated => assert!(!first.contains(&b',')),
+                CorruptionClass::BadUtf8 => {
+                    assert!(std::str::from_utf8(first).is_err(), "{first:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_quoting_is_benign() {
+        for class in CorruptionClass::ALL {
+            assert_eq!(
+                class.still_valid(),
+                class == CorruptionClass::QuotedField,
+                "{class:?}"
+            );
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //!   (Current Population Survey, SIPP, DEC-PKT traces), reproducing the
 //!   statistical properties the experiments depend on; see DESIGN.md's
 //!   substitution table.
+//! - [`dirty`] — CSV rendering plus deterministic malformed-row
+//!   injection (blank lines, wrong arity, non-numeric tokens, …) for
+//!   the intake fault harness; the `reallike` binary's `--dirty
+//!   FRACTION` mode is its command-line face.
 //!
 //! All generators are deterministic in their seeds.
 
@@ -18,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod clustered;
+pub mod dirty;
 pub mod mapping;
 pub mod reallike;
 pub mod zipf;
 
 pub use clustered::{ClusteredConfig, ClusteredGenerator, SparseRel};
+pub use dirty::{inject, render_two_attr_csv, CorruptionClass, DirtyCsv};
 pub use mapping::{
     correlated_pair, frequencies_to_stream, frequency_correlation, Correlation, ValueMapping,
 };

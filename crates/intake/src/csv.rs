@@ -1,0 +1,294 @@
+//! Delimiter/quoting-aware field splitting.
+//!
+//! One record per physical line: a double-quoted field may contain the
+//! delimiter and doubled quotes (`""` → `"`), but not a line break — an
+//! unterminated quote is a per-row reject, not a mode switch that could
+//! swallow the rest of the file. Quotes inside an *unquoted* field are
+//! taken literally (the lenient reading real-world CSV needs).
+
+use std::fmt;
+
+/// A quoting error found while splitting one record, attributed to the
+/// 0-based column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitError {
+    /// A quoted field was still open at end of line.
+    UnclosedQuote {
+        /// 0-based index of the offending field.
+        column: usize,
+    },
+    /// A closing quote was followed by junk instead of a delimiter or
+    /// end of line (e.g. `"ab"c`).
+    JunkAfterQuote {
+        /// 0-based index of the offending field.
+        column: usize,
+    },
+}
+
+impl SplitError {
+    /// The 0-based column the error is attributed to.
+    pub fn column(&self) -> usize {
+        match self {
+            SplitError::UnclosedQuote { column } | SplitError::JunkAfterQuote { column } => *column,
+        }
+    }
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::UnclosedQuote { column } => {
+                write!(f, "unclosed quote in column {column}")
+            }
+            SplitError::JunkAfterQuote { column } => {
+                write!(f, "text after closing quote in column {column}")
+            }
+        }
+    }
+}
+
+/// Parse a delimiter spec as accepted on the command line: a single
+/// ASCII character, or the words `tab` / `comma` / `semicolon` / `pipe`.
+pub fn parse_delimiter(spec: &str) -> Result<u8, String> {
+    match spec {
+        "tab" | "\\t" => Ok(b'\t'),
+        "comma" => Ok(b','),
+        "semicolon" => Ok(b';'),
+        "pipe" => Ok(b'|'),
+        s if s.len() == 1 && s.is_ascii() => {
+            let b = s.as_bytes()[0];
+            if b == b'"' || b == b'\n' || b == b'\r' {
+                Err(format!("'{s}' cannot be used as a delimiter"))
+            } else {
+                Ok(b)
+            }
+        }
+        other => Err(format!(
+            "unrecognized delimiter '{other}' (use a single character, or tab/comma/semicolon/pipe)"
+        )),
+    }
+}
+
+/// Render a delimiter byte back into the spec form [`parse_delimiter`]
+/// accepts (so `.schema` files round-trip).
+pub fn render_delimiter(delim: u8) -> String {
+    match delim {
+        b'\t' => "tab".to_string(),
+        other => (other as char).to_string(),
+    }
+}
+
+/// One split field, lifetime-free so a scratch `Vec<RawField>` can be
+/// reused across millions of rows: a byte span into the source line, or
+/// an owned string when doubled-quote unescaping had to rewrite it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawField {
+    /// `line[start..end]`, already unquoted.
+    Span {
+        /// Byte offset of the field's first content byte.
+        start: usize,
+        /// Byte offset one past the field's last content byte.
+        end: usize,
+    },
+    /// Unescaped content of a quoted field that contained `""`.
+    Owned(String),
+}
+
+impl RawField {
+    /// The field's text, resolved against the line it was split from.
+    pub fn as_str<'a>(&'a self, line: &'a str) -> &'a str {
+        match self {
+            RawField::Span { start, end } => &line[*start..*end],
+            RawField::Owned(s) => s,
+        }
+    }
+}
+
+/// Split one record into `out`, clearing it first.
+///
+/// `line` must not contain a line break. The scratch vector never
+/// allocates per row on the common path: plain and cleanly-quoted
+/// fields become spans into `line`; only quoted fields containing a
+/// doubled quote allocate. The delimiter is ASCII (enforced by
+/// [`parse_delimiter`]), so byte scanning never splits a multi-byte
+/// character.
+pub fn split_fields_into(line: &str, delim: u8, out: &mut Vec<RawField>) -> Result<(), SplitError> {
+    out.clear();
+    let bytes = line.as_bytes();
+
+    // Fast path: no quoting anywhere — every field is a span.
+    if !bytes.contains(&b'"') {
+        let mut start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == delim {
+                out.push(RawField::Span { start, end: i });
+                start = i + 1;
+            }
+        }
+        out.push(RawField::Span {
+            start,
+            end: bytes.len(),
+        });
+        return Ok(());
+    }
+
+    let mut i = 0usize;
+    loop {
+        let column = out.len();
+        if i < bytes.len() && bytes[i] == b'"' {
+            // Quoted field.
+            i += 1;
+            let content_start = i;
+            let mut owned: Option<String> = None;
+            let mut seg_start = i;
+            let mut closed = false;
+            while i < bytes.len() {
+                if bytes[i] == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        let buf = owned.get_or_insert_with(String::new);
+                        buf.push_str(&line[seg_start..i]);
+                        buf.push('"');
+                        i += 2;
+                        seg_start = i;
+                    } else {
+                        closed = true;
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !closed {
+                return Err(SplitError::UnclosedQuote { column });
+            }
+            let content_end = i;
+            i += 1; // past the closing quote
+            if i < bytes.len() && bytes[i] != delim {
+                return Err(SplitError::JunkAfterQuote { column });
+            }
+            match owned {
+                Some(mut s) => {
+                    s.push_str(&line[seg_start..content_end]);
+                    out.push(RawField::Owned(s));
+                }
+                None => out.push(RawField::Span {
+                    start: content_start,
+                    end: content_end,
+                }),
+            }
+        } else {
+            // Unquoted field: read to the next delimiter. Quotes after
+            // the first byte are literal.
+            let start = i;
+            while i < bytes.len() && bytes[i] != delim {
+                i += 1;
+            }
+            out.push(RawField::Span { start, end: i });
+        }
+        if i < bytes.len() && bytes[i] == delim {
+            i += 1;
+            // A trailing delimiter means one more (empty) field.
+            if i == bytes.len() {
+                out.push(RawField::Span { start: i, end: i });
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Split one record into its fields as owned strings.
+///
+/// Convenience wrapper over [`split_fields_into`] for callers off the
+/// hot path (probing, tests); the streaming loop reuses a scratch
+/// vector instead.
+pub fn split_fields(line: &str, delim: u8) -> Result<Vec<String>, SplitError> {
+    let mut out = Vec::new();
+    split_fields_into(line, delim, &mut out)?;
+    Ok(out
+        .into_iter()
+        .map(|f| f.as_str(line).to_string())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_split_on_the_delimiter() {
+        assert_eq!(split_fields("a,b,c", b',').unwrap(), ["a", "b", "c"]);
+        assert_eq!(split_fields("1|2", b'|').unwrap(), ["1", "2"]);
+        assert_eq!(split_fields("x\ty", b'\t').unwrap(), ["x", "y"]);
+    }
+
+    #[test]
+    fn empty_and_trailing_fields_are_preserved() {
+        assert_eq!(split_fields("", b',').unwrap(), [""]);
+        assert_eq!(split_fields("a,,c", b',').unwrap(), ["a", "", "c"]);
+        assert_eq!(split_fields("a,b,", b',').unwrap(), ["a", "b", ""]);
+        assert_eq!(split_fields(",", b',').unwrap(), ["", ""]);
+    }
+
+    #[test]
+    fn quoted_fields_may_contain_the_delimiter_and_doubled_quotes() {
+        assert_eq!(
+            split_fields("\"a,b\",c", b',').unwrap(),
+            ["a,b", "c"],
+            "embedded delimiter"
+        );
+        assert_eq!(
+            split_fields("\"say \"\"hi\"\"\",2", b',').unwrap(),
+            ["say \"hi\"", "2"]
+        );
+        assert_eq!(split_fields("\"\",x", b',').unwrap(), ["", "x"]);
+    }
+
+    #[test]
+    fn quote_errors_carry_column_attribution() {
+        assert_eq!(
+            split_fields("ok,\"unclosed", b',').unwrap_err(),
+            SplitError::UnclosedQuote { column: 1 }
+        );
+        assert_eq!(
+            split_fields("\"ab\"junk,2", b',').unwrap_err(),
+            SplitError::JunkAfterQuote { column: 0 }
+        );
+    }
+
+    #[test]
+    fn quotes_inside_unquoted_fields_are_literal() {
+        assert_eq!(split_fields("a\"b,c", b',').unwrap(), ["a\"b", "c"]);
+    }
+
+    #[test]
+    fn multibyte_characters_survive_splitting() {
+        assert_eq!(
+            split_fields("héllo,wörld", b',').unwrap(),
+            ["héllo", "wörld"]
+        );
+        assert_eq!(
+            split_fields("\"héllo,x\",y", b',').unwrap(),
+            ["héllo,x", "y"]
+        );
+    }
+
+    #[test]
+    fn delimiter_specs_parse_and_render() {
+        assert_eq!(parse_delimiter(",").unwrap(), b',');
+        assert_eq!(parse_delimiter("tab").unwrap(), b'\t');
+        assert_eq!(parse_delimiter("pipe").unwrap(), b'|');
+        assert_eq!(parse_delimiter(";").unwrap(), b';');
+        assert!(parse_delimiter("\"").is_err());
+        assert!(parse_delimiter("ab").is_err());
+        assert_eq!(render_delimiter(b'\t'), "tab");
+        assert_eq!(render_delimiter(b';'), ";");
+        assert_eq!(
+            parse_delimiter(&render_delimiter(b'|')).unwrap(),
+            b'|',
+            "round-trip"
+        );
+    }
+}

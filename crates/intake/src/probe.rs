@@ -1,0 +1,437 @@
+//! Schema inference by sampled probing.
+//!
+//! Reads the first `sample_rows` records (0 = full scan), narrows each
+//! column's type through `int → float → bool → text`, records the
+//! observed normalized min/max as the column domain, and auto-detects a
+//! header row (overridable). Rows that fail to split cleanly are skipped
+//! and counted — probing infers, it does not judge; `verify` does.
+//!
+//! Type narrowing is *dominant-type*, not unanimous: a column keeps a
+//! candidate type as long as the fraction of sampled values that fail it
+//! stays within [`ProbeOptions::type_tolerance`]. Without the tolerance,
+//! probing a dirty file would demote every corrupted column to `text`
+//! and the intake pass downstream would then have no typed contract left
+//! to enforce — the handful of malformed values must surface as
+//! *attributed rejects*, not silently widen the schema.
+
+use crate::csv::split_fields;
+use crate::schema::{Column, ColumnType, Schema};
+use std::io::BufRead;
+
+/// Options controlling a probe pass.
+#[derive(Debug, Clone)]
+pub struct ProbeOptions {
+    /// Field delimiter.
+    pub delimiter: u8,
+    /// Records to sample (0 = scan the whole input).
+    pub sample_rows: usize,
+    /// Force header presence; `None` auto-detects by comparing the first
+    /// two records.
+    pub header: Option<bool>,
+    /// Largest fraction of sampled values allowed to fail a candidate
+    /// type before the column is demoted to the next wider type. The
+    /// failing values are exactly what intake later rejects with
+    /// `bad-value` attribution, so tolerating them here is what keeps a
+    /// probed schema useful on dirty input. `0.0` restores unanimous
+    /// narrowing.
+    pub type_tolerance: f64,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: b',',
+            sample_rows: 2000,
+            header: None,
+            type_tolerance: 0.05,
+        }
+    }
+}
+
+/// What the probe saw while inferring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReport {
+    /// Records that contributed to inference.
+    pub rows_sampled: u64,
+    /// Records skipped (bad quoting, bad encoding, blank, or arity
+    /// disagreement with the first record).
+    pub rows_skipped: u64,
+}
+
+/// Per-column evidence accumulated over the sample. Failures are
+/// counted, not fatal: the dominant type wins as long as outliers stay
+/// within [`ProbeOptions::type_tolerance`].
+struct Evidence {
+    seen: u64,
+    int_fail: u64,
+    float_fail: u64,
+    bool_fail: u64,
+    max_frac_digits: u32,
+}
+
+impl Evidence {
+    fn new() -> Self {
+        Self {
+            seen: 0,
+            int_fail: 0,
+            float_fail: 0,
+            bool_fail: 0,
+            max_frac_digits: 0,
+        }
+    }
+
+    fn observe(&mut self, raw: &str) {
+        let t = raw.trim();
+        self.seen += 1;
+        if t.parse::<i64>().is_err() {
+            self.int_fail += 1;
+        }
+        match t.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                if let Some(frac) = frac_digits(t) {
+                    self.max_frac_digits = self.max_frac_digits.max(frac);
+                }
+            }
+            _ => self.float_fail += 1,
+        }
+        if !is_bool_token(t) {
+            self.bool_fail += 1;
+        }
+    }
+
+    /// Re-observe the domain once the final type (and float scale) is
+    /// fixed.
+    fn resolve(&self, name: String, values: &[String], tolerance: f64) -> Column {
+        // `floor` keeps tiny samples strict: at 5% tolerance a column
+        // needs 20+ sampled values before a single outlier is forgiven.
+        let allowed = (tolerance * self.seen as f64).floor() as u64;
+        let ty = if self.int_fail <= allowed {
+            ColumnType::Int
+        } else if self.float_fail <= allowed {
+            // Cap the scale at 10^6: beyond that the file almost
+            // certainly carries measurement noise, not fixed-point data.
+            let digits = self.max_frac_digits.min(6);
+            ColumnType::Float {
+                scale: 10u32.pow(digits),
+            }
+        } else if self.bool_fail <= allowed {
+            ColumnType::Bool
+        } else {
+            ColumnType::Text
+        };
+        let mut col = Column {
+            name,
+            ty,
+            domain: None,
+        };
+        if ty != ColumnType::Text {
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for raw in values {
+                if let Ok(Some(v)) = col.normalize(raw) {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            if min <= max {
+                col.domain = Some((min, max));
+            }
+        }
+        col
+    }
+}
+
+fn is_bool_token(t: &str) -> bool {
+    matches!(
+        t.to_ascii_lowercase().as_str(),
+        "true" | "t" | "yes" | "y" | "1" | "false" | "f" | "no" | "n" | "0"
+    )
+}
+
+/// Count decimal digits after the '.' in a numeric token (None when the
+/// token has no fractional part, e.g. integers or exponent forms).
+fn frac_digits(t: &str) -> Option<u32> {
+    let mantissa = t.split(['e', 'E']).next().unwrap_or(t);
+    let (_, frac) = mantissa.split_once('.')?;
+    Some(frac.chars().filter(|c| c.is_ascii_digit()).count() as u32)
+}
+
+fn numericish(raw: &str) -> bool {
+    let t = raw.trim();
+    t.parse::<f64>().is_ok() || is_bool_token(t)
+}
+
+fn sanitize_name(raw: &str, index: usize) -> String {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    // Purely numeric "names" are almost certainly data mistaken for a
+    // header; fall back to a synthetic name (which also keeps
+    // `Schema::column_index`'s numeric-index fallback unambiguous).
+    if cleaned.is_empty() || cleaned.chars().all(|c| c == '_') || cleaned.parse::<f64>().is_ok() {
+        format!("c{index}")
+    } else {
+        cleaned
+    }
+}
+
+/// Infer a [`Schema`] from sampled records.
+///
+/// Errors only when the input holds no usable record at all; individual
+/// malformed rows are skipped and counted in the [`ProbeReport`].
+pub fn probe<R: BufRead>(
+    mut reader: R,
+    opts: &ProbeOptions,
+) -> std::io::Result<(Schema, ProbeReport)> {
+    let mut raw = Vec::new();
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut skipped = 0u64;
+    let mut arity: Option<usize> = None;
+    let limit = if opts.sample_rows == 0 {
+        usize::MAX
+    } else {
+        // +1 so a header row does not eat into the sample.
+        opts.sample_rows.saturating_add(1)
+    };
+    while records.len() < limit {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+            raw.pop();
+        }
+        if raw.iter().all(|b| b.is_ascii_whitespace()) {
+            if !raw.is_empty() || !records.is_empty() {
+                skipped += 1;
+            }
+            continue;
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            skipped += 1;
+            continue;
+        };
+        let Ok(fields) = split_fields(line, opts.delimiter) else {
+            skipped += 1;
+            continue;
+        };
+        match arity {
+            None => arity = Some(fields.len()),
+            Some(a) if fields.len() != a => {
+                skipped += 1;
+                continue;
+            }
+            Some(_) => {}
+        }
+        records.push(fields);
+    }
+    if records.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no usable records to probe",
+        ));
+    }
+
+    // Header detection: forced, or inferred when the first record has a
+    // non-numeric field in a position where the second record is
+    // numeric (classic "names over numbers" shape).
+    let has_header = opts.header.unwrap_or_else(|| {
+        records.len() >= 2
+            && records[0]
+                .iter()
+                .zip(records[1].iter())
+                .any(|(h, v)| !numericish(h) && numericish(v))
+    });
+    let data = if has_header {
+        &records[1..]
+    } else {
+        &records[..]
+    };
+    if data.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "only a header record to probe",
+        ));
+    }
+
+    let ncols = records[0].len();
+    let mut evidence: Vec<Evidence> = (0..ncols).map(|_| Evidence::new()).collect();
+    for rec in data {
+        for (ev, raw) in evidence.iter_mut().zip(rec.iter()) {
+            ev.observe(raw);
+        }
+    }
+    let columns: Vec<Column> = evidence
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| {
+            let name = if has_header {
+                sanitize_name(&records[0][i], i)
+            } else {
+                format!("c{i}")
+            };
+            let values: Vec<String> = data.iter().map(|r| r[i].clone()).collect();
+            ev.resolve(name, &values, opts.type_tolerance.clamp(0.0, 1.0))
+        })
+        .collect();
+    Ok((
+        Schema {
+            delimiter: opts.delimiter,
+            has_header,
+            columns,
+        },
+        ProbeReport {
+            rows_sampled: data.len() as u64,
+            rows_skipped: skipped,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(text: &str, opts: &ProbeOptions) -> (Schema, ProbeReport) {
+        probe(Cursor::new(text.as_bytes()), opts).unwrap()
+    }
+
+    #[test]
+    fn infers_types_domains_and_header() {
+        let text = "id,price,active,note\n1,9.25,true,alpha\n4,0.5,false,beta\n2,12.00,yes,gamma\n";
+        let (schema, report) = run(text, &ProbeOptions::default());
+        assert!(schema.has_header);
+        assert_eq!(report.rows_sampled, 3);
+        assert_eq!(report.rows_skipped, 0);
+        let names: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["id", "price", "active", "note"]);
+        assert_eq!(schema.columns[0].ty, ColumnType::Int);
+        assert_eq!(schema.columns[0].domain, Some((1, 4)));
+        assert_eq!(schema.columns[1].ty, ColumnType::Float { scale: 100 });
+        assert_eq!(schema.columns[1].domain, Some((50, 1200)));
+        assert_eq!(schema.columns[2].ty, ColumnType::Bool);
+        assert_eq!(schema.columns[2].domain, Some((0, 1)));
+        assert_eq!(schema.columns[3].ty, ColumnType::Text);
+        assert_eq!(schema.columns[3].domain, None);
+    }
+
+    #[test]
+    fn headerless_numeric_files_get_synthetic_names() {
+        let (schema, _) = run("5,6\n7,8\n", &ProbeOptions::default());
+        assert!(!schema.has_header);
+        assert_eq!(schema.columns[0].name, "c0");
+        assert_eq!(schema.columns[0].ty, ColumnType::Int);
+        assert_eq!(schema.columns[1].domain, Some((6, 8)));
+    }
+
+    #[test]
+    fn header_override_beats_the_heuristic() {
+        let opts = ProbeOptions {
+            header: Some(true),
+            ..ProbeOptions::default()
+        };
+        let (schema, report) = run("10,20\n1,2\n3,4\n", &opts);
+        assert!(schema.has_header);
+        assert_eq!(report.rows_sampled, 2, "first record consumed as header");
+        assert_eq!(
+            schema.columns[0].name, "c0",
+            "numeric header sanitized away"
+        );
+    }
+
+    #[test]
+    fn malformed_rows_are_skipped_not_fatal() {
+        let mut text = String::from("1,2\n\n\"unclosed,3\nbad,arity,here\n9,10\n");
+        text.push_str(std::str::from_utf8(b"4,").unwrap());
+        text.push_str("5\n");
+        let (schema, report) = run(&text, &ProbeOptions::default());
+        assert_eq!(schema.columns.len(), 2);
+        assert_eq!(report.rows_sampled, 3);
+        assert_eq!(report.rows_skipped, 3, "blank + quote + arity");
+        assert_eq!(schema.columns[0].domain, Some((1, 9)));
+    }
+
+    #[test]
+    fn sampling_caps_the_scan() {
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("{i}\n"));
+        }
+        let opts = ProbeOptions {
+            sample_rows: 10,
+            ..ProbeOptions::default()
+        };
+        let (schema, report) = run(&text, &opts);
+        assert!(report.rows_sampled <= 11);
+        let (_, hi) = schema.columns[0].domain.unwrap();
+        assert!(hi < 99, "domain reflects only the sample");
+        let full = ProbeOptions {
+            sample_rows: 0,
+            ..ProbeOptions::default()
+        };
+        let (schema, report) = run(&text, &full);
+        assert_eq!(report.rows_sampled, 100);
+        assert_eq!(schema.columns[0].domain, Some((0, 99)));
+    }
+
+    #[test]
+    fn dominant_type_survives_a_few_dirty_values() {
+        // 97 clean ints + 3 junk values: the column must stay Int under
+        // the default 5% tolerance so intake can reject the junk with
+        // attribution instead of the schema going untyped.
+        let mut text = String::new();
+        for i in 0..100 {
+            if i % 37 == 5 {
+                text.push_str("n/a\n");
+            } else {
+                text.push_str(&format!("{i}\n"));
+            }
+        }
+        let (schema, report) = run(&text, &ProbeOptions::default());
+        assert_eq!(report.rows_sampled, 100);
+        assert_eq!(schema.columns[0].ty, ColumnType::Int);
+        assert_eq!(
+            schema.columns[0].domain,
+            Some((0, 99)),
+            "junk values must not contribute to the domain"
+        );
+        // Zero tolerance restores unanimous narrowing.
+        let strict = ProbeOptions {
+            type_tolerance: 0.0,
+            ..ProbeOptions::default()
+        };
+        let (schema, _) = run(&text, &strict);
+        assert_eq!(schema.columns[0].ty, ColumnType::Text);
+    }
+
+    #[test]
+    fn small_samples_stay_strict() {
+        // 3 rows, one junk: floor(0.05 * 3) = 0 outliers forgiven, so
+        // the column demotes exactly as it did before tolerance existed.
+        let (schema, _) = run("1\nn/a\n3\n", &ProbeOptions::default());
+        assert_eq!(schema.columns[0].ty, ColumnType::Text);
+    }
+
+    #[test]
+    fn probe_of_empty_input_is_a_typed_error() {
+        assert!(probe(Cursor::new(&b""[..]), &ProbeOptions::default()).is_err());
+        assert!(probe(Cursor::new(&b"\n\n"[..]), &ProbeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn inferred_schema_round_trips_through_text() {
+        let text = "a b!,price\n1,2.5\n3,4.25\n";
+        let (schema, _) = run(text, &ProbeOptions::default());
+        assert_eq!(schema.columns[0].name, "a_b_");
+        let reparsed = Schema::parse(&schema.render()).unwrap();
+        assert_eq!(reparsed, schema);
+    }
+}

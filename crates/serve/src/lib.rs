@@ -74,6 +74,12 @@ pub struct ServeOptions {
     /// merge coefficient vectors, and answers carry a `degraded` list
     /// attributing follower-substituted shards.
     pub shards: usize,
+    /// Per-request deadline in milliseconds: one request (header block
+    /// plus body) must fully arrive within it. A plain per-read socket
+    /// timeout resets on every byte, so a client trickling one byte at
+    /// a time (slowloris) would pin a worker forever; the deadline cuts
+    /// the connection off instead. `0` disables the deadline.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -85,6 +91,7 @@ impl Default for ServeOptions {
             flush_threshold: None,
             checkpoint_on_shutdown: true,
             shards: 0,
+            request_timeout_ms: 5000,
         }
     }
 }
@@ -174,6 +181,7 @@ struct ServerState {
     progress: Progress,
     since_publish: AtomicU64,
     publish_every: u64,
+    request_timeout: Option<Duration>,
     shutdown: AtomicBool,
     queue: ConnQueue,
 }
@@ -276,6 +284,8 @@ impl Server {
             progress: Progress::new(),
             since_publish: AtomicU64::new(0),
             publish_every: opts.publish_every.max(1),
+            request_timeout: (opts.request_timeout_ms > 0)
+                .then(|| Duration::from_millis(opts.request_timeout_ms)),
             shutdown: AtomicBool::new(false),
             queue: ConnQueue::new(opts.queue_depth),
         });
@@ -445,10 +455,62 @@ fn worker_loop(state: &ServerState) {
     }
 }
 
+/// A [`TcpStream`] read side enforcing a per-request deadline. The
+/// plain socket read timeout resets on every byte received, so a
+/// slowloris client trickling one byte per interval holds a worker
+/// forever; this wrapper re-arms the socket timeout to the time
+/// *remaining* before each read, turning the per-read timeout into a
+/// whole-request deadline.
+#[derive(Debug)]
+struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Option<std::time::Instant>,
+}
+
+impl DeadlineStream {
+    fn new(inner: TcpStream) -> Self {
+        DeadlineStream {
+            inner,
+            deadline: None,
+        }
+    }
+
+    /// Start (or restart) the clock for one request; `None` disables.
+    fn arm(&mut self, timeout: Option<Duration>) {
+        self.deadline = timeout.map(|t| std::time::Instant::now() + t);
+    }
+}
+
+impl io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded")
+                })?;
+            self.inner.set_read_timeout(Some(remaining))?;
+        }
+        match self.inner.read(buf) {
+            // Unix reports an expired SO_RCVTIMEO as WouldBlock;
+            // normalize so callers see one timeout kind.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            )),
+            other => other,
+        }
+    }
+}
+
 fn serve_connection(state: &ServerState, conn: TcpStream) -> io::Result<()> {
-    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut reader = BufReader::new(DeadlineStream::new(conn.try_clone()?));
     let mut writer = conn;
     loop {
+        // Each request gets a fresh deadline; an idle keep-alive
+        // connection past it is closed too, freeing the worker.
+        reader.get_mut().arm(state.request_timeout);
         let req = match http::read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => break,
@@ -463,7 +525,11 @@ fn serve_connection(state: &ServerState, conn: TcpStream) -> io::Result<()> {
                 );
                 break;
             }
-            Err(_) => break, // timeout / reset: just close
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                dctstream_obs::counter_add!("serve.request_timeouts", 1);
+                break; // half-sent request: cut the client off
+            }
+            Err(_) => break, // reset: just close
         };
         let _span = dctstream_obs::span!("serve.request");
         dctstream_obs::counter_add!("serve.requests", 1);
@@ -677,44 +743,112 @@ fn parse_row(line: &str) -> std::result::Result<(Vec<i64>, f64), String> {
     Ok((tuple, w))
 }
 
+/// The reject cause label for a row-level registry error; `None` means
+/// the error is not attributable to one row (storage failure, unknown
+/// stream) and must fail the batch.
+fn reject_label(e: &DctError) -> Option<&'static str> {
+    match e {
+        DctError::ValueOutOfDomain { .. } => Some("out-of-domain"),
+        DctError::ArityMismatch { .. } => Some("wrong-arity"),
+        _ => None,
+    }
+}
+
+/// Render the reject-attribution fields of an ingest answer: every
+/// rejected row's 1-based body line and cause (first ten spelled out).
+fn rejects_json(rejects: &[(usize, String)]) -> String {
+    let shown: Vec<String> = rejects
+        .iter()
+        .take(10)
+        .map(|(row, cause)| format!("{{\"row\":{row},\"cause\":\"{}\"}}", json_escape(cause)))
+        .collect();
+    format!(
+        "\"rejected\":{},\"rejects\":[{}]",
+        rejects.len(),
+        shown.join(",")
+    )
+}
+
 fn handle_ingest(state: &ServerState, req: &Request) -> Handled {
     let stream = required(req, "stream")?;
     let key = qualify(req, stream)?;
+    let reject_threshold = match req.param("reject_threshold") {
+        Some(raw) => {
+            let t: f64 = parse_num("reject_threshold", raw)?;
+            if !(0.0..=1.0).contains(&t) {
+                return Err(usage(format!("reject_threshold {t} outside [0,1]")));
+            }
+            Some(t)
+        }
+        None => None,
+    };
     let body = std::str::from_utf8(&req.body)
         .map_err(|_| usage("ingest body must be UTF-8 text rows".to_string()))?;
-    let mut rows = Vec::new();
+    // Malformed rows are quarantined with attribution, never a batch
+    // failure: the response says exactly which body lines were dropped
+    // and why, and the good rows land.
+    let mut rows: Vec<(usize, (Vec<i64>, f64))> = Vec::new();
+    let mut rejects: Vec<(usize, String)> = Vec::new();
+    let mut seen = 0u64;
     for (i, line) in body.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        rows.push(parse_row(line).map_err(|e| usage(format!("row {}: {e}", i + 1)))?);
+        seen += 1;
+        match parse_row(line) {
+            Ok(row) => rows.push((i + 1, row)),
+            Err(cause) => {
+                dctstream_obs::counter_add!(
+                    "intake.rows_rejected_total",
+                    &[("cause", "bad-value")],
+                    1
+                );
+                rejects.push((i + 1, cause));
+            }
+        }
     }
-    if rows.is_empty() {
+    if seen == 0 {
         return Err(usage("empty ingest body".to_string()));
     }
 
-    match &state.backend {
+    let (applied, tail) = match &state.backend {
         Backend::Single(gd) => {
             // Apply under the registry lock; bump the lock-free progress
             // mirror per applied row so staleness accounting survives
-            // mid-batch errors.
+            // mid-batch errors. Row-level registry errors (wrong arity,
+            // out of domain) validate before the WAL append, so a
+            // rejected row leaves no durable record.
             let applied_then_snapshot = gd.with(|dp| {
                 let mut applied = 0u64;
-                for (tuple, w) in &rows {
-                    dp.process_weighted(&key, tuple, *w)?;
-                    state.progress.add(1, w.abs());
-                    applied += 1;
+                for (row_no, (tuple, w)) in &rows {
+                    match dp.process_weighted(&key, tuple, *w) {
+                        Ok(_) => {
+                            state.progress.add(1, w.abs());
+                            applied += 1;
+                        }
+                        Err(e) => match reject_label(&e) {
+                            Some(label) => {
+                                dctstream_obs::counter_add!(
+                                    "intake.rows_rejected_total",
+                                    &[("cause", label)],
+                                    1
+                                );
+                                rejects.push((*row_no, e.to_string()));
+                            }
+                            None => return Err(e),
+                        },
+                    }
                 }
                 let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
                 if since >= state.publish_every {
                     state.since_publish.store(0, Ordering::SeqCst);
                     let epoch = state.cell.next_epoch();
-                    return dp.capture_snapshot(epoch).map(Some);
+                    return dp.capture_snapshot(epoch).map(|s| (applied, Some(s)));
                 }
-                Ok(None)
+                Ok((applied, None))
             });
-            let snap = match applied_then_snapshot {
+            let (applied, snap) = match applied_then_snapshot {
                 Ok(s) => s,
                 Err(e) => return Err(rejected(&e)),
             };
@@ -723,31 +857,62 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Handled {
             if let Some(snap) = snap {
                 state.cell.store(Arc::new(snap));
             }
-            Ok(format!(
-                "{{\"accepted\":{},\"durable_seq\":{},\"epoch\":{}}}",
-                rows.len(),
-                gd.durable_watermark(),
-                state.cell.published_epoch()
-            ))
+            (
+                applied,
+                format!(",\"durable_seq\":{}", gd.durable_watermark()),
+            )
         }
         Backend::Fleet(fleet) => {
             // The fleet partitions, applies, syncs, and publishes each
             // touched shard's watermark internally; the ack below is
-            // durable across every routed shard.
-            let applied = fleet.ingest(&key, &rows).map_err(|e| rejected(&e))?;
-            for (_, w) in &rows {
+            // durable across every routed shard. Fleet batches are
+            // all-or-nothing past parsing: per-row registry attribution
+            // is a single-registry surface.
+            let batch: Vec<(Vec<i64>, f64)> = rows.iter().map(|(_, r)| r.clone()).collect();
+            let applied = if batch.is_empty() {
+                0
+            } else {
+                fleet.ingest(&key, &batch).map_err(|e| rejected(&e))?
+            };
+            for (_, (_, w)) in &rows {
                 state.progress.add(1, w.abs());
             }
             let since = state.since_publish.fetch_add(applied, Ordering::SeqCst) + applied;
             if since >= state.publish_every {
                 state.publish_now().map_err(|e| rejected(&e))?;
             }
-            Ok(format!(
-                "{{\"accepted\":{applied},\"epoch\":{}}}",
-                state.cell.published_epoch()
-            ))
+            (applied, String::new())
+        }
+    };
+
+    // Configurable quarantine: past the threshold the stream itself is
+    // marked unhealthy (visible in /healthz-adjacent surfaces and
+    // refusing checkpoints) and the whole answer is a typed rejection.
+    let rejected_rows = rejects.len() as u64;
+    if let Some(t) = reject_threshold {
+        if rejected_rows as f64 > t * seen as f64 {
+            let cause = dctstream_stream::HealthCause::RejectRateExceeded {
+                rejected: rejected_rows,
+                seen,
+                threshold: t,
+            };
+            if let Backend::Single(gd) = &state.backend {
+                let _ = gd.with(|dp| dp.quarantine_stream(&key, cause));
+            }
+            return Err((
+                Status::Unprocessable,
+                format!(
+                    "reject rate {rejected_rows}/{seen} exceeded threshold {t}; \
+                     stream {key} quarantined"
+                ),
+            ));
         }
     }
+    Ok(format!(
+        "{{\"accepted\":{applied},{}{tail},\"epoch\":{}}}",
+        rejects_json(&rejects),
+        state.cell.published_epoch()
+    ))
 }
 
 /// The staleness fields every estimate answer carries.

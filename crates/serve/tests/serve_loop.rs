@@ -216,12 +216,139 @@ fn protocol_errors_are_status_codes_not_hangs() {
     assert_eq!(request(addr, "GET", "/v1/ingest?stream=x", "").0, 405);
     assert_eq!(request(addr, "POST", "/v1/register?stream=x", "").0, 400);
     register_cosine(addr, "default", "s");
-    assert_eq!(ingest(addr, "default", "s", "not-a-number\n").0, 400);
+    // A malformed row no longer fails the batch: it is quarantined with
+    // row-level attribution in the answer.
+    let (status, body) = ingest(addr, "default", "s", "not-a-number\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"accepted\":0"), "{body}");
+    assert!(body.contains("\"rejected\":1"), "{body}");
+    assert!(body.contains("\"row\":1"), "{body}");
+    // An empty body is still a usage error — there is nothing to ack.
     assert_eq!(ingest(addr, "default", "s", "").0, 400);
     assert_eq!(request(addr, "GET", "/healthz", "").0, 200);
     let (status, metrics) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     assert!(metrics.contains("serve_requests_total"), "{metrics}");
+    server.shutdown(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Row-level quarantine over the socket: a dirty batch lands its good
+/// rows, attributes every bad one (body line + cause), and only the
+/// accepted rows shape the estimate. With `reject_threshold`, a mostly
+/// bad batch quarantines the stream through the health registry.
+#[test]
+fn ingest_quarantines_bad_rows_with_attribution() {
+    let dir = tmp_dir("rejects");
+    let (server, _) = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            publish_every: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    register_cosine(addr, "acme", "dirty");
+    register_cosine(addr, "acme", "clean");
+
+    // Line 2 fails to parse, line 4 is out of the registered domain,
+    // line 5 has the wrong arity; lines 1 and 3 are good.
+    let (status, body) = ingest(addr, "acme", "dirty", "3\nsoup\n7:2\n99\n1,2\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"accepted\":2"), "{body}");
+    assert!(body.contains("\"rejected\":3"), "{body}");
+    for row in ["\"row\":2", "\"row\":4", "\"row\":5"] {
+        assert!(body.contains(row), "missing {row} in {body}");
+    }
+    // The accepted rows alone define the stream: bit-identical to a
+    // clean ingest of just the good rows.
+    assert_eq!(ingest(addr, "acme", "clean", "3\n7:2\n").0, 200);
+    let (s1, dirty) = request(
+        addr,
+        "GET",
+        "/v1/estimate?tenant=acme&left=dirty&right=dirty",
+        "",
+    );
+    let (s2, clean) = request(
+        addr,
+        "GET",
+        "/v1/estimate?tenant=acme&left=clean&right=clean",
+        "",
+    );
+    assert_eq!((s1, s2), (200, 200), "{dirty} / {clean}");
+    assert_eq!(
+        json_num(&dirty, "estimate").to_bits(),
+        json_num(&clean, "estimate").to_bits(),
+        "accepted rows must shape the synopsis exactly: {dirty} vs {clean}"
+    );
+
+    // Past the threshold: typed rejection and a quarantined stream —
+    // checkpoints now refuse until the operator intervenes.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/ingest?tenant=acme&stream=dirty&reject_threshold=0.5",
+        "bad\nworse\nterrible\n5\n",
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("quarantined"), "{body}");
+    let (status, body) = request(addr, "POST", "/v1/checkpoint", "");
+    assert_eq!(
+        status, 422,
+        "quarantined stream must block checkpoint: {body}"
+    );
+
+    server.shutdown(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The slowloris regression: a client that sends half a request and
+/// stalls cannot pin the (single) worker past the request deadline — a
+/// healthy client connecting afterwards is still served.
+#[test]
+fn half_sent_request_cannot_pin_a_worker() {
+    let dir = tmp_dir("slowloris");
+    let (server, _) = Server::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            request_timeout_ms: 300,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Stall mid-request-line and keep the socket open.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /healthz HTT").unwrap();
+    // Give the lone worker time to pick the stalled connection up.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // The healthy client must get through once the deadline cuts the
+    // stalled connection off (well under the old 5s per-read timeout).
+    let start = std::time::Instant::now();
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(3),
+        "healthy client waited {:?} behind a stalled one",
+        start.elapsed()
+    );
+    // The stalled connection was closed on the server side.
+    let mut buf = [0u8; 16];
+    stalled
+        .set_read_timeout(Some(std::time::Duration::from_secs(3)))
+        .unwrap();
+    assert_eq!(
+        stalled.read(&mut buf).unwrap_or(0),
+        0,
+        "server must close the half-sent connection without a response"
+    );
+
     server.shutdown(false);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -148,6 +148,19 @@ pub enum HealthCause {
     },
     /// A full scrub pass found no violation for this stream.
     ScrubPassed,
+    /// The typed intake front end saw too many malformed rows while
+    /// feeding this stream: the source itself can no longer be trusted
+    /// (wrong file, wrong schema, or upstream corruption), so the
+    /// stream is taken out of service rather than ingesting a skewed
+    /// accepted subset.
+    RejectRateExceeded {
+        /// Rows rejected when the threshold tripped.
+        rejected: u64,
+        /// Rows seen when the threshold tripped.
+        seen: u64,
+        /// The configured reject-rate threshold in `[0, 1]`.
+        threshold: f64,
+    },
 }
 
 impl fmt::Display for HealthCause {
@@ -175,6 +188,14 @@ impl fmt::Display for HealthCause {
                 write!(f, "repair verified ({replayed} WAL records replayed)")
             }
             HealthCause::ScrubPassed => f.write_str("scrub passed"),
+            HealthCause::RejectRateExceeded {
+                rejected,
+                seen,
+                threshold,
+            } => write!(
+                f,
+                "intake reject rate {rejected}/{seen} exceeded threshold {threshold}"
+            ),
         }
     }
 }

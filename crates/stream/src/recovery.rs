@@ -1008,6 +1008,19 @@ impl<S: WalStorage> DurableProcessor<S> {
         &self.health
     }
 
+    /// Administratively quarantine `stream`, recording `cause` — the
+    /// entry point the intake front end uses when its reject-rate
+    /// threshold trips. The transition is validated by the health state
+    /// machine: already-degraded streams refresh their cause (the
+    /// `Quarantined → Quarantined` self-loop), while an invalid edge
+    /// (e.g. mid-repair) is a typed error that changes nothing. Unlike
+    /// WAL-append quarantines this records no unsynced-suffix damage;
+    /// the stream's durable state is intact, its *source* is not.
+    pub fn quarantine_stream(&mut self, stream: &str, cause: HealthCause) -> Result<HealthState> {
+        self.health
+            .transition(stream, HealthState::Quarantined, cause)
+    }
+
     /// Quarantined streams and their causes (empty when healthy).
     pub fn quarantined(&self) -> BTreeMap<String, String> {
         self.health

@@ -814,3 +814,100 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISSUE 9 round-trip: a schema inferred by a full-scan probe,
+    /// rendered to its `.schema` text form, and parsed back must accept
+    /// every row of the file it was inferred from — `probe` then
+    /// `verify` on the same input never rejects.
+    #[test]
+    fn probed_schemas_accept_their_source_file(
+        rows in vec((0i64..1000, -500i64..500, 0.0f64..100.0), 1..120),
+    ) {
+        use dctstream_intake::{
+            probe, run, CountSink, IntakeOptions, ProbeOptions, RejectLedger, Schema,
+        };
+        use std::io::Cursor;
+
+        let csv: String = rows
+            .iter()
+            .map(|(a, b, w)| format!("{a},{b},{w:.2}\n"))
+            .collect();
+
+        let opts = ProbeOptions { sample_rows: 0, ..ProbeOptions::default() };
+        let (schema, report) = probe(Cursor::new(csv.as_bytes()), &opts).unwrap();
+        prop_assert_eq!(report.rows_skipped, 0);
+        prop_assert_eq!(schema.arity(), 3);
+
+        // Text round-trip is lossless.
+        let reparsed = Schema::parse(&schema.render()).unwrap();
+        prop_assert_eq!(&reparsed, &schema);
+
+        // The reparsed schema accepts the entire source file.
+        let mut ledger = RejectLedger::new(8);
+        let verdict = run(
+            Cursor::new(csv.as_bytes()),
+            &reparsed,
+            &IntakeOptions { targets: vec![0, 1], ..IntakeOptions::default() },
+            &mut ledger,
+            &mut CountSink,
+        )
+        .unwrap();
+        prop_assert_eq!(verdict.rejected, 0, "rejects: {:?}", verdict.sample);
+        prop_assert_eq!(verdict.accepted, rows.len() as u64);
+    }
+
+    /// ISSUE 9 equivalence: intake through a schema over clean CSV is
+    /// bit-identical to flushing the same `(value, weight)` batch
+    /// straight into the synopsis — the typed front end adds
+    /// validation, never drift. Both sides use one whole-batch
+    /// `ParallelIngest` flush, the determinism contract intake's sinks
+    /// are built on.
+    #[test]
+    fn intake_is_bit_identical_to_direct_updates(
+        values in vec((0i64..256, 1u8..4), 1..300),
+    ) {
+        use dctstream_intake::{
+            run, Column, ColumnType, CosineSink, IntakeOptions, RejectLedger, Schema,
+        };
+        use std::io::Cursor;
+
+        let csv: String = values
+            .iter()
+            .map(|(v, w)| format!("{v},{w}\n"))
+            .collect();
+        let schema = Schema {
+            delimiter: b',',
+            has_header: false,
+            columns: vec![
+                Column { name: "v".into(), ty: ColumnType::Int, domain: Some((0, 255)) },
+                Column { name: "w".into(), ty: ColumnType::Int, domain: Some((0, 16)) },
+            ],
+        };
+
+        let d = Domain::new(0, 255);
+        let mut via_intake = CosineSynopsis::new(d, Grid::Midpoint, 24).unwrap();
+        let mut ledger = RejectLedger::new(8);
+        let report = {
+            let mut sink = CosineSink::new(&mut via_intake, 1).with_flush_every(usize::MAX);
+            run(
+                Cursor::new(csv.as_bytes()),
+                &schema,
+                &IntakeOptions { weight: Some(1), ..IntakeOptions::default() },
+                &mut ledger,
+                &mut sink,
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(report.rejected, 0);
+
+        let mut direct = CosineSynopsis::new(d, Grid::Midpoint, 24).unwrap();
+        let batch: Vec<(i64, f64)> = values.iter().map(|&(v, w)| (v, f64::from(w))).collect();
+        dctstream::stream::ParallelIngest::with_threads(1)
+            .flush_cosine(&mut direct, &batch)
+            .unwrap();
+        prop_assert_eq!(via_intake.to_bytes(), direct.to_bytes());
+    }
+}
