@@ -1,0 +1,120 @@
+//! Recorded-workload replay gate: the serve daemon must absorb a fixed
+//! synthetic trace with zero failures and bounded per-route tail
+//! latency.
+//!
+//! Synthesizes the pinned trace (seed 42, mixed ingest/estimate/chain
+//! with Zipf tenant skew), self-hosts a daemon over a scratch registry,
+//! and replays it closed-loop over 4 connections. The trace and seed
+//! never change, so run-to-run numbers are comparable and the latency
+//! gates guard the whole serve request path — admission, fairness
+//! requeue, estimate cache, snapshot reads — against regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dctstream-bench --bin bench_replay [-- --json] [-- --check]
+//! ```
+//!
+//! Always prints the per-route table; with `--json` it also writes
+//! `BENCH_replay.json`. With `--check` it exits non-zero on any failed
+//! or errored request, or when a route's p99 exceeds its floor —
+//! deliberately generous bounds sized for a loaded 1-core CI runner,
+//! tight enough to catch a lock convoy or an accidental sync sleep.
+
+use dctstream_replay::{replay, synthesize, ReplayOptions, SynthesisConfig};
+use std::time::Duration;
+
+/// Non-register operations in the pinned trace.
+const OPS: usize = 1200;
+/// Replay connections.
+const CONNECTIONS: usize = 4;
+/// Per-route p99 ceilings, milliseconds (route, ceiling).
+const P99_CEILINGS_MS: &[(&str, f64)] = &[
+    ("register", 250.0),
+    ("ingest", 250.0),
+    ("estimate", 150.0),
+    ("chain", 150.0),
+];
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cfg = SynthesisConfig {
+        ops: OPS,
+        ..SynthesisConfig::default()
+    };
+    let trace = synthesize(&cfg).expect("pinned synthesis config is valid");
+
+    let dir = std::env::temp_dir().join("dctstream_bench_replay_reg");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, _) = dctstream_serve::Server::start(
+        &dir,
+        "127.0.0.1:0",
+        dctstream_serve::ServeOptions::default(),
+    )
+    .expect("scratch daemon starts");
+    let opts = ReplayOptions {
+        connections: CONNECTIONS,
+        closed_loop: true,
+        timeout: Duration::from_secs(60),
+        ..ReplayOptions::default()
+    };
+    let report = replay(server.local_addr(), &trace, &opts).expect("replay runs");
+    server.shutdown(false);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "dctstream replay gate (seed {}, {OPS} op(s), {CONNECTIONS} connection(s), \
+         closed loop, {cores} core(s))",
+        cfg.seed
+    );
+    println!("{}", report.to_table());
+
+    if json {
+        std::fs::write("BENCH_replay.json", format!("{}\n", report.to_json()))
+            .expect("write BENCH_replay.json");
+        println!("\nwrote BENCH_replay.json");
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        if report.failed > 0 {
+            failures.push(format!("{} transport failure(s)", report.failed));
+        }
+        for (name, r) in &report.routes {
+            if r.errors > 0 {
+                failures.push(format!("route {name}: {} error answer(s)", r.errors));
+            }
+            // Admission push-back on a 4-connection closed loop means the
+            // quota math regressed — the trace never oversubscribes.
+            if r.throttled_429 > 0 || r.unavailable_503 > 0 {
+                failures.push(format!(
+                    "route {name}: {} 429(s), {} 503(s)",
+                    r.throttled_429, r.unavailable_503
+                ));
+            }
+        }
+        for (name, ceiling) in P99_CEILINGS_MS {
+            let p99 = report.routes.get(*name).map(|r| r.p99_ms).unwrap_or(0.0);
+            if p99 > *ceiling {
+                failures.push(format!("route {name}: p99 {p99:.3}ms over {ceiling:.0}ms"));
+            }
+        }
+        let expected = trace.len() as u64;
+        if report.ops != expected {
+            failures.push(format!("replayed {} of {expected} op(s)", report.ops));
+        }
+        if !failures.is_empty() {
+            eprintln!("CHECK FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("\ncheck passed: {expected} op(s), zero failures, p99 within ceilings");
+    }
+}

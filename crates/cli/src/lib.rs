@@ -326,6 +326,45 @@ pub enum Command {
         publish_every: u64,
         /// Shard count for fleet mode (`0` = single registry).
         shards: usize,
+        /// Estimate-cache capacity (`0` disables).
+        estimate_cache: usize,
+        /// Per-tenant in-flight quota (`0` = auto).
+        tenant_quota: usize,
+        /// Fair per-tenant admission (round-robin requeue + quotas).
+        fair: bool,
+    },
+    /// Record a `.dctt` workload trace: synthesize one from a seed, or
+    /// proxy live traffic to an upstream daemon and capture it.
+    Record {
+        /// Trace file to write.
+        out: PathBuf,
+        /// Proxy mode: local port to listen on (0 = ephemeral).
+        listen: Option<u16>,
+        /// Proxy mode: upstream daemon address.
+        upstream: Option<String>,
+        /// Synthesis knobs (ignored in proxy mode).
+        cfg: dctstream_replay::SynthesisConfig,
+    },
+    /// Replay a recorded `.dctt` trace against a daemon and report
+    /// per-route latency, throughput, and staleness.
+    Replay {
+        /// Trace file to replay.
+        trace: PathBuf,
+        /// Registry directory to self-host a scratch daemon over
+        /// (mutually exclusive with `addr`).
+        dir: Option<PathBuf>,
+        /// Address of an already-running daemon.
+        addr: Option<String>,
+        /// Shard count for the self-hosted daemon (`0` = single).
+        shards: usize,
+        /// Concurrent replay connections.
+        connections: usize,
+        /// Open-loop time scale (recorded gaps divided by it).
+        speedup: f64,
+        /// Replay back-to-back, ignoring recorded arrival times.
+        closed: bool,
+        /// Emit the report as JSON instead of a table.
+        json: bool,
     },
     /// Create a sharded registry fleet (per-shard WAL lineage + warm
     /// follower) under a directory.
@@ -405,6 +444,12 @@ pub fn usage() -> &'static str {
        stats    [DIR] [--json|--prom]\n\
        watch    [DIR] [--interval MS] [--iterations N]\n\
        serve    DIR [--listen ADDR] [--workers N] [--queue N] [--publish-every N] [--shards N]\n\
+                [--cache N] [--tenant-quota N] [--no-fair]\n\
+       record   --out F [--seed S] [--ops N] [--tenants N] [--streams N] [--zipf Z]\n\
+                [--mix I:E:C] [--rows N] [--domain N] [--m N] [--degree N] [--gap-us N]\n\
+       record   --out F --listen PORT --upstream ADDR\n\
+       replay   TRACE (DIR [--shards N] | --addr ADDR) [--connections N] [--speedup X]\n\
+                [--closed] [--json]\n\
        fleet-init    DIR --shards N\n\
        fleet-status  DIR\n\
        fleet-ship    DIR\n\
@@ -439,7 +484,20 @@ pub fn usage() -> &'static str {
      the group-commit WAL, readers estimate against epoch-stamped\n\
      snapshots (staleness reported per answer); SIGTERM/SIGINT drain,\n\
      checkpoint, and exit; --shards N serves a sharded fleet instead\n\
-     (hash-routed ingest, merged answers with degraded attribution)\n\
+     (hash-routed ingest, merged answers with degraded attribution);\n\
+     --cache N caps the epoch-keyed estimate cache (0 disables it),\n\
+     --tenant-quota N caps each tenant's in-flight requests (0 = auto),\n\
+     --no-fair disables per-tenant fair admission (quotas + round-robin)\n\
+     record synthesizes a seeded Zipf-skewed workload trace (.dctt), or\n\
+     with --listen/--upstream proxies live traffic to a daemon and\n\
+     captures every accepted operation until SIGTERM/SIGINT\n\
+     replay drives a trace against a daemon (self-hosted over DIR, or\n\
+     --addr for a running one) over --connections keep-alive conns,\n\
+     open-loop at --speedup X or --closed back-to-back, and reports\n\
+     per-route p50/p95/p99 latency, throughput, per-tenant 429/503\n\
+     attribution, and staleness (--json for machines); replay order is\n\
+     partitioned by stream so final estimates are bit-identical across\n\
+     runs and connection counts\n\
      fleet-init creates an N-shard fleet (per-shard WAL lineage plus a\n\
      warm follower fed by segment shipping); fleet-status reports each\n\
      shard's epoch, liveness, and follower staleness; fleet-ship drains\n\
@@ -958,7 +1016,7 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
             })
         }
         "serve" => {
-            let mut f = split_flags(rest, &[])?;
+            let mut f = split_flags(rest, &["no-fair"])?;
             let listen = f
                 .take_opt("listen")
                 .unwrap_or_else(|| "127.0.0.1:7171".to_string());
@@ -990,6 +1048,19 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                     _ => return Err(CliError::Usage(format!("bad --shards '{v}'"))),
                 },
             };
+            let estimate_cache = match f.take_opt("cache") {
+                None => 1024,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --cache '{v}'")))?,
+            };
+            let tenant_quota = match f.take_opt("tenant-quota") {
+                None => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --tenant-quota '{v}'")))?,
+            };
+            let fair = !f.bools.contains("no-fair");
             let dir = match f.positional.as_slice() {
                 [dir] => PathBuf::from(dir),
                 _ => {
@@ -1005,6 +1076,167 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
                 queue_depth,
                 publish_every,
                 shards,
+                estimate_cache,
+                tenant_quota,
+                fair,
+            })
+        }
+        "record" => {
+            let mut f = split_flags(rest, &[])?;
+            let out = PathBuf::from(f.take("out")?);
+            let listen = f
+                .take_opt("listen")
+                .map(|v| {
+                    v.parse::<u16>()
+                        .map_err(|_| CliError::Usage(format!("bad --listen '{v}'")))
+                })
+                .transpose()?;
+            let upstream = f.take_opt("upstream");
+            if listen.is_some() != upstream.is_some() {
+                return Err(CliError::Usage(
+                    "proxy mode needs both --listen and --upstream".into(),
+                ));
+            }
+            let mut cfg = dctstream_replay::SynthesisConfig::default();
+            if let Some(v) = f.take_opt("seed") {
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --seed '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("ops") {
+                cfg.ops = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --ops '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("tenants") {
+                cfg.tenants = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --tenants '{v}'"))),
+                };
+            }
+            if let Some(v) = f.take_opt("streams") {
+                cfg.streams_per_tenant = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --streams '{v}'"))),
+                };
+            }
+            if let Some(v) = f.take_opt("zipf") {
+                cfg.zipf_z = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --zipf '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("mix") {
+                let parts: Vec<&str> = v.split(':').collect();
+                cfg.mix = match parts.as_slice() {
+                    [i, e, c] => match (i.parse(), e.parse(), c.parse()) {
+                        (Ok(ingest), Ok(estimate), Ok(chain)) => dctstream_replay::OpMix {
+                            ingest,
+                            estimate,
+                            chain,
+                        },
+                        _ => {
+                            return Err(CliError::Usage(format!(
+                                "bad --mix '{v}': want INGEST:ESTIMATE:CHAIN"
+                            )))
+                        }
+                    },
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "bad --mix '{v}': want INGEST:ESTIMATE:CHAIN"
+                        )))
+                    }
+                };
+            }
+            if let Some(v) = f.take_opt("rows") {
+                cfg.rows_per_ingest = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --rows '{v}'"))),
+                };
+            }
+            if let Some(v) = f.take_opt("domain") {
+                cfg.domain = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --domain '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("m") {
+                cfg.coefficients = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad -m '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("degree") {
+                cfg.degree = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --degree '{v}'")))?;
+            }
+            if let Some(v) = f.take_opt("gap-us") {
+                cfg.mean_gap_us = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --gap-us '{v}'")))?;
+            }
+            if !f.positional.is_empty() {
+                return Err(CliError::Usage(
+                    "record takes no positional arguments".into(),
+                ));
+            }
+            Ok(Command::Record {
+                out,
+                listen,
+                upstream,
+                cfg,
+            })
+        }
+        "replay" => {
+            let mut f = split_flags(rest, &["closed", "json"])?;
+            let addr = f.take_opt("addr");
+            let shards = match f.take_opt("shards") {
+                None => 0,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --shards '{v}'"))),
+                },
+            };
+            let connections = match f.take_opt("connections") {
+                None => 1,
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(CliError::Usage(format!("bad --connections '{v}'"))),
+                },
+            };
+            let speedup = match f.take_opt("speedup") {
+                None => 1.0,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(x) if x.is_finite() && x > 0.0 => x,
+                    _ => return Err(CliError::Usage(format!("bad --speedup '{v}'"))),
+                },
+            };
+            let (trace, dir) = match f.positional.as_slice() {
+                [trace] => (PathBuf::from(trace), None),
+                [trace, dir] => (PathBuf::from(trace), Some(PathBuf::from(dir))),
+                _ => {
+                    return Err(CliError::Usage(
+                        "replay takes a trace file and optionally a registry directory".into(),
+                    ))
+                }
+            };
+            if dir.is_some() == addr.is_some() {
+                return Err(CliError::Usage(
+                    "replay needs either a registry directory or --addr, not both".into(),
+                ));
+            }
+            if shards > 0 && dir.is_none() {
+                return Err(CliError::Usage(
+                    "--shards only applies to the self-hosted daemon (give a directory)".into(),
+                ));
+            }
+            Ok(Command::Replay {
+                trace,
+                dir,
+                addr,
+                shards,
+                connections,
+                speedup,
+                closed: f.bools.contains("closed"),
+                json: f.bools.contains("json"),
             })
         }
         "fleet-init" => {
@@ -1035,6 +1267,24 @@ pub fn parse(args: &[String]) -> CliResult<Command> {
             Ok(Command::FleetPromote { dir, shard })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Resolve `HOST:PORT` to a socket address (first resolution wins).
+fn resolve_addr(addr: &str) -> CliResult<std::net::SocketAddr> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| CliError::Usage(format!("cannot resolve address '{addr}'")))
+}
+
+/// Fold a replay-layer failure into the CLI error taxonomy.
+fn replay_err(e: dctstream_replay::ReplayError) -> CliError {
+    match e {
+        dctstream_replay::ReplayError::Io(e) => CliError::Io(e),
+        dctstream_replay::ReplayError::Config(msg) => CliError::Usage(msg),
+        other => CliError::Parse(other.to_string()),
     }
 }
 
@@ -1968,6 +2218,9 @@ pub fn run(cmd: Command) -> CliResult<String> {
             queue_depth,
             publish_every,
             shards,
+            estimate_cache,
+            tenant_quota,
+            fair,
         } => {
             dctstream_serve::install_signal_handlers();
             let opts = dctstream_serve::ServeOptions {
@@ -1975,6 +2228,9 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 queue_depth,
                 publish_every,
                 shards,
+                estimate_cache,
+                tenant_quota,
+                fair_admission: fair,
                 ..Default::default()
             };
             let (server, report) = dctstream_serve::Server::start(&dir, &listen, opts)?;
@@ -2012,6 +2268,94 @@ pub fn run(cmd: Command) -> CliResult<String> {
                 None => write!(out, "checkpoint skipped").unwrap(),
             }
             Ok(out)
+        }
+        Command::Record {
+            out,
+            listen,
+            upstream,
+            cfg,
+        } => match (listen, upstream) {
+            (Some(port), Some(upstream)) => {
+                dctstream_serve::install_signal_handlers();
+                let up: std::net::SocketAddr = resolve_addr(&upstream)?;
+                let proxy =
+                    dctstream_replay::RecordingProxy::start(port, up, &out).map_err(replay_err)?;
+                let banner = format!(
+                    "recording http://{} -> http://{up} into {}",
+                    proxy.addr(),
+                    out.display()
+                );
+                if let Err(e) = emit_line(&banner) {
+                    if e.kind() != std::io::ErrorKind::BrokenPipe {
+                        return Err(CliError::Io(e));
+                    }
+                }
+                while !dctstream_serve::termination_requested() {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                let count = proxy.shutdown().map_err(replay_err)?;
+                Ok(format!(
+                    "recorded {count} operation(s) into {}",
+                    out.display()
+                ))
+            }
+            _ => {
+                let trace = dctstream_replay::synthesize(&cfg).map_err(replay_err)?;
+                dctstream_replay::write_trace(&out, &trace).map_err(replay_err)?;
+                Ok(format!(
+                    "synthesized {} record(s) (seed {}, {} tenant(s), mix {}:{}:{}) into {}",
+                    trace.len(),
+                    cfg.seed,
+                    cfg.tenants,
+                    cfg.mix.ingest,
+                    cfg.mix.estimate,
+                    cfg.mix.chain,
+                    out.display()
+                ))
+            }
+        },
+        Command::Replay {
+            trace,
+            dir,
+            addr,
+            shards,
+            connections,
+            speedup,
+            closed,
+            json,
+        } => {
+            let records = dctstream_replay::read_trace(&trace).map_err(replay_err)?;
+            let opts = dctstream_replay::ReplayOptions {
+                connections,
+                speedup,
+                closed_loop: closed,
+                ..Default::default()
+            };
+            // Self-host a scratch daemon over the directory, or drive an
+            // already-running one.
+            let (target, server) = match (&dir, &addr) {
+                (Some(dir), None) => {
+                    let serve_opts = dctstream_serve::ServeOptions {
+                        shards,
+                        ..Default::default()
+                    };
+                    let (server, _) =
+                        dctstream_serve::Server::start(dir, "127.0.0.1:0", serve_opts)?;
+                    (server.local_addr(), Some(server))
+                }
+                (None, Some(addr)) => (resolve_addr(addr)?, None),
+                _ => unreachable!("parse enforces exactly one of dir/addr"),
+            };
+            let report = dctstream_replay::replay(target, &records, &opts);
+            if let Some(server) = server {
+                server.shutdown(false);
+            }
+            let report = report.map_err(replay_err)?;
+            Ok(if json {
+                report.to_json()
+            } else {
+                report.to_table()
+            })
         }
         Command::FleetInit { dir, shards } => {
             let fleet = ShardedRegistry::create(&dir, shards, FleetOptions::default())?;
@@ -3010,11 +3354,15 @@ mod tests {
                 queue_depth: 64,
                 publish_every: 1024,
                 shards: 0,
+                estimate_cache: 1024,
+                tenant_quota: 0,
+                fair: true,
             }
         );
         assert_eq!(
             parse(&args(
-                "serve reg --listen 0.0.0.0:9000 --workers 8 --queue 16 --publish-every 1 --shards 4"
+                "serve reg --listen 0.0.0.0:9000 --workers 8 --queue 16 --publish-every 1 \
+                 --shards 4 --cache 0 --tenant-quota 2 --no-fair"
             ))
             .unwrap(),
             Command::Serve {
@@ -3024,6 +3372,9 @@ mod tests {
                 queue_depth: 16,
                 publish_every: 1,
                 shards: 4,
+                estimate_cache: 0,
+                tenant_quota: 2,
+                fair: false,
             }
         );
         assert!(matches!(parse(&args("serve")), Err(CliError::Usage(_))));
@@ -3034,6 +3385,112 @@ mod tests {
         ));
         assert!(matches!(
             parse(&args("serve wal/ --shards 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_record_command() {
+        let mut cfg = dctstream_replay::SynthesisConfig::default();
+        assert_eq!(
+            parse(&args("record --out t.dctt")).unwrap(),
+            Command::Record {
+                out: "t.dctt".into(),
+                listen: None,
+                upstream: None,
+                cfg: cfg.clone(),
+            }
+        );
+        cfg.seed = 7;
+        cfg.ops = 50;
+        cfg.tenants = 2;
+        cfg.mix = dctstream_replay::OpMix {
+            ingest: 1,
+            estimate: 1,
+            chain: 0,
+        };
+        assert_eq!(
+            parse(&args(
+                "record --out t.dctt --seed 7 --ops 50 --tenants 2 --mix 1:1:0"
+            ))
+            .unwrap(),
+            Command::Record {
+                out: "t.dctt".into(),
+                listen: None,
+                upstream: None,
+                cfg,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "record --out t.dctt --listen 0 --upstream 127.0.0.1:7171"
+            ))
+            .unwrap(),
+            Command::Record {
+                out: "t.dctt".into(),
+                listen: Some(0),
+                upstream: Some("127.0.0.1:7171".into()),
+                cfg: dctstream_replay::SynthesisConfig::default(),
+            }
+        );
+        // Proxy mode needs both halves; synthesis rejects junk knobs.
+        assert!(matches!(
+            parse(&args("record --out t.dctt --listen 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("record --out t.dctt --mix 1:2")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&args("record")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_replay_command() {
+        assert_eq!(
+            parse(&args(
+                "replay t.dctt reg/ --shards 2 --connections 4 --speedup 10 --json"
+            ))
+            .unwrap(),
+            Command::Replay {
+                trace: "t.dctt".into(),
+                dir: Some("reg/".into()),
+                addr: None,
+                shards: 2,
+                connections: 4,
+                speedup: 10.0,
+                closed: false,
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&args("replay t.dctt --addr 127.0.0.1:7171 --closed")).unwrap(),
+            Command::Replay {
+                trace: "t.dctt".into(),
+                dir: None,
+                addr: Some("127.0.0.1:7171".into()),
+                shards: 0,
+                connections: 1,
+                speedup: 1.0,
+                closed: true,
+                json: false,
+            }
+        );
+        // Exactly one target; shards only make sense self-hosted.
+        assert!(matches!(
+            parse(&args("replay t.dctt")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("replay t.dctt reg/ --addr 127.0.0.1:1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("replay t.dctt --addr 127.0.0.1:1 --shards 2")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args("replay t.dctt reg/ --speedup 0")),
             Err(CliError::Usage(_))
         ));
     }

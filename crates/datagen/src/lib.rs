@@ -33,4 +33,4 @@ pub use mapping::{
     correlated_pair, frequencies_to_stream, frequency_correlation, Correlation, ValueMapping,
 };
 pub use reallike::{census, net_trace, sipp, sipp_joint, Protocol, SippData, TwoAttrData};
-pub use zipf::{round_to_total, zipf_frequencies, zipf_weights};
+pub use zipf::{round_to_total, zipf_frequencies, zipf_weights, ZipfSampler};

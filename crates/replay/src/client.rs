@@ -1,0 +1,125 @@
+//! A keep-alive HTTP/1.1 client for the serve daemon's wire protocol —
+//! the replay driver's and recording proxy's shared transport. Unlike
+//! the bench harness's panicking client, every failure here is a typed
+//! [`ReplayError`] so the driver can count it instead of dying.
+
+use crate::ReplayError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One response: status code and body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the daemon always answers JSON or Prometheus
+    /// text).
+    pub body: String,
+}
+
+impl Client {
+    /// Connect with a read/write timeout so a wedged daemon cannot hang
+    /// the driver forever.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Client, ReplayError> {
+        let conn = TcpStream::connect_timeout(&addr, timeout)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(timeout))?;
+        conn.set_write_timeout(Some(timeout))?;
+        Ok(Client {
+            reader: BufReader::new(conn.try_clone()?),
+            writer: conn,
+        })
+    }
+
+    /// One request/response exchange on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_query: &str,
+        body: &str,
+    ) -> Result<Response, ReplayError> {
+        write!(
+            self.writer,
+            "{method} {path_query} HTTP/1.1\r\nHost: replay\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.read_response()
+    }
+
+    /// Read one response off the connection (status line, headers,
+    /// `Content-Length` body).
+    pub fn read_response(&mut self) -> Result<Response, ReplayError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ReplayError::Protocol(
+                "server closed the connection mid-exchange".to_string(),
+            ));
+        }
+        let status: u16 = line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ReplayError::Protocol(format!("malformed status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            if self.reader.read_line(&mut h)? == 0 {
+                return Err(ReplayError::Protocol(
+                    "server closed the connection mid-headers".to_string(),
+                ));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// Pull a numeric field out of a flat JSON body (the daemon's answers
+/// are flat); `None` if absent or non-numeric.
+pub fn json_num(body: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_num_extracts_fields() {
+        let body = "{\"estimate\":123.5,\"epoch\":7,\"records_behind\":0}";
+        assert_eq!(json_num(body, "estimate"), Some(123.5));
+        assert_eq!(json_num(body, "epoch"), Some(7.0));
+        assert_eq!(json_num(body, "records_behind"), Some(0.0));
+        assert_eq!(json_num(body, "missing"), None);
+        assert_eq!(json_num("{\"x\":\"str\"}", "x"), None);
+    }
+}

@@ -1,0 +1,712 @@
+//! The replay driver: plays a `.dctt` trace against a running daemon
+//! over `connections` keep-alive connections, closed-loop (as fast as
+//! the daemon answers) or open-loop (honoring the recorded arrival
+//! times, scaled by `speedup`), and aggregates per-route latency
+//! histograms, throughput, per-tenant error attribution, and staleness
+//! distributions.
+//!
+//! ## Determinism
+//!
+//! Register ops replay serially as a preamble. Every other op is
+//! assigned to a connection by the FNV-1a hash of its anchor stream
+//! (`tenant/stream` — the ingest target, an estimate's left stream, a
+//! chain's first link), so one stream's updates always flow through one
+//! connection *in trace order*. Per-stream summaries depend only on
+//! that stream's update order, so the final registry state — and every
+//! final estimate — is bit-identical no matter how many connections
+//! replay the trace or how the scheduler interleaves them.
+
+use crate::client::{json_num, Client};
+use crate::trace::{ChainLink, RegisterKind, TraceOp, TraceRecord};
+use crate::ReplayError;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`replay`].
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Open-loop time scale: recorded arrival gaps are divided by it
+    /// (`10.0` replays ten times faster than recorded). Ignored under
+    /// `closed_loop`.
+    pub speedup: f64,
+    /// Ignore recorded arrival times and replay back-to-back.
+    pub closed_loop: bool,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            connections: 1,
+            speedup: 1.0,
+            closed_loop: false,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Latency and status tallies for one route.
+#[derive(Debug, Clone, Default)]
+pub struct RouteStats {
+    /// Requests answered (any status).
+    pub count: u64,
+    /// Answers that were neither 2xx nor an admission push-back
+    /// (429/503) — true errors.
+    pub errors: u64,
+    /// `429 Too Many Requests` answers (per-tenant quota).
+    pub throttled_429: u64,
+    /// `503 Service Unavailable` answers (queue saturation).
+    pub unavailable_503: u64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Per-tenant attribution of answers and push-backs.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Requests this tenant issued.
+    pub ops: u64,
+    /// `429` answers it absorbed (quota).
+    pub throttled_429: u64,
+    /// `503` answers it absorbed (saturation).
+    pub unavailable_503: u64,
+    /// Other non-2xx answers.
+    pub errors: u64,
+}
+
+/// Distribution of `records_behind` over every estimate/chain answer.
+#[derive(Debug, Clone, Default)]
+pub struct StalenessStats {
+    /// Estimate answers that carried a staleness field.
+    pub samples: u64,
+    /// Median records behind.
+    pub p50: u64,
+    /// 95th percentile records behind.
+    pub p95: u64,
+    /// 99th percentile records behind.
+    pub p99: u64,
+    /// Worst observed records behind.
+    pub max: u64,
+}
+
+/// What one replay run measured.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Wall-clock seconds from first to last request.
+    pub wall_secs: f64,
+    /// Total operations replayed (including the register preamble).
+    pub ops: u64,
+    /// Transport-level failures (connect/read/write) — not HTTP errors.
+    pub failed: u64,
+    /// Overall operations per second.
+    pub throughput_ops_per_sec: f64,
+    /// Per-route latency histograms, keyed `register` / `ingest` /
+    /// `estimate` / `chain`.
+    pub routes: BTreeMap<String, RouteStats>,
+    /// Per-tenant answer attribution.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Staleness distribution across estimate/chain answers.
+    pub staleness: StalenessStats,
+}
+
+/// One measured request.
+struct Sample {
+    route: &'static str,
+    tenant: String,
+    status: u16,
+    ms: f64,
+    records_behind: Option<u64>,
+}
+
+/// The HTTP request a trace op maps to.
+struct Rendered {
+    route: &'static str,
+    method: &'static str,
+    path_query: String,
+    body: String,
+}
+
+fn render(rec: &TraceRecord) -> Rendered {
+    let t = &rec.tenant;
+    match &rec.op {
+        TraceOp::Register { stream, kind } => {
+            let path_query = match kind {
+                RegisterKind::Cosine { lo, hi, m } => format!(
+                    "/v1/register?tenant={t}&stream={stream}&kind=cosine&lo={lo}&hi={hi}&m={m}"
+                ),
+                RegisterKind::Multi { degree, domains } => {
+                    let doms: Vec<String> = domains
+                        .iter()
+                        .map(|(lo, hi)| format!("{lo}:{hi}"))
+                        .collect();
+                    format!(
+                        "/v1/register?tenant={t}&stream={stream}&kind=multi&degree={degree}&domains={}",
+                        doms.join(",")
+                    )
+                }
+            };
+            Rendered {
+                route: "register",
+                method: "POST",
+                path_query,
+                body: String::new(),
+            }
+        }
+        TraceOp::Ingest { stream, rows } => {
+            let mut body = String::with_capacity(rows.len() * 8);
+            for (tuple, w) in rows {
+                let vals: Vec<String> = tuple.iter().map(i64::to_string).collect();
+                body.push_str(&vals.join(","));
+                body.push(':');
+                body.push_str(&w.to_string());
+                body.push('\n');
+            }
+            Rendered {
+                route: "ingest",
+                method: "POST",
+                path_query: format!("/v1/ingest?tenant={t}&stream={stream}"),
+                body,
+            }
+        }
+        TraceOp::Estimate {
+            left,
+            right,
+            budget,
+        } => {
+            let mut path_query = format!("/v1/estimate?tenant={t}&left={left}&right={right}");
+            if let Some(b) = budget {
+                path_query.push_str(&format!("&budget={b}"));
+            }
+            Rendered {
+                route: "estimate",
+                method: "GET",
+                path_query,
+                body: String::new(),
+            }
+        }
+        TraceOp::Chain { links, budget } => {
+            let mut body = String::new();
+            for link in links {
+                match link {
+                    ChainLink::End { stream } => body.push_str(&format!("end {stream}\n")),
+                    ChainLink::Inner {
+                        stream,
+                        left,
+                        right,
+                    } => body.push_str(&format!("inner {stream} {left} {right}\n")),
+                }
+            }
+            let mut path_query = format!("/v1/chain?tenant={t}");
+            if let Some(b) = budget {
+                path_query.push_str(&format!("&budget={b}"));
+            }
+            Rendered {
+                route: "chain",
+                method: "POST",
+                path_query,
+                body,
+            }
+        }
+    }
+}
+
+/// The stream whose order the op depends on — the partition key.
+fn anchor(rec: &TraceRecord) -> String {
+    let stream = match &rec.op {
+        TraceOp::Register { stream, .. } | TraceOp::Ingest { stream, .. } => stream.as_str(),
+        TraceOp::Estimate { left, .. } => left.as_str(),
+        TraceOp::Chain { links, .. } => match links.first() {
+            Some(ChainLink::End { stream }) | Some(ChainLink::Inner { stream, .. }) => {
+                stream.as_str()
+            }
+            None => "",
+        },
+    };
+    format!("{}/{stream}", rec.tenant)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Issue one rendered request, measuring latency. Transport failures
+/// reconnect once (the daemon may have closed an idle connection).
+fn issue(
+    client: &mut Option<Client>,
+    addr: SocketAddr,
+    opts: &ReplayOptions,
+    rec: &TraceRecord,
+) -> Result<Sample, ReplayError> {
+    fn attempt(
+        client: &mut Option<Client>,
+        addr: SocketAddr,
+        timeout: Duration,
+        r: &Rendered,
+    ) -> Result<crate::client::Response, ReplayError> {
+        if client.is_none() {
+            *client = Some(Client::connect(addr, timeout)?);
+        }
+        // invariant: just populated above.
+        let c = client.as_mut().expect("client connected");
+        c.request(r.method, &r.path_query, &r.body)
+    }
+    let r = render(rec);
+    let start = Instant::now();
+    let resp = match attempt(client, addr, opts.timeout, &r) {
+        Ok(resp) => resp,
+        Err(ReplayError::Io(_)) | Err(ReplayError::Protocol(_)) => {
+            *client = None;
+            attempt(client, addr, opts.timeout, &r)?
+        }
+        Err(e) => return Err(e),
+    };
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    let records_behind = match rec.op {
+        TraceOp::Estimate { .. } | TraceOp::Chain { .. } if resp.status == 200 => {
+            json_num(&resp.body, "records_behind").map(|v| v as u64)
+        }
+        _ => None,
+    };
+    // The daemon advertises `Connection: close` on non-keep-alive
+    // answers (shutdown, parse errors); drop the client so the next op
+    // reconnects instead of reading from a dead socket.
+    if resp.status != 200 && resp.status != 429 {
+        *client = None;
+    }
+    Ok(Sample {
+        route: r.route,
+        tenant: rec.tenant.clone(),
+        status: resp.status,
+        ms,
+        records_behind,
+    })
+}
+
+fn percentile_f(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn percentile_u(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Replay `trace` against the daemon at `addr`. Register ops run first,
+/// serially; everything else fans out across connections (see the
+/// module docs for the determinism contract). Returns the aggregated
+/// report; transport failures are counted, not fatal — only setup
+/// failures (a register op the daemon refuses) error out.
+pub fn replay(
+    addr: SocketAddr,
+    trace: &[TraceRecord],
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, ReplayError> {
+    if opts.connections == 0 {
+        return Err(ReplayError::Config("need at least one connection".into()));
+    }
+    let speedup_ok = opts.speedup.is_finite() && opts.speedup > 0.0;
+    if !opts.closed_loop && !speedup_ok {
+        return Err(ReplayError::Config(format!(
+            "speedup {} must be finite and positive",
+            opts.speedup
+        )));
+    }
+    let started = Instant::now();
+    let mut samples: Vec<Sample> = Vec::with_capacity(trace.len());
+    let mut failed = 0u64;
+
+    // Phase 1: the register preamble, serial and strict.
+    let mut setup: Option<Client> = None;
+    let mut rest: Vec<&TraceRecord> = Vec::with_capacity(trace.len());
+    for rec in trace {
+        if matches!(rec.op, TraceOp::Register { .. }) {
+            let s = issue(&mut setup, addr, opts, rec)?;
+            if s.status != 200 {
+                return Err(ReplayError::Protocol(format!(
+                    "register op for tenant {:?} answered {}",
+                    rec.tenant, s.status
+                )));
+            }
+            samples.push(s);
+        } else {
+            rest.push(rec);
+        }
+    }
+    drop(setup);
+
+    // Phase 2: partition by anchor stream, replay concurrently.
+    let n = opts.connections;
+    let mut buckets: Vec<Vec<&TraceRecord>> = (0..n).map(|_| Vec::new()).collect();
+    for rec in rest {
+        buckets[(fnv1a(&anchor(rec)) % n as u64) as usize].push(rec);
+    }
+    let base = Instant::now();
+    let results: Vec<(Vec<Sample>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let mut client: Option<Client> = None;
+                    let mut out = Vec::with_capacity(bucket.len());
+                    let mut failed = 0u64;
+                    for rec in bucket {
+                        if !opts.closed_loop {
+                            let target = base
+                                + Duration::from_micros((rec.at_us as f64 / opts.speedup) as u64);
+                            while let Some(wait) = target.checked_duration_since(Instant::now()) {
+                                if wait.is_zero() {
+                                    break;
+                                }
+                                std::thread::sleep(wait.min(Duration::from_millis(20)));
+                            }
+                        }
+                        match issue(&mut client, addr, opts, rec) {
+                            Ok(s) => out.push(s),
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (out, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((Vec::new(), 0)))
+            .collect()
+    });
+    for (s, f) in results {
+        samples.extend(s);
+        failed += f;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Aggregate.
+    let mut by_route: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut routes: BTreeMap<String, RouteStats> = BTreeMap::new();
+    let mut tenants: BTreeMap<String, TenantStats> = BTreeMap::new();
+    let mut behind: Vec<u64> = Vec::new();
+    for s in &samples {
+        let r = routes.entry(s.route.to_string()).or_default();
+        r.count += 1;
+        match s.status {
+            200..=299 => {}
+            429 => r.throttled_429 += 1,
+            503 => r.unavailable_503 += 1,
+            _ => r.errors += 1,
+        }
+        by_route.entry(s.route.to_string()).or_default().push(s.ms);
+        let t = tenants.entry(s.tenant.clone()).or_default();
+        t.ops += 1;
+        match s.status {
+            200..=299 => {}
+            429 => t.throttled_429 += 1,
+            503 => t.unavailable_503 += 1,
+            _ => t.errors += 1,
+        }
+        if let Some(b) = s.records_behind {
+            behind.push(b);
+        }
+    }
+    for (route, lat) in &mut by_route {
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        // invariant: every by_route key was inserted into routes above.
+        let r = routes.get_mut(route).expect("route tallied");
+        r.p50_ms = percentile_f(lat, 0.50);
+        r.p95_ms = percentile_f(lat, 0.95);
+        r.p99_ms = percentile_f(lat, 0.99);
+        r.max_ms = lat.last().copied().unwrap_or(0.0);
+    }
+    behind.sort_unstable();
+    let staleness = StalenessStats {
+        samples: behind.len() as u64,
+        p50: percentile_u(&behind, 0.50),
+        p95: percentile_u(&behind, 0.95),
+        p99: percentile_u(&behind, 0.99),
+        max: behind.last().copied().unwrap_or(0),
+    };
+    let ops = samples.len() as u64;
+    Ok(ReplayReport {
+        wall_secs,
+        ops,
+        failed,
+        throughput_ops_per_sec: if wall_secs > 0.0 {
+            ops as f64 / wall_secs
+        } else {
+            0.0
+        },
+        routes,
+        tenants,
+        staleness,
+    })
+}
+
+impl ReplayReport {
+    /// Render the report as a human-readable table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "replayed {} op(s) in {:.2}s ({:.0} ops/s), {} transport failure(s)",
+            self.ops, self.wall_secs, self.throughput_ops_per_sec, self.failed
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<10} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "route", "count", "errors", "429", "503", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+        )
+        .unwrap();
+        for (name, r) in &self.routes {
+            writeln!(
+                out,
+                "{:<10} {:>8} {:>7} {:>6} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                name,
+                r.count,
+                r.errors,
+                r.throttled_429,
+                r.unavailable_503,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.max_ms
+            )
+            .unwrap();
+        }
+        for (name, t) in &self.tenants {
+            writeln!(
+                out,
+                "tenant {name}: {} op(s), {} throttled, {} unavailable, {} error(s)",
+                t.ops, t.throttled_429, t.unavailable_503, t.errors
+            )
+            .unwrap();
+        }
+        write!(
+            out,
+            "staleness (records behind, {} sample(s)): p50 {} p95 {} p99 {} max {}",
+            self.staleness.samples,
+            self.staleness.p50,
+            self.staleness.p95,
+            self.staleness.p99,
+            self.staleness.max
+        )
+        .unwrap();
+        out
+    }
+
+    /// Render the report as JSON (the `dctstream replay` output).
+    pub fn to_json(&self) -> String {
+        let routes: Vec<String> = self
+            .routes
+            .iter()
+            .map(|(name, r)| {
+                format!(
+                    "\"{name}\":{{\"count\":{},\"errors\":{},\"throttled_429\":{},\
+                     \"unavailable_503\":{},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\
+                     \"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+                    r.count,
+                    r.errors,
+                    r.throttled_429,
+                    r.unavailable_503,
+                    r.p50_ms,
+                    r.p95_ms,
+                    r.p99_ms,
+                    r.max_ms
+                )
+            })
+            .collect();
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                format!(
+                    "\"{name}\":{{\"ops\":{},\"throttled_429\":{},\"unavailable_503\":{},\
+                     \"errors\":{}}}",
+                    t.ops, t.throttled_429, t.unavailable_503, t.errors
+                )
+            })
+            .collect();
+        format!(
+            "{{\"wall_secs\":{:.3},\"ops\":{},\"failed\":{},\"throughput_ops_per_sec\":{:.1},\
+             \"routes\":{{{}}},\"tenants\":{{{}}},\"staleness\":{{\"samples\":{},\"p50\":{},\
+             \"p95\":{},\"p99\":{},\"max\":{}}}}}",
+            self.wall_secs,
+            self.ops,
+            self.failed,
+            self.throughput_ops_per_sec,
+            routes.join(","),
+            tenants.join(","),
+            self.staleness.samples,
+            self.staleness.p50,
+            self.staleness.p95,
+            self.staleness.p99,
+            self.staleness.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: &str, op: TraceOp) -> TraceRecord {
+        TraceRecord {
+            at_us: 0,
+            tenant: tenant.into(),
+            op,
+        }
+    }
+
+    #[test]
+    fn anchor_follows_the_primary_stream() {
+        assert_eq!(
+            anchor(&rec(
+                "a",
+                TraceOp::Ingest {
+                    stream: "s1".into(),
+                    rows: vec![]
+                }
+            )),
+            "a/s1"
+        );
+        assert_eq!(
+            anchor(&rec(
+                "b",
+                TraceOp::Estimate {
+                    left: "x".into(),
+                    right: "y".into(),
+                    budget: None
+                }
+            )),
+            "b/x"
+        );
+        assert_eq!(
+            anchor(&rec(
+                "c",
+                TraceOp::Chain {
+                    links: vec![ChainLink::End { stream: "e".into() }],
+                    budget: None
+                }
+            )),
+            "c/e"
+        );
+    }
+
+    #[test]
+    fn render_shapes_the_wire_requests() {
+        let r = render(&rec(
+            "acme",
+            TraceOp::Ingest {
+                stream: "s0".into(),
+                rows: vec![(vec![1, 2], 0.5), (vec![3], -1.0)],
+            },
+        ));
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path_query, "/v1/ingest?tenant=acme&stream=s0");
+        assert_eq!(r.body, "1,2:0.5\n3:-1\n");
+        let r = render(&rec(
+            "acme",
+            TraceOp::Estimate {
+                left: "a".into(),
+                right: "b".into(),
+                budget: Some(16),
+            },
+        ));
+        assert_eq!(
+            r.path_query,
+            "/v1/estimate?tenant=acme&left=a&right=b&budget=16"
+        );
+        let r = render(&rec(
+            "acme",
+            TraceOp::Chain {
+                links: vec![
+                    ChainLink::End { stream: "a".into() },
+                    ChainLink::Inner {
+                        stream: "m0".into(),
+                        left: 0,
+                        right: 1,
+                    },
+                    ChainLink::End { stream: "b".into() },
+                ],
+                budget: None,
+            },
+        ));
+        assert_eq!(r.body, "end a\ninner m0 0 1\nend b\n");
+    }
+
+    #[test]
+    fn fnv_partitioning_is_stable() {
+        let h1 = fnv1a("acme/s0");
+        assert_eq!(h1, fnv1a("acme/s0"));
+        assert_ne!(h1, fnv1a("acme/s1"));
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut routes = BTreeMap::new();
+        routes.insert(
+            "estimate".to_string(),
+            RouteStats {
+                count: 10,
+                p99_ms: 1.25,
+                ..RouteStats::default()
+            },
+        );
+        let rep = ReplayReport {
+            wall_secs: 1.5,
+            ops: 10,
+            failed: 0,
+            throughput_ops_per_sec: 6.7,
+            routes,
+            tenants: BTreeMap::new(),
+            staleness: StalenessStats::default(),
+        };
+        let j = rep.to_json();
+        assert!(j.contains("\"estimate\":{\"count\":10"));
+        assert!(j.contains("\"failed\":0"));
+        assert!(j.contains("\"staleness\""));
+    }
+
+    #[test]
+    fn bad_options_are_config_errors() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let opts = ReplayOptions {
+            connections: 0,
+            ..ReplayOptions::default()
+        };
+        assert!(matches!(
+            replay(addr, &[], &opts),
+            Err(ReplayError::Config(_))
+        ));
+        let opts = ReplayOptions {
+            speedup: 0.0,
+            ..ReplayOptions::default()
+        };
+        assert!(matches!(
+            replay(addr, &[], &opts),
+            Err(ReplayError::Config(_))
+        ));
+    }
+}

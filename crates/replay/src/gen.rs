@@ -1,0 +1,335 @@
+//! Deterministic trace synthesis: a seeded mixed workload with
+//! Zipf-skewed tenant popularity (the `datagen` rank sampler), a
+//! configurable register/ingest/estimate/chain mix, Zipf-skewed values
+//! within each stream's domain, and exponential-ish arrival gaps.
+//!
+//! The same seed and config always produce byte-identical traces —
+//! the replay determinism suite and the bench gates depend on it.
+
+use crate::trace::{ChainLink, RegisterKind, TraceOp, TraceRecord};
+use crate::ReplayError;
+use dctstream_datagen::ZipfSampler;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Relative weights of the non-register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of ingest batches.
+    pub ingest: u32,
+    /// Weight of pairwise estimates.
+    pub estimate: u32,
+    /// Weight of chain-join estimates.
+    pub chain: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        // Write-heavy with a steady read load — the serve bench's shape.
+        OpMix {
+            ingest: 6,
+            estimate: 3,
+            chain: 1,
+        }
+    }
+}
+
+/// Knobs for [`synthesize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisConfig {
+    /// Reproducibility handle: same seed, same trace.
+    pub seed: u64,
+    /// Non-register operations to emit (registers are a preamble on
+    /// top of this count).
+    pub ops: usize,
+    /// Tenant count; popularity is Zipf(`zipf_z`) over them.
+    pub tenants: usize,
+    /// Cosine streams per tenant (each tenant also gets one
+    /// 2-dimensional `m0` stream for chain queries).
+    pub streams_per_tenant: usize,
+    /// Tenant-popularity skew (0 = uniform).
+    pub zipf_z: f64,
+    /// Value skew within each domain (0 = uniform).
+    pub value_zipf_z: f64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Rows per ingest batch.
+    pub rows_per_ingest: usize,
+    /// Attribute domain `[0, domain)` for every stream.
+    pub domain: i64,
+    /// Cosine coefficients per stream.
+    pub coefficients: u32,
+    /// Per-dimension coefficients of each tenant's `m0` stream.
+    pub degree: u32,
+    /// Mean arrival gap between operations, in microseconds.
+    pub mean_gap_us: u64,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            seed: 42,
+            ops: 1000,
+            tenants: 4,
+            streams_per_tenant: 3,
+            zipf_z: 1.0,
+            value_zipf_z: 0.8,
+            mix: OpMix::default(),
+            rows_per_ingest: 32,
+            domain: 1024,
+            coefficients: 64,
+            degree: 8,
+            mean_gap_us: 1000,
+        }
+    }
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("t{i}")
+}
+
+fn stream_name(i: usize) -> String {
+    format!("s{i}")
+}
+
+/// Draw an exponential-ish gap with the given mean via inverse CDF.
+fn exp_gap(rng: &mut StdRng, mean_us: u64) -> u64 {
+    if mean_us == 0 {
+        return 0;
+    }
+    let u: f64 = rng.random::<f64>().min(1.0 - 1e-12);
+    (-(1.0 - u).ln() * mean_us as f64) as u64
+}
+
+/// Synthesize a trace: a register preamble (every tenant's streams at
+/// `at_us = 0`), then `ops` mixed operations with Zipf tenant skew.
+pub fn synthesize(cfg: &SynthesisConfig) -> Result<Vec<TraceRecord>, ReplayError> {
+    if cfg.tenants == 0 || cfg.streams_per_tenant == 0 {
+        return Err(ReplayError::Config(
+            "need at least one tenant and one stream per tenant".to_string(),
+        ));
+    }
+    if cfg.domain < 2 {
+        return Err(ReplayError::Config(format!(
+            "domain {} too small: need at least 2 values",
+            cfg.domain
+        )));
+    }
+    let weights_sum = cfg.mix.ingest + cfg.mix.estimate + cfg.mix.chain;
+    if weights_sum == 0 {
+        return Err(ReplayError::Config("op mix weighs zero".to_string()));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let tenant_pick = ZipfSampler::new(cfg.tenants, cfg.zipf_z);
+    // Value ranks map 1:1 onto domain values (capped at 4096 ranks so
+    // huge domains do not make the sampler table huge; the tail is
+    // uniformly spread by the rank→value stride).
+    let ranks = (cfg.domain as usize).min(4096);
+    let value_pick = ZipfSampler::new(ranks, cfg.value_zipf_z);
+    let stride = (cfg.domain as usize / ranks).max(1) as i64;
+
+    let mut out = Vec::with_capacity(cfg.ops + cfg.tenants * (cfg.streams_per_tenant + 1));
+    for t in 0..cfg.tenants {
+        let tenant = tenant_name(t);
+        for s in 0..cfg.streams_per_tenant {
+            out.push(TraceRecord {
+                at_us: 0,
+                tenant: tenant.clone(),
+                op: TraceOp::Register {
+                    stream: stream_name(s),
+                    kind: RegisterKind::Cosine {
+                        lo: 0,
+                        hi: cfg.domain - 1,
+                        m: cfg.coefficients,
+                    },
+                },
+            });
+        }
+        out.push(TraceRecord {
+            at_us: 0,
+            tenant: tenant.clone(),
+            op: TraceOp::Register {
+                stream: "m0".to_string(),
+                kind: RegisterKind::Multi {
+                    degree: cfg.degree,
+                    domains: vec![(0, cfg.domain - 1), (0, cfg.domain - 1)],
+                },
+            },
+        });
+    }
+
+    let mut at_us = 0u64;
+    for _ in 0..cfg.ops {
+        at_us += exp_gap(&mut rng, cfg.mean_gap_us);
+        let tenant = tenant_name(tenant_pick.sample(&mut rng));
+        let value = |rng: &mut StdRng| -> i64 {
+            let rank = value_pick.sample(rng) as i64;
+            (rank * stride).min(cfg.domain - 1)
+        };
+        let die = rng.random_range(0..weights_sum);
+        let op = if die < cfg.mix.ingest {
+            // Roughly one batch in eight feeds the chain's inner
+            // stream; the rest land on the cosine streams.
+            let into_multi = rng.random_range(0..8u32) == 0;
+            let rows = (0..cfg.rows_per_ingest)
+                .map(|_| {
+                    let w = if rng.random_range(0..10u32) == 0 {
+                        -1.0 // turnstile deletes keep the workload honest
+                    } else {
+                        1.0
+                    };
+                    if into_multi {
+                        (vec![value(&mut rng), value(&mut rng)], w)
+                    } else {
+                        (vec![value(&mut rng)], w)
+                    }
+                })
+                .collect();
+            let stream = if into_multi {
+                "m0".to_string()
+            } else {
+                stream_name(rng.random_range(0..cfg.streams_per_tenant))
+            };
+            TraceOp::Ingest { stream, rows }
+        } else if die < cfg.mix.ingest + cfg.mix.estimate {
+            let a = rng.random_range(0..cfg.streams_per_tenant);
+            let b = rng.random_range(0..cfg.streams_per_tenant);
+            TraceOp::Estimate {
+                left: stream_name(a),
+                right: stream_name(b),
+                budget: if rng.random::<bool>() {
+                    Some(cfg.coefficients / 2)
+                } else {
+                    None
+                },
+            }
+        } else {
+            let a = rng.random_range(0..cfg.streams_per_tenant);
+            let b = rng.random_range(0..cfg.streams_per_tenant);
+            if rng.random::<bool>() {
+                // 3-link: end / inner (the 2-d m0) / end.
+                TraceOp::Chain {
+                    links: vec![
+                        ChainLink::End {
+                            stream: stream_name(a),
+                        },
+                        ChainLink::Inner {
+                            stream: "m0".to_string(),
+                            left: 0,
+                            right: 1,
+                        },
+                        ChainLink::End {
+                            stream: stream_name(b),
+                        },
+                    ],
+                    budget: None,
+                }
+            } else {
+                // 2-link end/end chain: the equi-join expressed as a chain.
+                TraceOp::Chain {
+                    links: vec![
+                        ChainLink::End {
+                            stream: stream_name(a),
+                        },
+                        ChainLink::End {
+                            stream: stream_name(b),
+                        },
+                    ],
+                    budget: Some(cfg.coefficients),
+                }
+            }
+        };
+        out.push(TraceRecord { at_us, tenant, op });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = SynthesisConfig {
+            ops: 200,
+            ..SynthesisConfig::default()
+        };
+        let a = synthesize(&cfg).unwrap();
+        let b = synthesize(&cfg).unwrap();
+        assert_eq!(a, b);
+        let c = synthesize(&SynthesisConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn registers_form_a_preamble_and_times_are_monotone() {
+        let cfg = SynthesisConfig {
+            ops: 300,
+            tenants: 3,
+            streams_per_tenant: 2,
+            ..SynthesisConfig::default()
+        };
+        let trace = synthesize(&cfg).unwrap();
+        let preamble = 3 * (2 + 1);
+        assert_eq!(trace.len(), preamble + 300);
+        for r in &trace[..preamble] {
+            assert!(matches!(r.op, TraceOp::Register { .. }));
+            assert_eq!(r.at_us, 0);
+        }
+        let mut last = 0;
+        for r in &trace[preamble..] {
+            assert!(!matches!(r.op, TraceOp::Register { .. }));
+            assert!(r.at_us >= last);
+            last = r.at_us;
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_ops_on_the_hot_tenant() {
+        let cfg = SynthesisConfig {
+            ops: 2000,
+            tenants: 8,
+            zipf_z: 1.5,
+            ..SynthesisConfig::default()
+        };
+        let trace = synthesize(&cfg).unwrap();
+        let hot = trace
+            .iter()
+            .filter(|r| !matches!(r.op, TraceOp::Register { .. }) && r.tenant == "t0")
+            .count();
+        assert!(hot > 2000 / 4, "hot tenant got only {hot}/2000 ops");
+    }
+
+    #[test]
+    fn mix_and_config_are_validated() {
+        assert!(synthesize(&SynthesisConfig {
+            tenants: 0,
+            ..SynthesisConfig::default()
+        })
+        .is_err());
+        assert!(synthesize(&SynthesisConfig {
+            mix: OpMix {
+                ingest: 0,
+                estimate: 0,
+                chain: 0
+            },
+            ..SynthesisConfig::default()
+        })
+        .is_err());
+        assert!(synthesize(&SynthesisConfig {
+            domain: 1,
+            ..SynthesisConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn round_trips_through_the_codec() {
+        let trace = synthesize(&SynthesisConfig {
+            ops: 150,
+            ..SynthesisConfig::default()
+        })
+        .unwrap();
+        let bytes = crate::trace::encode_trace(&trace).unwrap();
+        assert_eq!(crate::trace::decode_trace(&bytes).unwrap(), trace);
+    }
+}

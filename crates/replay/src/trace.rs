@@ -1,0 +1,778 @@
+//! The `.dctt` trace format: a flat file of CRC-framed workload records.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "DCTT" | version u32 LE
+//! repeat:  len u32 LE | crc32(len bytes) u32 LE | body[len] | crc32(body) u32 LE
+//! trailer: one frame whose body is `tag 0 | record count u64 LE`
+//! ```
+//!
+//! The double-CRC framing is the WAL's: the length prefix carries its
+//! own checksum so a flipped length byte cannot masquerade as a huge
+//! frame, and the body checksum catches every single-byte corruption.
+//! Unlike the WAL — whose torn tail is a *normal* crash artifact — a
+//! trace file is a complete artifact by construction, so the reader
+//! requires the trailer: truncation anywhere, even exactly at a frame
+//! boundary, is a typed [`ReplayError::Corrupt`], never a silent
+//! shorter trace and never a panic.
+//!
+//! A record body is `tag u8 | ts_delta_us varint-free u64 LE | tenant |
+//! op payload`; arrival times are stored as deltas from the previous
+//! record so a recorded trace is position-independent in time.
+
+use crate::ReplayError;
+use dctstream_core::persist::crc32;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DCTT";
+const VERSION: u32 = 1;
+
+/// Largest accepted frame body — matches the serve body cap so any
+/// recorded request fits, with framing headroom.
+const MAX_FRAME: usize = 9 * 1024 * 1024;
+
+/// Hard cap on string fields inside a record (names are ≤ 64 chars on
+/// the wire; the cap only guards the decoder against corrupt lengths).
+const MAX_STR: usize = 4096;
+
+/// Hard cap on rows per ingest record (decoder guard).
+const MAX_ROWS: usize = 4_000_000;
+
+/// Record tags (0 is the trailer).
+const TAG_TRAILER: u8 = 0;
+const TAG_REGISTER: u8 = 1;
+const TAG_INGEST: u8 = 2;
+const TAG_ESTIMATE: u8 = 3;
+const TAG_CHAIN: u8 = 4;
+
+/// How a stream is summarized, for a register op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterKind {
+    /// One-dimensional cosine synopsis over `[lo, hi]` with `m`
+    /// coefficients.
+    Cosine {
+        /// Domain lower bound.
+        lo: i64,
+        /// Domain upper bound.
+        hi: i64,
+        /// Coefficient count.
+        m: u32,
+    },
+    /// Multi-dimensional synopsis of `degree` coefficients per
+    /// dimension over the given `(lo, hi)` domains.
+    Multi {
+        /// Per-dimension coefficient count.
+        degree: u32,
+        /// Per-dimension `(lo, hi)` bounds.
+        domains: Vec<(i64, i64)>,
+    },
+}
+
+/// One link of a chain-join query (unqualified stream names; the
+/// record's tenant scopes them at replay time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainLink {
+    /// A chain end (cosine stream).
+    End {
+        /// Stream name.
+        stream: String,
+    },
+    /// An inner multi-dimensional stream joined on `left`/`right` dims.
+    Inner {
+        /// Stream name.
+        stream: String,
+        /// Dimension joined with the previous link.
+        left: u32,
+        /// Dimension joined with the next link.
+        right: u32,
+    },
+}
+
+/// One workload operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// Register a stream.
+    Register {
+        /// Stream name (unqualified).
+        stream: String,
+        /// Synopsis shape.
+        kind: RegisterKind,
+    },
+    /// Ingest a batch of weighted rows into a stream.
+    Ingest {
+        /// Stream name (unqualified).
+        stream: String,
+        /// `(tuple, weight)` rows.
+        rows: Vec<(Vec<i64>, f64)>,
+    },
+    /// Estimate the equi-join of two cosine streams.
+    Estimate {
+        /// Left stream (unqualified).
+        left: String,
+        /// Right stream (unqualified).
+        right: String,
+        /// Optional coefficient budget.
+        budget: Option<u32>,
+    },
+    /// Estimate a chain join.
+    Chain {
+        /// Links, ends first and last.
+        links: Vec<ChainLink>,
+        /// Optional coefficient budget.
+        budget: Option<u32>,
+    },
+}
+
+/// One trace record: who (tenant), when (µs since trace start), what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Arrival time in microseconds since the start of the trace
+    /// (monotone nondecreasing; encoded as a delta on disk).
+    pub at_us: u64,
+    /// Tenant the operation belongs to.
+    pub tenant: String,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+// --- encoding helpers ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// `None` encodes as 0; budgets of 0 are invalid upstream anyway.
+fn put_budget(out: &mut Vec<u8>, b: Option<u32>) {
+    put_u32(out, b.unwrap_or(0));
+}
+
+fn encode_body(rec: &TraceRecord, prev_at_us: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    let tag = match &rec.op {
+        TraceOp::Register { .. } => TAG_REGISTER,
+        TraceOp::Ingest { .. } => TAG_INGEST,
+        TraceOp::Estimate { .. } => TAG_ESTIMATE,
+        TraceOp::Chain { .. } => TAG_CHAIN,
+    };
+    out.push(tag);
+    put_u64(&mut out, rec.at_us.saturating_sub(prev_at_us));
+    put_str(&mut out, &rec.tenant);
+    match &rec.op {
+        TraceOp::Register { stream, kind } => {
+            put_str(&mut out, stream);
+            match kind {
+                RegisterKind::Cosine { lo, hi, m } => {
+                    out.push(1);
+                    put_i64(&mut out, *lo);
+                    put_i64(&mut out, *hi);
+                    put_u32(&mut out, *m);
+                }
+                RegisterKind::Multi { degree, domains } => {
+                    out.push(2);
+                    put_u32(&mut out, *degree);
+                    put_u32(&mut out, domains.len() as u32);
+                    for (lo, hi) in domains {
+                        put_i64(&mut out, *lo);
+                        put_i64(&mut out, *hi);
+                    }
+                }
+            }
+        }
+        TraceOp::Ingest { stream, rows } => {
+            put_str(&mut out, stream);
+            put_u32(&mut out, rows.len() as u32);
+            for (tuple, w) in rows {
+                put_u32(&mut out, tuple.len() as u32);
+                for v in tuple {
+                    put_i64(&mut out, *v);
+                }
+                put_f64(&mut out, *w);
+            }
+        }
+        TraceOp::Estimate {
+            left,
+            right,
+            budget,
+        } => {
+            put_str(&mut out, left);
+            put_str(&mut out, right);
+            put_budget(&mut out, *budget);
+        }
+        TraceOp::Chain { links, budget } => {
+            put_budget(&mut out, *budget);
+            put_u32(&mut out, links.len() as u32);
+            for link in links {
+                match link {
+                    ChainLink::End { stream } => {
+                        out.push(1);
+                        put_str(&mut out, stream);
+                    }
+                    ChainLink::Inner {
+                        stream,
+                        left,
+                        right,
+                    } => {
+                        out.push(2);
+                        put_str(&mut out, stream);
+                        put_u32(&mut out, *left);
+                        put_u32(&mut out, *right);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// --- decoding helpers ------------------------------------------------------
+
+/// A cursor over one frame body with typed out-of-bounds errors.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    offset: u64,
+}
+
+impl<'a> Cur<'a> {
+    fn corrupt(&self, detail: impl Into<String>) -> ReplayError {
+        ReplayError::Corrupt {
+            offset: self.offset,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReplayError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.corrupt(format!(
+                "record body truncated: wanted {n} bytes at body offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ReplayError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ReplayError> {
+        // invariant: take(4) returned exactly 4 bytes.
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReplayError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ReplayError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ReplayError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, ReplayError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR {
+            return Err(self.corrupt(format!("string length {len} exceeds the {MAX_STR} cap")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not UTF-8"))
+    }
+
+    fn budget(&mut self) -> Result<Option<u32>, ReplayError> {
+        let b = self.u32()?;
+        Ok((b > 0).then_some(b))
+    }
+
+    fn done(&self) -> Result<(), ReplayError> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after a complete record",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decode one frame body into either a record's `(ts_delta, tenant,
+/// op)` or the trailer's record count.
+enum Decoded {
+    Record {
+        delta_us: u64,
+        rec: (String, TraceOp),
+    },
+    Trailer {
+        count: u64,
+    },
+}
+
+fn decode_body(body: &[u8], offset: u64) -> Result<Decoded, ReplayError> {
+    let mut c = Cur {
+        buf: body,
+        pos: 0,
+        offset,
+    };
+    let tag = c.u8()?;
+    if tag == TAG_TRAILER {
+        let count = c.u64()?;
+        c.done()?;
+        return Ok(Decoded::Trailer { count });
+    }
+    let delta_us = c.u64()?;
+    let tenant = c.str()?;
+    let op = match tag {
+        TAG_REGISTER => {
+            let stream = c.str()?;
+            let kind = match c.u8()? {
+                1 => RegisterKind::Cosine {
+                    lo: c.i64()?,
+                    hi: c.i64()?,
+                    m: c.u32()?,
+                },
+                2 => {
+                    let degree = c.u32()?;
+                    let n = c.u32()? as usize;
+                    if n > 64 {
+                        return Err(c.corrupt(format!("{n} domains exceeds the 64-dim cap")));
+                    }
+                    let mut domains = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        domains.push((c.i64()?, c.i64()?));
+                    }
+                    RegisterKind::Multi { degree, domains }
+                }
+                k => return Err(c.corrupt(format!("unknown register kind tag {k}"))),
+            };
+            TraceOp::Register { stream, kind }
+        }
+        TAG_INGEST => {
+            let stream = c.str()?;
+            let n = c.u32()? as usize;
+            if n > MAX_ROWS {
+                return Err(c.corrupt(format!("{n} rows exceeds the {MAX_ROWS}-row cap")));
+            }
+            let mut rows = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                let arity = c.u32()? as usize;
+                if arity > 64 {
+                    return Err(c.corrupt(format!("row arity {arity} exceeds the 64 cap")));
+                }
+                let mut tuple = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    tuple.push(c.i64()?);
+                }
+                let w = c.f64()?;
+                rows.push((tuple, w));
+            }
+            TraceOp::Ingest { stream, rows }
+        }
+        TAG_ESTIMATE => TraceOp::Estimate {
+            left: c.str()?,
+            right: c.str()?,
+            budget: c.budget()?,
+        },
+        TAG_CHAIN => {
+            let budget = c.budget()?;
+            let n = c.u32()? as usize;
+            if n > 256 {
+                return Err(c.corrupt(format!("{n} chain links exceeds the 256 cap")));
+            }
+            let mut links = Vec::with_capacity(n);
+            for _ in 0..n {
+                links.push(match c.u8()? {
+                    1 => ChainLink::End { stream: c.str()? },
+                    2 => ChainLink::Inner {
+                        stream: c.str()?,
+                        left: c.u32()?,
+                        right: c.u32()?,
+                    },
+                    k => return Err(c.corrupt(format!("unknown chain link tag {k}"))),
+                });
+            }
+            TraceOp::Chain { links, budget }
+        }
+        k => return Err(c.corrupt(format!("unknown record tag {k}"))),
+    };
+    c.done()?;
+    Ok(Decoded::Record {
+        delta_us,
+        rec: (tenant, op),
+    })
+}
+
+// --- writer ----------------------------------------------------------------
+
+/// Streaming `.dctt` writer. Records append one frame each;
+/// [`TraceWriter::finish`] writes the trailer frame — a trace without
+/// it reads back as corrupt, which is what makes truncation detectable.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    prev_at_us: u64,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace: writes the header immediately.
+    pub fn new(mut out: W) -> Result<Self, ReplayError> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter {
+            out,
+            prev_at_us: 0,
+            count: 0,
+        })
+    }
+
+    fn frame(&mut self, body: &[u8]) -> Result<(), ReplayError> {
+        let len = (body.len() as u32).to_le_bytes();
+        self.out.write_all(&len)?;
+        self.out.write_all(&crc32(&len).to_le_bytes())?;
+        self.out.write_all(body)?;
+        self.out.write_all(&crc32(body).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, rec: &TraceRecord) -> Result<(), ReplayError> {
+        let body = encode_body(rec, self.prev_at_us);
+        self.frame(&body)?;
+        self.prev_at_us = self.prev_at_us.max(rec.at_us);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn write_trailer(&mut self) -> Result<(), ReplayError> {
+        let mut body = vec![TAG_TRAILER];
+        put_u64(&mut body, self.count);
+        self.frame(&body)?;
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Write the trailer and flush; returns the record count.
+    pub fn finish(mut self) -> Result<u64, ReplayError> {
+        self.write_trailer()?;
+        Ok(self.count)
+    }
+}
+
+// --- reader ----------------------------------------------------------------
+
+/// Streaming `.dctt` reader. Every framing violation — bad magic,
+/// flipped byte, truncated frame, missing trailer, wrong trailer count
+/// — is a typed [`ReplayError::Corrupt`] carrying the file offset.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inp: R,
+    offset: u64,
+    at_us: u64,
+    seen: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Open a trace: validates the header eagerly.
+    pub fn new(mut inp: R) -> Result<Self, ReplayError> {
+        let mut header = [0u8; 8];
+        read_fully(&mut inp, &mut header, 0, "file header")?;
+        if &header[0..4] != MAGIC {
+            return Err(ReplayError::Corrupt {
+                offset: 0,
+                detail: format!("bad magic {:02x?}: not a .dctt trace", &header[0..4]),
+            });
+        }
+        // invariant: header is exactly 8 bytes.
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4B"));
+        if version != VERSION {
+            return Err(ReplayError::Corrupt {
+                offset: 4,
+                detail: format!("unsupported trace version {version} (want {VERSION})"),
+            });
+        }
+        Ok(TraceReader {
+            inp,
+            offset: 8,
+            at_us: 0,
+            seen: 0,
+            finished: false,
+        })
+    }
+
+    /// The next record; `Ok(None)` exactly once, after a valid trailer.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, ReplayError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let frame_off = self.offset;
+        let mut head = [0u8; 8];
+        read_fully(&mut self.inp, &mut head, frame_off, "frame header")?;
+        let len_bytes = &head[0..4];
+        // invariant: slices are exactly 4 bytes.
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4B")) as usize;
+        let lcrc = u32::from_le_bytes(head[4..8].try_into().expect("4B"));
+        if crc32(len_bytes) != lcrc {
+            return Err(ReplayError::Corrupt {
+                offset: frame_off,
+                detail: "frame length checksum mismatch".to_string(),
+            });
+        }
+        if len > MAX_FRAME {
+            return Err(ReplayError::Corrupt {
+                offset: frame_off,
+                detail: format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            });
+        }
+        let mut body = vec![0u8; len];
+        read_fully(&mut self.inp, &mut body, frame_off + 8, "frame body")?;
+        let mut crc_bytes = [0u8; 4];
+        read_fully(
+            &mut self.inp,
+            &mut crc_bytes,
+            frame_off + 8 + len as u64,
+            "frame checksum",
+        )?;
+        if crc32(&body) != u32::from_le_bytes(crc_bytes) {
+            return Err(ReplayError::Corrupt {
+                offset: frame_off,
+                detail: "frame body checksum mismatch".to_string(),
+            });
+        }
+        self.offset = frame_off + 8 + len as u64 + 4;
+        match decode_body(&body, frame_off)? {
+            Decoded::Trailer { count } => {
+                if count != self.seen {
+                    return Err(ReplayError::Corrupt {
+                        offset: frame_off,
+                        detail: format!("trailer says {count} records, read {}", self.seen),
+                    });
+                }
+                self.finished = true;
+                Ok(None)
+            }
+            Decoded::Record {
+                delta_us,
+                rec: (tenant, op),
+            } => {
+                self.at_us += delta_us;
+                self.seen += 1;
+                Ok(Some(TraceRecord {
+                    at_us: self.at_us,
+                    tenant,
+                    op,
+                }))
+            }
+        }
+    }
+}
+
+/// `read_exact` with trace-shaped errors: EOF mid-read is corruption
+/// (the trailer frame means a well-formed trace never ends mid-frame).
+fn read_fully<R: Read>(
+    inp: &mut R,
+    buf: &mut [u8],
+    offset: u64,
+    what: &str,
+) -> Result<(), ReplayError> {
+    inp.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ReplayError::Corrupt {
+                offset,
+                detail: format!("truncated {what}"),
+            }
+        } else {
+            ReplayError::Io(e)
+        }
+    })
+}
+
+// --- whole-trace convenience ----------------------------------------------
+
+/// Serialize a whole trace to bytes.
+pub fn encode_trace(records: &[TraceRecord]) -> Result<Vec<u8>, ReplayError> {
+    let mut w = TraceWriter::new(Vec::new())?;
+    for r in records {
+        w.append(r)?;
+    }
+    w.write_trailer()?;
+    Ok(w.out)
+}
+
+/// Parse a whole trace from bytes.
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<TraceRecord>, ReplayError> {
+    let mut r = TraceReader::new(bytes)?;
+    let mut out = Vec::new();
+    while let Some(rec) = r.next_record()? {
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Write a whole trace to a file.
+pub fn write_trace(path: &Path, records: &[TraceRecord]) -> Result<u64, ReplayError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(BufWriter::new(file))?;
+    for r in records {
+        w.append(r)?;
+    }
+    w.finish()
+}
+
+/// Read a whole trace from a file.
+pub fn read_trace(path: &Path) -> Result<Vec<TraceRecord>, ReplayError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = TraceReader::new(BufReader::new(file))?;
+    let mut out = Vec::new();
+    while let Some(rec) = r.next_record()? {
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at_us: 0,
+                tenant: "acme".into(),
+                op: TraceOp::Register {
+                    stream: "orders".into(),
+                    kind: RegisterKind::Cosine {
+                        lo: 0,
+                        hi: 1023,
+                        m: 64,
+                    },
+                },
+            },
+            TraceRecord {
+                at_us: 0,
+                tenant: "acme".into(),
+                op: TraceOp::Register {
+                    stream: "m0".into(),
+                    kind: RegisterKind::Multi {
+                        degree: 8,
+                        domains: vec![(0, 1023), (0, 255)],
+                    },
+                },
+            },
+            TraceRecord {
+                at_us: 150,
+                tenant: "acme".into(),
+                op: TraceOp::Ingest {
+                    stream: "orders".into(),
+                    rows: vec![(vec![3], 1.0), (vec![7], -2.5)],
+                },
+            },
+            TraceRecord {
+                at_us: 900,
+                tenant: "beta".into(),
+                op: TraceOp::Estimate {
+                    left: "orders".into(),
+                    right: "users".into(),
+                    budget: Some(32),
+                },
+            },
+            TraceRecord {
+                at_us: 1200,
+                tenant: "acme".into(),
+                op: TraceOp::Chain {
+                    links: vec![
+                        ChainLink::End {
+                            stream: "orders".into(),
+                        },
+                        ChainLink::Inner {
+                            stream: "m0".into(),
+                            left: 0,
+                            right: 1,
+                        },
+                        ChainLink::End {
+                            stream: "users".into(),
+                        },
+                    ],
+                    budget: None,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_bytes() {
+        let recs = sample();
+        let bytes = encode_trace(&recs).unwrap();
+        assert_eq!(decode_trace(&bytes).unwrap(), recs);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error() {
+        let bytes = encode_trace(&sample()).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let res = decode_trace(&bad);
+            assert!(res.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_trace(&sample()).unwrap();
+        for n in 0..bytes.len() {
+            let res = decode_trace(&bytes[..n]);
+            assert!(res.is_err(), "truncation to {n} bytes went undetected");
+        }
+    }
+
+    #[test]
+    fn timestamps_survive_the_delta_encoding() {
+        let recs = sample();
+        let back = decode_trace(&encode_trace(&recs).unwrap()).unwrap();
+        let times: Vec<u64> = back.iter().map(|r| r.at_us).collect();
+        assert_eq!(times, vec![0, 0, 150, 900, 1200]);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let mut bytes = encode_trace(&sample()).unwrap();
+        let mut not_ours = bytes.clone();
+        not_ours[0] = b'X';
+        assert!(matches!(
+            decode_trace(&not_ours),
+            Err(ReplayError::Corrupt { offset: 0, .. })
+        ));
+        bytes[4] = 99;
+        assert!(decode_trace(&bytes).is_err());
+    }
+}

@@ -159,6 +159,8 @@ pub enum Status {
     MethodNotAllowed,
     /// 422 — well-formed request the registry rejected.
     Unprocessable,
+    /// 429 — per-tenant admission quota exceeded.
+    TooManyRequests,
     /// 500 — internal failure.
     Internal,
     /// 503 — admission control rejected the connection.
@@ -173,6 +175,7 @@ impl Status {
             Status::NotFound => "404 Not Found",
             Status::MethodNotAllowed => "405 Method Not Allowed",
             Status::Unprocessable => "422 Unprocessable Entity",
+            Status::TooManyRequests => "429 Too Many Requests",
             Status::Internal => "500 Internal Server Error",
             Status::Unavailable => "503 Service Unavailable",
         }

@@ -41,7 +41,7 @@ use dctstream_stream::{
 };
 use http::{json_escape, respond, Request, Status};
 use std::collections::VecDeque;
-use std::io::{self, BufReader, Write as _};
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -80,6 +80,23 @@ pub struct ServeOptions {
     /// a time (slowloris) would pin a worker forever; the deadline cuts
     /// the connection off instead. `0` disables the deadline.
     pub request_timeout_ms: u64,
+    /// Capacity of the epoch-keyed estimate result cache (entries).
+    /// Repeated estimate/chain queries between publishes are answered
+    /// from the cache; any epoch advance invalidates it wholesale.
+    /// `0` disables caching. Fleet daemons never cache (each query
+    /// captures a fresh merged snapshot under a fresh epoch).
+    pub estimate_cache: usize,
+    /// Per-tenant fair admission. When on, a worker that finishes a
+    /// request while other connections are queued re-enqueues its
+    /// keep-alive connection instead of monopolizing itself on it
+    /// (round-robin across connections), and each tenant is limited to
+    /// [`ServeOptions::tenant_quota`] in-flight requests — beyond it
+    /// the request is answered `429 Too Many Requests` immediately.
+    pub fair_admission: bool,
+    /// Per-tenant in-flight request quota under fair admission.
+    /// `0` = auto: `max(1, workers − 1)`, so one tenant can never hold
+    /// every worker at once.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +109,9 @@ impl Default for ServeOptions {
             checkpoint_on_shutdown: true,
             shards: 0,
             request_timeout_ms: 5000,
+            estimate_cache: 1024,
+            fair_admission: true,
+            tenant_quota: 0,
         }
     }
 }
@@ -112,10 +132,30 @@ pub struct ShutdownReport {
 
 type Result<T> = std::result::Result<T, DctError>;
 
+/// One admitted connection: the buffered read side and the write side
+/// travel together so a connection can be re-enqueued between requests
+/// (fair admission) without losing bytes the reader already buffered —
+/// a pipelined client's next request may be sitting in that buffer.
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<DeadlineStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        let reader = BufReader::new(DeadlineStream::new(stream.try_clone()?));
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+}
+
 /// Bounded handoff between the accept loop and the worker pool.
 #[derive(Debug)]
 struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<VecDeque<Conn>>,
     cv: Condvar,
     depth: usize,
 }
@@ -129,12 +169,13 @@ impl ConnQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueue, or hand the connection back when the queue is full.
-    fn push(&self, conn: TcpStream) -> std::result::Result<(), TcpStream> {
+    /// Enqueue a fresh connection, or hand it back when the queue is
+    /// full (admission control).
+    fn push(&self, conn: Conn) -> std::result::Result<(), Conn> {
         let mut q = self.lock();
         if q.len() >= self.depth {
             return Err(conn);
@@ -145,8 +186,24 @@ impl ConnQueue {
         Ok(())
     }
 
+    /// Re-enqueue an already-admitted connection between requests (fair
+    /// admission round-robin). Never bounces: admission was decided at
+    /// accept time, so the depth cap does not apply.
+    fn requeue(&self, conn: Conn) {
+        let mut q = self.lock();
+        q.push_back(conn);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Whether any connection is waiting (the fair-admission contention
+    /// signal; momentary by design).
+    fn has_waiters(&self) -> bool {
+        !self.lock().is_empty()
+    }
+
     /// Dequeue; `None` once `shutdown` is set and the queue is empty.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Conn> {
         let mut q = self.lock();
         loop {
             if let Some(conn) = q.pop_front() {
@@ -161,6 +218,138 @@ impl ConnQueue {
                 .unwrap_or_else(|e| e.into_inner());
             q = guard;
         }
+    }
+}
+
+/// The epoch-keyed estimate result cache: answers to estimate/chain
+/// queries are valid exactly until the next snapshot publish, so the
+/// cache stores `(publish epoch, canonical query key) → estimate` and
+/// an epoch advance invalidates everything at once. Keys embed the
+/// tenant (stream names are qualified `TENANT/STREAM` before keying),
+/// so tenants can never observe each other's entries.
+#[derive(Debug)]
+struct EstimateCache {
+    /// Max entries per epoch; `0` disables the cache entirely.
+    cap: usize,
+    inner: Mutex<CacheGeneration>,
+}
+
+#[derive(Debug, Default)]
+struct CacheGeneration {
+    epoch: u64,
+    map: std::collections::HashMap<String, f64>,
+}
+
+impl EstimateCache {
+    fn new(cap: usize) -> Self {
+        EstimateCache {
+            cap,
+            inner: Mutex::new(CacheGeneration::default()),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheGeneration> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A cached answer computed at exactly `epoch`, if any. Seeing a
+    /// *newer* epoch rotates the generation (wholesale invalidation);
+    /// an *older* epoch — a racing reader that loaded a snapshot just
+    /// before a publish — bypasses the cache rather than resurrecting
+    /// entries.
+    fn lookup(&self, epoch: u64, key: &str) -> Option<f64> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut g = self.lock();
+        if epoch > g.epoch {
+            g.epoch = epoch;
+            g.map.clear();
+            return None;
+        }
+        if epoch < g.epoch {
+            return None;
+        }
+        g.map.get(key).copied()
+    }
+
+    /// Remember an answer computed against the snapshot of `epoch`.
+    /// A newer epoch rotates the generation (same rule as `lookup`);
+    /// an answer from an epoch the cache already rotated past is stale
+    /// by construction and dropped, as is any insert beyond the cap.
+    fn insert(&self, epoch: u64, key: String, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut g = self.lock();
+        if epoch > g.epoch {
+            g.epoch = epoch;
+            g.map.clear();
+        }
+        if g.epoch == epoch && g.map.len() < self.cap {
+            g.map.insert(key, value);
+        }
+    }
+}
+
+/// Per-tenant in-flight accounting for fair admission: each tenant may
+/// hold at most `quota` requests in flight; beyond it the request is
+/// answered `429` without touching the registry, so a hot tenant's
+/// burst cannot occupy every worker.
+#[derive(Debug)]
+struct TenantGov {
+    /// `0` = quotas disabled.
+    quota: usize,
+    inflight: Mutex<std::collections::HashMap<String, usize>>,
+}
+
+impl TenantGov {
+    fn new(quota: usize) -> Self {
+        TenantGov {
+            quota,
+            inflight: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.quota > 0
+    }
+
+    /// Try to admit one request for `tenant`.
+    fn try_acquire(&self, tenant: &str) -> bool {
+        let mut g = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let n = g.entry(tenant.to_string()).or_insert(0);
+        if *n >= self.quota {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut g = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = g.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                g.remove(tenant);
+            }
+        }
+    }
+}
+
+/// RAII release of one tenant's in-flight slot.
+struct TenantSlot<'a> {
+    gov: &'a TenantGov,
+    tenant: String,
+}
+
+impl Drop for TenantSlot<'_> {
+    fn drop(&mut self) {
+        self.gov.release(&self.tenant);
     }
 }
 
@@ -184,6 +373,14 @@ struct ServerState {
     request_timeout: Option<Duration>,
     shutdown: AtomicBool,
     queue: ConnQueue,
+    cache: EstimateCache,
+    governor: TenantGov,
+    /// Fair-admission round-robin: workers requeue keep-alive
+    /// connections between requests while others wait.
+    fair: bool,
+    /// Connections currently held by a worker (readiness signal for
+    /// tests and ops; a requeued connection is not active).
+    active: AtomicU64,
 }
 
 impl ServerState {
@@ -288,6 +485,16 @@ impl Server {
                 .then(|| Duration::from_millis(opts.request_timeout_ms)),
             shutdown: AtomicBool::new(false),
             queue: ConnQueue::new(opts.queue_depth),
+            cache: EstimateCache::new(opts.estimate_cache),
+            governor: TenantGov::new(if !opts.fair_admission {
+                0
+            } else if opts.tenant_quota > 0 {
+                opts.tenant_quota
+            } else {
+                opts.workers.max(1).saturating_sub(1).max(1)
+            }),
+            fair: opts.fair_admission,
+            active: AtomicU64::new(0),
         });
         // Seed the progress mirror with the recovered registry's totals
         // so staleness stays a live-vs-snapshot delta after restarts.
@@ -344,6 +551,13 @@ impl Server {
     /// The last published snapshot epoch.
     pub fn published_epoch(&self) -> u64 {
         self.state.cell.published_epoch()
+    }
+
+    /// Connections currently held by a worker (a requeued fair-admission
+    /// connection is *not* active while it waits). Tests poll this for
+    /// readiness instead of sleeping.
+    pub fn active_connections(&self) -> u64 {
+        self.state.active.load(Ordering::SeqCst)
     }
 
     fn stop_threads(&mut self) {
@@ -422,18 +636,21 @@ impl Server {
 fn accept_loop(state: &ServerState, listener: TcpListener) {
     while !state.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((conn, _)) => {
-                let _ = conn.set_nodelay(true);
-                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
-                let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                 dctstream_obs::counter_add!("serve.accepted", 1);
+                let Ok(conn) = Conn::new(stream) else {
+                    continue; // try_clone failed: drop the connection
+                };
                 if let Err(mut rejected) = state.queue.push(conn) {
                     // Admission control: the pool is saturated and the
                     // queue is full. Fail fast with a retryable status
                     // instead of queueing unboundedly.
                     dctstream_obs::counter_add!("serve.rejected", 1);
                     let _ = respond(
-                        &mut rejected,
+                        &mut rejected.writer,
                         Status::Unavailable,
                         "application/json",
                         "{\"error\":\"server saturated; retry\"}",
@@ -450,8 +667,29 @@ fn accept_loop(state: &ServerState, listener: TcpListener) {
 }
 
 fn worker_loop(state: &ServerState) {
-    while let Some(conn) = state.queue.pop(&state.shutdown) {
-        let _ = serve_connection(state, conn);
+    while let Some(mut conn) = state.queue.pop(&state.shutdown) {
+        state.active.fetch_add(1, Ordering::SeqCst);
+        let mut yield_back = false;
+        loop {
+            match serve_request(state, &mut conn) {
+                Turn::Close => break,
+                Turn::Continue => {
+                    // Fair admission: if other connections are waiting,
+                    // put this one back and pick up the next — FIFO
+                    // round-robin across connections, so one hot
+                    // keep-alive client cannot monopolize a worker.
+                    if state.fair && state.queue.has_waiters() {
+                        yield_back = true;
+                        break;
+                    }
+                }
+            }
+        }
+        state.active.fetch_sub(1, Ordering::SeqCst);
+        if yield_back {
+            dctstream_obs::counter_add!("serve.requeues", 1);
+            state.queue.requeue(conn);
+        }
     }
 }
 
@@ -504,51 +742,122 @@ impl io::Read for DeadlineStream {
     }
 }
 
-fn serve_connection(state: &ServerState, conn: TcpStream) -> io::Result<()> {
-    let mut reader = BufReader::new(DeadlineStream::new(conn.try_clone()?));
-    let mut writer = conn;
-    loop {
-        // Each request gets a fresh deadline; an idle keep-alive
-        // connection past it is closed too, freeing the worker.
-        reader.get_mut().arm(state.request_timeout);
-        let req = match http::read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => break,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
-                let _ = respond(
-                    &mut writer,
-                    Status::BadRequest,
-                    "application/json",
-                    &body,
-                    false,
-                );
-                break;
-            }
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
-                dctstream_obs::counter_add!("serve.request_timeouts", 1);
-                break; // half-sent request: cut the client off
-            }
-            Err(_) => break, // reset: just close
-        };
-        let _span = dctstream_obs::span!("serve.request");
-        dctstream_obs::counter_add!("serve.requests", 1);
-        let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
-        let (status, content_type, body) = route(state, &req);
-        if status != Status::Ok {
-            dctstream_obs::counter_add!("serve.request_errors", 1);
+/// What the worker should do with the connection after one request.
+enum Turn {
+    /// Serve another request (keep-alive, or hand it back to the queue
+    /// under fair admission).
+    Continue,
+    /// Close the connection (client done, error, timeout, shutdown).
+    Close,
+}
+
+/// Serve exactly one request off the connection. The per-request
+/// deadline is armed here, so a requeued connection gets a fresh clock
+/// each time a worker picks it up.
+fn serve_request(state: &ServerState, conn: &mut Conn) -> Turn {
+    // Each request gets a fresh deadline; an idle keep-alive
+    // connection past it is closed too, freeing the worker.
+    conn.reader.get_mut().arm(state.request_timeout);
+    let req = match http::read_request(&mut conn.reader) {
+        Ok(Some(r)) => r,
+        Ok(None) => return Turn::Close,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+            let _ = respond(
+                &mut conn.writer,
+                Status::BadRequest,
+                "application/json",
+                &body,
+                false,
+            );
+            return Turn::Close;
         }
-        respond(&mut writer, status, content_type, &body, keep)?;
-        if !keep {
-            break;
+        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+            dctstream_obs::counter_add!("serve.request_timeouts", 1);
+            return Turn::Close; // half-sent request: cut the client off
         }
+        Err(_) => return Turn::Close, // reset: just close
+    };
+    let _span = dctstream_obs::span!("serve.request");
+    dctstream_obs::counter_add!("serve.requests", 1);
+    let keep = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let (status, content_type, body) = route(state, &req);
+    if status != Status::Ok {
+        dctstream_obs::counter_add!("serve.request_errors", 1);
     }
-    writer.flush()
+    if respond(&mut conn.writer, status, content_type, &body, keep).is_err() {
+        return Turn::Close;
+    }
+    if keep {
+        Turn::Continue
+    } else {
+        Turn::Close
+    }
+}
+
+/// The routes a tenant quota meters: everything that does registry work
+/// on behalf of one tenant. Control-plane routes (health, metrics,
+/// fleet, checkpoint, shutdown) stay unmetered so operators keep
+/// visibility into a saturated daemon.
+fn metered(req: &Request) -> bool {
+    matches!(
+        req.path.as_str(),
+        "/v1/register" | "/v1/ingest" | "/v1/estimate" | "/v1/chain" | "/v1/streams"
+    )
+}
+
+/// Per-tenant admission: claim an in-flight slot for the request's
+/// tenant, or refuse with `429`. Invalid tenant names skip metering —
+/// the handler will reject them with `400` and they must not mint
+/// metric labels.
+fn admit<'a>(
+    state: &'a ServerState,
+    req: &Request,
+) -> std::result::Result<Option<TenantSlot<'a>>, (Status, String)> {
+    if !state.governor.enabled() || !metered(req) {
+        return Ok(None);
+    }
+    let tenant = req.param("tenant").unwrap_or("default");
+    if !valid_name(tenant) {
+        return Ok(None);
+    }
+    // Dynamic label values must bypass the counter macros: the macros
+    // cache one handle per call site, which would pin every increment
+    // to the first tenant seen.
+    dctstream_obs::global()
+        .counter_with("serve.tenant_requests", &[("tenant", tenant)])
+        .add(1);
+    if !state.governor.try_acquire(tenant) {
+        dctstream_obs::global()
+            .counter_with("serve.tenant_throttled", &[("tenant", tenant)])
+            .add(1);
+        return Err((
+            Status::TooManyRequests,
+            format!(
+                "tenant {tenant:?} is over its in-flight quota of {}; retry",
+                state.governor.quota
+            ),
+        ));
+    }
+    Ok(Some(TenantSlot {
+        gov: &state.governor,
+        tenant: tenant.to_string(),
+    }))
 }
 
 /// Dispatch one request. Never panics; every failure is a status + JSON
 /// error body.
 fn route(state: &ServerState, req: &Request) -> (Status, &'static str, String) {
+    let _slot = match admit(state, req) {
+        Ok(slot) => slot,
+        Err((status, msg)) => {
+            return (
+                status,
+                "application/json",
+                format!("{{\"error\":\"{}\"}}", json_escape(&msg)),
+            )
+        }
+    };
     let outcome = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_health(state),
         ("GET", "/metrics") => return metrics_response(state),
@@ -719,7 +1028,9 @@ fn handle_register(state: &ServerState, req: &Request) -> Handled {
 }
 
 /// Parse one ingest row: `v1[,v2,...][:w]` (weight defaults to 1).
-fn parse_row(line: &str) -> std::result::Result<(Vec<i64>, f64), String> {
+/// Public because trace tooling (the replay recorder) parses the same
+/// wire format.
+pub fn parse_row(line: &str) -> std::result::Result<(Vec<i64>, f64), String> {
     let (vals, w) = match line.rsplit_once(':') {
         Some((vals, w)) => (
             vals,
@@ -829,11 +1140,13 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Handled {
                         }
                         Err(e) => match reject_label(&e) {
                             Some(label) => {
-                                dctstream_obs::counter_add!(
-                                    "intake.rows_rejected_total",
-                                    &[("cause", label)],
-                                    1
-                                );
+                                // The macro caches its handle per call
+                                // site, which would pin every increment
+                                // to the first cause seen — go through
+                                // the registry for the dynamic label.
+                                dctstream_obs::global()
+                                    .counter_with("intake.rows_rejected_total", &[("cause", label)])
+                                    .add(1);
                                 rejects.push((*row_no, e.to_string()));
                             }
                             None => return Err(e),
@@ -959,6 +1272,29 @@ fn query_snapshot(state: &ServerState) -> std::result::Result<QuerySnapshot, (St
     }
 }
 
+/// Look up / fill the estimate cache around `compute`. Only the
+/// single-registry path caches: a fleet query captures a fresh merged
+/// snapshot under a fresh epoch every time, so nothing could ever hit.
+fn cached_estimate(
+    state: &ServerState,
+    snap: &RegistrySnapshot,
+    fleet: bool,
+    key: &str,
+    compute: impl FnOnce() -> Result<f64>,
+) -> std::result::Result<f64, (Status, String)> {
+    if fleet || !state.cache.enabled() {
+        return compute().map_err(|e| rejected(&e));
+    }
+    if let Some(est) = state.cache.lookup(snap.epoch(), key) {
+        dctstream_obs::counter_add!("serve.cache_hits", 1);
+        return Ok(est);
+    }
+    let est = compute().map_err(|e| rejected(&e))?;
+    dctstream_obs::counter_add!("serve.cache_misses", 1);
+    state.cache.insert(snap.epoch(), key.to_string(), est);
+    Ok(est)
+}
+
 fn handle_estimate(state: &ServerState, req: &Request) -> Handled {
     let left = qualify(req, required(req, "left")?)?;
     let right = qualify(req, required(req, "right")?)?;
@@ -967,9 +1303,12 @@ fn handle_estimate(state: &ServerState, req: &Request) -> Handled {
         None => None,
     };
     let (snap, degraded) = query_snapshot(state)?;
-    let est = snap
-        .estimate_cosine_join(&left, &right, budget)
-        .map_err(|e| rejected(&e))?;
+    // The cache key embeds the tenant (via the qualified names) and the
+    // full query shape; the epoch is the cache's generation key.
+    let key = format!("e|{left}|{right}|{budget:?}");
+    let est = cached_estimate(state, &snap, degraded.is_some(), &key, || {
+        snap.estimate_cosine_join(&left, &right, budget)
+    })?;
     match degraded {
         Some(d) => Ok(format!(
             "{{\"estimate\":{est},{},{}}}",
@@ -991,6 +1330,7 @@ fn handle_chain(state: &ServerState, req: &Request) -> Handled {
     let body = std::str::from_utf8(&req.body)
         .map_err(|_| usage("chain body must be UTF-8 text".to_string()))?;
     let mut builder = ChainJoinQuery::builder();
+    let mut links: Vec<String> = Vec::new();
     for (i, line) in body.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -999,14 +1339,16 @@ fn handle_chain(state: &ServerState, req: &Request) -> Handled {
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next(), parts.next(), parts.next()) {
             (Some("end"), Some(name), None, _) => {
-                builder = builder.end(qualify(req, name)?);
+                let key = qualify(req, name)?;
+                links.push(format!("end {key}"));
+                builder = builder.end(key);
             }
             (Some("inner"), Some(name), Some(l), Some(r)) => {
-                builder = builder.inner(
-                    qualify(req, name)?,
-                    parse_num("left dim", l)?,
-                    parse_num("right dim", r)?,
-                );
+                let key = qualify(req, name)?;
+                let ld: usize = parse_num("left dim", l)?;
+                let rd: usize = parse_num("right dim", r)?;
+                links.push(format!("inner {key} {ld} {rd}"));
+                builder = builder.inner(key, ld, rd);
             }
             _ => {
                 return Err(usage(format!(
@@ -1016,9 +1358,15 @@ fn handle_chain(state: &ServerState, req: &Request) -> Handled {
             }
         }
     }
+    let chain_key = links.join(";");
     let query = builder.build().map_err(|e| rejected(&e))?;
     let (snap, degraded) = query_snapshot(state)?;
-    let est = query.estimate_at(&snap, budget).map_err(|e| rejected(&e))?;
+    // Canonical chain key: the qualified link list in order plus the
+    // budget (links came from `qualify`, so the tenant is embedded).
+    let key = format!("c|{budget:?}|{}", chain_key);
+    let est = cached_estimate(state, &snap, degraded.is_some(), &key, || {
+        query.estimate_at(&snap, budget)
+    })?;
     match degraded {
         Some(d) => Ok(format!(
             "{{\"estimate\":{est},{},{}}}",
@@ -1217,13 +1565,57 @@ mod tests {
         let q = ConnQueue::new(1);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let c1 = TcpStream::connect(addr).unwrap();
-        let c2 = TcpStream::connect(addr).unwrap();
+        let c1 = Conn::new(TcpStream::connect(addr).unwrap()).unwrap();
+        let c2 = Conn::new(TcpStream::connect(addr).unwrap()).unwrap();
         assert!(q.push(c1).is_ok());
-        assert!(q.push(c2).is_err(), "beyond depth must be handed back");
+        let bounced = q.push(c2);
+        assert!(bounced.is_err(), "beyond depth must be handed back");
+        // Re-admission of an already-accepted connection ignores depth.
+        q.requeue(bounced.unwrap_err());
         let shutdown = AtomicBool::new(false);
+        assert!(q.pop(&shutdown).is_some());
         assert!(q.pop(&shutdown).is_some());
         shutdown.store(true, Ordering::SeqCst);
         assert!(q.pop(&shutdown).is_none());
+    }
+
+    #[test]
+    fn estimate_cache_is_invalidated_by_epoch_advance() {
+        let c = EstimateCache::new(8);
+        assert!(c.lookup(1, "k").is_none());
+        c.insert(1, "k".into(), 42.0);
+        assert_eq!(c.lookup(1, "k"), Some(42.0));
+        // A newer epoch rotates the generation wholesale.
+        assert!(c.lookup(2, "k").is_none());
+        // The stale generation cannot be resurrected.
+        assert!(c.lookup(1, "k").is_none());
+        // Inserts against a rotated-past epoch are dropped.
+        c.insert(1, "k".into(), 42.0);
+        assert!(c.lookup(2, "k").is_none());
+    }
+
+    #[test]
+    fn estimate_cache_honors_cap_and_disable() {
+        let off = EstimateCache::new(0);
+        off.insert(1, "k".into(), 1.0);
+        assert!(off.lookup(1, "k").is_none());
+        let tiny = EstimateCache::new(1);
+        tiny.insert(1, "a".into(), 1.0);
+        tiny.insert(1, "b".into(), 2.0); // over cap: dropped
+        assert_eq!(tiny.lookup(1, "a"), Some(1.0));
+        assert!(tiny.lookup(1, "b").is_none());
+    }
+
+    #[test]
+    fn tenant_governor_enforces_quota_per_tenant() {
+        let g = TenantGov::new(2);
+        assert!(g.try_acquire("hot"));
+        assert!(g.try_acquire("hot"));
+        assert!(!g.try_acquire("hot"), "third in-flight must bounce");
+        assert!(g.try_acquire("cold"), "quota is per tenant");
+        g.release("hot");
+        assert!(g.try_acquire("hot"));
+        // Releasing an unknown tenant is a no-op, not a panic.
+        g.release("never-seen");
     }
 }

@@ -1,0 +1,200 @@
+//! Estimate-cache regression suite: a cached answer must never survive
+//! a publish-epoch advance, the hit/miss counters must reconcile with
+//! request counts, and disabling the cache must visibly change the
+//! counters (proving these tests bite).
+//!
+//! The hit/miss counters live in the process-global metrics registry,
+//! so every test here serializes on one lock and measures deltas.
+
+use dctstream_serve::{ServeOptions, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dctcache_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One blocking HTTP/1.1 exchange on a fresh connection.
+fn request(addr: SocketAddr, method: &str, path_query: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        conn,
+        "{method} {path_query} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The raw `"estimate":<number>` substring — bit-identity, no parsing.
+fn estimate_text(body: &str) -> String {
+    let key = "\"estimate\":";
+    let at = body
+        .find(key)
+        .unwrap_or_else(|| panic!("no estimate in {body}"));
+    let rest = &body[at + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].to_string()
+}
+
+/// A counter's value in the Prometheus exposition (0 when absent).
+fn prom_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+fn counters(addr: SocketAddr) -> (u64, u64) {
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    (
+        prom_counter(&body, "dctstream_serve_cache_hits_total"),
+        prom_counter(&body, "dctstream_serve_cache_misses_total"),
+    )
+}
+
+fn setup(dir: &Path, estimate_cache: usize) -> Server {
+    let opts = ServeOptions {
+        publish_every: 1,
+        estimate_cache,
+        ..ServeOptions::default()
+    };
+    let (server, _) = Server::start(dir, "127.0.0.1:0", opts).expect("daemon starts");
+    let addr = server.local_addr();
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/register?tenant=cachet&stream=s&lo=0&hi=31&m=16",
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/ingest?tenant=cachet&stream=s",
+        "1\n2:2\n7\n9:1.5\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    server
+}
+
+#[test]
+fn cached_estimate_is_never_served_across_epoch_advance() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("epoch");
+    let server = setup(&dir, 1024);
+    let addr = server.local_addr();
+    let query = "/v1/estimate?tenant=cachet&left=s&right=s";
+
+    let (status, first) = request(addr, "GET", query, "");
+    assert_eq!(status, 200, "{first}");
+    // Identical query with no intervening write: the cached answer, and
+    // it must be bit-identical.
+    let (_, again) = request(addr, "GET", query, "");
+    assert_eq!(estimate_text(&first), estimate_text(&again));
+
+    // Write → publish (publish_every=1) → the epoch advanced, so the
+    // cache generation rotated: the same query must re-compute against
+    // the new snapshot, not serve the stale hit.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/ingest?tenant=cachet&stream=s",
+        "3\n3\n3\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, after) = request(addr, "GET", query, "");
+    assert_eq!(status, 200, "{after}");
+    assert_ne!(
+        estimate_text(&first),
+        estimate_text(&after),
+        "self-join estimate did not move after new rows: stale cache hit"
+    );
+    // And the new answer is itself stable (cached at the new epoch).
+    let (_, after2) = request(addr, "GET", query, "");
+    assert_eq!(estimate_text(&after), estimate_text(&after2));
+
+    server.shutdown(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hit_and_miss_counters_reconcile_with_request_counts() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("counters");
+    let server = setup(&dir, 1024);
+    let addr = server.local_addr();
+    let (hits0, misses0) = counters(addr);
+
+    const N: u64 = 12;
+    for _ in 0..N {
+        let (status, body) = request(addr, "GET", "/v1/estimate?tenant=cachet&left=s&right=s", "");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (hits1, misses1) = counters(addr);
+    // First query computes, the rest hit: hits + misses == requests.
+    assert_eq!(misses1 - misses0, 1, "expected exactly one compute");
+    assert_eq!(hits1 - hits0, N - 1, "expected the rest to be cache hits");
+
+    // A different query key computes on its own slot.
+    let (status, body) = request(
+        addr,
+        "GET",
+        "/v1/estimate?tenant=cachet&left=s&right=s&budget=8",
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    let (hits2, misses2) = counters(addr);
+    assert_eq!(misses2 - misses1, 1);
+    assert_eq!(hits2, hits1);
+
+    server.shutdown(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_cache_computes_every_answer_and_counts_nothing() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("disabled");
+    let server = setup(&dir, 0);
+    let addr = server.local_addr();
+    let (hits0, misses0) = counters(addr);
+
+    let mut answers = Vec::new();
+    for _ in 0..5 {
+        let (status, body) = request(addr, "GET", "/v1/estimate?tenant=cachet&left=s&right=s", "");
+        assert_eq!(status, 200, "{body}");
+        answers.push(estimate_text(&body));
+    }
+    // Deterministic estimator: fresh computes still agree bit-for-bit.
+    assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    // But nothing was cached — the counters do not move, which is what
+    // makes the reconciliation test above a real regression gate.
+    let (hits1, misses1) = counters(addr);
+    assert_eq!(hits1, hits0, "disabled cache must never count a hit");
+    assert_eq!(misses1, misses0, "disabled cache must never count a miss");
+
+    server.shutdown(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}

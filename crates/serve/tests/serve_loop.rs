@@ -325,8 +325,17 @@ fn half_sent_request_cannot_pin_a_worker() {
     // Stall mid-request-line and keep the socket open.
     let mut stalled = TcpStream::connect(addr).unwrap();
     stalled.write_all(b"GET /healthz HTT").unwrap();
-    // Give the lone worker time to pick the stalled connection up.
-    std::thread::sleep(std::time::Duration::from_millis(50));
+    // Wait until the lone worker has demonstrably picked the stalled
+    // connection up (readiness, not a guessed sleep that flakes on a
+    // loaded runner).
+    let t0 = std::time::Instant::now();
+    while server.active_connections() < 1 {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "worker never picked up the stalled connection"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
 
     // The healthy client must get through once the deadline cuts the
     // stalled connection off (well under the old 5s per-read timeout).

@@ -257,6 +257,10 @@ impl RegistrySnapshot {
 pub struct SnapshotCell {
     current: RwLock<Arc<RegistrySnapshot>>,
     epoch: AtomicU64,
+    /// Mirror of `current`'s epoch, maintained by [`SnapshotCell::store`],
+    /// so epoch-keyed consumers (the serve estimate cache, metrics) can
+    /// read the published epoch without touching the snapshot lock.
+    published: AtomicU64,
 }
 
 impl Default for SnapshotCell {
@@ -271,6 +275,7 @@ impl SnapshotCell {
         SnapshotCell {
             current: RwLock::new(Arc::new(RegistrySnapshot::empty())),
             epoch: AtomicU64::new(0),
+            published: AtomicU64::new(0),
         }
     }
 
@@ -280,8 +285,9 @@ impl SnapshotCell {
     }
 
     /// The epoch of the most recently *published* snapshot (0 = none).
+    /// Lock-free: reads the mirror stamped by [`SnapshotCell::store`].
     pub fn published_epoch(&self) -> u64 {
-        self.load().epoch()
+        self.published.load(Ordering::Acquire)
     }
 
     /// Swap in a freshly captured snapshot.
@@ -291,8 +297,11 @@ impl SnapshotCell {
             Err(poisoned) => poisoned.into_inner(),
         };
         // Publishes may race (two writers flushing concurrently); the
-        // newer epoch wins so readers never travel back in time.
+        // newer epoch wins so readers never travel back in time. The
+        // mirror is stamped while the write lock is held so it can never
+        // disagree with the stored snapshot's epoch.
         if snap.epoch() >= slot.epoch() {
+            self.published.store(snap.epoch(), Ordering::Release);
             *slot = snap;
         }
         dctstream_obs::counter_add!("snapshot.publishes", 1);

@@ -1,0 +1,283 @@
+//! Recorded-workload replay suite: determinism across runs and
+//! connection counts, codec robustness at integration scale, the
+//! sharded-fleet acceptance drive, and a record-then-replay round trip
+//! through the recording proxy.
+
+use dctstream_replay::{
+    decode_trace, encode_trace, replay, synthesize, Client, RecordingProxy, ReplayError,
+    ReplayOptions, SynthesisConfig, TraceOp,
+};
+use dctstream_serve::{ServeOptions, Server};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dctstream_replay_it_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Start a scratch daemon publishing after every update, so the final
+/// snapshot deterministically reflects every replayed event.
+fn start_server(dir: &Path, shards: usize) -> Server {
+    let opts = ServeOptions {
+        publish_every: 1,
+        shards,
+        ..ServeOptions::default()
+    };
+    let (server, _) = Server::start(dir, "127.0.0.1:0", opts).expect("scratch daemon starts");
+    server
+}
+
+/// The exact `"estimate":<number>` substring of an answer — the
+/// bit-identity probe (no float parsing that could mask a ULP drift).
+fn estimate_text(body: &str) -> String {
+    let key = "\"estimate\":";
+    let at = body
+        .find(key)
+        .unwrap_or_else(|| panic!("no estimate in {body}"));
+    let rest = &body[at + key.len()..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].to_string()
+}
+
+/// Query every pairwise estimate and one chain per tenant, returning
+/// the raw estimate substrings in a fixed order.
+fn final_estimates(server: &Server, cfg: &SynthesisConfig) -> Vec<String> {
+    let mut client =
+        Client::connect(server.local_addr(), Duration::from_secs(10)).expect("connect");
+    let mut out = Vec::new();
+    for t in 0..cfg.tenants {
+        for a in 0..cfg.streams_per_tenant {
+            for b in 0..cfg.streams_per_tenant {
+                let resp = client
+                    .request(
+                        "GET",
+                        &format!("/v1/estimate?tenant=t{t}&left=s{a}&right=s{b}"),
+                        "",
+                    )
+                    .expect("estimate answers");
+                assert_eq!(resp.status, 200, "estimate failed: {}", resp.body);
+                out.push(estimate_text(&resp.body));
+            }
+        }
+        let resp = client
+            .request(
+                "POST",
+                &format!("/v1/chain?tenant=t{t}"),
+                "end s0\ninner m0 0 1\nend s1\n",
+            )
+            .expect("chain answers");
+        assert_eq!(resp.status, 200, "chain failed: {}", resp.body);
+        out.push(estimate_text(&resp.body));
+    }
+    out
+}
+
+#[test]
+fn final_estimates_are_bit_identical_across_runs_and_connections() {
+    let cfg = SynthesisConfig {
+        ops: 300,
+        tenants: 3,
+        streams_per_tenant: 2,
+        ..SynthesisConfig::default()
+    };
+    let trace = synthesize(&cfg).expect("synthesize");
+    let mut baseline: Option<Vec<String>> = None;
+    // connections=2 twice: across-runs identity, not just across-counts.
+    for (i, connections) in [1usize, 2, 2, 4].into_iter().enumerate() {
+        let dir = scratch(&format!("det_{i}"));
+        let server = start_server(&dir, 0);
+        let opts = ReplayOptions {
+            connections,
+            closed_loop: true,
+            ..ReplayOptions::default()
+        };
+        let report = replay(server.local_addr(), &trace, &opts).expect("replay");
+        assert_eq!(
+            report.failed, 0,
+            "transport failures at {connections} conns"
+        );
+        for (route, r) in &report.routes {
+            assert_eq!(
+                r.errors + r.throttled_429 + r.unavailable_503,
+                0,
+                "route {route} had non-2xx answers at {connections} conns"
+            );
+        }
+        let estimates = final_estimates(&server, &cfg);
+        server.shutdown(false);
+        let _ = std::fs::remove_dir_all(&dir);
+        match &baseline {
+            None => baseline = Some(estimates),
+            Some(expect) => assert_eq!(
+                expect, &estimates,
+                "final estimates drifted at {connections} connection(s)"
+            ),
+        }
+    }
+}
+
+#[test]
+fn trace_corruption_is_always_a_typed_error_at_scale() {
+    let trace = synthesize(&SynthesisConfig {
+        ops: 120,
+        ..SynthesisConfig::default()
+    })
+    .expect("synthesize");
+    let bytes = encode_trace(&trace).expect("encode");
+    assert_eq!(decode_trace(&bytes).expect("round trip"), trace);
+
+    // Byte flips at a coarse stride (the per-byte exhaustive sweep runs
+    // as a unit test on a smaller trace): typed error, never a panic,
+    // never a silently different trace.
+    for i in (0..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x20;
+        match decode_trace(&bad) {
+            Err(ReplayError::Corrupt { .. }) => {}
+            Ok(decoded) => assert_eq!(
+                decoded, trace,
+                "flip at byte {i} silently changed the trace"
+            ),
+            Err(other) => panic!("flip at byte {i}: wrong error kind {other}"),
+        }
+    }
+    for len in (0..bytes.len()).step_by(11) {
+        match decode_trace(&bytes[..len]) {
+            Err(ReplayError::Corrupt { .. }) => {}
+            Ok(_) => panic!("truncation to {len} bytes decoded"),
+            Err(other) => panic!("truncation to {len}: wrong error kind {other}"),
+        }
+    }
+}
+
+#[test]
+fn replay_drives_a_sharded_fleet_at_multiple_speedups() {
+    let cfg = SynthesisConfig {
+        ops: 250,
+        tenants: 3,
+        mean_gap_us: 400,
+        ..SynthesisConfig::default()
+    };
+    let trace = synthesize(&cfg).expect("synthesize");
+    for (i, speedup) in [20.0f64, 200.0].into_iter().enumerate() {
+        let dir = scratch(&format!("fleet_{i}"));
+        let server = start_server(&dir, 2);
+        let opts = ReplayOptions {
+            connections: 3,
+            speedup,
+            closed_loop: false,
+            ..ReplayOptions::default()
+        };
+        let report = replay(server.local_addr(), &trace, &opts).expect("replay");
+        server.shutdown(false);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(report.failed, 0, "transport failures at speedup {speedup}");
+        assert_eq!(report.ops, trace.len() as u64);
+        for route in ["register", "ingest", "estimate", "chain"] {
+            let r = report
+                .routes
+                .get(route)
+                .unwrap_or_else(|| panic!("route {route} missing at speedup {speedup}"));
+            assert!(r.count > 0);
+            assert_eq!(r.errors, 0, "route {route} errored at speedup {speedup}");
+            assert!(
+                r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms && r.p99_ms <= r.max_ms,
+                "route {route}: percentiles out of order at speedup {speedup}"
+            );
+        }
+        assert!(report.staleness.samples > 0, "no staleness samples");
+        // The open loop honors recorded gaps: 250 ops spaced ~400us
+        // cannot finish faster than the scaled trace duration.
+        let trace_span_secs = trace.last().expect("nonempty").at_us as f64 / 1e6;
+        assert!(
+            report.wall_secs >= trace_span_secs / speedup * 0.5,
+            "open loop at speedup {speedup} finished impossibly fast \
+             ({:.3}s for a {:.3}s scaled trace)",
+            report.wall_secs,
+            trace_span_secs / speedup
+        );
+    }
+}
+
+#[test]
+fn proxy_recorded_session_replays_bit_identically() {
+    let upstream_dir = scratch("proxy_up");
+    let upstream = start_server(&upstream_dir, 0);
+    let out = std::env::temp_dir().join(format!(
+        "dctstream_replay_it_proxy_{}.dctt",
+        std::process::id()
+    ));
+    let proxy = RecordingProxy::start(0, upstream.local_addr(), &out).expect("proxy starts");
+
+    // A live session through the proxy: registers, skewed ingests with
+    // a delete, an unrecorded /metrics probe, estimates.
+    let mut c = Client::connect(proxy.addr(), Duration::from_secs(10)).expect("connect proxy");
+    for s in ["a", "b"] {
+        let resp = c
+            .request(
+                "POST",
+                &format!("/v1/register?tenant=acme&stream={s}&lo=0&hi=99&m=32"),
+                "",
+            )
+            .expect("register");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    for batch in ["1\n2:2\n7\n", "2:1.5\n7:-1\n9\n", "1\n1\n1\n"] {
+        let resp = c
+            .request("POST", "/v1/ingest?tenant=acme&stream=a", batch)
+            .expect("ingest a");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = c
+            .request("POST", "/v1/ingest?tenant=acme&stream=b", batch)
+            .expect("ingest b");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    assert_eq!(
+        c.request("GET", "/metrics", "").expect("metrics").status,
+        200
+    );
+    let live = c
+        .request("GET", "/v1/estimate?tenant=acme&left=a&right=b", "")
+        .expect("estimate");
+    assert_eq!(live.status, 200, "{}", live.body);
+    drop(c);
+
+    let recorded = proxy.shutdown().expect("proxy seals the trace");
+    upstream.shutdown(false);
+    let _ = std::fs::remove_dir_all(&upstream_dir);
+    // 2 registers + 6 ingests + 1 estimate; /metrics is not recorded.
+    assert_eq!(recorded, 9, "unexpected recorded op count");
+    let trace = dctstream_replay::read_trace(&out).expect("recorded trace reads back");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(trace.len(), 9);
+    assert!(matches!(trace[0].op, TraceOp::Register { .. }));
+    assert!(trace.iter().all(|r| r.tenant == "acme"));
+
+    // Replaying the recording into a fresh daemon reproduces the live
+    // answer bit-for-bit.
+    let fresh_dir = scratch("proxy_fresh");
+    let fresh = start_server(&fresh_dir, 0);
+    let opts = ReplayOptions {
+        connections: 2,
+        closed_loop: true,
+        ..ReplayOptions::default()
+    };
+    let report = replay(fresh.local_addr(), &trace, &opts).expect("replay recording");
+    assert_eq!(report.failed, 0);
+    let mut c = Client::connect(fresh.local_addr(), Duration::from_secs(10)).expect("connect");
+    let replayed = c
+        .request("GET", "/v1/estimate?tenant=acme&left=a&right=b", "")
+        .expect("estimate");
+    fresh.shutdown(false);
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+    assert_eq!(replayed.status, 200, "{}", replayed.body);
+    assert_eq!(
+        estimate_text(&live.body),
+        estimate_text(&replayed.body),
+        "replayed estimate drifted from the live session"
+    );
+}
